@@ -1,0 +1,49 @@
+//! Criterion benchmarks for the figure-driving experiments.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use zcover_bench::experiments;
+use zwave_controller::testbed::DeviceModel;
+
+/// Figure 5: registry statistics and chart rendering.
+fn bench_figure5(c: &mut Criterion) {
+    c.bench_function("figure5/registry_distribution", |b| b.iter(experiments::figure5));
+}
+
+/// Figure 12: the trace-producing campaign segment on one device.
+fn bench_figure12(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure12");
+    group.sample_size(10);
+    group.bench_function("trace_campaign_0.1h_d3", |b| {
+        b.iter(|| {
+            let (report, _tb) =
+                experiments::run_zcover(DeviceModel::D3, Duration::from_secs(360), 12);
+            report.campaign.trace.len()
+        })
+    });
+    group.finish();
+}
+
+/// Figure 2 / Figures 8-11: the single-packet memory-tampering attack.
+fn bench_attack_scenario(c: &mut Criterion) {
+    c.bench_function("figure2/memory_tamper_attack", |b| {
+        b.iter(|| {
+            let mut tb = zwave_controller::Testbed::new(DeviceModel::D6, 7);
+            let attacker = tb.attach_attacker(70.0);
+            let frame = zwave_protocol::MacFrame::singlecast(
+                tb.controller().home_id(),
+                zwave_protocol::NodeId(0x03),
+                zwave_protocol::NodeId(0x01),
+                vec![0x01, 0x0D, 0x02],
+            );
+            attacker.transmit(&frame.encode());
+            tb.pump();
+            assert!(!tb.controller().nvm().contains(zwave_controller::LOCK_NODE));
+        })
+    });
+}
+
+criterion_group!(figures, bench_figure5, bench_figure12, bench_attack_scenario);
+criterion_main!(figures);

@@ -1,0 +1,144 @@
+//! Microbenchmarks of the substrate layers: framing, checksums,
+//! cryptography, mutation, and dissection.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use zwave_crypto::aes::Aes128;
+use zwave_crypto::keys::NetworkKey;
+use zwave_crypto::s2::{network_keys, S2Session};
+use zwave_crypto::{ccm, cmac, curve25519, s0};
+use zwave_protocol::apl::ApplicationPayload;
+use zwave_protocol::checksum::{crc16_ccitt, cs8};
+use zwave_protocol::dissect::Dissection;
+use zwave_protocol::{CommandClassId, HomeId, MacFrame, NodeId};
+
+fn bench_protocol(c: &mut Criterion) {
+    let frame =
+        MacFrame::singlecast(HomeId(0xCB95A34A), NodeId(0x0F), NodeId(0x01), vec![0x20, 0x01, 0xFF]);
+    let wire = frame.encode();
+    let mut group = c.benchmark_group("protocol");
+    group.bench_function("frame_encode", |b| b.iter(|| frame.encode()));
+    group.bench_function("frame_decode", |b| b.iter(|| MacFrame::decode(&wire).unwrap()));
+    group.bench_function("dissect", |b| b.iter(|| Dissection::from_wire(&wire).unwrap()));
+    group.bench_function("cs8_64b", |b| b.iter(|| cs8(&[0xA5u8; 64])));
+    group.bench_function("crc16_64b", |b| b.iter(|| crc16_ccitt(&[0xA5u8; 64])));
+    group.finish();
+}
+
+fn bench_crypto(c: &mut Criterion) {
+    let mut group = c.benchmark_group("crypto");
+    let aes = Aes128::new(&[7u8; 16]);
+    group.bench_function("aes128_block", |b| b.iter(|| aes.encrypt([1u8; 16])));
+    group.bench_function("cmac_32b", |b| b.iter(|| cmac::cmac(&[7u8; 16], &[0x55u8; 32])));
+    group.bench_function("ccm_seal_32b", |b| {
+        b.iter(|| ccm::seal(&[7u8; 16], &[9u8; 13], b"aad", &[0x55u8; 32], 8).unwrap())
+    });
+    let keys = s0::S0Keys::derive(&NetworkKey::from_seed(1));
+    group.bench_function("s0_encapsulate", |b| {
+        b.iter(|| s0::encapsulate(&keys, 1, 2, &[1u8; 8], &[2u8; 8], &[0x62, 0x01, 0xFF]))
+    });
+    group.bench_function("x25519_scalar_mult", |b| {
+        b.iter(|| curve25519::public_key(&[0x77u8; 32]))
+    });
+    group.finish();
+}
+
+fn bench_s2_session(c: &mut Criterion) {
+    let keys = network_keys(&NetworkKey::from_seed(5));
+    let sei = [1u8; 16];
+    let rei = [2u8; 16];
+    c.bench_function("crypto/s2_encap_decap", |b| {
+        b.iter(|| {
+            let mut tx = S2Session::initiator(keys.clone(), &sei, &rei);
+            let mut rx = S2Session::responder(keys.clone(), &sei, &rei);
+            let encap = tx.encapsulate(0xCB95A34A, 1, 2, &[0x62, 0x01, 0xFF]);
+            rx.decapsulate(0xCB95A34A, 1, 2, &encap).unwrap()
+        })
+    });
+}
+
+fn bench_mutation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mutation");
+    group.bench_function("position_sensitive_op", |b| {
+        let mut mutator = zcover::Mutator::new(1, vec![1, 2, 3]);
+        let mut payload = ApplicationPayload::new(CommandClassId(0x01), 0x0D, vec![0x00]);
+        b.iter(|| mutator.mutate(&mut payload, None))
+    });
+    group.bench_function("exploration_plans_known", |b| {
+        let mutator = zcover::Mutator::new(1, vec![1, 2, 3]);
+        b.iter(|| mutator.exploration_plans(CommandClassId(0x59), 0x03))
+    });
+    group.bench_function("random_payload_gamma", |b| {
+        let mut mutator = zcover::Mutator::new(1, vec![1, 2, 3]);
+        b.iter(|| mutator.random_payload())
+    });
+    group.finish();
+}
+
+criterion_group!(micro, bench_protocol, bench_crypto, bench_s2_session, bench_mutation);
+
+// Appended groups: the extension subsystems.
+
+mod extension_benches {
+    use criterion::Criterion;
+    use zwave_controller::ids::Ids;
+    use zwave_crypto::inclusion::{dsk_pin, pair, IncludingController, JoiningNode};
+    use zwave_crypto::keys::SecurityClass;
+    use zwave_crypto::NetworkKey;
+    use zwave_protocol::{HomeId, MacFrame, NodeId};
+
+    pub fn bench_inclusion(c: &mut Criterion) {
+        c.bench_function("crypto/s2_inclusion_ceremony", |b| {
+            b.iter(|| {
+                let mut node = JoiningNode::new([0x42u8; 32], 1, 1, 2);
+                let mut ctrl = IncludingController::new(
+                    NetworkKey::from_seed(7),
+                    SecurityClass::S2Access,
+                    [0x17u8; 32],
+                    Some(dsk_pin(node.public())),
+                    1,
+                    1,
+                    2,
+                );
+                pair(&mut ctrl, &mut node).expect("ceremony completes")
+            })
+        });
+    }
+
+    pub fn bench_ids(c: &mut Criterion) {
+        let mut ids = Ids::new(HomeId(0xCB95A34A));
+        let benign =
+            MacFrame::singlecast(HomeId(0xCB95A34A), NodeId(3), NodeId(1), vec![0x25, 0x03, 0x00])
+                .encode();
+        ids.observe(&benign, zwave_radio::SimInstant::ZERO);
+        ids.finish_training();
+        let attack =
+            MacFrame::singlecast(HomeId(0xCB95A34A), NodeId(3), NodeId(1), vec![0x01, 0x0D, 0x02])
+                .encode();
+        c.bench_function("ids/score_attack_frame", |b| {
+            b.iter(|| {
+                let mut ids = ids_clone(&ids);
+                ids.observe(&attack, zwave_radio::SimInstant::ZERO).is_some()
+            })
+        });
+    }
+
+    // Ids is deliberately not Clone (alert log identity); rebuild instead.
+    fn ids_clone(_template: &Ids) -> Ids {
+        let mut ids = Ids::new(HomeId(0xCB95A34A));
+        let benign =
+            MacFrame::singlecast(HomeId(0xCB95A34A), NodeId(3), NodeId(1), vec![0x25, 0x03, 0x00])
+                .encode();
+        ids.observe(&benign, zwave_radio::SimInstant::ZERO);
+        ids.finish_training();
+        ids
+    }
+}
+
+criterion_group!(
+    extensions,
+    extension_benches::bench_inclusion,
+    extension_benches::bench_ids
+);
+
+criterion_main!(micro, extensions);

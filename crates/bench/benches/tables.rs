@@ -1,0 +1,68 @@
+//! Criterion benchmarks for the table-driving experiments: one group per
+//! table, each running a reduced-budget version of the same code path the
+//! regeneration binaries use.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use zcover::FuzzConfig;
+use zcover_bench::experiments;
+use zwave_controller::testbed::DeviceModel;
+
+/// Table II: testbed instantiation.
+fn bench_table2(c: &mut Criterion) {
+    c.bench_function("table2/testbed_inventory", |b| b.iter(experiments::table2));
+}
+
+/// Table III: a short full campaign on one device (the per-device unit of
+/// the Table III sweep).
+fn bench_table3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table3");
+    group.sample_size(10);
+    group.bench_function("campaign_0.1h_d1", |b| {
+        b.iter(|| experiments::run_zcover(DeviceModel::D1, Duration::from_secs(360), 1))
+    });
+    group.finish();
+}
+
+/// Table IV: the fingerprinting + discovery pipeline over all devices.
+fn bench_table4(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table4");
+    group.sample_size(10);
+    group.bench_function("fingerprint_all_devices", |b| b.iter(experiments::table4));
+    group.finish();
+}
+
+/// Table V: one short VFuzz run and one short ZCover run on D4.
+fn bench_table5(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table5");
+    group.sample_size(10);
+    group.bench_function("vfuzz_0.1h_d4", |b| {
+        b.iter(|| experiments::run_vfuzz(DeviceModel::D4, Duration::from_secs(360), 2))
+    });
+    group.bench_function("zcover_0.1h_d4", |b| {
+        b.iter(|| experiments::run_zcover(DeviceModel::D4, Duration::from_secs(360), 2))
+    });
+    group.finish();
+}
+
+/// Table VI: the three ablation configurations at reduced budget.
+fn bench_table6(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table6");
+    group.sample_size(10);
+    let budget = Duration::from_secs(360);
+    group.bench_function("full_0.1h", |b| {
+        b.iter(|| experiments::run_zcover_config(DeviceModel::D1, FuzzConfig::full(budget, 3), 3))
+    });
+    group.bench_function("beta_0.1h", |b| {
+        b.iter(|| experiments::run_zcover_config(DeviceModel::D1, FuzzConfig::beta(budget, 3), 3))
+    });
+    group.bench_function("gamma_0.1h", |b| {
+        b.iter(|| experiments::run_zcover_config(DeviceModel::D1, FuzzConfig::gamma(budget, 3), 3))
+    });
+    group.finish();
+}
+
+criterion_group!(tables, bench_table2, bench_table3, bench_table4, bench_table5, bench_table6);
+criterion_main!(tables);

@@ -1,0 +1,25 @@
+//! Regenerates Figure 12: packets-over-time with discovery marks for the
+//! initial fuzzing phase on D1, D3, D4 and D5, plus the Section IV-B2
+//! early-discovery summary.
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let (series, text) = zcover_bench::experiments::figure12(800.0, 12);
+    println!("{text}");
+    println!("{}", zcover_bench::experiments::performance_summary(&series));
+
+    // `--csv DIR` exports one data file per device for external plotting.
+    if let Some(i) = args.iter().position(|a| a == "--csv") {
+        let dir = args.get(i + 1).map(String::as_str).unwrap_or(".");
+        std::fs::create_dir_all(dir).expect("creating the CSV directory");
+        for s in &series {
+            let mut csv = String::from("t_seconds,packets,bug_id\n");
+            for (t, packets, is_bug) in &s.points {
+                csv.push_str(&format!("{t:.3},{packets},{}\n", if *is_bug { "X" } else { "" }));
+            }
+            let path = format!("{dir}/figure12_{}.csv", s.device);
+            std::fs::write(&path, csv).expect("writing CSV");
+            eprintln!("wrote {path}");
+        }
+    }
+}

@@ -1,0 +1,7 @@
+//! Regenerates Figure 5: the command-count distribution of the selected
+//! command classes, straight from the specification registry.
+
+fn main() {
+    let (_entries, text) = zcover_bench::experiments::figure5();
+    println!("{text}");
+}

@@ -1,0 +1,7 @@
+//! Extension experiment: ZCover's effectiveness versus channel loss rate
+//! (failure injection on the simulated medium).
+
+fn main() {
+    let (_results, text) = zcover_bench::experiments::loss_sweep(31);
+    println!("{text}");
+}

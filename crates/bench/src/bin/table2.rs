@@ -1,0 +1,6 @@
+//! Regenerates Table II: the testbed device inventory, cross-checked
+//! against live simulated instances.
+
+fn main() {
+    println!("{}", zcover_bench::experiments::table2());
+}

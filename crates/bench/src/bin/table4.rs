@@ -1,0 +1,7 @@
+//! Regenerates Table IV: passive/active fingerprinting and
+//! unknown-property discovery for every controller.
+
+fn main() {
+    let (_results, text) = zcover_bench::experiments::table4();
+    println!("{text}");
+}

@@ -1,0 +1,20 @@
+//! Regenerates Table V: the VFuzz comparison on D1-D5. Defaults to the
+//! paper's 24-hour virtual budget (pass `--fast` for 2-hour runs; note the
+//! VFuzz generated-coverage needs the long run to reach 256/256).
+
+use std::time::Duration;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let budget = if args.iter().any(|a| a == "--fast") {
+        Duration::from_secs(2 * 3600)
+    } else {
+        Duration::from_secs(24 * 3600)
+    };
+    eprintln!(
+        "running VFuzz and ZCover for {:.0}h virtual on each of D1-D5 ...",
+        budget.as_secs_f64() / 3600.0
+    );
+    let (_results, text) = zcover_bench::experiments::table5(budget, 99);
+    println!("{text}");
+}

@@ -1,0 +1,19 @@
+//! Regenerates Table VI: the ablation study (full / β known-only /
+//! γ random) for one virtual hour on the ZooZ D1. Pass `--seed N` to vary
+//! the trial.
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let seed = args
+        .iter()
+        .position(|a| a == "--seed")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(6u64);
+    let (_results, text) = zcover_bench::experiments::table6(seed);
+    println!("{text}");
+    if args.iter().any(|a| a == "--extended") {
+        let (_results, text) = zcover_bench::experiments::table6_extended(seed);
+        println!("{text}");
+    }
+}

@@ -1,0 +1,497 @@
+//! The experiment runners: one function per table and figure of the
+//! paper's evaluation section. Each returns both structured results and a
+//! rendered "paper vs measured" report.
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+use zcover::{CampaignResult, FuzzConfig, ZCover, ZCoverReport};
+use zwave_controller::testbed::{DeviceModel, Testbed};
+use zwave_radio::SimInstant;
+
+use crate::paperdata;
+use crate::render;
+
+/// Runs the full three-phase ZCover pipeline against one device model.
+/// Returns the report plus the testbed for oracle inspection.
+pub fn run_zcover(model: DeviceModel, fuzz: Duration, seed: u64) -> (ZCoverReport, Testbed) {
+    let mut tb = Testbed::new(model, seed);
+    let mut zcover = ZCover::attach(&tb, 70.0);
+    let report = zcover
+        .run_campaign(&mut tb, FuzzConfig::full(fuzz, seed))
+        .expect("simulated network always fingerprints");
+    (report, tb)
+}
+
+/// Runs a single configurable campaign (for the ablation).
+pub fn run_zcover_config(model: DeviceModel, config: FuzzConfig, seed: u64) -> ZCoverReport {
+    let mut tb = Testbed::new(model, seed);
+    let mut zcover = ZCover::attach(&tb, 70.0);
+    zcover.run_campaign(&mut tb, config).expect("simulated network always fingerprints")
+}
+
+/// Runs the VFuzz baseline against one device model.
+pub fn run_vfuzz(model: DeviceModel, fuzz: Duration, seed: u64) -> vfuzz::VFuzzResult {
+    let mut tb = Testbed::new(model, seed);
+    let corpus = vfuzz::capture_corpus(&mut tb, 3);
+    let mut passive = zcover::PassiveScanner::new(tb.medium(), 70.0);
+    tb.exchange_normal_traffic();
+    let scan = passive.analyze().expect("traffic present");
+    let mut dongle = zcover::Dongle::attach(tb.medium(), 70.0);
+    let fuzzer = vfuzz::VFuzz::new(vfuzz::VFuzzConfig::comparison(fuzz, seed));
+    fuzzer.run(&mut tb, &mut dongle, &scan, &corpus)
+}
+
+// ───────────────────────── Table II ─────────────────────────
+
+/// Regenerates Table II (the testbed inventory), verifying each simulated
+/// controller instantiates with the described properties.
+pub fn table2() -> String {
+    let mut rows = Vec::new();
+    for (idx, brand, ty, model, enc) in paperdata::TABLE2 {
+        let live = DeviceModel::all().iter().find(|m| m.idx() == idx).map(|m| {
+            let tb = Testbed::new(*m, 0);
+            format!(
+                "home={} listed={} s2={}",
+                tb.controller().home_id(),
+                tb.controller().listed().len(),
+                tb.controller().implemented().contains(&0x9F)
+            )
+        });
+        rows.push(vec![
+            idx.to_string(),
+            brand.to_string(),
+            ty.to_string(),
+            model.to_string(),
+            enc.to_string(),
+            live.unwrap_or_else(|| "slave (see Testbed::new)".to_string()),
+        ]);
+    }
+    format!(
+        "Table II — tested device details\n{}",
+        render::table(&["IDX", "Brand", "Type", "Model (year)", "Encryption", "Simulated instance"], &rows)
+    )
+}
+
+// ───────────────────────── Table III ─────────────────────────
+
+/// Structured result of the Table III reproduction.
+#[derive(Debug)]
+pub struct Table3Result {
+    /// Per-bug: the devices it was found on.
+    pub affected: BTreeMap<u8, Vec<&'static str>>,
+    /// Per-bug: measured duration label (from the first finding).
+    pub durations: BTreeMap<u8, String>,
+    /// Total unique bugs found across the testbed.
+    pub total_unique: usize,
+}
+
+/// Runs ZCover against every controller and aggregates the Table III rows.
+/// `fuzz` is the per-device campaign budget; `trials` seeds per device.
+pub fn table3(fuzz: Duration, trials: u64) -> (Table3Result, String) {
+    let mut affected: BTreeMap<u8, Vec<&'static str>> = BTreeMap::new();
+    let mut durations: BTreeMap<u8, String> = BTreeMap::new();
+    for model in DeviceModel::all() {
+        let mut device_bugs: Vec<u8> = Vec::new();
+        for trial in 0..trials {
+            let (report, _tb) = run_zcover(model, fuzz, 1000 + trial);
+            for finding in &report.campaign.findings {
+                if finding.bug_id <= 15 {
+                    device_bugs.push(finding.bug_id);
+                    durations.entry(finding.bug_id).or_insert_with(|| finding.duration_label());
+                }
+            }
+        }
+        device_bugs.sort_unstable();
+        device_bugs.dedup();
+        for bug in device_bugs {
+            affected.entry(bug).or_default().push(model.idx());
+        }
+    }
+    let total_unique = affected.len();
+
+    let mut rows = Vec::new();
+    for paper in paperdata::TABLE3 {
+        let found = affected.get(&paper.id);
+        let measured_affected = found
+            .map(|d| {
+                if d.len() == 7 {
+                    "D1 - D7".to_string()
+                } else {
+                    d.join(", ")
+                }
+            })
+            .unwrap_or_else(|| "NOT FOUND".to_string());
+        let measured_duration =
+            durations.get(&paper.id).cloned().unwrap_or_else(|| "-".to_string());
+        rows.push(vec![
+            format!("{:02}", paper.id),
+            format!("0x{:02X}", paper.cmdcl),
+            format!("0x{:02X}", paper.cmd),
+            paper.description.to_string(),
+            format!("{} / {}", paper.duration, measured_duration),
+            paper.root_cause.to_string(),
+            paper.confirmed.to_string(),
+            format!("{} / {}", paper.affected, measured_affected),
+        ]);
+    }
+    let text = format!(
+        "Table III — zero-day vulnerability discovery ({} unique bugs found; paper: 15)\n{}",
+        total_unique,
+        render::table(
+            &["Bug", "CMDCL", "CMD", "Description", "Duration (paper/ours)", "Root cause", "Confirmed", "Affected (paper/ours)"],
+            &rows
+        )
+    );
+    (Table3Result { affected, durations, total_unique }, text)
+}
+
+// ───────────────────────── Table IV ─────────────────────────
+
+/// Runs fingerprinting + discovery (no fuzzing) on every controller.
+pub fn table4() -> (Vec<(String, String, String, usize, usize)>, String) {
+    let mut results = Vec::new();
+    for model in DeviceModel::all() {
+        let mut tb = Testbed::new(model, 77);
+        let mut zcover = ZCover::attach(&tb, 70.0);
+        let scan = zcover.fingerprint(&mut tb).expect("traffic present");
+        let active = zcover::ActiveScanner::scan(&mut tb, zcover.dongle_mut(), &scan)
+            .expect("NIF answered");
+        let listed = active.listed.clone();
+        let discovery =
+            zcover::UnknownDiscovery::run(&mut tb, zcover.dongle_mut(), &scan, listed);
+        results.push((
+            model.idx().to_string(),
+            scan.home_id.to_string(),
+            format!("{}", scan.controller),
+            discovery.listed.len(),
+            discovery.unknown_count(),
+        ));
+    }
+    let mut rows = Vec::new();
+    for ((idx, home, node, known, unknown), (pidx, phome, pnode, pknown, punknown)) in
+        results.iter().zip(paperdata::TABLE4)
+    {
+        assert_eq!(idx, pidx);
+        rows.push(vec![
+            idx.clone(),
+            format!("{:08X} / {}", phome, home),
+            format!("0x{:02X} / {}", pnode, node),
+            format!("{} / {}", pknown, known),
+            format!("{} / {}", punknown, unknown),
+        ]);
+    }
+    let text = format!(
+        "Table IV — fingerprinting and unknown-property discovery (paper / measured)\n{}",
+        render::table(&["ID", "Home ID", "Node ID", "Known CMDCLs", "Unknown CMDCLs"], &rows)
+    );
+    (results, text)
+}
+
+// ───────────────────────── Table V ─────────────────────────
+
+/// Runs both fuzzers on D1-D5 and tabulates coverage and findings.
+pub fn table5(fuzz: Duration, seed: u64) -> (Vec<(String, usize, usize, usize, usize, usize, usize)>, String) {
+    let mut results = Vec::new();
+    for model in DeviceModel::usb_models() {
+        let vres = run_vfuzz(model, fuzz, seed);
+        let (zres, _tb) = run_zcover(model, fuzz, seed);
+        results.push((
+            model.idx().to_string(),
+            vres.cmdcl_coverage.len(),
+            vres.cmd_coverage.len(),
+            vres.unique_vulns(),
+            zres.campaign.cmdcl_coverage.len(),
+            zres.campaign.cmd_coverage.len(),
+            zres.campaign.unique_vulns(),
+        ));
+    }
+    let mut rows = Vec::new();
+    for ((idx, vcc, vcmd, vvul, zcc, zcmd, zvul), (pidx, pvv, pzv)) in
+        results.iter().zip(paperdata::TABLE5)
+    {
+        assert_eq!(idx, pidx);
+        rows.push(vec![
+            idx.clone(),
+            format!("{vcc}"),
+            format!("{vcmd}"),
+            format!("{pvv} / {vvul}"),
+            format!("{zcc}"),
+            format!("{zcmd}"),
+            format!("{pzv} / {zvul}"),
+        ]);
+    }
+    let text = format!(
+        "Table V — VFuzz vs ZCover, {}h virtual per device (#Vul shown paper / measured)\n{}",
+        fuzz.as_secs_f64() / 3600.0,
+        render::table(
+            &["ID", "VFuzz CMDCL", "VFuzz CMD", "VFuzz #Vul", "ZCover CMDCL", "ZCover CMD", "ZCover #Vul"],
+            &rows
+        )
+    );
+    (results, text)
+}
+
+// ───────────────────────── Table VI ─────────────────────────
+
+/// Runs the three ablation configurations for one hour on the ZooZ D1.
+pub fn table6(seed: u64) -> (Vec<(String, usize)>, String) {
+    let hour = Duration::from_secs(3600);
+    let configs: [(&str, FuzzConfig); 3] = [
+        (paperdata::TABLE6[0].0, FuzzConfig::full(hour, seed)),
+        (paperdata::TABLE6[1].0, FuzzConfig::beta(hour, seed)),
+        (paperdata::TABLE6[2].0, FuzzConfig::gamma(hour, seed)),
+    ];
+    let mut results = Vec::new();
+    for (name, config) in configs {
+        let report = run_zcover_config(DeviceModel::D1, config, seed);
+        results.push((name.to_string(), report.campaign.unique_vulns()));
+    }
+    let mut rows = Vec::new();
+    for ((name, measured), (_, paper)) in results.iter().zip(paperdata::TABLE6) {
+        rows.push(vec![name.clone(), paper.to_string(), measured.to_string()]);
+    }
+    let text = format!(
+        "Table VI — ablation study, 1 h virtual on ZooZ D1\n{}",
+        render::table(&["Fuzzing configuration", "#Vul (paper)", "#Vul (measured)"], &rows)
+    );
+    (results, text)
+}
+
+/// Extended ablation beyond the paper's three configurations: also
+/// toggles the command-count prioritisation and the semantic/boundary
+/// exploration plans, isolating each design choice of DESIGN.md §5.
+pub fn table6_extended(seed: u64) -> (Vec<(String, usize, u64)>, String) {
+    let hour = Duration::from_secs(3600);
+    let configs: [(&str, FuzzConfig); 5] = [
+        ("full", FuzzConfig::full(hour, seed)),
+        ("beta: known CMDCLs only", FuzzConfig::beta(hour, seed)),
+        ("gamma: random, no PSM", FuzzConfig::gamma(hour, seed)),
+        ("full minus prioritisation", FuzzConfig::without_prioritization(hour, seed)),
+        ("full minus semantic plans", FuzzConfig::without_semantic_plans(hour, seed)),
+    ];
+    let mut results = Vec::new();
+    for (name, config) in configs {
+        let report = run_zcover_config(DeviceModel::D1, config, seed);
+        // Time (virtual seconds) until the 8th unique bug, a robustness
+        // measure of how fast each configuration converges.
+        let t8 = report
+            .campaign
+            .findings
+            .get(7)
+            .map(|f| f.found_at.duration_since(report.campaign.started).as_secs())
+            .unwrap_or(u64::MAX);
+        results.push((name.to_string(), report.campaign.unique_vulns(), t8));
+    }
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|(name, vulns, t8)| {
+            vec![
+                name.clone(),
+                vulns.to_string(),
+                if *t8 == u64::MAX { "-".to_string() } else { format!("{t8} s") },
+            ]
+        })
+        .collect();
+    let text = format!(
+        "Extended ablation — 1 h virtual on ZooZ D1\n{}",
+        render::table(&["Configuration", "#Vul", "time to 8th bug"], &rows)
+    );
+    (results, text)
+}
+
+// ───────────────────────── Figure 5 ─────────────────────────
+
+/// The 16 selected command classes whose command-count distribution the
+/// paper visualises.
+pub const FIGURE5_SELECTION: [u8; 16] = [
+    0x34, 0x9F, 0x67, 0x4D, 0x86, 0x85, 0x59, 0x84, 0x55, 0x73, 0x20, 0x6C, 0x5E, 0x56, 0x5A,
+    0x00,
+];
+
+/// Regenerates Figure 5 from the registry.
+pub fn figure5() -> (Vec<(String, usize)>, String) {
+    let reg = zwave_protocol::Registry::global();
+    let entries: Vec<(String, usize)> = FIGURE5_SELECTION
+        .iter()
+        .map(|&cc| {
+            let spec = reg.get(zwave_protocol::CommandClassId(cc)).expect("selection is public");
+            (spec.name.trim_start_matches("COMMAND_CLASS_").to_string(), spec.command_count())
+        })
+        .collect();
+    let chart = render::bar_chart(&entries, 46);
+    let measured: Vec<usize> = entries.iter().map(|(_, v)| *v).collect();
+    let text = format!(
+        "Figure 5 — selected command classes and their command distribution\n\
+         paper series:    {:?}\n\
+         measured series: {:?}\n\n{}",
+        paperdata::FIGURE5_SERIES, measured, chart
+    );
+    (entries, text)
+}
+
+// ───────────────────────── Figure 12 ─────────────────────────
+
+/// One device's detection-over-time series.
+#[derive(Debug)]
+pub struct Figure12Series {
+    /// Device index string.
+    pub device: &'static str,
+    /// (seconds-since-campaign-start, packets, is-discovery) samples.
+    pub points: Vec<(f64, u64, bool)>,
+    /// The campaign the series came from.
+    pub campaign: CampaignResult,
+}
+
+/// Runs campaigns on the four Figure 12 devices and extracts the initial
+/// fuzzing window.
+pub fn figure12(window_s: f64, seed: u64) -> (Vec<Figure12Series>, String) {
+    let models =
+        [DeviceModel::D1, DeviceModel::D3, DeviceModel::D4, DeviceModel::D5];
+    let mut series = Vec::new();
+    let mut text = String::from("Figure 12 — vulnerability detection over the initial fuzzing phase\n");
+    for model in models {
+        let (report, _tb) = run_zcover(model, Duration::from_secs(3600), seed);
+        let start: SimInstant = report.campaign.started;
+        let points: Vec<(f64, u64, bool)> = report
+            .campaign
+            .trace
+            .iter()
+            .map(|e| {
+                (e.at.duration_since(start).as_secs_f64(), e.packets, e.bug_id.is_some())
+            })
+            .filter(|(t, _, _)| *t <= window_s)
+            .collect();
+        let discoveries = points.iter().filter(|(_, _, b)| *b).count();
+        text.push_str(&format!(
+            "\n({}) {} — {} discoveries within the first {:.0} s, {} packets total\n{}",
+            model.idx(),
+            model.config().brand,
+            discoveries,
+            window_s,
+            report.campaign.packets_sent,
+            render::scatter(&points, window_s, 12, 60)
+        ));
+        series.push(Figure12Series { device: model.idx(), points, campaign: report.campaign });
+    }
+    (series, text)
+}
+
+// ───────────────────── Robustness sweep (extension) ─────────────────────
+
+/// Sweeps channel loss rates and measures ZCover's findings under each —
+/// a failure-injection extension quantifying how the MAC-retransmission
+/// and probe-retry machinery keeps the campaign effective on an imperfect
+/// link (DESIGN.md §3b).
+pub fn loss_sweep(seed: u64) -> (Vec<(f64, usize, u64)>, String) {
+    let rates = [0.0, 0.1, 0.2, 0.3];
+    let mut results = Vec::new();
+    for &rate in &rates {
+        let mut tb = Testbed::new(DeviceModel::D1, seed);
+        tb.medium().set_noise(zwave_radio::NoiseModel::lossy(rate));
+        let mut zcover = ZCover::attach(&tb, 70.0);
+        let report = zcover
+            .run_campaign(&mut tb, FuzzConfig::full(Duration::from_secs(3600), seed))
+            .expect("fingerprinting under loss");
+        results.push((rate, report.campaign.unique_vulns(), report.campaign.packets_sent));
+    }
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|(rate, vulns, packets)| {
+            vec![format!("{:.0} %", rate * 100.0), vulns.to_string(), packets.to_string()]
+        })
+        .collect();
+    let text = format!(
+        "Robustness sweep — unique vulns after 1 h on D1 vs. channel loss\n{}",
+        render::table(&["loss rate", "#Vul", "packets"], &rows)
+    );
+    (results, text)
+}
+
+/// Section IV-B2's aggregate performance claim: how many unique bugs were
+/// found within 600 s and 800 packets, per device.
+pub fn performance_summary(series: &[Figure12Series]) -> String {
+    let mut out = String::from("Early-discovery summary (Section IV-B2):\n");
+    for s in series {
+        let early = s
+            .campaign
+            .findings
+            .iter()
+            .filter(|f| {
+                f.found_at.duration_since(s.campaign.started) < Duration::from_secs(600)
+                    && f.found_after_packets <= 800
+            })
+            .count();
+        out.push_str(&format!(
+            "  {}: {}/{} unique bugs within 600 s and 800 packets\n",
+            s.device,
+            early,
+            s.campaign.unique_vulns()
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure5_selection_reproduces_paper_series() {
+        let (entries, text) = figure5();
+        let measured: Vec<usize> = entries.iter().map(|(_, v)| *v).collect();
+        assert_eq!(measured, paperdata::FIGURE5_SERIES.to_vec());
+        assert!(text.contains("NETWORK_MANAGEMENT_INCLUSION"));
+    }
+
+    #[test]
+    fn table2_renders_all_nine_devices() {
+        let text = table2();
+        for idx in ["D1", "D2", "D3", "D4", "D5", "D6", "D7", "D8", "D9"] {
+            assert!(text.contains(idx), "missing {idx}");
+        }
+        assert!(text.contains("E7DE3F3D"));
+    }
+
+    #[test]
+    fn table4_matches_paper_exactly() {
+        let (results, text) = table4();
+        for ((_, home, node, known, unknown), (_, phome, pnode, pknown, punknown)) in
+            results.iter().zip(paperdata::TABLE4)
+        {
+            assert_eq!(home, &format!("{phome:08X}"));
+            assert_eq!(node, &format!("0x{pnode:02X}"));
+            assert_eq!(*known, pknown);
+            assert_eq!(*unknown, punknown);
+        }
+        assert!(text.contains("CB95A34A"));
+    }
+
+    #[test]
+    fn extended_ablation_isolates_each_design_choice() {
+        let (results, _text) = table6_extended(6);
+        let full = results[0].1;
+        let no_priority = results[3].1;
+        let no_plans = results[4].1;
+        assert_eq!(full, 15);
+        // Dropping prioritisation costs coverage within the hour; dropping
+        // the semantic plans costs the tight-trigger bugs.
+        assert!(no_priority < full, "no-priority found {no_priority}");
+        assert!(no_plans < full, "no-plans found {no_plans}");
+        // Convergence speed: full reaches its 8th bug first.
+        let t8_full = results[0].2;
+        let t8_no_priority = results[3].2;
+        assert!(t8_full < t8_no_priority);
+    }
+
+    #[test]
+    fn table6_reproduces_ablation_ordering() {
+        let (results, _text) = table6(6);
+        let full = results[0].1;
+        let beta = results[1].1;
+        let gamma = results[2].1;
+        assert_eq!(full, 15);
+        assert_eq!(beta, 8);
+        assert!(gamma < beta, "gamma {gamma} >= beta {beta}");
+    }
+}

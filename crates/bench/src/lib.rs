@@ -1,0 +1,49 @@
+//! Experiment harness regenerating every table and figure of the ZCover
+//! paper's evaluation section.
+//!
+//! Each experiment is a library function (so Criterion benches and the
+//! per-table binaries share one implementation):
+//!
+//! | Target | Regenerates |
+//! |---|---|
+//! | `cargo run -p zcover-bench --release --bin table2` | Table II (testbed) |
+//! | `cargo run -p zcover-bench --release --bin table3` | Table III (zero-days) |
+//! | `cargo run -p zcover-bench --release --bin table4` | Table IV (fingerprinting) |
+//! | `cargo run -p zcover-bench --release --bin table5` | Table V (vs VFuzz) |
+//! | `cargo run -p zcover-bench --release --bin table6` | Table VI (ablation) |
+//! | `cargo run -p zcover-bench --release --bin figure5` | Figure 5 (CMD distribution) |
+//! | `cargo run -p zcover-bench --release --bin figure12` | Figure 12 (detection over time) |
+//!
+//! Pass `--paper` to the campaign-driven binaries (table3/table5) to run
+//! the paper's full 24-hour virtual budgets instead of the fast defaults.
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod paperdata;
+pub mod render;
+
+use std::time::Duration;
+
+/// Returns the fuzzing budget for campaign binaries: the paper's 24 hours
+/// with `--paper` in `args`, otherwise a fast 2-hour budget that reaches
+/// the same findings (the queue completes its first full pass well within
+/// two virtual hours).
+pub fn budget_from_args(args: &[String]) -> Duration {
+    if args.iter().any(|a| a == "--paper") {
+        Duration::from_secs(24 * 3600)
+    } else {
+        Duration::from_secs(2 * 3600)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_flag() {
+        assert_eq!(budget_from_args(&[]).as_secs(), 7200);
+        assert_eq!(budget_from_args(&["--paper".into()]).as_secs(), 86400);
+    }
+}

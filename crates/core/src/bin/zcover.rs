@@ -1,0 +1,139 @@
+//! The `zcover` command-line tool: run any phase of the analysis against a
+//! simulated testbed device.
+//!
+//! ```text
+//! zcover fingerprint --device D4
+//! zcover discover    --device D4
+//! zcover fuzz        --device D1 --hours 1 --seed 42 --config full
+//! zcover fuzz        --device D1 --config beta --log bugs.txt
+//! zcover export-spec --out zw_classes.xml
+//! ```
+
+use std::time::Duration;
+
+use zcover::{ActiveScanner, BugLog, FuzzConfig, UnknownDiscovery, ZCover};
+use zwave_controller::testbed::{DeviceModel, Testbed};
+
+fn parse_device(args: &[String]) -> DeviceModel {
+    let idx = flag(args, "--device").unwrap_or_else(|| "D1".to_string());
+    DeviceModel::all()
+        .into_iter()
+        .find(|m| m.idx().eq_ignore_ascii_case(&idx))
+        .unwrap_or_else(|| {
+            eprintln!("unknown device {idx}; expected D1..D7");
+            std::process::exit(2);
+        })
+}
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).cloned()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let command = args.first().map(String::as_str).unwrap_or("help");
+    let seed: u64 = flag(&args, "--seed").and_then(|s| s.parse().ok()).unwrap_or(42);
+
+    match command {
+        "fingerprint" => {
+            let model = parse_device(&args);
+            let mut tb = Testbed::new(model, seed);
+            let mut zc = ZCover::attach(&tb, 70.0);
+            let scan = zc.fingerprint(&mut tb).expect("no traffic observed");
+            let active = ActiveScanner::scan(&mut tb, zc.dongle_mut(), &scan)
+                .expect("controller did not answer the NIF request");
+            println!("device:     {} {}", tb.controller().config().brand, tb.controller().config().model);
+            println!("home id:    {}", scan.home_id);
+            println!("controller: {}", scan.controller);
+            println!("slaves:     {:?}", scan.slaves.iter().map(|n| n.to_string()).collect::<Vec<_>>());
+            println!("listed CMDCLs ({}):", active.listed.len());
+            for cc in &active.listed {
+                println!("  {cc}");
+            }
+        }
+        "discover" => {
+            let model = parse_device(&args);
+            let mut tb = Testbed::new(model, seed);
+            let mut zc = ZCover::attach(&tb, 70.0);
+            let scan = zc.fingerprint(&mut tb).expect("no traffic observed");
+            let active = ActiveScanner::scan(&mut tb, zc.dongle_mut(), &scan)
+                .expect("controller did not answer the NIF request");
+            let discovery = UnknownDiscovery::run(&mut tb, zc.dongle_mut(), &scan, active.listed);
+            println!("listed: {}  spec-unlisted: {}  proprietary: {:?}",
+                discovery.listed.len(),
+                discovery.unlisted_from_spec.len(),
+                discovery.proprietary.iter().map(|c| c.to_string()).collect::<Vec<_>>());
+            println!("prioritized fuzzing queue:");
+            for (rank, cc) in discovery.prioritized_targets().iter().enumerate() {
+                let name = zwave_protocol::Registry::global()
+                    .get(*cc)
+                    .map(|s| s.name)
+                    .unwrap_or("<proprietary>");
+                println!("  {:>2}. {} {}", rank + 1, cc, name);
+            }
+        }
+        "fuzz" => {
+            let model = parse_device(&args);
+            let hours: f64 = flag(&args, "--hours").and_then(|s| s.parse().ok()).unwrap_or(1.0);
+            let budget = Duration::from_secs_f64(hours * 3600.0);
+            let config = match flag(&args, "--config").as_deref() {
+                None | Some("full") => FuzzConfig::full(budget, seed),
+                Some("beta") => FuzzConfig::beta(budget, seed),
+                Some("gamma") => FuzzConfig::gamma(budget, seed),
+                Some("no-priority") => FuzzConfig::without_prioritization(budget, seed),
+                Some("no-plans") => FuzzConfig::without_semantic_plans(budget, seed),
+                Some(other) => {
+                    eprintln!("unknown config {other}");
+                    std::process::exit(2);
+                }
+            };
+            let mut tb = Testbed::new(model, seed);
+            let mut zc = ZCover::attach(&tb, 70.0);
+            eprintln!("fuzzing {} for {hours}h virtual (seed {seed}) ...", model.idx());
+            let report = zc.run_campaign(&mut tb, config).expect("fingerprinting failed");
+            if let Some(path) = flag(&args, "--report") {
+                let label = format!("{} {} ({})",
+                    tb.controller().config().brand,
+                    tb.controller().config().model,
+                    model.idx());
+                std::fs::write(&path, zcover::report::to_markdown(&report, &label))
+                    .expect("writing the assessment report");
+                eprintln!("assessment report written to {path}");
+            }
+            println!(
+                "{} packets, {} CMDCLs covered, {} unique vulnerabilities:",
+                report.campaign.packets_sent,
+                report.campaign.cmdcl_coverage.len(),
+                report.campaign.unique_vulns()
+            );
+            let mut log = BugLog::new();
+            for fault in tb.controller_mut().fault_log().records() {
+                log.record(fault, 0);
+            }
+            let text = log.to_text();
+            println!("{text}");
+            if let Some(path) = flag(&args, "--log") {
+                std::fs::write(&path, &text).expect("writing the bug log");
+                eprintln!("bug log written to {path}");
+            }
+        }
+        "export-spec" => {
+            let xml = zwave_protocol::registry::xml::to_xml(zwave_protocol::Registry::global());
+            match flag(&args, "--out") {
+                Some(path) => {
+                    std::fs::write(&path, &xml).expect("writing the XML file");
+                    eprintln!("{} classes exported to {path}", zwave_protocol::Registry::global().len());
+                }
+                None => println!("{xml}"),
+            }
+        }
+        _ => {
+            eprintln!(
+                "usage: zcover <fingerprint|discover|fuzz|export-spec> \
+                 [--device D1..D7] [--seed N] [--hours H] \
+                 [--config full|beta|gamma|no-priority|no-plans] [--log FILE] [--report FILE] [--out FILE]"
+            );
+            std::process::exit(if command == "help" { 0 } else { 2 });
+        }
+    }
+}

@@ -1,0 +1,531 @@
+//! The position-sensitive-mutation fuzzing campaign: Algorithm 1 plus the
+//! feedback loop of Figure 7 (properties acquisition → test-case generation
+//! → execution & response monitoring).
+
+use std::collections::BTreeSet;
+use std::time::Duration;
+
+use zwave_protocol::apl::ApplicationPayload;
+use zwave_protocol::registry::Registry;
+use zwave_protocol::CommandClassId;
+use zwave_radio::SimInstant;
+
+use crate::buglog::{BugLog, VulnFinding};
+use crate::discovery::DiscoveryReport;
+use crate::dongle::{Dongle, PingOutcome};
+use crate::mutation::Mutator;
+use crate::passive::ScanReport;
+use crate::target::FuzzTarget;
+
+/// Fuzzing configuration, including the ablation toggles of Table VI.
+#[derive(Debug, Clone)]
+pub struct FuzzConfig {
+    /// Total campaign budget (`Testing_T`, "0.1 to 24 hours").
+    pub testing_duration: Duration,
+    /// Per-CMDCL packet budget (the `C_T` window of Algorithm 1, expressed
+    /// in packets so that outage-recovery waits do not eat the window).
+    pub per_cmdcl_packets: u32,
+    /// Random mutation packets appended after the deterministic plans of
+    /// each CMDCL window.
+    pub extra_random_packets: u32,
+    /// Fuzz unlisted/proprietary classes too (disabled in ZCover β).
+    pub use_unknown_cmdcls: bool,
+    /// Position-sensitive mutation (disabled in ZCover γ, which draws
+    /// CMDCL, CMD and PARAMs uniformly at random).
+    pub position_sensitive: bool,
+    /// Order the queue by command count (Section III-C1's prioritisation);
+    /// disabled in the extended ablation, which scans ascending by id.
+    pub prioritize: bool,
+    /// Use the deterministic semantic/boundary exploration plans before
+    /// random mutation; disabled in the extended ablation.
+    pub semantic_plans: bool,
+    /// RNG seed for the trial.
+    pub seed: u64,
+}
+
+impl FuzzConfig {
+    /// The full ZCover configuration (Table VI test 1).
+    pub fn full(testing_duration: Duration, seed: u64) -> Self {
+        FuzzConfig {
+            testing_duration,
+            per_cmdcl_packets: 400,
+            extra_random_packets: 20,
+            use_unknown_cmdcls: true,
+            position_sensitive: true,
+            prioritize: true,
+            semantic_plans: true,
+            seed,
+        }
+    }
+
+    /// Extended ablation: no command-count prioritisation (queue scanned
+    /// ascending by CMDCL id).
+    pub fn without_prioritization(testing_duration: Duration, seed: u64) -> Self {
+        FuzzConfig { prioritize: false, ..FuzzConfig::full(testing_duration, seed) }
+    }
+
+    /// Extended ablation: no semantic/boundary exploration plans (random
+    /// position-sensitive mutation only).
+    pub fn without_semantic_plans(testing_duration: Duration, seed: u64) -> Self {
+        FuzzConfig { semantic_plans: false, ..FuzzConfig::full(testing_duration, seed) }
+    }
+
+    /// ZCover β: known (listed) CMDCLs only (Table VI test 2).
+    pub fn beta(testing_duration: Duration, seed: u64) -> Self {
+        FuzzConfig { use_unknown_cmdcls: false, ..FuzzConfig::full(testing_duration, seed) }
+    }
+
+    /// ZCover γ: random CMDCLs, no position-sensitive mutation (Table VI
+    /// test 3).
+    pub fn gamma(testing_duration: Duration, seed: u64) -> Self {
+        FuzzConfig { position_sensitive: false, ..FuzzConfig::full(testing_duration, seed) }
+    }
+}
+
+/// One point of the Figure 12 detection-over-time series.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Virtual time of the event.
+    pub at: SimInstant,
+    /// Packets injected so far.
+    pub packets: u64,
+    /// A unique bug discovered at this point, if any (the red crosses).
+    pub bug_id: Option<u8>,
+}
+
+/// The outcome of one campaign.
+#[derive(Debug, Clone)]
+pub struct CampaignResult {
+    /// Fuzz packets injected (excluding liveness pings).
+    pub packets_sent: u64,
+    /// Unique verified findings, in discovery order.
+    pub findings: Vec<VulnFinding>,
+    /// Sampled timeline plus one event per discovery (Figure 12).
+    pub trace: Vec<TraceEvent>,
+    /// Distinct CMDCL bytes exercised (Table V coverage).
+    pub cmdcl_coverage: BTreeSet<u8>,
+    /// Distinct CMD bytes exercised (Table V coverage).
+    pub cmd_coverage: BTreeSet<u8>,
+    /// Campaign start (virtual).
+    pub started: SimInstant,
+    /// Campaign end (virtual).
+    pub ended: SimInstant,
+}
+
+impl CampaignResult {
+    /// Number of unique vulnerabilities found.
+    pub fn unique_vulns(&self) -> usize {
+        self.findings.len()
+    }
+
+    /// Virtual duration of the campaign.
+    pub fn duration(&self) -> Duration {
+        self.ended.duration_since(self.started)
+    }
+}
+
+/// The fuzzing engine.
+#[derive(Debug)]
+pub struct Fuzzer {
+    config: FuzzConfig,
+}
+
+struct CampaignState<'a, T: FuzzTarget> {
+    target: &'a mut T,
+    dongle: &'a mut Dongle,
+    scan: &'a ScanReport,
+    mutator: Mutator,
+    log: BugLog,
+    trace: Vec<TraceEvent>,
+    packets: u64,
+    cmdcl_coverage: BTreeSet<u8>,
+    cmd_coverage: BTreeSet<u8>,
+    deadline: SimInstant,
+}
+
+impl Fuzzer {
+    /// Creates a fuzzer with `config`.
+    pub fn new(config: FuzzConfig) -> Self {
+        Fuzzer { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &FuzzConfig {
+        &self.config
+    }
+
+    /// Runs one campaign against `target` using the fingerprinting and
+    /// discovery results. Implements Algorithm 1: a priority queue of
+    /// CMDCLs, per-class windows of semi-valid packet generation and
+    /// mutation, response monitoring with NOP liveness pings, and bug
+    /// logging.
+    pub fn run<T: FuzzTarget>(
+        &self,
+        target: &mut T,
+        dongle: &mut Dongle,
+        scan: &ScanReport,
+        discovery: &DiscoveryReport,
+    ) -> CampaignResult {
+        let clock = target.medium().clock().clone();
+        let started = clock.now();
+        let semantic = Mutator::semantic_pool(scan.controller, &scan.slaves);
+        let mut state = CampaignState {
+            target,
+            dongle,
+            scan,
+            mutator: Mutator::new(self.config.seed, semantic),
+            log: BugLog::new(),
+            trace: Vec::new(),
+            packets: 0,
+            cmdcl_coverage: BTreeSet::new(),
+            cmd_coverage: BTreeSet::new(),
+            deadline: started.plus(self.config.testing_duration),
+        };
+
+        if self.config.position_sensitive {
+            let mut queue: Vec<CommandClassId> = if self.config.use_unknown_cmdcls {
+                discovery.prioritized_targets()
+            } else {
+                // β: only the NIF-listed classes, by command count.
+                let mut listed = discovery.listed.clone();
+                let reg = Registry::global();
+                listed.sort_by_key(|id| {
+                    (std::cmp::Reverse(reg.get(*id).map_or(0, |s| s.command_count())), id.0)
+                });
+                listed
+            };
+            if !self.config.prioritize {
+                queue.sort_by_key(|id| id.0);
+            }
+            // First pass: deterministic plans per class.
+            'outer: loop {
+                for &cc in &queue {
+                    if clock.now() >= state.deadline {
+                        break 'outer;
+                    }
+                    self.fuzz_cmdcl_window(&mut state, cc);
+                }
+                // Subsequent passes: keep mutating randomly until the
+                // budget is exhausted (24-hour trials re-cover the queue).
+                if clock.now() >= state.deadline {
+                    break;
+                }
+                for &cc in &queue {
+                    if clock.now() >= state.deadline {
+                        break 'outer;
+                    }
+                    self.refuzz_random(&mut state, cc, 50);
+                }
+            }
+        } else {
+            // γ: uniform random CMDCL/CMD/PARAM packets.
+            while clock.now() < state.deadline {
+                let payload = state.mutator.random_payload();
+                Self::send_and_observe(&mut state, &payload);
+            }
+        }
+
+        CampaignResult {
+            packets_sent: state.packets,
+            findings: state.log.findings().to_vec(),
+            trace: state.trace,
+            cmdcl_coverage: state.cmdcl_coverage,
+            cmd_coverage: state.cmd_coverage,
+            started,
+            ended: clock.now(),
+        }
+    }
+
+    /// One Algorithm 1 window: for each command candidate of `cc`, send
+    /// the semi-valid seed, walk the deterministic exploration plans, then
+    /// mutate randomly.
+    fn fuzz_cmdcl_window<T: FuzzTarget>(&self, state: &mut CampaignState<'_, T>, cc: CommandClassId) {
+        let spec = Registry::global().get(cc);
+        let window_start_packets = state.packets;
+        let budget = u64::from(self.config.per_cmdcl_packets);
+        let clock = state.target.medium().clock().clone();
+
+        let cmds: Vec<u8> = match spec {
+            Some(s) if !s.commands.is_empty() => {
+                let mut v: Vec<u8> = s.commands.iter().map(|c| c.id).collect();
+                // Undefined-command probes around the defined set.
+                let max = v.iter().copied().max().unwrap_or(0);
+                for probe in [0x00, max.wrapping_add(1), 0x7F] {
+                    if !v.contains(&probe) {
+                        v.push(probe);
+                    }
+                }
+                v
+            }
+            // Unknown (or command-less) class: sweep from 0x00 upward, as
+            // Section III-C2 prescribes.
+            _ => (0x00..=0x17).collect(),
+        };
+
+        let plans_for = |state: &mut CampaignState<'_, T>, cmd: u8| -> Vec<Vec<u8>> {
+            if self.config.semantic_plans {
+                state.mutator.exploration_plans(cc, cmd)
+            } else {
+                // Extended ablation: only the Algorithm 1 seed shape.
+                vec![vec![0x00]]
+            }
+        };
+        'window: for cmd in cmds {
+            let mut hung = false;
+            for params in plans_for(state, cmd) {
+                if state.packets - window_start_packets >= budget || clock.now() >= state.deadline {
+                    break 'window;
+                }
+                let payload = ApplicationPayload::new(cc, cmd, params);
+                // A hang/outage means this command is conclusively
+                // vulnerable; spending further plans (and 60-240 s recovery
+                // waits each) on it would starve the rest of the queue.
+                if Self::send_and_observe(state, &payload) {
+                    hung = true;
+                    break;
+                }
+            }
+            if hung {
+                continue;
+            }
+            // A short burst of random mutation from the seed payload.
+            let mut payload = state.mutator.seed_payload(cc, cmd);
+            for _ in 0..3 {
+                if state.packets - window_start_packets >= budget || clock.now() >= state.deadline {
+                    break 'window;
+                }
+                state.mutator.mutate(&mut payload, spec);
+                if Self::send_and_observe(state, &payload) {
+                    break;
+                }
+            }
+        }
+
+        // Window tail: free-form mutation across the class.
+        let mut payload = state.mutator.seed_payload(cc, 0x00);
+        for _ in 0..self.config.extra_random_packets {
+            if state.packets - window_start_packets >= budget || clock.now() >= state.deadline {
+                break;
+            }
+            state.mutator.mutate(&mut payload, spec);
+            Self::send_and_observe(state, &payload);
+        }
+    }
+
+    /// Later-pass random mutation over one class.
+    fn refuzz_random<T: FuzzTarget>(
+        &self,
+        state: &mut CampaignState<'_, T>,
+        cc: CommandClassId,
+        packets: u32,
+    ) {
+        let spec = Registry::global().get(cc);
+        let clock = state.target.medium().clock().clone();
+        let mut payload = state.mutator.seed_payload(cc, 0x00);
+        for i in 0..packets {
+            if clock.now() >= state.deadline {
+                return;
+            }
+            // Reseed periodically so cumulative arithmetic mutations do
+            // not random-walk the CMD byte out of the plausible space.
+            if i % 10 == 0 {
+                payload = state.mutator.seed_payload(cc, 0x00);
+            }
+            state.mutator.mutate(&mut payload, spec);
+            let _ = Self::send_and_observe(state, &payload);
+        }
+    }
+
+    /// Executes one test case: inject, pump the network, wait, collect the
+    /// verification oracle, monitor liveness, and wait out any outage.
+    /// Returns `true` when the packet caused a timed outage (hang).
+    fn send_and_observe<T: FuzzTarget>(
+        state: &mut CampaignState<'_, T>,
+        payload: &ApplicationPayload,
+    ) -> bool {
+        let src = state.scan.spoof_source();
+        let dst = state.scan.controller;
+        let home = state.scan.home_id;
+
+        // Transmit with G.9959 MAC retransmission: up to two retries when
+        // no acknowledgement arrives (lossy-channel resilience; on a clean
+        // channel a live controller acks the first attempt).
+        state.dongle.flush();
+        for _attempt in 0..3 {
+            state.dongle.inject_apl(home, src, dst, payload.encode());
+            state.target.pump();
+            state.dongle.wait_for_responses();
+            state.target.pump();
+            let acked = state.dongle.drain().iter().any(|f| {
+                zwave_protocol::MacFrame::decode(&f.bytes)
+                    .map(|m| m.is_ack() && m.src() == dst)
+                    .unwrap_or(false)
+            });
+            if acked {
+                break;
+            }
+        }
+        state.packets += 1;
+        state.cmdcl_coverage.insert(payload.command_class().0);
+        if let Some(cmd) = payload.command() {
+            state.cmd_coverage.insert(cmd);
+        }
+
+        // Verification oracle: record any fault this packet caused.
+        let mut new_bug = false;
+        let mut outage_fired = false;
+        for fault in state.target.take_faults() {
+            if fault.outage.is_some() {
+                outage_fired = true;
+            }
+            if state.log.record(&fault, state.packets) {
+                state.trace.push(TraceEvent {
+                    at: fault.at,
+                    packets: state.packets,
+                    bug_id: Some(fault.bug_id),
+                });
+                new_bug = true;
+            }
+        }
+
+        // Liveness monitoring via NOP ping; a couple of quick retries
+        // filter channel loss from genuine outages, then wait out timed
+        // outages so the remaining test cases are not wasted on a deaf
+        // device.
+        let mut alive = PingOutcome::Unresponsive;
+        for _ in 0..3 {
+            state.dongle.send_ping(home, src, dst);
+            state.target.pump();
+            alive = state.dongle.check_ping(dst);
+            if alive == PingOutcome::Alive {
+                break;
+            }
+        }
+        if alive == PingOutcome::Unresponsive {
+            let clock = state.target.medium().clock().clone();
+            for _ in 0..300 {
+                clock.advance(Duration::from_secs(1));
+                state.dongle.send_ping(home, src, dst);
+                state.target.pump();
+                if state.dongle.check_ping(dst) == PingOutcome::Alive {
+                    break;
+                }
+            }
+        }
+
+        // Sample the timeline for Figure 12.
+        if !new_bug && state.packets % 10 == 0 {
+            state.trace.push(TraceEvent {
+                at: state.target.medium().clock().now(),
+                packets: state.packets,
+                bug_id: None,
+            });
+        }
+        outage_fired
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::active::ActiveScanner;
+    use crate::discovery::UnknownDiscovery;
+    use crate::passive::PassiveScanner;
+    use zwave_controller::testbed::{DeviceModel, Testbed};
+
+    fn prepare(model: DeviceModel, seed: u64) -> (Testbed, Dongle, ScanReport, DiscoveryReport) {
+        let mut tb = Testbed::new(model, seed);
+        let mut passive = PassiveScanner::new(tb.medium(), 70.0);
+        tb.exchange_normal_traffic();
+        let scan = passive.analyze().unwrap();
+        let mut dongle = Dongle::attach(tb.medium(), 70.0);
+        let active = ActiveScanner::scan(&mut tb, &mut dongle, &scan).unwrap();
+        let discovery = UnknownDiscovery::run(&mut tb, &mut dongle, &scan, active.listed);
+        // Discovery probes advance the clock; findings are timed from the
+        // fuzzing start either way.
+        (tb, dongle, scan, discovery)
+    }
+
+    #[test]
+    fn full_campaign_finds_all_15_bugs_within_an_hour_on_d1() {
+        // Table VI test 1: 15 unique vulnerabilities on the ZooZ device.
+        let (mut tb, mut dongle, scan, discovery) = prepare(DeviceModel::D1, 1);
+        let fuzzer = Fuzzer::new(FuzzConfig::full(Duration::from_secs(3600), 1));
+        let result = fuzzer.run(&mut tb, &mut dongle, &scan, &discovery);
+        let mut ids: Vec<u8> = result.findings.iter().map(|f| f.bug_id).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (1..=15).collect::<Vec<u8>>(), "packets={}", result.packets_sent);
+    }
+
+    #[test]
+    fn beta_finds_exactly_the_8_listed_class_bugs() {
+        // Table VI test 2.
+        let (mut tb, mut dongle, scan, discovery) = prepare(DeviceModel::D1, 2);
+        let fuzzer = Fuzzer::new(FuzzConfig::beta(Duration::from_secs(3600), 2));
+        let result = fuzzer.run(&mut tb, &mut dongle, &scan, &discovery);
+        let mut ids: Vec<u8> = result.findings.iter().map(|f| f.bug_id).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![6, 7, 8, 9, 10, 11, 13, 15]);
+    }
+
+    #[test]
+    fn gamma_finds_markedly_fewer() {
+        // Table VI test 3: random fuzzing is the least effective.
+        let (mut tb, mut dongle, scan, discovery) = prepare(DeviceModel::D1, 3);
+        let fuzzer = Fuzzer::new(FuzzConfig::gamma(Duration::from_secs(3600), 3));
+        let result = fuzzer.run(&mut tb, &mut dongle, &scan, &discovery);
+        assert!(
+            (3..=9).contains(&result.unique_vulns()),
+            "gamma found {} bugs",
+            result.unique_vulns()
+        );
+    }
+
+    #[test]
+    fn coverage_matches_table5_shape() {
+        let (mut tb, mut dongle, scan, discovery) = prepare(DeviceModel::D2, 4);
+        // A Table V-style 24-hour trial (virtual time).
+        let fuzzer = Fuzzer::new(FuzzConfig::full(Duration::from_secs(24 * 3600), 4));
+        let result = fuzzer.run(&mut tb, &mut dongle, &scan, &discovery);
+        // 45 prioritized CMDCLs.
+        assert_eq!(result.cmdcl_coverage.len(), 45);
+        // CMD coverage stays *focused* — well below VFuzz's indiscriminate
+        // 256 (the paper reports 53; our mutator explores a somewhat wider
+        // neighbourhood, recorded in EXPERIMENTS.md).
+        assert!(
+            (40..=190).contains(&result.cmd_coverage.len()),
+            "cmd coverage {}",
+            result.cmd_coverage.len()
+        );
+    }
+
+    #[test]
+    fn trace_contains_discovery_marks() {
+        let (mut tb, mut dongle, scan, discovery) = prepare(DeviceModel::D1, 5);
+        let fuzzer = Fuzzer::new(FuzzConfig::full(Duration::from_secs(1800), 5));
+        let result = fuzzer.run(&mut tb, &mut dongle, &scan, &discovery);
+        let marks: Vec<&TraceEvent> =
+            result.trace.iter().filter(|e| e.bug_id.is_some()).collect();
+        assert_eq!(marks.len(), result.unique_vulns());
+        // Trace is time ordered.
+        for pair in result.trace.windows(2) {
+            assert!(pair[0].at <= pair[1].at);
+        }
+    }
+
+    #[test]
+    fn most_bugs_found_early_like_figure12() {
+        // Section IV-B2: "within an average of 600 seconds and 800 test
+        // packets" for many vulnerabilities.
+        let (mut tb, mut dongle, scan, discovery) = prepare(DeviceModel::D1, 6);
+        let start = tb.clock().now();
+        let fuzzer = Fuzzer::new(FuzzConfig::full(Duration::from_secs(3600), 6));
+        let result = fuzzer.run(&mut tb, &mut dongle, &scan, &discovery);
+        let early = result
+            .findings
+            .iter()
+            .filter(|f| f.found_at.duration_since(start) < Duration::from_secs(600))
+            .count();
+        assert!(early >= 7, "only {early} bugs inside the first 600 s");
+    }
+}

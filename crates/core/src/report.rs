@@ -1,0 +1,106 @@
+//! Campaign report rendering: turns a [`ZCoverReport`] into the
+//! human-readable assessment document an operator files after a test
+//! engagement.
+
+use std::fmt::Write as _;
+
+use crate::ZCoverReport;
+
+/// Renders a complete markdown assessment report.
+pub fn to_markdown(report: &ZCoverReport, target_label: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# ZCover assessment — {target_label}\n");
+
+    let _ = writeln!(out, "## Phase 1 — known properties fingerprinting\n");
+    let _ = writeln!(out, "* home id: `{}`", report.scan.home_id);
+    let _ = writeln!(out, "* controller node: `{}`", report.scan.controller);
+    let slaves: Vec<String> = report.scan.slaves.iter().map(|n| n.to_string()).collect();
+    let _ = writeln!(out, "* slave nodes: {}", slaves.join(", "));
+    let _ = writeln!(out, "* NIF-listed command classes: {}", report.active.listed.len());
+    let _ = writeln!(
+        out,
+        "* observed traffic: {} frames captured, {:.0} % of application traffic encrypted\n",
+        report.scan.frames_captured,
+        report.scan.traffic.encrypted_fraction() * 100.0
+    );
+
+    let _ = writeln!(out, "## Phase 2 — unknown properties discovery\n");
+    let _ = writeln!(
+        out,
+        "* specification-inferred unlisted classes: {}",
+        report.discovery.unlisted_from_spec.len()
+    );
+    let proprietary: Vec<String> =
+        report.discovery.proprietary.iter().map(|c| c.to_string()).collect();
+    let _ = writeln!(out, "* proprietary classes (validation testing): {}", proprietary.join(", "));
+    let _ = writeln!(
+        out,
+        "* total prioritized fuzzing targets: {}\n",
+        report.discovery.prioritized_targets().len()
+    );
+
+    let _ = writeln!(out, "## Phase 3 — position-sensitive fuzzing\n");
+    let _ = writeln!(out, "* packets injected: {}", report.campaign.packets_sent);
+    let _ = writeln!(out, "* virtual duration: {:.0} s", report.campaign.duration().as_secs_f64());
+    let _ = writeln!(out, "* CMDCL coverage: {}", report.campaign.cmdcl_coverage.len());
+    let _ = writeln!(out, "* unique vulnerabilities: {}\n", report.campaign.unique_vulns());
+
+    if report.campaign.findings.is_empty() {
+        let _ = writeln!(out, "No vulnerabilities were found within the budget.");
+    } else {
+        let _ = writeln!(out, "| bug | CMDCL | CMD | effect | duration | root cause | found at | trigger |");
+        let _ = writeln!(out, "|---|---|---|---|---|---|---|---|");
+        for f in &report.campaign.findings {
+            let trigger: Vec<String> = f.trigger.iter().map(|b| format!("{b:02X}")).collect();
+            let _ = writeln!(
+                out,
+                "| #{:02} | 0x{:02X} | 0x{:02X} | {} | {} | {} | {:.0} s | `{}` |",
+                f.bug_id,
+                f.cmdcl,
+                f.cmd,
+                f.effect,
+                f.duration_label(),
+                f.root_cause,
+                f.found_at.duration_since(report.campaign.started).as_secs_f64(),
+                trigger.join(" ")
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FuzzConfig, ZCover};
+    use std::time::Duration;
+    use zwave_controller::testbed::{DeviceModel, Testbed};
+
+    #[test]
+    fn report_renders_every_section_and_finding() {
+        let mut tb = Testbed::new(DeviceModel::D1, 3);
+        let mut zc = ZCover::attach(&tb, 70.0);
+        let report =
+            zc.run_campaign(&mut tb, FuzzConfig::full(Duration::from_secs(900), 3)).unwrap();
+        let md = to_markdown(&report, "ZooZ ZST10 (D1)");
+        assert!(md.contains("# ZCover assessment — ZooZ ZST10 (D1)"));
+        assert!(md.contains("`E7DE3F3D`"));
+        assert!(md.contains("Phase 2"));
+        assert!(md.contains("0x01, 0x02"));
+        assert!(md.contains("| #0"));
+        // One table row per finding.
+        let rows = md.lines().filter(|l| l.starts_with("| #")).count();
+        assert_eq!(rows, report.campaign.unique_vulns());
+    }
+
+    #[test]
+    fn empty_campaign_renders_cleanly() {
+        let mut tb = Testbed::new(DeviceModel::D1, 4);
+        tb.controller_mut().apply_patches(&(1..=15).collect::<Vec<u8>>());
+        let mut zc = ZCover::attach(&tb, 70.0);
+        let report =
+            zc.run_campaign(&mut tb, FuzzConfig::full(Duration::from_secs(600), 4)).unwrap();
+        let md = to_markdown(&report, "patched D1");
+        assert!(md.contains("No vulnerabilities were found"));
+    }
+}

@@ -1,0 +1,70 @@
+//! The boundary between ZCover and the system under test.
+//!
+//! ZCover reaches the device only through the radio — the same black-box
+//! constraint the paper faces. The extra methods on [`FuzzTarget`] model
+//! the parts of the experiment that are *not* the fuzzer: the simulation
+//! scheduler ([`FuzzTarget::pump`]), the authors' manual verification of
+//! each finding ([`FuzzTarget::take_faults`]), and the between-trial
+//! factory reset.
+
+use zwave_controller::testbed::Testbed;
+use zwave_controller::FaultRecord;
+use zwave_radio::Medium;
+
+/// A fuzzable Z-Wave network.
+pub trait FuzzTarget {
+    /// The radio medium to attach the attacker dongle to.
+    fn medium(&self) -> &Medium;
+
+    /// Lets every simulated device process pending traffic.
+    fn pump(&mut self);
+
+    /// Drains verified fault events since the last call — the oracle that
+    /// stands in for the paper's manual crash verification and PoC
+    /// confirmation (Section IV-A).
+    fn take_faults(&mut self) -> Vec<FaultRecord>;
+
+    /// Restores the device to factory state (between trials).
+    fn restore(&mut self);
+
+    /// Causes one round of benign network traffic for passive scanning.
+    fn generate_normal_traffic(&mut self);
+}
+
+impl FuzzTarget for Testbed {
+    fn medium(&self) -> &Medium {
+        Testbed::medium(self)
+    }
+
+    fn pump(&mut self) {
+        Testbed::pump(self);
+    }
+
+    fn take_faults(&mut self) -> Vec<FaultRecord> {
+        self.controller_mut().take_new_faults()
+    }
+
+    fn restore(&mut self) {
+        self.controller_mut().restore_factory();
+    }
+
+    fn generate_normal_traffic(&mut self) {
+        self.exchange_normal_traffic();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zwave_controller::DeviceModel;
+
+    #[test]
+    fn testbed_implements_fuzz_target() {
+        let mut tb = Testbed::new(DeviceModel::D1, 3);
+        let t: &mut dyn FuzzTarget = &mut tb;
+        t.generate_normal_traffic();
+        t.pump();
+        assert!(t.take_faults().is_empty());
+        t.restore();
+    }
+}

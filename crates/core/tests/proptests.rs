@@ -1,0 +1,100 @@
+//! Property-based tests for the fuzzer's building blocks.
+
+use proptest::prelude::*;
+
+use zcover::minimize::minimize;
+use zcover::mutation::{MutationOp, Mutator};
+use zwave_protocol::apl::{ApplicationPayload, FieldPosition};
+use zwave_protocol::registry::Registry;
+use zwave_protocol::CommandClassId;
+
+proptest! {
+    /// Mutated payloads always re-encode to parseable byte strings and
+    /// keep the command class fixed.
+    #[test]
+    fn mutation_closure(
+        seed in any::<u64>(),
+        cc in any::<u8>(),
+        cmd in any::<u8>(),
+        params in proptest::collection::vec(any::<u8>(), 0..10),
+        steps in 1usize..60,
+    ) {
+        let mut mutator = Mutator::new(seed, vec![0x01, 0x02, 0x03]);
+        let mut payload = ApplicationPayload::new(CommandClassId(cc), cmd, params);
+        let spec = Registry::global().get(CommandClassId(cc));
+        for _ in 0..steps {
+            mutator.mutate(&mut payload, spec);
+            prop_assert_eq!(payload.command_class(), CommandClassId(cc));
+            let encoded = payload.encode();
+            let back = ApplicationPayload::parse(&encoded).unwrap();
+            prop_assert_eq!(&back, &payload);
+            // Payloads stay MAC-frameable.
+            prop_assert!(encoded.len() <= 60, "payload grew to {}", encoded.len());
+        }
+    }
+
+    /// Exploration plans are bounded and deduplicated for every
+    /// (class, command) pair.
+    #[test]
+    fn plans_are_bounded(cc in any::<u8>(), cmd in any::<u8>()) {
+        let mutator = Mutator::new(1, vec![0x01, 0x02]);
+        let plans = mutator.exploration_plans(CommandClassId(cc), cmd);
+        prop_assert!(!plans.is_empty());
+        prop_assert!(plans.len() <= 24);
+        for plan in &plans {
+            prop_assert!(plan.len() <= 16, "oversized plan {plan:?}");
+        }
+    }
+
+    /// Every operator applied at a legal position leaves a payload that
+    /// still parses.
+    #[test]
+    fn single_operators_preserve_wellformedness(
+        seed in any::<u64>(),
+        params in proptest::collection::vec(any::<u8>(), 1..8),
+        op_idx in 0usize..5,
+        pos_idx in 0usize..8,
+    ) {
+        let mut mutator = Mutator::new(seed, vec![0x02]);
+        let mut payload = ApplicationPayload::new(CommandClassId(0x01), 0x0D, params);
+        let op = MutationOp::all()[op_idx];
+        let pos = if pos_idx == 0 {
+            FieldPosition::Command
+        } else {
+            FieldPosition::Param(pos_idx - 1)
+        };
+        mutator.apply(&mut payload, pos, op, None);
+        let encoded = payload.encode();
+        prop_assert_eq!(ApplicationPayload::parse(&encoded).unwrap().encode(), encoded);
+    }
+
+    /// Minimization never enlarges a trigger, always reproduces, and is
+    /// idempotent.
+    #[test]
+    fn minimize_shrinks_and_reproduces(
+        trigger in proptest::collection::vec(any::<u8>(), 3..14),
+        threshold in 2usize..6,
+    ) {
+        // Synthetic oracle: fires when the payload has at least `threshold`
+        // parameter bytes (length-based bugs, like #03 and #15).
+        let oracle = move |p: &[u8]| p.len() >= threshold + 2;
+        prop_assume!(oracle(&trigger));
+        let minimal = minimize(&trigger, oracle);
+        prop_assert!(oracle(&minimal));
+        prop_assert!(minimal.len() <= trigger.len());
+        prop_assert_eq!(minimize(&minimal, oracle).len(), minimal.len());
+    }
+
+    /// γ's random payload generator stays within the MAC payload budget
+    /// and parses.
+    #[test]
+    fn random_payloads_are_wellformed(seed in any::<u64>()) {
+        let mut mutator = Mutator::new(seed, vec![]);
+        for _ in 0..50 {
+            let payload = mutator.random_payload();
+            let encoded = payload.encode();
+            prop_assert!(encoded.len() >= 2 && encoded.len() <= 10);
+            prop_assert_eq!(ApplicationPayload::parse(&encoded).unwrap(), payload);
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! The S2-secured smart door lock (testbed device D8).
+
+use zwave_crypto::s2::S2Session;
+use zwave_protocol::apl::ApplicationPayload;
+use zwave_protocol::{CommandClassId, HomeId, MacFrame, NodeId};
+use zwave_radio::{Medium, Transceiver};
+
+/// Simulated Schlage BE469ZP door lock, paired with its controller via S2.
+#[derive(Debug)]
+pub struct SimDoorLock {
+    radio: Transceiver,
+    home_id: HomeId,
+    node_id: NodeId,
+    controller: NodeId,
+    session: S2Session,
+    locked: bool,
+    seq: u8,
+}
+
+impl SimDoorLock {
+    /// Attaches the lock to `medium` with an established S2 session.
+    pub fn new(
+        medium: &Medium,
+        position_m: f64,
+        home_id: HomeId,
+        node_id: NodeId,
+        controller: NodeId,
+        session: S2Session,
+    ) -> Self {
+        SimDoorLock {
+            radio: medium.attach(position_m),
+            home_id,
+            node_id,
+            controller,
+            session,
+            locked: true,
+            seq: 0,
+        }
+    }
+
+    /// Whether the bolt is currently thrown.
+    pub fn is_locked(&self) -> bool {
+        self.locked
+    }
+
+    /// The lock's node id.
+    pub fn node_id(&self) -> NodeId {
+        self.node_id
+    }
+
+    fn send(&mut self, dst: NodeId, payload: Vec<u8>) {
+        let mut fc = zwave_protocol::frame::FrameControl::singlecast(self.seq);
+        self.seq = (self.seq + 1) & 0x0F;
+        fc.sequence = self.seq;
+        let frame = MacFrame::try_new(
+            self.home_id,
+            self.node_id,
+            fc,
+            dst,
+            payload,
+            zwave_protocol::ChecksumKind::Cs8,
+        )
+        .expect("lock payloads are bounded");
+        self.radio.transmit(&frame.encode());
+    }
+
+    /// Processes pending frames: answers S2-encapsulated door-lock
+    /// operations and ignores everything unencrypted (a properly
+    /// implemented S2 slave).
+    pub fn poll(&mut self) {
+        while let Some(rx) = self.radio.try_recv() {
+            let Ok(frame) = MacFrame::decode(&rx.bytes) else { continue };
+            if frame.home_id() != self.home_id || frame.dst() != self.node_id {
+                continue;
+            }
+            if frame.frame_control().ack_requested && !frame.is_ack() {
+                let ack = MacFrame::ack(
+                    self.home_id,
+                    self.node_id,
+                    frame.src(),
+                    frame.frame_control().sequence,
+                );
+                self.radio.transmit(&ack.encode());
+            }
+            let Ok(payload) = ApplicationPayload::parse(frame.payload()) else { continue };
+            if payload.command_class() != CommandClassId::SECURITY_2
+                || payload.command() != Some(0x03)
+            {
+                continue; // unencrypted application traffic is refused
+            }
+            let bytes = payload.encode();
+            let Ok(inner) =
+                self.session.decapsulate(self.home_id.0, frame.src().0, self.node_id.0, &bytes)
+            else {
+                continue;
+            };
+            let Ok(inner_payload) = ApplicationPayload::parse(&inner) else { continue };
+            self.handle_secure(frame.src(), &inner_payload);
+        }
+    }
+
+    fn handle_secure(&mut self, src: NodeId, payload: &ApplicationPayload) {
+        match (payload.command_class().0, payload.command()) {
+            // Door Lock Operation Set.
+            (0x62, Some(0x01)) => {
+                self.locked = payload.params().first() == Some(&0xFF);
+                self.report_state(src);
+            }
+            // Door Lock Operation Get.
+            (0x62, Some(0x02)) => self.report_state(src),
+            // Battery Get.
+            (0x80, Some(0x02)) => {
+                let report =
+                    self.session.encapsulate(self.home_id.0, self.node_id.0, src.0, &[0x80, 0x03, 0x5F]);
+                self.send(src, report);
+            }
+            _ => {}
+        }
+    }
+
+    fn report_state(&mut self, dst: NodeId) {
+        let mode = if self.locked { 0xFF } else { 0x00 };
+        let report =
+            self.session.encapsulate(self.home_id.0, self.node_id.0, dst.0, &[0x62, 0x03, mode]);
+        self.send(dst, report);
+    }
+
+    /// Proactively reports status to the controller (step 2 of Figure 2,
+    /// the traffic the passive scanner sniffs).
+    pub fn report_to_controller(&mut self) {
+        let dst = self.controller;
+        self.report_state(dst);
+    }
+}

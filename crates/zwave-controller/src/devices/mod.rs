@@ -1,0 +1,12 @@
+//! Slave devices completing the realistic smart home of Table II:
+//! the Schlage BE469ZP door lock (D8, S2-secured) and the GE Jasco ZW4201
+//! smart switch (D9, legacy no-security), plus an optional battery-powered
+//! S0 motion sensor for sleeping-node experiments.
+
+mod door_lock;
+mod sensor;
+mod switch;
+
+pub use door_lock::SimDoorLock;
+pub use sensor::SimSensor;
+pub use switch::SimSwitch;

@@ -1,0 +1,128 @@
+//! The legacy no-security smart switch (testbed device D9).
+
+use zwave_protocol::apl::ApplicationPayload;
+use zwave_protocol::{HomeId, MacFrame, NodeId};
+use zwave_radio::{Medium, Transceiver};
+
+/// Simulated GE Jasco ZW4201 switch: plain-text Basic / Switch Binary.
+#[derive(Debug)]
+pub struct SimSwitch {
+    radio: Transceiver,
+    home_id: HomeId,
+    node_id: NodeId,
+    controller: NodeId,
+    on: bool,
+    seq: u8,
+}
+
+impl SimSwitch {
+    /// Attaches the switch to `medium`.
+    pub fn new(
+        medium: &Medium,
+        position_m: f64,
+        home_id: HomeId,
+        node_id: NodeId,
+        controller: NodeId,
+    ) -> Self {
+        SimSwitch { radio: medium.attach(position_m), home_id, node_id, controller, on: false, seq: 0 }
+    }
+
+    /// Whether the load is powered.
+    pub fn is_on(&self) -> bool {
+        self.on
+    }
+
+    /// The switch's node id.
+    pub fn node_id(&self) -> NodeId {
+        self.node_id
+    }
+
+    fn send(&mut self, dst: NodeId, payload: Vec<u8>) {
+        let mut fc = zwave_protocol::frame::FrameControl::singlecast(self.seq);
+        self.seq = (self.seq + 1) & 0x0F;
+        fc.sequence = self.seq;
+        let frame = MacFrame::try_new(
+            self.home_id,
+            self.node_id,
+            fc,
+            dst,
+            payload,
+            zwave_protocol::ChecksumKind::Cs8,
+        )
+        .expect("switch payloads are bounded");
+        self.radio.transmit(&frame.encode());
+    }
+
+    /// Processes pending frames (legacy devices accept unencrypted
+    /// commands — the injection-prone class of Section II-A1).
+    pub fn poll(&mut self) {
+        while let Some(rx) = self.radio.try_recv() {
+            let Ok(frame) = MacFrame::decode(&rx.bytes) else { continue };
+            if frame.home_id() != self.home_id {
+                continue;
+            }
+            // Routing-slave duty: forward routed frames whose current
+            // repeater is us, advancing the hop index.
+            if frame.frame_control().header_type == zwave_protocol::frame::HeaderType::Routed {
+                if let Ok((mut header, apl)) = zwave_protocol::RoutingHeader::decode(frame.payload())
+                {
+                    if header.current_repeater() == Some(self.node_id) {
+                        header.advance();
+                        let mut payload = header.encode();
+                        payload.extend_from_slice(apl);
+                        let mut fc = frame.frame_control();
+                        fc.sequence = self.seq;
+                        self.seq = (self.seq + 1) & 0x0F;
+                        if let Ok(forwarded) = MacFrame::try_new(
+                            self.home_id,
+                            frame.src(),
+                            fc,
+                            frame.dst(),
+                            payload,
+                            zwave_protocol::ChecksumKind::Cs8,
+                        ) {
+                            self.radio.transmit(&forwarded.encode());
+                        }
+                    }
+                }
+                continue;
+            }
+            if frame.dst() != self.node_id {
+                continue;
+            }
+            if frame.frame_control().ack_requested && !frame.is_ack() {
+                let ack = MacFrame::ack(
+                    self.home_id,
+                    self.node_id,
+                    frame.src(),
+                    frame.frame_control().sequence,
+                );
+                self.radio.transmit(&ack.encode());
+            }
+            let Ok(payload) = ApplicationPayload::parse(frame.payload()) else { continue };
+            match (payload.command_class().0, payload.command()) {
+                (0x20 | 0x25, Some(0x01)) => {
+                    self.on = payload.params().first() == Some(&0xFF);
+                    let src = frame.src();
+                    self.report_state(src);
+                }
+                (0x20 | 0x25, Some(0x02)) => {
+                    let src = frame.src();
+                    self.report_state(src);
+                }
+                _ => {}
+            }
+        }
+    }
+
+    fn report_state(&mut self, dst: NodeId) {
+        let level = if self.on { 0xFF } else { 0x00 };
+        self.send(dst, vec![0x25, 0x03, level]);
+    }
+
+    /// Proactively reports status to the controller.
+    pub fn report_to_controller(&mut self) {
+        let dst = self.controller;
+        self.report_state(dst);
+    }
+}

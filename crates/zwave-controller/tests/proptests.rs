@@ -1,0 +1,122 @@
+//! Property-based tests for the device simulations: arbitrary frame storms
+//! must never panic, never corrupt state except through the seeded
+//! vulnerable paths, and must respect the encryption gate.
+
+use proptest::prelude::*;
+
+use zwave_controller::testbed::{DeviceModel, Testbed, LOCK_NODE};
+use zwave_controller::vulns::{check, VulnContext};
+use zwave_protocol::apl::ApplicationPayload;
+use zwave_protocol::{HomeId, MacFrame, NodeId};
+
+fn arb_payload() -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(any::<u8>(), 1..=30)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Raw byte storms (valid or not) never panic the controller, and
+    /// every fault they trigger is attributable to a seeded bug.
+    #[test]
+    fn controller_survives_raw_byte_storms(
+        frames in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..=70), 1..40),
+    ) {
+        let mut tb = Testbed::new(DeviceModel::D4, 7);
+        let attacker = tb.attach_attacker(70.0);
+        for frame in frames {
+            attacker.transmit(&frame);
+            tb.pump();
+        }
+        for record in tb.controller().fault_log().records() {
+            prop_assert!((1..=15).contains(&record.bug_id) || record.bug_id > 100);
+        }
+    }
+
+    /// Well-formed frames with arbitrary application payloads never panic
+    /// and never mutate the NVM except via the five memory bugs.
+    #[test]
+    fn nvm_only_changes_through_the_seeded_paths(payloads in proptest::collection::vec(arb_payload(), 1..40)) {
+        let mut tb = Testbed::new(DeviceModel::D1, 8);
+        let attacker = tb.attach_attacker(70.0);
+        let before = tb.controller().nvm().snapshot();
+        for payload in payloads {
+            let Ok(frame) = MacFrame::try_new(
+                HomeId(0xE7DE3F3D),
+                NodeId(0x03),
+                zwave_protocol::frame::FrameControl::singlecast(0),
+                NodeId(0x01),
+                payload,
+                zwave_protocol::ChecksumKind::Cs8,
+            ) else { continue };
+            attacker.transmit(&frame.encode());
+            tb.pump();
+        }
+        let nvm_changed = tb.controller().nvm() != &before;
+        let memory_bug_fired = tb
+            .controller()
+            .fault_log()
+            .records()
+            .iter()
+            .any(|r| matches!(r.bug_id, 1..=4 | 12));
+        if nvm_changed {
+            prop_assert!(memory_bug_fired, "NVM changed without a memory bug firing");
+        }
+    }
+
+    /// The vulnerability gate is deterministic: same payload, same verdict.
+    #[test]
+    fn vuln_check_is_deterministic(payload in arb_payload()) {
+        let tb = Testbed::new(DeviceModel::D2, 9);
+        let Ok(apl) = ApplicationPayload::parse(&payload) else { return Ok(()) };
+        let ctx = VulnContext {
+            nvm: tb.controller().nvm(),
+            implemented: tb.controller().implemented(),
+            encrypted: false,
+            usb_host: true,
+            smart_hub: false,
+            self_node: 1,
+        };
+        prop_assert_eq!(check(&apl, &ctx), check(&apl, &ctx));
+    }
+
+    /// No payload whatsoever triggers a vulnerability when delivered
+    /// encrypted.
+    #[test]
+    fn encryption_gate_is_absolute(payload in arb_payload()) {
+        let tb = Testbed::new(DeviceModel::D2, 9);
+        let Ok(apl) = ApplicationPayload::parse(&payload) else { return Ok(()) };
+        let ctx = VulnContext {
+            nvm: tb.controller().nvm(),
+            implemented: tb.controller().implemented(),
+            encrypted: true,
+            usb_host: true,
+            smart_hub: true,
+            self_node: 1,
+        };
+        prop_assert_eq!(check(&apl, &ctx), None);
+    }
+
+    /// Factory restore is a true inverse for any attack sequence.
+    #[test]
+    fn restore_undoes_any_attack(payloads in proptest::collection::vec(arb_payload(), 1..25)) {
+        let mut tb = Testbed::new(DeviceModel::D5, 10);
+        let attacker = tb.attach_attacker(70.0);
+        let factory = tb.controller().nvm().snapshot();
+        for payload in payloads {
+            if payload.len() > 40 { continue; }
+            let frame = MacFrame::singlecast(
+                HomeId(0xF4C3754D),
+                NodeId(0x03),
+                NodeId(0x01),
+                payload,
+            );
+            attacker.transmit(&frame.encode());
+            tb.pump();
+        }
+        tb.controller_mut().restore_factory();
+        prop_assert!(tb.controller().nvm().contains(LOCK_NODE));
+        prop_assert_eq!(tb.controller().nvm().len(), factory.len());
+        prop_assert!(tb.controller().is_responsive());
+    }
+}

@@ -1,0 +1,1077 @@
+//! Static specification data: the 122 public command classes of the
+//! November-2024 Z-Wave specification snapshot the paper works from.
+//!
+//! Key controller-relevant classes carry their real command sets and
+//! per-parameter value specifications; long-tail slave-oriented classes are
+//! modelled with their canonical Set/Get/Report trio. Figure 5's selected
+//! command-count distribution (23, 15, 11, 10, 8, 7, 6, 6, 5, 4, 3, 2, 2,
+//! 1, 1, 0) is reproduced exactly by the classes noted below.
+
+use crate::command_class::CommandClassId;
+use crate::command_class::CommandKind::{Get, Other, Report, Set};
+use crate::command_class::CommandRole::{Controlling, Supporting};
+
+use super::FunctionalCluster::{
+    ApplicationFunctionality, ClimateEnergy, DisplayAv, Management, Network, SensorActuator,
+    Specialised, TransportEncapsulation,
+};
+use super::{CommandClassSpec, CommandSpec, ParamSpec};
+
+/// Any byte is legal (bit masks, opaque identifiers, vendor payloads).
+const ANY: ParamSpec = ParamSpec::BitMask;
+/// Binary off/on parameter (0x00 / 0xFF).
+const BOOL: ParamSpec = ParamSpec::Enum(&[0x00, 0xFF]);
+/// Multilevel value 0..=99.
+const LEVEL: ParamSpec = ParamSpec::Byte { min: 0, max: 99 };
+/// A node identifier.
+const NODE: ParamSpec = ParamSpec::NodeId;
+/// A seconds/duration byte.
+const SECONDS: ParamSpec = ParamSpec::Byte { min: 0, max: 0xFF };
+
+macro_rules! cmd {
+    ($id:expr, $name:expr, $kind:expr, $role:expr) => {
+        CommandSpec { id: $id, name: $name, kind: $kind, role: $role, params: &[] }
+    };
+    ($id:expr, $name:expr, $kind:expr, $role:expr, $($p:expr),+) => {
+        CommandSpec { id: $id, name: $name, kind: $kind, role: $role, params: &[$($p),+] }
+    };
+}
+
+macro_rules! cc {
+    ($id:expr, $name:expr, $cluster:expr, $ver:expr, $cmds:expr) => {
+        CommandClassSpec {
+            id: CommandClassId($id),
+            name: $name,
+            cluster: $cluster,
+            version: $ver,
+            commands: $cmds,
+        }
+    };
+}
+
+/// The canonical Set/Get/Report trio shared by long-tail classes.
+const TRIO: &[CommandSpec] = &[
+    cmd!(0x01, "SET", Set, Controlling, ANY),
+    cmd!(0x02, "GET", Get, Controlling),
+    cmd!(0x03, "REPORT", Report, Supporting, ANY),
+];
+
+/// Get/Report pair for read-only classes.
+const GET_REPORT: &[CommandSpec] = &[
+    cmd!(0x02, "GET", Get, Controlling),
+    cmd!(0x03, "REPORT", Report, Supporting, ANY, ANY),
+];
+
+/// The public command classes, ascending by CMDCL byte. Exactly 122 entries.
+pub(super) static PUBLIC_COMMAND_CLASSES: &[CommandClassSpec] = &[
+    // 0x00 — zero commands: the NOP liveness ping is a bare CMDCL byte.
+    // (Figure 5's "0" bar.)
+    cc!(0x00, "COMMAND_CLASS_NO_OPERATION", Management, 1, &[]),
+    cc!(
+        0x20,
+        "COMMAND_CLASS_BASIC",
+        ApplicationFunctionality,
+        2,
+        // Figure 5's "3" bar; the Section III-D running example.
+        &[
+            cmd!(0x01, "BASIC_SET", Set, Controlling, BOOL),
+            cmd!(0x02, "BASIC_GET", Get, Controlling),
+            cmd!(0x03, "BASIC_REPORT", Report, Supporting, BOOL),
+        ]
+    ),
+    cc!(
+        0x21,
+        "COMMAND_CLASS_CONTROLLER_REPLICATION",
+        Management,
+        1,
+        &[
+            cmd!(0x31, "CTRL_REPLICATION_TRANSFER_GROUP", Other, Controlling, ANY, ANY, ANY),
+            cmd!(0x32, "CTRL_REPLICATION_TRANSFER_GROUP_NAME", Other, Controlling, ANY, ANY),
+            cmd!(0x33, "CTRL_REPLICATION_TRANSFER_SCENE", Other, Controlling, ANY, ANY, ANY),
+            cmd!(0x34, "CTRL_REPLICATION_TRANSFER_SCENE_NAME", Other, Controlling, ANY, ANY),
+        ]
+    ),
+    cc!(
+        0x22,
+        "COMMAND_CLASS_APPLICATION_STATUS",
+        Management,
+        1,
+        &[
+            cmd!(0x01, "APPLICATION_BUSY", Other, Supporting, ParamSpec::Enum(&[0, 1, 2]), SECONDS),
+            cmd!(0x02, "APPLICATION_REJECTED_REQUEST", Other, Supporting, ParamSpec::Enum(&[0])),
+        ]
+    ),
+    cc!(
+        0x23,
+        "COMMAND_CLASS_ZIP",
+        Network,
+        5,
+        &[
+            cmd!(0x02, "ZIP_PACKET", Other, Controlling, ANY, ANY, ANY, ANY),
+            cmd!(0x03, "ZIP_KEEP_ALIVE", Other, Controlling, ParamSpec::Enum(&[0x80, 0x40])),
+        ]
+    ),
+    cc!(0x24, "COMMAND_CLASS_SECURITY_PANEL_MODE", SensorActuator, 1, TRIO),
+    cc!(
+        0x25,
+        "COMMAND_CLASS_SWITCH_BINARY",
+        ApplicationFunctionality,
+        2,
+        &[
+            cmd!(0x01, "SWITCH_BINARY_SET", Set, Controlling, BOOL, SECONDS),
+            cmd!(0x02, "SWITCH_BINARY_GET", Get, Controlling),
+            cmd!(0x03, "SWITCH_BINARY_REPORT", Report, Supporting, BOOL, BOOL, SECONDS),
+        ]
+    ),
+    cc!(
+        0x26,
+        "COMMAND_CLASS_SWITCH_MULTILEVEL",
+        ApplicationFunctionality,
+        4,
+        &[
+            cmd!(0x01, "SWITCH_MULTILEVEL_SET", Set, Controlling, LEVEL, SECONDS),
+            cmd!(0x02, "SWITCH_MULTILEVEL_GET", Get, Controlling),
+            cmd!(0x03, "SWITCH_MULTILEVEL_REPORT", Report, Supporting, LEVEL, LEVEL, SECONDS),
+            cmd!(0x04, "SWITCH_MULTILEVEL_START_LEVEL_CHANGE", Set, Controlling, ANY, LEVEL, SECONDS),
+            cmd!(0x05, "SWITCH_MULTILEVEL_STOP_LEVEL_CHANGE", Set, Controlling),
+            cmd!(0x06, "SWITCH_MULTILEVEL_SUPPORTED_GET", Get, Controlling),
+            cmd!(0x07, "SWITCH_MULTILEVEL_SUPPORTED_REPORT", Report, Supporting, ANY, ANY),
+        ]
+    ),
+    cc!(
+        0x27,
+        "COMMAND_CLASS_SWITCH_ALL",
+        ApplicationFunctionality,
+        1,
+        &[
+            cmd!(0x01, "SWITCH_ALL_SET", Set, Controlling, ParamSpec::Enum(&[0x00, 0x01, 0x02, 0xFF])),
+            cmd!(0x02, "SWITCH_ALL_GET", Get, Controlling),
+            cmd!(0x03, "SWITCH_ALL_REPORT", Report, Supporting, ParamSpec::Enum(&[0x00, 0x01, 0x02, 0xFF])),
+            cmd!(0x04, "SWITCH_ALL_ON", Set, Controlling),
+            cmd!(0x05, "SWITCH_ALL_OFF", Set, Controlling),
+        ]
+    ),
+    cc!(0x28, "COMMAND_CLASS_SWITCH_TOGGLE_BINARY", SensorActuator, 1, TRIO),
+    cc!(0x29, "COMMAND_CLASS_SWITCH_TOGGLE_MULTILEVEL", SensorActuator, 1, TRIO),
+    cc!(
+        0x2B,
+        "COMMAND_CLASS_SCENE_ACTIVATION",
+        SensorActuator,
+        1,
+        &[cmd!(0x01, "SCENE_ACTIVATION_SET", Set, Controlling, ParamSpec::Byte { min: 1, max: 255 }, SECONDS)]
+    ),
+    cc!(0x2C, "COMMAND_CLASS_SCENE_ACTUATOR_CONF", SensorActuator, 1, TRIO),
+    cc!(0x2D, "COMMAND_CLASS_SCENE_CONTROLLER_CONF", SensorActuator, 1, TRIO),
+    cc!(0x2E, "COMMAND_CLASS_SECURITY_PANEL_ZONE", SensorActuator, 1, GET_REPORT),
+    cc!(0x2F, "COMMAND_CLASS_SECURITY_PANEL_ZONE_SENSOR", SensorActuator, 1, GET_REPORT),
+    cc!(
+        0x30,
+        "COMMAND_CLASS_SENSOR_BINARY",
+        SensorActuator,
+        2,
+        &[
+            cmd!(0x01, "SENSOR_BINARY_SUPPORTED_GET", Get, Controlling),
+            cmd!(0x02, "SENSOR_BINARY_GET", Get, Controlling, ANY),
+            cmd!(0x03, "SENSOR_BINARY_REPORT", Report, Supporting, BOOL, ANY),
+            cmd!(0x04, "SENSOR_BINARY_SUPPORTED_REPORT", Report, Supporting, ANY),
+        ]
+    ),
+    cc!(
+        0x31,
+        "COMMAND_CLASS_SENSOR_MULTILEVEL",
+        SensorActuator,
+        11,
+        &[
+            cmd!(0x01, "SENSOR_MULTILEVEL_SUPPORTED_GET_SENSOR", Get, Controlling),
+            cmd!(0x02, "SENSOR_MULTILEVEL_SUPPORTED_SENSOR_REPORT", Report, Supporting, ANY),
+            cmd!(0x03, "SENSOR_MULTILEVEL_SUPPORTED_GET_SCALE", Get, Controlling, ANY),
+            cmd!(0x04, "SENSOR_MULTILEVEL_GET", Get, Controlling, ANY, ANY),
+            cmd!(0x05, "SENSOR_MULTILEVEL_REPORT", Report, Supporting, ANY, ANY, ANY, ANY),
+            cmd!(0x06, "SENSOR_MULTILEVEL_SUPPORTED_SCALE_REPORT", Report, Supporting, ANY, ANY),
+        ]
+    ),
+    cc!(
+        0x32,
+        "COMMAND_CLASS_METER",
+        ClimateEnergy,
+        6,
+        &[
+            cmd!(0x01, "METER_GET", Get, Controlling, ANY),
+            cmd!(0x02, "METER_REPORT", Report, Supporting, ANY, ANY, ANY, ANY),
+            cmd!(0x03, "METER_SUPPORTED_GET", Get, Controlling),
+            cmd!(0x04, "METER_SUPPORTED_REPORT", Report, Supporting, ANY, ANY),
+            cmd!(0x05, "METER_RESET", Set, Controlling),
+        ]
+    ),
+    cc!(
+        0x33,
+        "COMMAND_CLASS_SWITCH_COLOR",
+        SensorActuator,
+        3,
+        &[
+            cmd!(0x01, "SWITCH_COLOR_SUPPORTED_GET", Get, Controlling),
+            cmd!(0x02, "SWITCH_COLOR_SUPPORTED_REPORT", Report, Supporting, ANY, ANY),
+            cmd!(0x03, "SWITCH_COLOR_GET", Get, Controlling, ANY),
+            cmd!(0x04, "SWITCH_COLOR_REPORT", Report, Supporting, ANY, ANY, ANY, SECONDS),
+            cmd!(0x05, "SWITCH_COLOR_SET", Set, Controlling, ParamSpec::Size { max: 31 }, ANY, ANY),
+        ]
+    ),
+    cc!(
+        0x34,
+        "COMMAND_CLASS_NETWORK_MANAGEMENT_INCLUSION",
+        Network,
+        4,
+        // 23 commands: Figure 5's tallest bar and the top fuzzing priority.
+        &[
+            cmd!(0x01, "NODE_ADD", Set, Controlling, ANY, ANY, ParamSpec::Enum(&[0x01, 0x05, 0x07]), ANY),
+            cmd!(0x02, "NODE_ADD_STATUS", Report, Supporting, ANY, ParamSpec::Enum(&[0x06, 0x07, 0x09]), NODE),
+            cmd!(0x03, "NODE_REMOVE", Set, Controlling, ANY, ANY, ParamSpec::Enum(&[0x01, 0x05])),
+            cmd!(0x04, "NODE_REMOVE_STATUS", Report, Supporting, ANY, ParamSpec::Enum(&[0x06, 0x07]), NODE),
+            cmd!(0x07, "FAILED_NODE_REMOVE", Set, Controlling, ANY, NODE),
+            cmd!(0x08, "FAILED_NODE_REMOVE_STATUS", Report, Supporting, ANY, ParamSpec::Enum(&[0x00, 0x01, 0x02]), NODE),
+            cmd!(0x09, "FAILED_NODE_REPLACE", Set, Controlling, ANY, NODE, ANY),
+            cmd!(0x0A, "FAILED_NODE_REPLACE_STATUS", Report, Supporting, ANY, ParamSpec::Enum(&[0x04, 0x05, 0x06]), NODE),
+            cmd!(0x0B, "NODE_NEIGHBOR_UPDATE_REQUEST", Set, Controlling, ANY, NODE),
+            cmd!(0x0C, "NODE_NEIGHBOR_UPDATE_STATUS", Report, Supporting, ANY, ParamSpec::Enum(&[0x22, 0x23])),
+            cmd!(0x0D, "RETURN_ROUTE_ASSIGN", Set, Controlling, ANY, NODE, NODE),
+            cmd!(0x0E, "RETURN_ROUTE_ASSIGN_COMPLETE", Report, Supporting, ANY, ParamSpec::Enum(&[0x00, 0x01])),
+            cmd!(0x0F, "RETURN_ROUTE_DELETE", Set, Controlling, ANY, NODE),
+            cmd!(0x10, "RETURN_ROUTE_DELETE_COMPLETE", Report, Supporting, ANY, ParamSpec::Enum(&[0x00, 0x01])),
+            cmd!(0x11, "NODE_ADD_KEYS_REPORT", Report, Supporting, ANY, ANY, ANY),
+            cmd!(0x12, "NODE_ADD_KEYS_SET", Set, Controlling, ANY, ANY, ANY),
+            cmd!(0x13, "NODE_ADD_DSK_REPORT", Report, Supporting, ANY, ANY, ANY),
+            cmd!(0x14, "NODE_ADD_DSK_SET", Set, Controlling, ANY, ANY, ANY),
+            cmd!(0x15, "SMART_START_JOIN_STARTED_REPORT", Report, Supporting, ANY, ANY),
+            cmd!(0x16, "INCLUDED_NIF_REPORT", Report, Supporting, ANY, ANY),
+            cmd!(0x17, "EXTENDED_NODE_ADD_STATUS", Report, Supporting, ANY, ANY, ANY, ANY),
+            cmd!(0x18, "S2_ADVANCED_JOIN_MODE_SET", Set, Controlling, ANY),
+            cmd!(0x19, "S2_ADVANCED_JOIN_MODE_GET", Get, Controlling),
+        ]
+    ),
+    cc!(
+        0x35,
+        "COMMAND_CLASS_METER_PULSE",
+        ClimateEnergy,
+        1,
+        &[
+            cmd!(0x04, "METER_PULSE_GET", Get, Controlling),
+            cmd!(0x05, "METER_PULSE_REPORT", Report, Supporting, ANY, ANY, ANY, ANY),
+        ]
+    ),
+    cc!(0x36, "COMMAND_CLASS_BASIC_TARIFF_INFO", ClimateEnergy, 1, GET_REPORT),
+    cc!(0x37, "COMMAND_CLASS_HRV_STATUS", ClimateEnergy, 1, GET_REPORT),
+    cc!(0x39, "COMMAND_CLASS_HRV_CONTROL", ClimateEnergy, 1, TRIO),
+    cc!(0x3A, "COMMAND_CLASS_DCP_CONFIG", ClimateEnergy, 1, GET_REPORT),
+    cc!(0x3B, "COMMAND_CLASS_DCP_MONITOR", ClimateEnergy, 1, GET_REPORT),
+    cc!(0x3C, "COMMAND_CLASS_METER_TBL_CONFIG", ClimateEnergy, 1, TRIO),
+    cc!(0x3D, "COMMAND_CLASS_METER_TBL_MONITOR", ClimateEnergy, 2, GET_REPORT),
+    cc!(0x3E, "COMMAND_CLASS_METER_TBL_PUSH", ClimateEnergy, 1, TRIO),
+    cc!(0x3F, "COMMAND_CLASS_PREPAYMENT", ClimateEnergy, 1, GET_REPORT),
+    cc!(
+        0x40,
+        "COMMAND_CLASS_THERMOSTAT_MODE",
+        ClimateEnergy,
+        3,
+        &[
+            cmd!(0x01, "THERMOSTAT_MODE_SET", Set, Controlling, ParamSpec::Enum(&[0, 1, 2, 3, 4, 5, 6, 11, 15, 31])),
+            cmd!(0x02, "THERMOSTAT_MODE_GET", Get, Controlling),
+            cmd!(0x03, "THERMOSTAT_MODE_REPORT", Report, Supporting, ANY),
+            cmd!(0x04, "THERMOSTAT_MODE_SUPPORTED_GET", Get, Controlling),
+            cmd!(0x05, "THERMOSTAT_MODE_SUPPORTED_REPORT", Report, Supporting, ANY, ANY),
+        ]
+    ),
+    cc!(0x41, "COMMAND_CLASS_PREPAYMENT_ENCAPSULATION", ClimateEnergy, 1, &[cmd!(0x01, "PREPAYMENT_ENCAPSULATION_CMD", Other, Controlling, ANY, ANY)]),
+    cc!(0x42, "COMMAND_CLASS_THERMOSTAT_OPERATING_STATE", ClimateEnergy, 2, GET_REPORT),
+    cc!(
+        0x43,
+        "COMMAND_CLASS_THERMOSTAT_SETPOINT",
+        ClimateEnergy,
+        3,
+        &[
+            cmd!(0x01, "THERMOSTAT_SETPOINT_SET", Set, Controlling, ANY, ANY, ANY),
+            cmd!(0x02, "THERMOSTAT_SETPOINT_GET", Get, Controlling, ANY),
+            cmd!(0x03, "THERMOSTAT_SETPOINT_REPORT", Report, Supporting, ANY, ANY, ANY),
+            cmd!(0x04, "THERMOSTAT_SETPOINT_SUPPORTED_GET", Get, Controlling),
+            cmd!(0x05, "THERMOSTAT_SETPOINT_SUPPORTED_REPORT", Report, Supporting, ANY),
+        ]
+    ),
+    cc!(
+        0x44,
+        "COMMAND_CLASS_THERMOSTAT_FAN_MODE",
+        ClimateEnergy,
+        4,
+        &[
+            cmd!(0x01, "THERMOSTAT_FAN_MODE_SET", Set, Controlling, ANY),
+            cmd!(0x02, "THERMOSTAT_FAN_MODE_GET", Get, Controlling),
+            cmd!(0x03, "THERMOSTAT_FAN_MODE_REPORT", Report, Supporting, ANY),
+            cmd!(0x04, "THERMOSTAT_FAN_MODE_SUPPORTED_GET", Get, Controlling),
+            cmd!(0x05, "THERMOSTAT_FAN_MODE_SUPPORTED_REPORT", Report, Supporting, ANY, ANY),
+        ]
+    ),
+    cc!(0x45, "COMMAND_CLASS_THERMOSTAT_FAN_STATE", ClimateEnergy, 2, GET_REPORT),
+    cc!(0x46, "COMMAND_CLASS_CLIMATE_CONTROL_SCHEDULE", ClimateEnergy, 1, TRIO),
+    cc!(0x47, "COMMAND_CLASS_THERMOSTAT_SETBACK", ClimateEnergy, 1, TRIO),
+    cc!(0x48, "COMMAND_CLASS_RATE_TBL_CONFIG", ClimateEnergy, 1, TRIO),
+    cc!(0x49, "COMMAND_CLASS_RATE_TBL_MONITOR", ClimateEnergy, 1, GET_REPORT),
+    cc!(0x4A, "COMMAND_CLASS_TARIFF_CONFIG", ClimateEnergy, 1, TRIO),
+    cc!(0x4B, "COMMAND_CLASS_TARIFF_TBL_MONITOR", ClimateEnergy, 1, GET_REPORT),
+    cc!(
+        0x4C,
+        "COMMAND_CLASS_DOOR_LOCK_LOGGING",
+        Specialised,
+        1,
+        &[
+            cmd!(0x01, "DOOR_LOCK_LOGGING_RECORDS_SUPPORTED_GET", Get, Controlling),
+            cmd!(0x02, "DOOR_LOCK_LOGGING_RECORDS_SUPPORTED_REPORT", Report, Supporting, ANY),
+            cmd!(0x03, "RECORD_GET", Get, Controlling, ANY),
+            cmd!(0x04, "RECORD_REPORT", Report, Supporting, ANY, ANY, ANY, ANY, ANY),
+        ]
+    ),
+    cc!(
+        0x4D,
+        "COMMAND_CLASS_NETWORK_MANAGEMENT_BASIC",
+        Network,
+        2,
+        // 10 commands: Figure 5's "10" bar.
+        &[
+            cmd!(0x01, "LEARN_MODE_SET", Set, Controlling, ANY, ANY, ParamSpec::Enum(&[0x00, 0x01, 0x02])),
+            cmd!(0x02, "LEARN_MODE_SET_STATUS", Report, Supporting, ANY, ParamSpec::Enum(&[0x01, 0x06, 0x07, 0x09]), NODE),
+            cmd!(0x03, "NETWORK_UPDATE_REQUEST", Set, Controlling, ANY),
+            cmd!(0x04, "NETWORK_UPDATE_REQUEST_STATUS", Report, Supporting, ANY, ParamSpec::Enum(&[0x00, 0x01, 0x02, 0x03, 0x04])),
+            cmd!(0x05, "NODE_INFORMATION_SEND", Set, Controlling, ANY, NODE, ANY),
+            cmd!(0x06, "DEFAULT_SET", Set, Controlling, ANY),
+            cmd!(0x07, "DEFAULT_SET_COMPLETE", Report, Supporting, ANY, ParamSpec::Enum(&[0x06, 0x07])),
+            cmd!(0x08, "DSK_GET", Get, Controlling, ANY),
+            cmd!(0x09, "DSK_RAPORT", Report, Supporting, ANY, ANY, ANY),
+            cmd!(0x0A, "LEARN_MODE_INTENT", Other, Controlling, ANY),
+        ]
+    ),
+    cc!(
+        0x4E,
+        "COMMAND_CLASS_SCHEDULE_ENTRY_LOCK",
+        Specialised,
+        3,
+        &[
+            cmd!(0x01, "SCHEDULE_ENTRY_LOCK_ENABLE_SET", Set, Controlling, ANY, BOOL),
+            cmd!(0x02, "SCHEDULE_ENTRY_LOCK_ENABLE_ALL_SET", Set, Controlling, BOOL),
+            cmd!(0x03, "SCHEDULE_ENTRY_LOCK_WEEK_DAY_SET", Set, Controlling, ANY, ANY, ANY, ParamSpec::Byte { min: 0, max: 6 }),
+            cmd!(0x04, "SCHEDULE_ENTRY_LOCK_WEEK_DAY_GET", Get, Controlling, ANY, ANY),
+            cmd!(0x05, "SCHEDULE_ENTRY_LOCK_WEEK_DAY_REPORT", Report, Supporting, ANY, ANY, ANY, ANY),
+            cmd!(0x06, "SCHEDULE_ENTRY_LOCK_YEAR_DAY_SET", Set, Controlling, ANY, ANY, ANY, ANY),
+            cmd!(0x07, "SCHEDULE_ENTRY_LOCK_YEAR_DAY_GET", Get, Controlling, ANY, ANY),
+            cmd!(0x08, "SCHEDULE_ENTRY_LOCK_YEAR_DAY_REPORT", Report, Supporting, ANY, ANY, ANY, ANY),
+            cmd!(0x09, "SCHEDULE_ENTRY_TYPE_SUPPORTED_GET", Get, Controlling),
+            cmd!(0x0A, "SCHEDULE_ENTRY_TYPE_SUPPORTED_REPORT", Report, Supporting, ANY, ANY, ANY),
+            cmd!(0x0B, "SCHEDULE_ENTRY_LOCK_TIME_OFFSET_GET", Get, Controlling),
+            cmd!(0x0C, "SCHEDULE_ENTRY_LOCK_TIME_OFFSET_REPORT", Report, Supporting, ANY, ANY),
+            cmd!(0x0D, "SCHEDULE_ENTRY_LOCK_TIME_OFFSET_SET", Set, Controlling, ANY, ANY),
+            cmd!(0x0E, "SCHEDULE_ENTRY_LOCK_DAILY_REPEATING_GET", Get, Controlling, ANY, ANY),
+            cmd!(0x0F, "SCHEDULE_ENTRY_LOCK_DAILY_REPEATING_REPORT", Report, Supporting, ANY, ANY, ANY, ANY),
+            cmd!(0x10, "SCHEDULE_ENTRY_LOCK_DAILY_REPEATING_SET", Set, Controlling, ANY, ANY, ANY, ANY),
+        ]
+    ),
+    cc!(0x4F, "COMMAND_CLASS_ZIP_6LOWPAN", Specialised, 1, &[cmd!(0x01, "LOWPAN_FIRST_FRAGMENT", Other, Controlling, ANY, ANY), cmd!(0x02, "LOWPAN_SUBSEQUENT_FRAGMENT", Other, Controlling, ANY, ANY)]),
+    cc!(0x50, "COMMAND_CLASS_BASIC_WINDOW_COVERING", SensorActuator, 1, &[cmd!(0x01, "BASIC_WINDOW_COVERING_START_LEVEL_CHANGE", Set, Controlling, ANY), cmd!(0x02, "BASIC_WINDOW_COVERING_STOP_LEVEL_CHANGE", Set, Controlling)]),
+    cc!(0x51, "COMMAND_CLASS_MTP_WINDOW_COVERING", SensorActuator, 1, TRIO),
+    cc!(
+        0x52,
+        "COMMAND_CLASS_NETWORK_MANAGEMENT_PROXY",
+        Network,
+        4,
+        &[
+            cmd!(0x01, "NODE_LIST_GET", Get, Controlling, ANY),
+            cmd!(0x02, "NODE_LIST_REPORT", Report, Supporting, ANY, ANY, NODE, ANY),
+            cmd!(0x03, "NODE_INFO_CACHED_GET", Get, Controlling, ANY, ANY, NODE),
+            cmd!(0x04, "NODE_INFO_CACHED_REPORT", Report, Supporting, ANY, ANY, ANY, ANY),
+            cmd!(0x05, "NM_MULTI_CHANNEL_END_POINT_GET", Get, Controlling, ANY, NODE),
+            cmd!(0x06, "NM_MULTI_CHANNEL_END_POINT_REPORT", Report, Supporting, ANY, NODE, ANY),
+            cmd!(0x07, "NM_MULTI_CHANNEL_CAPABILITY_GET", Get, Controlling, ANY, NODE, ANY),
+            cmd!(0x08, "NM_MULTI_CHANNEL_CAPABILITY_REPORT", Report, Supporting, ANY, NODE, ANY, ANY),
+        ]
+    ),
+    cc!(
+        0x53,
+        "COMMAND_CLASS_SCHEDULE",
+        Specialised,
+        4,
+        &[
+            cmd!(0x01, "SCHEDULE_SUPPORTED_GET", Get, Controlling, ANY),
+            cmd!(0x02, "SCHEDULE_SUPPORTED_REPORT", Report, Supporting, ANY, ANY, ANY, ANY),
+            cmd!(0x03, "COMMAND_SCHEDULE_SET", Set, Controlling, ANY, ANY, ANY, ANY),
+            cmd!(0x04, "COMMAND_SCHEDULE_GET", Get, Controlling, ANY, ANY),
+            cmd!(0x05, "COMMAND_SCHEDULE_REPORT", Report, Supporting, ANY, ANY, ANY, ANY),
+            cmd!(0x06, "SCHEDULE_REMOVE", Set, Controlling, ANY, ANY),
+            cmd!(0x07, "SCHEDULE_STATE_SET", Set, Controlling, ANY, ANY),
+            cmd!(0x08, "SCHEDULE_STATE_GET", Get, Controlling, ANY),
+            cmd!(0x09, "SCHEDULE_STATE_REPORT", Report, Supporting, ANY, ANY, ANY),
+        ]
+    ),
+    cc!(
+        0x54,
+        "COMMAND_CLASS_NETWORK_MANAGEMENT_PRIMARY",
+        Network,
+        1,
+        &[
+            cmd!(0x01, "CONTROLLER_CHANGE", Set, Controlling, ANY, ANY, ParamSpec::Enum(&[0x01, 0x05])),
+            cmd!(0x02, "CONTROLLER_CHANGE_STATUS", Report, Supporting, ANY, ParamSpec::Enum(&[0x06, 0x07, 0x09]), NODE),
+        ]
+    ),
+    cc!(
+        0x55,
+        "COMMAND_CLASS_TRANSPORT_SERVICE",
+        TransportEncapsulation,
+        2,
+        // 5 commands: Figure 5's "5" bar.
+        &[
+            cmd!(0xC0, "FIRST_SEGMENT", Other, Controlling, ANY, ANY, ANY, ANY),
+            cmd!(0xC8, "SEGMENT_REQUEST", Other, Controlling, ANY, ANY),
+            cmd!(0xE0, "SUBSEQUENT_SEGMENT", Other, Controlling, ANY, ANY, ANY, ANY),
+            cmd!(0xE8, "SEGMENT_COMPLETE", Other, Supporting, ANY, ANY),
+            cmd!(0xF0, "SEGMENT_WAIT", Other, Supporting, ANY, ANY),
+        ]
+    ),
+    // 1 command: one of Figure 5's "1" bars.
+    cc!(0x56, "COMMAND_CLASS_CRC_16_ENCAP", TransportEncapsulation, 1, &[cmd!(0x01, "CRC_16_ENCAP", Other, Controlling, ANY, ANY, ANY, ANY)]),
+    cc!(0x57, "COMMAND_CLASS_APPLICATION_CAPABILITY", Management, 1, &[cmd!(0x01, "COMMAND_COMMAND_CLASS_NOT_SUPPORTED", Report, Supporting, ANY, ANY, ANY)]),
+    cc!(
+        0x58,
+        "COMMAND_CLASS_ZIP_ND",
+        Network,
+        1,
+        &[
+            cmd!(0x01, "ZIP_NODE_ADVERTISEMENT", Report, Supporting, ANY, NODE, ANY, ANY),
+            cmd!(0x03, "ZIP_NODE_SOLICITATION", Get, Controlling, ANY, ANY),
+            cmd!(0x04, "ZIP_INV_NODE_SOLICITATION", Get, Controlling, ANY, NODE),
+        ]
+    ),
+    cc!(
+        0x59,
+        "COMMAND_CLASS_ASSOCIATION_GRP_INFO",
+        Management,
+        3,
+        // 6 commands: one of Figure 5's "6" bars. Bugs #08 (0x03) and
+        // #11 (0x05) live at these coordinates.
+        &[
+            cmd!(0x01, "ASSOCIATION_GROUP_NAME_GET", Get, Controlling, ParamSpec::Byte { min: 1, max: 255 }),
+            cmd!(0x02, "ASSOCIATION_GROUP_NAME_REPORT", Report, Supporting, ANY, ParamSpec::Size { max: 42 }, ANY),
+            cmd!(0x03, "ASSOCIATION_GROUP_INFO_GET", Get, Controlling, ANY, ParamSpec::Byte { min: 1, max: 255 }),
+            cmd!(0x04, "ASSOCIATION_GROUP_INFO_REPORT", Report, Supporting, ANY, ANY, ANY, ANY),
+            cmd!(0x05, "ASSOCIATION_GROUP_COMMAND_LIST_GET", Get, Controlling, ANY, ParamSpec::Byte { min: 1, max: 255 }),
+            cmd!(0x06, "ASSOCIATION_GROUP_COMMAND_LIST_REPORT", Report, Supporting, ANY, ParamSpec::Size { max: 42 }, ANY),
+        ]
+    ),
+    // 1 command: Figure 5's other "1" bar. Bug #07 lives at 0x5A/0x01.
+    cc!(0x5A, "COMMAND_CLASS_DEVICE_RESET_LOCALLY", Management, 1, &[cmd!(0x01, "DEVICE_RESET_LOCALLY_NOTIFICATION", Other, Supporting)]),
+    cc!(
+        0x5B,
+        "COMMAND_CLASS_CENTRAL_SCENE",
+        SensorActuator,
+        3,
+        &[
+            cmd!(0x01, "CENTRAL_SCENE_SUPPORTED_GET", Get, Controlling),
+            cmd!(0x02, "CENTRAL_SCENE_SUPPORTED_REPORT", Report, Supporting, ANY, ANY),
+            cmd!(0x03, "CENTRAL_SCENE_NOTIFICATION", Report, Supporting, ANY, ANY, ANY),
+            cmd!(0x04, "CENTRAL_SCENE_CONFIGURATION_SET", Set, Controlling, ANY),
+            cmd!(0x05, "CENTRAL_SCENE_CONFIGURATION_GET", Get, Controlling),
+            cmd!(0x06, "CENTRAL_SCENE_CONFIGURATION_REPORT", Report, Supporting, ANY),
+        ]
+    ),
+    cc!(0x5C, "COMMAND_CLASS_IP_ASSOCIATION", Specialised, 1, TRIO),
+    cc!(0x5D, "COMMAND_CLASS_ANTITHEFT", Specialised, 3, TRIO),
+    // 2 commands: one of Figure 5's "2" bars.
+    cc!(0x5E, "COMMAND_CLASS_ZWAVEPLUS_INFO", Management, 2, &[cmd!(0x01, "ZWAVEPLUS_INFO_GET", Get, Controlling), cmd!(0x02, "ZWAVEPLUS_INFO_REPORT", Report, Supporting, ANY, ANY, ANY, ANY, ANY)]),
+    cc!(
+        0x5F,
+        "COMMAND_CLASS_ZIP_GATEWAY",
+        Network,
+        1,
+        &[
+            cmd!(0x01, "GATEWAY_MODE_SET", Set, Controlling, ParamSpec::Enum(&[0x01, 0x02])),
+            cmd!(0x02, "GATEWAY_MODE_GET", Get, Controlling),
+            cmd!(0x03, "GATEWAY_MODE_REPORT", Report, Supporting, ANY),
+            cmd!(0x04, "GATEWAY_PEER_SET", Set, Controlling, ANY, ANY, ANY, ANY),
+            cmd!(0x05, "GATEWAY_PEER_GET", Get, Controlling, ANY),
+            cmd!(0x06, "GATEWAY_PEER_REPORT", Report, Supporting, ANY, ANY, ANY, ANY),
+            cmd!(0x07, "GATEWAY_LOCK_SET", Set, Controlling, ANY),
+            cmd!(0x08, "UNSOLICITED_DESTINATION_SET", Set, Controlling, ANY, ANY, ANY),
+            cmd!(0x09, "UNSOLICITED_DESTINATION_GET", Get, Controlling),
+            cmd!(0x0A, "UNSOLICITED_DESTINATION_REPORT", Report, Supporting, ANY, ANY, ANY),
+            cmd!(0x0B, "COMMAND_APPLICATION_NODE_INFO_SET", Set, Controlling, ANY, ANY),
+            cmd!(0x0C, "COMMAND_APPLICATION_NODE_INFO_GET", Get, Controlling),
+            cmd!(0x0D, "COMMAND_APPLICATION_NODE_INFO_REPORT", Report, Supporting, ANY, ANY),
+        ]
+    ),
+    cc!(
+        0x60,
+        "COMMAND_CLASS_MULTI_CHANNEL",
+        TransportEncapsulation,
+        4,
+        &[
+            cmd!(0x07, "MULTI_CHANNEL_END_POINT_GET", Get, Controlling),
+            cmd!(0x08, "MULTI_CHANNEL_END_POINT_REPORT", Report, Supporting, ANY, ANY, ANY),
+            cmd!(0x09, "MULTI_CHANNEL_CAPABILITY_GET", Get, Controlling, ANY),
+            cmd!(0x0A, "MULTI_CHANNEL_CAPABILITY_REPORT", Report, Supporting, ANY, ANY, ANY, ANY),
+            cmd!(0x0B, "MULTI_CHANNEL_END_POINT_FIND", Get, Controlling, ANY, ANY),
+            cmd!(0x0C, "MULTI_CHANNEL_END_POINT_FIND_REPORT", Report, Supporting, ANY, ANY, ANY, ANY),
+            cmd!(0x0D, "MULTI_CHANNEL_CMD_ENCAP", Other, Controlling, ANY, ANY, ANY, ANY),
+            cmd!(0x0E, "MULTI_CHANNEL_AGGREGATED_MEMBERS_GET", Get, Controlling, ANY),
+            cmd!(0x0F, "MULTI_CHANNEL_AGGREGATED_MEMBERS_REPORT", Report, Supporting, ANY, ANY, ANY),
+        ]
+    ),
+    cc!(
+        0x61,
+        "COMMAND_CLASS_ZIP_PORTAL",
+        Network,
+        1,
+        &[
+            cmd!(0x01, "GATEWAY_CONFIGURATION_SET", Set, Controlling, ANY, ANY, ANY, ANY),
+            cmd!(0x02, "GATEWAY_CONFIGURATION_STATUS", Report, Supporting, ANY),
+            cmd!(0x03, "GATEWAY_CONFIGURATION_GET", Get, Controlling),
+            cmd!(0x04, "GATEWAY_CONFIGURATION_REPORT", Report, Supporting, ANY, ANY, ANY, ANY),
+        ]
+    ),
+    cc!(
+        0x62,
+        "COMMAND_CLASS_DOOR_LOCK",
+        SensorActuator,
+        4,
+        // The Schlage BE469ZP (D8) primary class.
+        &[
+            cmd!(0x01, "DOOR_LOCK_OPERATION_SET", Set, Controlling, ParamSpec::Enum(&[0x00, 0x01, 0x10, 0x11, 0x20, 0x21, 0xFF])),
+            cmd!(0x02, "DOOR_LOCK_OPERATION_GET", Get, Controlling),
+            cmd!(0x03, "DOOR_LOCK_OPERATION_REPORT", Report, Supporting, ANY, ANY, ANY, SECONDS),
+            cmd!(0x04, "DOOR_LOCK_CONFIGURATION_SET", Set, Controlling, ParamSpec::Enum(&[0x01, 0x02]), ANY, ANY, ANY),
+            cmd!(0x05, "DOOR_LOCK_CONFIGURATION_GET", Get, Controlling),
+            cmd!(0x06, "DOOR_LOCK_CONFIGURATION_REPORT", Report, Supporting, ANY, ANY, ANY, ANY),
+            cmd!(0x07, "DOOR_LOCK_CAPABILITIES_GET", Get, Controlling),
+            cmd!(0x08, "DOOR_LOCK_CAPABILITIES_REPORT", Report, Supporting, ANY, ANY, ANY, ANY),
+        ]
+    ),
+    cc!(
+        0x63,
+        "COMMAND_CLASS_USER_CODE",
+        SensorActuator,
+        2,
+        &[
+            cmd!(0x01, "USER_CODE_SET", Set, Controlling, ANY, ParamSpec::Enum(&[0x00, 0x01, 0x02, 0x03]), ANY, ANY),
+            cmd!(0x02, "USER_CODE_GET", Get, Controlling, ANY),
+            cmd!(0x03, "USER_CODE_REPORT", Report, Supporting, ANY, ANY, ANY, ANY),
+            cmd!(0x04, "USERS_NUMBER_GET", Get, Controlling),
+            cmd!(0x05, "USERS_NUMBER_REPORT", Report, Supporting, ANY),
+        ]
+    ),
+    cc!(0x64, "COMMAND_CLASS_HUMIDITY_CONTROL_SETPOINT", ClimateEnergy, 2, TRIO),
+    cc!(0x65, "COMMAND_CLASS_DMX", DisplayAv, 1, TRIO),
+    cc!(
+        0x66,
+        "COMMAND_CLASS_BARRIER_OPERATOR",
+        SensorActuator,
+        1,
+        &[
+            cmd!(0x01, "BARRIER_OPERATOR_SET", Set, Controlling, ParamSpec::Enum(&[0x00, 0xFF])),
+            cmd!(0x02, "BARRIER_OPERATOR_GET", Get, Controlling),
+            cmd!(0x03, "BARRIER_OPERATOR_REPORT", Report, Supporting, ANY),
+            cmd!(0x04, "BARRIER_OPERATOR_SIGNAL_SUPPORTED_GET", Get, Controlling),
+            cmd!(0x05, "BARRIER_OPERATOR_SIGNAL_SUPPORTED_REPORT", Report, Supporting, ANY),
+            cmd!(0x06, "BARRIER_OPERATOR_SIGNAL_SET", Set, Controlling, ANY, BOOL),
+            cmd!(0x07, "BARRIER_OPERATOR_SIGNAL_GET", Get, Controlling, ANY),
+            cmd!(0x08, "BARRIER_OPERATOR_SIGNAL_REPORT", Report, Supporting, ANY, ANY),
+        ]
+    ),
+    cc!(
+        0x67,
+        "COMMAND_CLASS_NETWORK_MANAGEMENT_INSTALLATION_MAINTENANCE",
+        Network,
+        4,
+        // 11 commands: Figure 5's "11" bar.
+        &[
+            cmd!(0x01, "PRIORITY_ROUTE_SET", Set, Controlling, NODE, NODE, NODE, ANY),
+            cmd!(0x02, "PRIORITY_ROUTE_GET", Get, Controlling, NODE),
+            cmd!(0x03, "PRIORITY_ROUTE_REPORT", Report, Supporting, NODE, ANY, ANY, ANY),
+            cmd!(0x04, "STATISTICS_GET", Get, Controlling, NODE),
+            cmd!(0x05, "STATISTICS_REPORT", Report, Supporting, NODE, ANY, ANY),
+            cmd!(0x06, "STATISTICS_CLEAR", Set, Controlling),
+            cmd!(0x07, "RSSI_GET", Get, Controlling),
+            cmd!(0x08, "RSSI_REPORT", Report, Supporting, ANY, ANY, ANY),
+            cmd!(0x09, "S2_RESYNCHRONIZATION_EVENT", Report, Supporting, NODE, ANY),
+            cmd!(0x0A, "EXTENDED_STATISTICS_GET", Get, Controlling, NODE),
+            cmd!(0x0B, "EXTENDED_STATISTICS_REPORT", Report, Supporting, NODE, ANY, ANY, ANY),
+        ]
+    ),
+    cc!(
+        0x68,
+        "COMMAND_CLASS_ZIP_NAMING",
+        Network,
+        1,
+        &[
+            cmd!(0x01, "ZIP_NAMING_NAME_SET", Set, Controlling, ParamSpec::Size { max: 16 }, ANY),
+            cmd!(0x02, "ZIP_NAMING_NAME_GET", Get, Controlling),
+            cmd!(0x03, "ZIP_NAMING_NAME_REPORT", Report, Supporting, ANY, ANY),
+            cmd!(0x04, "ZIP_NAMING_LOCATION_SET", Set, Controlling, ParamSpec::Size { max: 16 }, ANY),
+            cmd!(0x05, "ZIP_NAMING_LOCATION_GET", Get, Controlling),
+            cmd!(0x06, "ZIP_NAMING_LOCATION_REPORT", Report, Supporting, ANY, ANY),
+        ]
+    ),
+    cc!(
+        0x69,
+        "COMMAND_CLASS_MAILBOX",
+        Network,
+        2,
+        &[
+            cmd!(0x01, "MAILBOX_CONFIGURATION_GET", Get, Controlling),
+            cmd!(0x02, "MAILBOX_CONFIGURATION_SET", Set, Controlling, ANY, ANY, ANY),
+            cmd!(0x03, "MAILBOX_CONFIGURATION_REPORT", Report, Supporting, ANY, ANY, ANY),
+            cmd!(0x04, "MAILBOX_QUEUE", Other, Controlling, ANY, ANY, ANY),
+            cmd!(0x05, "MAILBOX_WAKEUP_NOTIFICATION", Report, Supporting, ANY),
+            cmd!(0x06, "MAILBOX_NODE_FAILING", Report, Supporting, NODE),
+        ]
+    ),
+    cc!(
+        0x6A,
+        "COMMAND_CLASS_WINDOW_COVERING",
+        SensorActuator,
+        1,
+        &[
+            cmd!(0x01, "WINDOW_COVERING_SUPPORTED_GET", Get, Controlling),
+            cmd!(0x02, "WINDOW_COVERING_SUPPORTED_REPORT", Report, Supporting, ANY, ANY),
+            cmd!(0x03, "WINDOW_COVERING_GET", Get, Controlling, ANY),
+            cmd!(0x04, "WINDOW_COVERING_REPORT", Report, Supporting, ANY, LEVEL, LEVEL, SECONDS),
+            cmd!(0x05, "WINDOW_COVERING_SET", Set, Controlling, ParamSpec::Size { max: 31 }, ANY, ANY),
+            cmd!(0x06, "WINDOW_COVERING_START_LEVEL_CHANGE", Set, Controlling, ANY, ANY, SECONDS),
+            cmd!(0x07, "WINDOW_COVERING_STOP_LEVEL_CHANGE", Set, Controlling, ANY),
+        ]
+    ),
+    cc!(
+        0x6B,
+        "COMMAND_CLASS_IRRIGATION",
+        Specialised,
+        1,
+        &[
+            cmd!(0x01, "IRRIGATION_SYSTEM_INFO_GET", Get, Controlling),
+            cmd!(0x02, "IRRIGATION_SYSTEM_INFO_REPORT", Report, Supporting, ANY, ANY, ANY, ANY),
+            cmd!(0x03, "IRRIGATION_SYSTEM_STATUS_GET", Get, Controlling),
+            cmd!(0x04, "IRRIGATION_SYSTEM_STATUS_REPORT", Report, Supporting, ANY, ANY, ANY, ANY, ANY),
+            cmd!(0x05, "IRRIGATION_SYSTEM_CONFIG_SET", Set, Controlling, ANY, ANY, ANY, ANY),
+            cmd!(0x06, "IRRIGATION_SYSTEM_CONFIG_GET", Get, Controlling),
+            cmd!(0x07, "IRRIGATION_SYSTEM_CONFIG_REPORT", Report, Supporting, ANY, ANY, ANY, ANY),
+            cmd!(0x08, "IRRIGATION_VALVE_INFO_GET", Get, Controlling, ANY, ANY),
+            cmd!(0x09, "IRRIGATION_VALVE_INFO_REPORT", Report, Supporting, ANY, ANY, ANY, ANY),
+            cmd!(0x0A, "IRRIGATION_VALVE_CONFIG_SET", Set, Controlling, ANY, ANY, ANY, ANY),
+            cmd!(0x0B, "IRRIGATION_VALVE_CONFIG_GET", Get, Controlling, ANY, ANY),
+            cmd!(0x0C, "IRRIGATION_VALVE_CONFIG_REPORT", Report, Supporting, ANY, ANY, ANY, ANY),
+            cmd!(0x0D, "IRRIGATION_VALVE_RUN", Set, Controlling, ANY, ANY, ANY),
+            cmd!(0x0E, "IRRIGATION_VALVE_TABLE_SET", Set, Controlling, ANY, ANY, ANY, ANY),
+            cmd!(0x0F, "IRRIGATION_VALVE_TABLE_GET", Get, Controlling, ANY),
+            cmd!(0x10, "IRRIGATION_VALVE_TABLE_REPORT", Report, Supporting, ANY, ANY, ANY, ANY),
+            cmd!(0x11, "IRRIGATION_VALVE_TABLE_RUN", Set, Controlling, ParamSpec::Size { max: 16 }, ANY),
+            cmd!(0x12, "IRRIGATION_SYSTEM_SHUTOFF", Set, Controlling, SECONDS),
+        ]
+    ),
+    // 2 commands: Figure 5's other "2" bar.
+    cc!(0x6C, "COMMAND_CLASS_SUPERVISION", TransportEncapsulation, 2, &[cmd!(0x01, "SUPERVISION_GET", Get, Controlling, ANY, ParamSpec::Size { max: 48 }, ANY), cmd!(0x02, "SUPERVISION_REPORT", Report, Supporting, ANY, ParamSpec::Enum(&[0x00, 0x01, 0x02, 0xFF]), SECONDS)]),
+    cc!(0x6D, "COMMAND_CLASS_HUMIDITY_CONTROL_MODE", ClimateEnergy, 2, TRIO),
+    cc!(0x6E, "COMMAND_CLASS_HUMIDITY_CONTROL_OPERATING_STATE", ClimateEnergy, 1, GET_REPORT),
+    cc!(
+        0x6F,
+        "COMMAND_CLASS_ENTRY_CONTROL",
+        SensorActuator,
+        1,
+        &[
+            cmd!(0x01, "ENTRY_CONTROL_NOTIFICATION", Report, Supporting, ANY, ANY, ANY, ANY),
+            cmd!(0x02, "ENTRY_CONTROL_KEY_SUPPORTED_GET", Get, Controlling),
+            cmd!(0x03, "ENTRY_CONTROL_KEY_SUPPORTED_REPORT", Report, Supporting, ParamSpec::Size { max: 32 }, ANY),
+            cmd!(0x04, "ENTRY_CONTROL_EVENT_SUPPORTED_GET", Get, Controlling),
+            cmd!(0x05, "ENTRY_CONTROL_EVENT_SUPPORTED_REPORT", Report, Supporting, ANY, ANY, ANY, ANY),
+            cmd!(0x06, "ENTRY_CONTROL_CONFIGURATION_SET", Set, Controlling, ANY, SECONDS),
+            cmd!(0x07, "ENTRY_CONTROL_CONFIGURATION_GET", Get, Controlling),
+            cmd!(0x08, "ENTRY_CONTROL_CONFIGURATION_REPORT", Report, Supporting, ANY, SECONDS),
+        ]
+    ),
+    cc!(
+        0x70,
+        "COMMAND_CLASS_CONFIGURATION",
+        Management,
+        4,
+        // 7 commands.
+        &[
+            cmd!(0x01, "CONFIGURATION_DEFAULT_RESET", Set, Controlling),
+            cmd!(0x04, "CONFIGURATION_SET", Set, Controlling, ANY, ParamSpec::Enum(&[0x01, 0x02, 0x04]), ANY),
+            cmd!(0x05, "CONFIGURATION_GET", Get, Controlling, ANY),
+            cmd!(0x06, "CONFIGURATION_REPORT", Report, Supporting, ANY, ANY, ANY),
+            cmd!(0x07, "CONFIGURATION_BULK_SET", Set, Controlling, ANY, ANY, ANY, ANY),
+            cmd!(0x08, "CONFIGURATION_BULK_GET", Get, Controlling, ANY, ANY, ANY),
+            cmd!(0x09, "CONFIGURATION_BULK_REPORT", Report, Supporting, ANY, ANY, ANY, ANY),
+        ]
+    ),
+    cc!(
+        0x71,
+        "COMMAND_CLASS_NOTIFICATION",
+        SensorActuator,
+        8,
+        &[
+            cmd!(0x01, "EVENT_SUPPORTED_GET", Get, Controlling, ANY),
+            cmd!(0x02, "EVENT_SUPPORTED_REPORT", Report, Supporting, ANY, ANY),
+            cmd!(0x04, "NOTIFICATION_GET", Get, Controlling, ANY, ANY, ANY),
+            cmd!(0x05, "NOTIFICATION_REPORT", Report, Supporting, ANY, ANY, ANY, ANY),
+            cmd!(0x06, "NOTIFICATION_SET", Set, Controlling, ANY, BOOL),
+            cmd!(0x07, "NOTIFICATION_SUPPORTED_GET", Get, Controlling),
+            cmd!(0x08, "NOTIFICATION_SUPPORTED_REPORT", Report, Supporting, ANY, ANY),
+        ]
+    ),
+    cc!(
+        0x72,
+        "COMMAND_CLASS_MANUFACTURER_SPECIFIC",
+        Management,
+        2,
+        &[
+            cmd!(0x04, "MANUFACTURER_SPECIFIC_GET", Get, Controlling),
+            cmd!(0x05, "MANUFACTURER_SPECIFIC_REPORT", Report, Supporting, ANY, ANY, ANY, ANY, ANY, ANY),
+            cmd!(0x06, "DEVICE_SPECIFIC_GET", Get, Controlling, ANY),
+            cmd!(0x07, "DEVICE_SPECIFIC_REPORT", Report, Supporting, ANY, ANY, ANY),
+        ]
+    ),
+    cc!(
+        0x73,
+        "COMMAND_CLASS_POWERLEVEL",
+        Network,
+        1,
+        // 4 commands: Figure 5's "4" bar. Bug #13 lives at 0x73/0x04.
+        &[
+            cmd!(0x01, "POWERLEVEL_SET", Set, Controlling, ParamSpec::Byte { min: 0, max: 9 }, SECONDS),
+            cmd!(0x02, "POWERLEVEL_GET", Get, Controlling),
+            cmd!(0x03, "POWERLEVEL_REPORT", Report, Supporting, ParamSpec::Byte { min: 0, max: 9 }, SECONDS),
+            cmd!(0x04, "POWERLEVEL_TEST_NODE_SET", Set, Controlling, NODE, ParamSpec::Byte { min: 0, max: 9 }, ANY, ANY),
+        ]
+    ),
+    cc!(
+        0x74,
+        "COMMAND_CLASS_INCLUSION_CONTROLLER",
+        Network,
+        1,
+        &[
+            cmd!(0x01, "INCLUSION_CONTROLLER_INITIATE", Set, Controlling, NODE, ParamSpec::Enum(&[0x01, 0x02, 0x03])),
+            cmd!(0x02, "INCLUSION_CONTROLLER_COMPLETE", Report, Supporting, ParamSpec::Enum(&[0x01, 0x02, 0x03]), ANY),
+        ]
+    ),
+    cc!(
+        0x75,
+        "COMMAND_CLASS_PROTECTION",
+        SensorActuator,
+        2,
+        &[
+            cmd!(0x01, "PROTECTION_SET", Set, Controlling, ParamSpec::Enum(&[0x00, 0x01, 0x02]), ANY),
+            cmd!(0x02, "PROTECTION_GET", Get, Controlling),
+            cmd!(0x03, "PROTECTION_REPORT", Report, Supporting, ANY, ANY),
+            cmd!(0x04, "PROTECTION_SUPPORTED_GET", Get, Controlling),
+            cmd!(0x05, "PROTECTION_SUPPORTED_REPORT", Report, Supporting, ANY, ANY, ANY, ANY),
+        ]
+    ),
+    cc!(0x76, "COMMAND_CLASS_LOCK", SensorActuator, 1, TRIO),
+    cc!(
+        0x77,
+        "COMMAND_CLASS_NODE_NAMING",
+        Management,
+        1,
+        &[
+            cmd!(0x01, "NODE_NAMING_NODE_NAME_SET", Set, Controlling, ANY, ParamSpec::Size { max: 16 }),
+            cmd!(0x02, "NODE_NAMING_NODE_NAME_GET", Get, Controlling),
+            cmd!(0x03, "NODE_NAMING_NODE_NAME_REPORT", Report, Supporting, ANY, ANY),
+            cmd!(0x04, "NODE_NAMING_NODE_LOCATION_SET", Set, Controlling, ANY, ParamSpec::Size { max: 16 }),
+            cmd!(0x05, "NODE_NAMING_NODE_LOCATION_GET", Get, Controlling),
+            cmd!(0x06, "NODE_NAMING_NODE_LOCATION_REPORT", Report, Supporting, ANY, ANY),
+        ]
+    ),
+    cc!(
+        0x78,
+        "COMMAND_CLASS_NODE_PROVISIONING",
+        Network,
+        1,
+        &[
+            cmd!(0x01, "NODE_PROVISIONING_SET", Set, Controlling, ANY, ParamSpec::Size { max: 16 }, ANY),
+            cmd!(0x02, "NODE_PROVISIONING_DELETE", Set, Controlling, ANY, ParamSpec::Size { max: 16 }, ANY),
+            cmd!(0x03, "NODE_PROVISIONING_LIST_ITERATION_GET", Get, Controlling, ANY, ANY),
+            cmd!(0x04, "NODE_PROVISIONING_LIST_ITERATION_REPORT", Report, Supporting, ANY, ANY, ANY),
+            cmd!(0x05, "NODE_PROVISIONING_GET", Get, Controlling, ANY, ParamSpec::Size { max: 16 }),
+            cmd!(0x06, "NODE_PROVISIONING_REPORT", Report, Supporting, ANY, ANY, ANY),
+        ]
+    ),
+    cc!(
+        0x79,
+        "COMMAND_CLASS_SOUND_SWITCH",
+        SensorActuator,
+        2,
+        &[
+            cmd!(0x01, "SOUND_SWITCH_TONES_NUMBER_GET", Get, Controlling),
+            cmd!(0x02, "SOUND_SWITCH_TONES_NUMBER_REPORT", Report, Supporting, ANY),
+            cmd!(0x03, "SOUND_SWITCH_TONE_INFO_GET", Get, Controlling, ANY),
+            cmd!(0x04, "SOUND_SWITCH_TONE_INFO_REPORT", Report, Supporting, ANY, ANY, ANY, ANY),
+            cmd!(0x05, "SOUND_SWITCH_CONFIGURATION_SET", Set, Controlling, LEVEL, ANY),
+            cmd!(0x06, "SOUND_SWITCH_CONFIGURATION_GET", Get, Controlling),
+            cmd!(0x07, "SOUND_SWITCH_CONFIGURATION_REPORT", Report, Supporting, LEVEL, ANY),
+            cmd!(0x08, "SOUND_SWITCH_TONE_PLAY_SET", Set, Controlling, ANY, LEVEL),
+            cmd!(0x09, "SOUND_SWITCH_TONE_PLAY_GET", Get, Controlling),
+            cmd!(0x0A, "SOUND_SWITCH_TONE_PLAY_REPORT", Report, Supporting, ANY, LEVEL),
+        ]
+    ),
+    cc!(
+        0x7A,
+        "COMMAND_CLASS_FIRMWARE_UPDATE_MD",
+        Management,
+        5,
+        // Bugs #09 (0x01) and #15 (0x03) live at these coordinates.
+        &[
+            cmd!(0x01, "FIRMWARE_MD_GET", Get, Controlling),
+            cmd!(0x02, "FIRMWARE_MD_REPORT", Report, Supporting, ANY, ANY, ANY, ANY, ANY, ANY),
+            cmd!(0x03, "FIRMWARE_UPDATE_MD_REQUEST_GET", Get, Controlling, ANY, ANY, ANY, ANY, ANY),
+            cmd!(0x04, "FIRMWARE_UPDATE_MD_REQUEST_REPORT", Report, Supporting, ParamSpec::Enum(&[0x00, 0xFF])),
+            cmd!(0x05, "FIRMWARE_UPDATE_MD_GET", Get, Controlling, ANY, ANY),
+            cmd!(0x06, "FIRMWARE_UPDATE_MD_REPORT", Report, Supporting, ANY, ANY, ANY),
+            cmd!(0x07, "FIRMWARE_UPDATE_MD_STATUS_REPORT", Report, Supporting, ParamSpec::Enum(&[0x00, 0x01, 0x02, 0xFF]), ANY),
+            cmd!(0x08, "FIRMWARE_UPDATE_ACTIVATION_SET", Set, Controlling, ANY, ANY, ANY, ANY),
+        ]
+    ),
+    cc!(0x7B, "COMMAND_CLASS_GROUPING_NAME", Management, 1, &[cmd!(0x01, "GROUPING_NAME_SET", Set, Controlling, ANY, ParamSpec::Size { max: 16 }), cmd!(0x02, "GROUPING_NAME_GET", Get, Controlling, ANY), cmd!(0x03, "GROUPING_NAME_REPORT", Report, Supporting, ANY, ANY)]),
+    cc!(0x7C, "COMMAND_CLASS_REMOTE_ASSOCIATION_ACTIVATE", SensorActuator, 1, &[cmd!(0x01, "REMOTE_ASSOCIATION_ACTIVATE", Set, Controlling, ANY)]),
+    cc!(0x7D, "COMMAND_CLASS_REMOTE_ASSOCIATION", SensorActuator, 1, TRIO),
+    cc!(0x7E, "COMMAND_CLASS_ANTITHEFT_UNLOCK", Specialised, 1, GET_REPORT),
+    cc!(
+        0x80,
+        "COMMAND_CLASS_BATTERY",
+        SensorActuator,
+        3,
+        &[
+            cmd!(0x02, "BATTERY_GET", Get, Controlling),
+            cmd!(0x03, "BATTERY_REPORT", Report, Supporting, ANY, ANY, ANY),
+            cmd!(0x04, "BATTERY_HEALTH_GET", Get, Controlling),
+            cmd!(0x05, "BATTERY_HEALTH_REPORT", Report, Supporting, ANY, ANY),
+        ]
+    ),
+    cc!(
+        0x81,
+        "COMMAND_CLASS_CLOCK",
+        Specialised,
+        1,
+        &[
+            cmd!(0x04, "CLOCK_SET", Set, Controlling, ANY, ParamSpec::Byte { min: 0, max: 59 }),
+            cmd!(0x05, "CLOCK_GET", Get, Controlling),
+            cmd!(0x06, "CLOCK_REPORT", Report, Supporting, ANY, ParamSpec::Byte { min: 0, max: 59 }),
+        ]
+    ),
+    cc!(0x82, "COMMAND_CLASS_HAIL", SensorActuator, 1, &[cmd!(0x01, "HAIL", Other, Supporting)]),
+    cc!(
+        0x84,
+        "COMMAND_CLASS_WAKE_UP",
+        Management,
+        3,
+        // 6 commands: Figure 5's second "6" bar. Bug #12 removes the
+        // interval this class maintains.
+        &[
+            cmd!(0x04, "WAKE_UP_INTERVAL_SET", Set, Controlling, ANY, ANY, ANY, NODE),
+            cmd!(0x05, "WAKE_UP_INTERVAL_GET", Get, Controlling),
+            cmd!(0x06, "WAKE_UP_INTERVAL_REPORT", Report, Supporting, ANY, ANY, ANY, NODE),
+            cmd!(0x07, "WAKE_UP_NOTIFICATION", Report, Supporting),
+            cmd!(0x08, "WAKE_UP_NO_MORE_INFORMATION", Set, Controlling),
+            cmd!(0x09, "WAKE_UP_INTERVAL_CAPABILITIES_GET", Get, Controlling),
+        ]
+    ),
+    cc!(
+        0x85,
+        "COMMAND_CLASS_ASSOCIATION",
+        Management,
+        3,
+        // 7 commands: Figure 5's "7" bar.
+        &[
+            cmd!(0x01, "ASSOCIATION_SET", Set, Controlling, ParamSpec::Byte { min: 1, max: 255 }, NODE),
+            cmd!(0x02, "ASSOCIATION_GET", Get, Controlling, ParamSpec::Byte { min: 1, max: 255 }),
+            cmd!(0x03, "ASSOCIATION_REPORT", Report, Supporting, ANY, ANY, ANY, NODE),
+            cmd!(0x04, "ASSOCIATION_REMOVE", Set, Controlling, ANY, NODE),
+            cmd!(0x05, "ASSOCIATION_GROUPINGS_GET", Get, Controlling),
+            cmd!(0x06, "ASSOCIATION_GROUPINGS_REPORT", Report, Supporting, ANY),
+            cmd!(0x0B, "ASSOCIATION_SPECIFIC_GROUP_GET", Get, Controlling),
+        ]
+    ),
+    cc!(
+        0x86,
+        "COMMAND_CLASS_VERSION",
+        Management,
+        3,
+        // 8 commands: Figure 5's "8" bar. Bug #10 lives at 0x86/0x13.
+        &[
+            cmd!(0x11, "VERSION_GET", Get, Controlling),
+            cmd!(0x12, "VERSION_REPORT", Report, Supporting, ANY, ANY, ANY, ANY, ANY),
+            cmd!(0x13, "VERSION_COMMAND_CLASS_GET", Get, Controlling, ANY),
+            cmd!(0x14, "VERSION_COMMAND_CLASS_REPORT", Report, Supporting, ANY, ANY),
+            cmd!(0x15, "VERSION_CAPABILITIES_GET", Get, Controlling),
+            cmd!(0x16, "VERSION_CAPABILITIES_REPORT", Report, Supporting, ANY),
+            cmd!(0x17, "VERSION_ZWAVE_SOFTWARE_GET", Get, Controlling),
+            cmd!(0x18, "VERSION_ZWAVE_SOFTWARE_REPORT", Report, Supporting, ANY, ANY, ANY, ANY, ANY, ANY),
+        ]
+    ),
+    cc!(
+        0x87,
+        "COMMAND_CLASS_INDICATOR",
+        SensorActuator,
+        3,
+        &[
+            cmd!(0x01, "INDICATOR_SET", Set, Controlling, ANY, ANY, ANY, ANY),
+            cmd!(0x02, "INDICATOR_GET", Get, Controlling, ANY),
+            cmd!(0x03, "INDICATOR_REPORT", Report, Supporting, ANY, ANY, ANY, ANY),
+            cmd!(0x04, "INDICATOR_SUPPORTED_GET", Get, Controlling, ANY),
+            cmd!(0x05, "INDICATOR_SUPPORTED_REPORT", Report, Supporting, ANY, ANY, ANY),
+        ]
+    ),
+    cc!(0x88, "COMMAND_CLASS_PROPRIETARY", Specialised, 1, TRIO),
+    cc!(0x89, "COMMAND_CLASS_LANGUAGE", Specialised, 1, TRIO),
+    cc!(
+        0x8A,
+        "COMMAND_CLASS_TIME",
+        Specialised,
+        2,
+        &[
+            cmd!(0x01, "TIME_GET", Get, Controlling),
+            cmd!(0x02, "TIME_REPORT", Report, Supporting, ANY, ParamSpec::Byte { min: 0, max: 59 }, ParamSpec::Byte { min: 0, max: 59 }),
+            cmd!(0x03, "DATE_GET", Get, Controlling),
+            cmd!(0x04, "DATE_REPORT", Report, Supporting, ANY, ANY, ParamSpec::Byte { min: 1, max: 12 }, ParamSpec::Byte { min: 1, max: 31 }),
+            cmd!(0x05, "TIME_OFFSET_SET", Set, Controlling, ANY, ANY, ANY, ANY),
+            cmd!(0x06, "TIME_OFFSET_GET", Get, Controlling),
+            cmd!(0x07, "TIME_OFFSET_REPORT", Report, Supporting, ANY, ANY, ANY, ANY),
+        ]
+    ),
+    cc!(0x8B, "COMMAND_CLASS_TIME_PARAMETERS", Specialised, 1, TRIO),
+    cc!(0x8C, "COMMAND_CLASS_GEOGRAPHIC_LOCATION", Specialised, 1, TRIO),
+    cc!(
+        0x8E,
+        "COMMAND_CLASS_MULTI_CHANNEL_ASSOCIATION",
+        Management,
+        4,
+        &[
+            cmd!(0x01, "MULTI_CHANNEL_ASSOCIATION_SET", Set, Controlling, ParamSpec::Byte { min: 1, max: 255 }, NODE, ANY),
+            cmd!(0x02, "MULTI_CHANNEL_ASSOCIATION_GET", Get, Controlling, ParamSpec::Byte { min: 1, max: 255 }),
+            cmd!(0x03, "MULTI_CHANNEL_ASSOCIATION_REPORT", Report, Supporting, ANY, ANY, ANY, ANY),
+            cmd!(0x04, "MULTI_CHANNEL_ASSOCIATION_REMOVE", Set, Controlling, ANY, NODE, ANY),
+            cmd!(0x05, "MULTI_CHANNEL_ASSOCIATION_GROUPINGS_GET", Get, Controlling),
+            cmd!(0x06, "MULTI_CHANNEL_ASSOCIATION_GROUPINGS_REPORT", Report, Supporting, ANY),
+        ]
+    ),
+    cc!(0x8F, "COMMAND_CLASS_MULTI_CMD", TransportEncapsulation, 1, &[cmd!(0x01, "MULTI_CMD_ENCAP", Other, Controlling, ParamSpec::Size { max: 8 }, ANY, ANY, ANY)]),
+    cc!(0x90, "COMMAND_CLASS_ENERGY_PRODUCTION", ClimateEnergy, 1, GET_REPORT),
+    cc!(0x91, "COMMAND_CLASS_MANUFACTURER_PROPRIETARY", Management, 1, &[cmd!(0x00, "MANUFACTURER_PROPRIETARY_CMD", Other, Controlling, ANY, ANY, ANY, ANY)]),
+    cc!(0x92, "COMMAND_CLASS_SCREEN_MD", DisplayAv, 2, GET_REPORT),
+    cc!(0x93, "COMMAND_CLASS_SCREEN_ATTRIBUTES", DisplayAv, 1, GET_REPORT),
+    cc!(0x94, "COMMAND_CLASS_SIMPLE_AV_CONTROL", DisplayAv, 4, TRIO),
+    cc!(0x95, "COMMAND_CLASS_AV_CONTENT_DIRECTORY_MD", DisplayAv, 1, GET_REPORT),
+    cc!(0x96, "COMMAND_CLASS_AV_RENDERER_STATUS", DisplayAv, 1, GET_REPORT),
+    cc!(0x97, "COMMAND_CLASS_AV_CONTENT_SEARCH_MD", DisplayAv, 1, GET_REPORT),
+    cc!(
+        0x98,
+        "COMMAND_CLASS_SECURITY",
+        TransportEncapsulation,
+        1,
+        // Security 0: AES-128 with the fixed-temp-key weakness of [7].
+        &[
+            cmd!(0x02, "SECURITY_COMMANDS_SUPPORTED_GET", Get, Controlling),
+            cmd!(0x03, "SECURITY_COMMANDS_SUPPORTED_REPORT", Report, Supporting, ANY, ANY),
+            cmd!(0x04, "SECURITY_SCHEME_GET", Get, Controlling, ANY),
+            cmd!(0x05, "SECURITY_SCHEME_REPORT", Report, Supporting, ANY),
+            cmd!(0x06, "NETWORK_KEY_SET", Set, Controlling, ANY, ANY, ANY, ANY),
+            cmd!(0x07, "NETWORK_KEY_VERIFY", Other, Supporting),
+            cmd!(0x08, "SECURITY_SCHEME_INHERIT", Set, Controlling, ANY),
+            cmd!(0x40, "SECURITY_NONCE_GET", Get, Controlling),
+            cmd!(0x80, "SECURITY_NONCE_REPORT", Report, Supporting, ANY, ANY, ANY, ANY, ANY, ANY),
+            cmd!(0x81, "SECURITY_MESSAGE_ENCAPSULATION", Other, Controlling, ANY, ANY, ANY, ANY),
+            cmd!(0xC1, "SECURITY_MESSAGE_ENCAPSULATION_NONCE_GET", Other, Controlling, ANY, ANY, ANY, ANY),
+        ]
+    ),
+    cc!(0x9A, "COMMAND_CLASS_IP_CONFIGURATION", Specialised, 1, TRIO),
+    cc!(
+        0x9B,
+        "COMMAND_CLASS_ASSOCIATION_COMMAND_CONFIGURATION",
+        Management,
+        1,
+        &[
+            cmd!(0x01, "COMMAND_RECORDS_SUPPORTED_GET", Get, Controlling),
+            cmd!(0x02, "COMMAND_RECORDS_SUPPORTED_REPORT", Report, Supporting, ANY, ANY, ANY),
+            cmd!(0x03, "COMMAND_CONFIGURATION_SET", Set, Controlling, ANY, NODE, ANY, ANY),
+            cmd!(0x04, "COMMAND_CONFIGURATION_GET", Get, Controlling, ANY, NODE),
+            cmd!(0x05, "COMMAND_CONFIGURATION_REPORT", Report, Supporting, ANY, NODE, ANY, ANY),
+        ]
+    ),
+    cc!(
+        0x9C,
+        "COMMAND_CLASS_SENSOR_ALARM",
+        SensorActuator,
+        1,
+        &[
+            cmd!(0x01, "SENSOR_ALARM_GET", Get, Controlling, ANY),
+            cmd!(0x02, "SENSOR_ALARM_REPORT", Report, Supporting, NODE, ANY, ANY, ANY, ANY),
+            cmd!(0x03, "SENSOR_ALARM_SUPPORTED_GET", Get, Controlling),
+            cmd!(0x04, "SENSOR_ALARM_SUPPORTED_REPORT", Report, Supporting, ParamSpec::Size { max: 32 }, ANY),
+        ]
+    ),
+    cc!(0x9D, "COMMAND_CLASS_SILENCE_ALARM", SensorActuator, 1, &[cmd!(0x01, "SENSOR_ALARM_SET", Set, Controlling, ANY, ANY, SECONDS, ANY)]),
+    cc!(
+        0x9F,
+        "COMMAND_CLASS_SECURITY_2",
+        TransportEncapsulation,
+        1,
+        // 15 commands: Figure 5's "15" bar. Bug #06 lives at 0x9F/0x01.
+        &[
+            cmd!(0x01, "SECURITY_2_NONCE_GET", Get, Controlling, ANY),
+            cmd!(0x02, "SECURITY_2_NONCE_REPORT", Report, Supporting, ANY, ANY, ANY, ANY),
+            cmd!(0x03, "SECURITY_2_MESSAGE_ENCAPSULATION", Other, Controlling, ANY, ANY, ANY, ANY),
+            cmd!(0x04, "KEX_GET", Get, Controlling),
+            cmd!(0x05, "KEX_REPORT", Report, Supporting, ANY, ANY, ANY, ANY),
+            cmd!(0x06, "KEX_SET", Set, Controlling, ANY, ANY, ANY, ANY),
+            cmd!(0x07, "KEX_FAIL", Other, Supporting, ParamSpec::Enum(&[0x01, 0x02, 0x03, 0x05, 0x06, 0x07, 0x08, 0x09, 0x0A])),
+            cmd!(0x08, "PUBLIC_KEY_REPORT", Report, Supporting, ANY, ANY, ANY, ANY),
+            cmd!(0x09, "SECURITY_2_NETWORK_KEY_GET", Get, Controlling, ANY),
+            cmd!(0x0A, "SECURITY_2_NETWORK_KEY_REPORT", Report, Supporting, ANY, ANY, ANY, ANY),
+            cmd!(0x0B, "SECURITY_2_NETWORK_KEY_VERIFY", Other, Controlling),
+            cmd!(0x0C, "SECURITY_2_TRANSFER_END", Other, Controlling, ANY),
+            cmd!(0x0D, "SECURITY_2_CAPABILITIES_GET", Get, Controlling),
+            cmd!(0x0E, "SECURITY_2_CAPABILITIES_REPORT", Report, Supporting, ANY, ANY),
+            cmd!(0x0F, "SECURITY_2_COMMANDS_SUPPORTED_GET", Get, Controlling),
+        ]
+    ),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure5_selected_distribution_matches_paper() {
+        // The 16 bars of Figure 5: 23, 15, 11, 10, 8, 7, 6, 6, 5, 4, 3, 2,
+        // 2, 1, 1, 0.
+        let selection: [(u8, usize); 16] = [
+            (0x34, 23),
+            (0x9F, 15),
+            (0x67, 11),
+            (0x4D, 10),
+            (0x86, 8),
+            (0x85, 7),
+            (0x59, 6),
+            (0x84, 6),
+            (0x55, 5),
+            (0x73, 4),
+            (0x20, 3),
+            (0x6C, 2),
+            (0x5E, 2),
+            (0x56, 1),
+            (0x5A, 1),
+            (0x00, 0),
+        ];
+        for (id, expected) in selection {
+            let spec = PUBLIC_COMMAND_CLASSES
+                .iter()
+                .find(|c| c.id.0 == id)
+                .unwrap_or_else(|| panic!("missing class {id:#04X}"));
+            assert_eq!(spec.command_count(), expected, "class {id:#04X} ({})", spec.name);
+        }
+    }
+
+    #[test]
+    fn exactly_122_public_classes() {
+        assert_eq!(PUBLIC_COMMAND_CLASSES.len(), 122);
+    }
+}

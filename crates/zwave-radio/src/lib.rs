@@ -1,0 +1,41 @@
+//! A simulated sub-GHz radio medium for the ZCover reproduction.
+//!
+//! This crate replaces the paper's physical layer — 868/908 MHz RF and the
+//! YARD Stick One transceiver dongle — with a deterministic broadcast
+//! medium on a virtual clock: every attached [`Transceiver`] hears every
+//! transmission (subject to the configured [`NoiseModel`]), frames consume
+//! realistic airtime, and a [`Sniffer`] captures traffic promiscuously the
+//! way ZCover's passive scanner does.
+//!
+//! # Example
+//!
+//! ```
+//! use zwave_radio::clock::SimClock;
+//! use zwave_radio::medium::Medium;
+//! use zwave_radio::sniffer::Sniffer;
+//!
+//! let medium = Medium::new(SimClock::new(), 0);
+//! let hub = medium.attach(0.0);
+//! let lock = medium.attach(8.0);
+//! let mut attacker = Sniffer::attach(&medium, 70.0);
+//!
+//! hub.transmit(&[0xCB, 0x95, 0xA3, 0x4A, 0x01]);
+//! assert_eq!(lock.try_recv().unwrap().bytes[0], 0xCB);
+//! attacker.poll();
+//! assert_eq!(attacker.captures().len(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod clock;
+pub mod medium;
+pub mod noise;
+pub mod region;
+pub mod sniffer;
+
+pub use clock::{SimClock, SimInstant};
+pub use medium::{Medium, MediumStats, RxFrame, Transceiver};
+pub use noise::NoiseModel;
+pub use region::Region;
+pub use sniffer::Sniffer;

