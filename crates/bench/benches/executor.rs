@@ -1,0 +1,35 @@
+//! Criterion benchmark for the parallel campaign executor: the same
+//! 8-trial campaign at increasing worker counts. The merged summary is
+//! bit-identical at every worker count (see the determinism tests in
+//! `crates/core`), so the only thing that changes here is wall-clock time
+//! — 4+ workers should run the campaign at least 2x faster than one.
+
+use std::time::Duration;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use zcover::{CampaignExecutor, FuzzConfig};
+use zwave_controller::testbed::{DeviceModel, Testbed};
+
+const TRIALS: u64 = 8;
+const CAMPAIGN_SEED: u64 = 2025;
+
+fn bench_executor(c: &mut Criterion) {
+    let mut group = c.benchmark_group("executor");
+    group.sample_size(10);
+    let config = FuzzConfig::full(Duration::from_secs(600), CAMPAIGN_SEED);
+    for workers in [1usize, 2, 4, 8] {
+        group.bench_function(&format!("8_trials_{workers}_workers"), |b| {
+            b.iter(|| {
+                let summary = CampaignExecutor::new(workers)
+                    .run(TRIALS, CAMPAIGN_SEED, |seed| Testbed::new(DeviceModel::D1, seed), &config)
+                    .expect("fingerprinting succeeds on the simulated testbed");
+                black_box(summary.union_bug_ids.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(executor, bench_executor);
+criterion_main!(executor);

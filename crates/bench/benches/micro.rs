@@ -13,8 +13,12 @@ use zwave_protocol::dissect::Dissection;
 use zwave_protocol::{CommandClassId, HomeId, MacFrame, NodeId};
 
 fn bench_protocol(c: &mut Criterion) {
-    let frame =
-        MacFrame::singlecast(HomeId(0xCB95A34A), NodeId(0x0F), NodeId(0x01), vec![0x20, 0x01, 0xFF]);
+    let frame = MacFrame::singlecast(
+        HomeId(0xCB95A34A),
+        NodeId(0x0F),
+        NodeId(0x01),
+        vec![0x20, 0x01, 0xFF],
+    );
     let wire = frame.encode();
     let mut group = c.benchmark_group("protocol");
     group.bench_function("frame_encode", |b| b.iter(|| frame.encode()));
@@ -37,9 +41,8 @@ fn bench_crypto(c: &mut Criterion) {
     group.bench_function("s0_encapsulate", |b| {
         b.iter(|| s0::encapsulate(&keys, 1, 2, &[1u8; 8], &[2u8; 8], &[0x62, 0x01, 0xFF]))
     });
-    group.bench_function("x25519_scalar_mult", |b| {
-        b.iter(|| curve25519::public_key(&[0x77u8; 32]))
-    });
+    group
+        .bench_function("x25519_scalar_mult", |b| b.iter(|| curve25519::public_key(&[0x77u8; 32])));
     group.finish();
 }
 
@@ -135,10 +138,6 @@ mod extension_benches {
     }
 }
 
-criterion_group!(
-    extensions,
-    extension_benches::bench_inclusion,
-    extension_benches::bench_ids
-);
+criterion_group!(extensions, extension_benches::bench_inclusion, extension_benches::bench_ids);
 
 criterion_main!(micro, extensions);

@@ -1,10 +1,14 @@
 //! Regenerates Figure 12: packets-over-time with discovery marks for the
 //! initial fuzzing phase on D1, D3, D4 and D5, plus the Section IV-B2
-//! early-discovery summary.
+//! early-discovery summary. `--trials N` averages the summary over N
+//! seeds per device and `--workers N` parallelises them.
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let (series, text) = zcover_bench::experiments::figure12(800.0, 12);
+    let seed = zcover_bench::u64_flag(&args, "--seed", 12);
+    let trials = zcover_bench::u64_flag(&args, "--trials", 1);
+    let workers = zcover_bench::u64_flag(&args, "--workers", 1) as usize;
+    let (series, text) = zcover_bench::experiments::figure12(800.0, seed, trials, workers);
     println!("{text}");
     println!("{}", zcover_bench::experiments::performance_summary(&series));
 

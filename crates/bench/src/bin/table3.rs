@@ -1,23 +1,22 @@
 //! Regenerates Table III: runs a full ZCover campaign against every
 //! controller (D1-D7) and reports the zero-day findings next to the
-//! paper's rows. Use `--paper` for 24-hour budgets and `--trials N` for
-//! multiple seeds per device (the paper ran five).
+//! paper's rows. Use `--paper` for 24-hour budgets, `--trials N` for
+//! multiple seeds per device (the paper ran five) and `--workers N` to
+//! spread the trials over a thread pool (results are identical for any
+//! worker count).
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let budget = zcover_bench::budget_from_args(&args);
-    let trials = args
-        .iter()
-        .position(|a| a == "--trials")
-        .and_then(|i| args.get(i + 1))
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(1u64);
+    let trials = zcover_bench::u64_flag(&args, "--trials", 1);
+    let workers = zcover_bench::u64_flag(&args, "--workers", 1) as usize;
     eprintln!(
-        "running {} trial(s) x {:.0}h virtual per device on D1-D7 ...",
+        "running {} trial(s) x {:.0}h virtual per device on D1-D7 across {} worker(s) ...",
         trials,
-        budget.as_secs_f64() / 3600.0
+        budget.as_secs_f64() / 3600.0,
+        workers
     );
-    let (result, text) = zcover_bench::experiments::table3(budget, trials);
+    let (result, text) = zcover_bench::experiments::table3(budget, trials, workers);
     println!("{text}");
     println!(
         "summary: {} unique zero-days across the testbed (paper: 15, of which 12 CVEs)",

@@ -1,19 +1,18 @@
 //! Regenerates Table VI: the ablation study (full / β known-only /
-//! γ random) for one virtual hour on the ZooZ D1. Pass `--seed N` to vary
-//! the trial.
+//! γ random) for one virtual hour on the ZooZ D1, averaged over
+//! independently-seeded trials. Pass `--seed N` to vary the campaign
+//! seed, `--trials N` for the number of trials per configuration and
+//! `--workers N` to parallelise them.
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let seed = args
-        .iter()
-        .position(|a| a == "--seed")
-        .and_then(|i| args.get(i + 1))
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(6u64);
-    let (_results, text) = zcover_bench::experiments::table6(seed);
+    let seed = zcover_bench::u64_flag(&args, "--seed", 6);
+    let trials = zcover_bench::u64_flag(&args, "--trials", 3);
+    let workers = zcover_bench::u64_flag(&args, "--workers", 1) as usize;
+    let (_results, text) = zcover_bench::experiments::table6(seed, trials, workers);
     println!("{text}");
     if args.iter().any(|a| a == "--extended") {
-        let (_results, text) = zcover_bench::experiments::table6_extended(seed);
+        let (_results, text) = zcover_bench::experiments::table6_extended(seed, trials, workers);
         println!("{text}");
     }
 }

@@ -5,7 +5,7 @@
 use std::collections::BTreeMap;
 use std::time::Duration;
 
-use zcover::{CampaignResult, FuzzConfig, ZCover, ZCoverReport};
+use zcover::{CampaignExecutor, FuzzConfig, TrialSummary, ZCover, ZCoverReport};
 use zwave_controller::testbed::{DeviceModel, Testbed};
 use zwave_radio::SimInstant;
 
@@ -69,7 +69,10 @@ pub fn table2() -> String {
     }
     format!(
         "Table II — tested device details\n{}",
-        render::table(&["IDX", "Brand", "Type", "Model (year)", "Encryption", "Simulated instance"], &rows)
+        render::table(
+            &["IDX", "Brand", "Type", "Model (year)", "Encryption", "Simulated instance"],
+            &rows
+        )
     )
 }
 
@@ -87,25 +90,23 @@ pub struct Table3Result {
 }
 
 /// Runs ZCover against every controller and aggregates the Table III rows.
-/// `fuzz` is the per-device campaign budget; `trials` seeds per device.
-pub fn table3(fuzz: Duration, trials: u64) -> (Table3Result, String) {
+/// `fuzz` is the per-device campaign budget; each device runs `trials`
+/// independently-seeded campaigns through the deterministic executor
+/// across `workers` threads (the result is identical for any worker
+/// count).
+pub fn table3(fuzz: Duration, trials: u64, workers: usize) -> (Table3Result, String) {
     let mut affected: BTreeMap<u8, Vec<&'static str>> = BTreeMap::new();
     let mut durations: BTreeMap<u8, String> = BTreeMap::new();
-    for model in DeviceModel::all() {
-        let mut device_bugs: Vec<u8> = Vec::new();
-        for trial in 0..trials {
-            let (report, _tb) = run_zcover(model, fuzz, 1000 + trial);
-            for finding in &report.campaign.findings {
-                if finding.bug_id <= 15 {
-                    device_bugs.push(finding.bug_id);
-                    durations.entry(finding.bug_id).or_insert_with(|| finding.duration_label());
-                }
+    let config = FuzzConfig::full(fuzz, 0);
+    for (device, model) in DeviceModel::all().into_iter().enumerate() {
+        let summary = CampaignExecutor::new(workers)
+            .run(trials, 1000 + device as u64, |seed| Testbed::new(model, seed), &config)
+            .expect("fingerprinting succeeds on the simulated testbed");
+        for finding in &summary.unique_findings {
+            if finding.bug_id <= 15 {
+                affected.entry(finding.bug_id).or_default().push(model.idx());
+                durations.entry(finding.bug_id).or_insert_with(|| finding.duration_label());
             }
-        }
-        device_bugs.sort_unstable();
-        device_bugs.dedup();
-        for bug in device_bugs {
-            affected.entry(bug).or_default().push(model.idx());
         }
     }
     let total_unique = affected.len();
@@ -114,13 +115,7 @@ pub fn table3(fuzz: Duration, trials: u64) -> (Table3Result, String) {
     for paper in paperdata::TABLE3 {
         let found = affected.get(&paper.id);
         let measured_affected = found
-            .map(|d| {
-                if d.len() == 7 {
-                    "D1 - D7".to_string()
-                } else {
-                    d.join(", ")
-                }
-            })
+            .map(|d| if d.len() == 7 { "D1 - D7".to_string() } else { d.join(", ") })
             .unwrap_or_else(|| "NOT FOUND".to_string());
         let measured_duration =
             durations.get(&paper.id).cloned().unwrap_or_else(|| "-".to_string());
@@ -139,7 +134,16 @@ pub fn table3(fuzz: Duration, trials: u64) -> (Table3Result, String) {
         "Table III — zero-day vulnerability discovery ({} unique bugs found; paper: 15)\n{}",
         total_unique,
         render::table(
-            &["Bug", "CMDCL", "CMD", "Description", "Duration (paper/ours)", "Root cause", "Confirmed", "Affected (paper/ours)"],
+            &[
+                "Bug",
+                "CMDCL",
+                "CMD",
+                "Description",
+                "Duration (paper/ours)",
+                "Root cause",
+                "Confirmed",
+                "Affected (paper/ours)"
+            ],
             &rows
         )
     );
@@ -148,18 +152,21 @@ pub fn table3(fuzz: Duration, trials: u64) -> (Table3Result, String) {
 
 // ───────────────────────── Table IV ─────────────────────────
 
+/// One Table IV row: device idx, home id, controller node, known CMDCL
+/// count, unknown CMDCL count.
+pub type Table4Row = (String, String, String, usize, usize);
+
 /// Runs fingerprinting + discovery (no fuzzing) on every controller.
-pub fn table4() -> (Vec<(String, String, String, usize, usize)>, String) {
+pub fn table4() -> (Vec<Table4Row>, String) {
     let mut results = Vec::new();
     for model in DeviceModel::all() {
         let mut tb = Testbed::new(model, 77);
         let mut zcover = ZCover::attach(&tb, 70.0);
         let scan = zcover.fingerprint(&mut tb).expect("traffic present");
-        let active = zcover::ActiveScanner::scan(&mut tb, zcover.dongle_mut(), &scan)
-            .expect("NIF answered");
+        let active =
+            zcover::ActiveScanner::scan(&mut tb, zcover.dongle_mut(), &scan).expect("NIF answered");
         let listed = active.listed.clone();
-        let discovery =
-            zcover::UnknownDiscovery::run(&mut tb, zcover.dongle_mut(), &scan, listed);
+        let discovery = zcover::UnknownDiscovery::run(&mut tb, zcover.dongle_mut(), &scan, listed);
         results.push((
             model.idx().to_string(),
             scan.home_id.to_string(),
@@ -190,8 +197,12 @@ pub fn table4() -> (Vec<(String, String, String, usize, usize)>, String) {
 
 // ───────────────────────── Table V ─────────────────────────
 
+/// One Table V row: device idx, then CMDCL coverage / CMD coverage /
+/// unique vulns for VFuzz and for ZCover.
+pub type Table5Row = (String, usize, usize, usize, usize, usize, usize);
+
 /// Runs both fuzzers on D1-D5 and tabulates coverage and findings.
-pub fn table5(fuzz: Duration, seed: u64) -> (Vec<(String, usize, usize, usize, usize, usize, usize)>, String) {
+pub fn table5(fuzz: Duration, seed: u64) -> (Vec<Table5Row>, String) {
     let mut results = Vec::new();
     for model in DeviceModel::usb_models() {
         let vres = run_vfuzz(model, fuzz, seed);
@@ -225,7 +236,15 @@ pub fn table5(fuzz: Duration, seed: u64) -> (Vec<(String, usize, usize, usize, u
         "Table V — VFuzz vs ZCover, {}h virtual per device (#Vul shown paper / measured)\n{}",
         fuzz.as_secs_f64() / 3600.0,
         render::table(
-            &["ID", "VFuzz CMDCL", "VFuzz CMD", "VFuzz #Vul", "ZCover CMDCL", "ZCover CMD", "ZCover #Vul"],
+            &[
+                "ID",
+                "VFuzz CMDCL",
+                "VFuzz CMD",
+                "VFuzz #Vul",
+                "ZCover CMDCL",
+                "ZCover CMD",
+                "ZCover #Vul"
+            ],
             &rows
         )
     );
@@ -234,67 +253,93 @@ pub fn table5(fuzz: Duration, seed: u64) -> (Vec<(String, usize, usize, usize, u
 
 // ───────────────────────── Table VI ─────────────────────────
 
-/// Runs the three ablation configurations for one hour on the ZooZ D1.
-pub fn table6(seed: u64) -> (Vec<(String, usize)>, String) {
+/// Runs the three ablation configurations for one hour on the ZooZ D1,
+/// each over `trials` independently-seeded campaigns via the executor
+/// (`workers` threads), reporting the mean unique-vulnerability count per
+/// configuration. Averaging over trials is what makes the ablation
+/// ordering (full > β > γ) robust: a single γ trial can get lucky.
+pub fn table6(campaign_seed: u64, trials: u64, workers: usize) -> (Vec<(String, f64)>, String) {
     let hour = Duration::from_secs(3600);
     let configs: [(&str, FuzzConfig); 3] = [
-        (paperdata::TABLE6[0].0, FuzzConfig::full(hour, seed)),
-        (paperdata::TABLE6[1].0, FuzzConfig::beta(hour, seed)),
-        (paperdata::TABLE6[2].0, FuzzConfig::gamma(hour, seed)),
+        (paperdata::TABLE6[0].0, FuzzConfig::full(hour, campaign_seed)),
+        (paperdata::TABLE6[1].0, FuzzConfig::beta(hour, campaign_seed)),
+        (paperdata::TABLE6[2].0, FuzzConfig::gamma(hour, campaign_seed)),
     ];
     let mut results = Vec::new();
     for (name, config) in configs {
-        let report = run_zcover_config(DeviceModel::D1, config, seed);
-        results.push((name.to_string(), report.campaign.unique_vulns()));
+        let summary = ablation_trials(campaign_seed, trials, workers, &config);
+        results.push((name.to_string(), summary.mean_unique_vulns()));
     }
     let mut rows = Vec::new();
     for ((name, measured), (_, paper)) in results.iter().zip(paperdata::TABLE6) {
-        rows.push(vec![name.clone(), paper.to_string(), measured.to_string()]);
+        rows.push(vec![name.clone(), paper.to_string(), format!("{measured:.1}")]);
     }
     let text = format!(
-        "Table VI — ablation study, 1 h virtual on ZooZ D1\n{}",
+        "Table VI — ablation study, 1 h virtual on ZooZ D1, mean of {trials} trial(s)\n{}",
         render::table(&["Fuzzing configuration", "#Vul (paper)", "#Vul (measured)"], &rows)
     );
     (results, text)
 }
 
+/// One ablation configuration over `trials` seeds on the ZooZ D1.
+fn ablation_trials(
+    campaign_seed: u64,
+    trials: u64,
+    workers: usize,
+    config: &FuzzConfig,
+) -> TrialSummary {
+    CampaignExecutor::new(workers)
+        .run(trials, campaign_seed, |seed| Testbed::new(DeviceModel::D1, seed), config)
+        .expect("fingerprinting succeeds on the simulated testbed")
+}
+
 /// Extended ablation beyond the paper's three configurations: also
 /// toggles the command-count prioritisation and the semantic/boundary
-/// exploration plans, isolating each design choice of DESIGN.md §5.
-pub fn table6_extended(seed: u64) -> (Vec<(String, usize, u64)>, String) {
+/// exploration plans, isolating each design choice of DESIGN.md §5. Each
+/// configuration runs `trials` seeds through the executor; vulnerability
+/// counts and the time-to-8th-bug convergence measure are means over the
+/// trials (that reached an 8th bug).
+pub fn table6_extended(
+    campaign_seed: u64,
+    trials: u64,
+    workers: usize,
+) -> (Vec<(String, f64, u64)>, String) {
     let hour = Duration::from_secs(3600);
     let configs: [(&str, FuzzConfig); 5] = [
-        ("full", FuzzConfig::full(hour, seed)),
-        ("beta: known CMDCLs only", FuzzConfig::beta(hour, seed)),
-        ("gamma: random, no PSM", FuzzConfig::gamma(hour, seed)),
-        ("full minus prioritisation", FuzzConfig::without_prioritization(hour, seed)),
-        ("full minus semantic plans", FuzzConfig::without_semantic_plans(hour, seed)),
+        ("full", FuzzConfig::full(hour, campaign_seed)),
+        ("beta: known CMDCLs only", FuzzConfig::beta(hour, campaign_seed)),
+        ("gamma: random, no PSM", FuzzConfig::gamma(hour, campaign_seed)),
+        ("full minus prioritisation", FuzzConfig::without_prioritization(hour, campaign_seed)),
+        ("full minus semantic plans", FuzzConfig::without_semantic_plans(hour, campaign_seed)),
     ];
     let mut results = Vec::new();
     for (name, config) in configs {
-        let report = run_zcover_config(DeviceModel::D1, config, seed);
-        // Time (virtual seconds) until the 8th unique bug, a robustness
-        // measure of how fast each configuration converges.
-        let t8 = report
-            .campaign
-            .findings
-            .get(7)
-            .map(|f| f.found_at.duration_since(report.campaign.started).as_secs())
-            .unwrap_or(u64::MAX);
-        results.push((name.to_string(), report.campaign.unique_vulns(), t8));
+        let summary = ablation_trials(campaign_seed, trials, workers, &config);
+        // Mean time (virtual seconds) until the 8th unique bug across the
+        // trials that found 8, a robustness measure of how fast each
+        // configuration converges.
+        let t8s: Vec<u64> = summary
+            .per_trial
+            .iter()
+            .filter_map(|r| {
+                r.findings.get(7).map(|f| f.found_at.duration_since(r.started).as_secs())
+            })
+            .collect();
+        let t8 = if t8s.is_empty() { u64::MAX } else { t8s.iter().sum::<u64>() / t8s.len() as u64 };
+        results.push((name.to_string(), summary.mean_unique_vulns(), t8));
     }
     let rows: Vec<Vec<String>> = results
         .iter()
         .map(|(name, vulns, t8)| {
             vec![
                 name.clone(),
-                vulns.to_string(),
+                format!("{vulns:.1}"),
                 if *t8 == u64::MAX { "-".to_string() } else { format!("{t8} s") },
             ]
         })
         .collect();
     let text = format!(
-        "Extended ablation — 1 h virtual on ZooZ D1\n{}",
+        "Extended ablation — 1 h virtual on ZooZ D1, mean of {trials} trial(s)\n{}",
         render::table(&["Configuration", "#Vul", "time to 8th bug"], &rows)
     );
     (results, text)
@@ -305,8 +350,7 @@ pub fn table6_extended(seed: u64) -> (Vec<(String, usize, u64)>, String) {
 /// The 16 selected command classes whose command-count distribution the
 /// paper visualises.
 pub const FIGURE5_SELECTION: [u8; 16] = [
-    0x34, 0x9F, 0x67, 0x4D, 0x86, 0x85, 0x59, 0x84, 0x55, 0x73, 0x20, 0x6C, 0x5E, 0x56, 0x5A,
-    0x00,
+    0x34, 0x9F, 0x67, 0x4D, 0x86, 0x85, 0x59, 0x84, 0x55, 0x73, 0x20, 0x6C, 0x5E, 0x56, 0x5A, 0x00,
 ];
 
 /// Regenerates Figure 5 from the registry.
@@ -325,7 +369,9 @@ pub fn figure5() -> (Vec<(String, usize)>, String) {
         "Figure 5 — selected command classes and their command distribution\n\
          paper series:    {:?}\n\
          measured series: {:?}\n\n{}",
-        paperdata::FIGURE5_SERIES, measured, chart
+        paperdata::FIGURE5_SERIES,
+        measured,
+        chart
     );
     (entries, text)
 }
@@ -337,42 +383,52 @@ pub fn figure5() -> (Vec<(String, usize)>, String) {
 pub struct Figure12Series {
     /// Device index string.
     pub device: &'static str,
-    /// (seconds-since-campaign-start, packets, is-discovery) samples.
+    /// (seconds-since-campaign-start, packets, is-discovery) samples,
+    /// taken from the first trial.
     pub points: Vec<(f64, u64, bool)>,
-    /// The campaign the series came from.
-    pub campaign: CampaignResult,
+    /// The merged multi-trial summary the series came from.
+    pub summary: TrialSummary,
 }
 
-/// Runs campaigns on the four Figure 12 devices and extracts the initial
-/// fuzzing window.
-pub fn figure12(window_s: f64, seed: u64) -> (Vec<Figure12Series>, String) {
-    let models =
-        [DeviceModel::D1, DeviceModel::D3, DeviceModel::D4, DeviceModel::D5];
+/// Runs `trials` campaigns per Figure 12 device through the executor
+/// (`workers` threads) and extracts the initial fuzzing window of the
+/// first trial; the summary carries the cross-trial statistics.
+pub fn figure12(
+    window_s: f64,
+    campaign_seed: u64,
+    trials: u64,
+    workers: usize,
+) -> (Vec<Figure12Series>, String) {
+    let models = [DeviceModel::D1, DeviceModel::D3, DeviceModel::D4, DeviceModel::D5];
+    let config = FuzzConfig::full(Duration::from_secs(3600), campaign_seed);
     let mut series = Vec::new();
-    let mut text = String::from("Figure 12 — vulnerability detection over the initial fuzzing phase\n");
+    let mut text =
+        String::from("Figure 12 — vulnerability detection over the initial fuzzing phase\n");
     for model in models {
-        let (report, _tb) = run_zcover(model, Duration::from_secs(3600), seed);
-        let start: SimInstant = report.campaign.started;
-        let points: Vec<(f64, u64, bool)> = report
-            .campaign
+        let summary = CampaignExecutor::new(workers)
+            .run(trials, campaign_seed, |seed| Testbed::new(model, seed), &config)
+            .expect("fingerprinting succeeds on the simulated testbed");
+        let first = &summary.per_trial[0];
+        let start: SimInstant = first.started;
+        let points: Vec<(f64, u64, bool)> = first
             .trace
             .iter()
-            .map(|e| {
-                (e.at.duration_since(start).as_secs_f64(), e.packets, e.bug_id.is_some())
-            })
+            .map(|e| (e.at.duration_since(start).as_secs_f64(), e.packets, e.bug_id.is_some()))
             .filter(|(t, _, _)| *t <= window_s)
             .collect();
         let discoveries = points.iter().filter(|(_, _, b)| *b).count();
         text.push_str(&format!(
-            "\n({}) {} — {} discoveries within the first {:.0} s, {} packets total\n{}",
+            "\n({}) {} — {} discoveries within the first {:.0} s (trial 1 of {}), \
+             mean {:.0} packets per trial\n{}",
             model.idx(),
             model.config().brand,
             discoveries,
             window_s,
-            report.campaign.packets_sent,
+            summary.trials(),
+            summary.mean_packets,
             render::scatter(&points, window_s, 12, 60)
         ));
-        series.push(Figure12Series { device: model.idx(), points, campaign: report.campaign });
+        series.push(Figure12Series { device: model.idx(), points, summary });
     }
     (series, text)
 }
@@ -409,24 +465,32 @@ pub fn loss_sweep(seed: u64) -> (Vec<(f64, usize, u64)>, String) {
 }
 
 /// Section IV-B2's aggregate performance claim: how many unique bugs were
-/// found within 600 s and 800 packets, per device.
+/// found within 600 s and 800 packets, per device, averaged over trials.
 pub fn performance_summary(series: &[Figure12Series]) -> String {
     let mut out = String::from("Early-discovery summary (Section IV-B2):\n");
     for s in series {
-        let early = s
-            .campaign
-            .findings
+        let early: Vec<usize> = s
+            .summary
+            .per_trial
             .iter()
-            .filter(|f| {
-                f.found_at.duration_since(s.campaign.started) < Duration::from_secs(600)
-                    && f.found_after_packets <= 800
+            .map(|c| {
+                c.findings
+                    .iter()
+                    .filter(|f| {
+                        f.found_at.duration_since(c.started) < Duration::from_secs(600)
+                            && f.found_after_packets <= 800
+                    })
+                    .count()
             })
-            .count();
+            .collect();
+        let mean_early = early.iter().sum::<usize>() as f64 / early.len().max(1) as f64;
         out.push_str(&format!(
-            "  {}: {}/{} unique bugs within 600 s and 800 packets\n",
+            "  {}: mean {:.1}/{:.1} unique bugs within 600 s and 800 packets \
+             over {} trial(s)\n",
             s.device,
-            early,
-            s.campaign.unique_vulns()
+            mean_early,
+            s.summary.mean_unique_vulns(),
+            s.summary.trials()
         ));
     }
     out
@@ -469,11 +533,11 @@ mod tests {
 
     #[test]
     fn extended_ablation_isolates_each_design_choice() {
-        let (results, _text) = table6_extended(6);
+        let (results, _text) = table6_extended(6, 2, 2);
         let full = results[0].1;
         let no_priority = results[3].1;
         let no_plans = results[4].1;
-        assert_eq!(full, 15);
+        assert_eq!(full, 15.0);
         // Dropping prioritisation costs coverage within the hour; dropping
         // the semantic plans costs the tight-trigger bugs.
         assert!(no_priority < full, "no-priority found {no_priority}");
@@ -486,12 +550,12 @@ mod tests {
 
     #[test]
     fn table6_reproduces_ablation_ordering() {
-        let (results, _text) = table6(6);
+        let (results, _text) = table6(6, 3, 2);
         let full = results[0].1;
         let beta = results[1].1;
         let gamma = results[2].1;
-        assert_eq!(full, 15);
-        assert_eq!(beta, 8);
+        assert_eq!(full, 15.0);
+        assert_eq!(beta, 8.0);
         assert!(gamma < beta, "gamma {gamma} >= beta {beta}");
     }
 }

@@ -37,6 +37,16 @@ pub fn budget_from_args(args: &[String]) -> Duration {
     }
 }
 
+/// Parses `--name N` from `args`, falling back to `default` when the flag
+/// is absent or unparsable.
+pub fn u64_flag(args: &[String], name: &str, default: u64) -> u64 {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -45,5 +55,14 @@ mod tests {
     fn budget_flag() {
         assert_eq!(budget_from_args(&[]).as_secs(), 7200);
         assert_eq!(budget_from_args(&["--paper".into()]).as_secs(), 86400);
+    }
+
+    #[test]
+    fn u64_flag_parses_and_defaults() {
+        let args: Vec<String> =
+            ["--trials", "4", "--workers", "x"].iter().map(|s| s.to_string()).collect();
+        assert_eq!(u64_flag(&args, "--trials", 1), 4);
+        assert_eq!(u64_flag(&args, "--workers", 2), 2);
+        assert_eq!(u64_flag(&args, "--seed", 6), 6);
     }
 }

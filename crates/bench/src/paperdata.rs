@@ -24,21 +24,156 @@ pub struct PaperBug {
 
 /// Table III of the paper.
 pub const TABLE3: [PaperBug; 15] = [
-    PaperBug { id: 1, affected: "D1 - D7", cmdcl: 0x01, cmd: 0x0D, description: "Memory corruption in existing device properties.", duration: "Infinite", root_cause: "Specification", confirmed: "CVE-2024-50929" },
-    PaperBug { id: 2, affected: "D1 - D7", cmdcl: 0x01, cmd: 0x0D, description: "Fake device insertion into controller's memory.", duration: "Infinite", root_cause: "Specification", confirmed: "CVE-2024-50920" },
-    PaperBug { id: 3, affected: "D1 - D7", cmdcl: 0x01, cmd: 0x0D, description: "Remove valid device in the controller's memory.", duration: "Infinite", root_cause: "Specification", confirmed: "CVE-2024-50931" },
-    PaperBug { id: 4, affected: "D1 - D7", cmdcl: 0x01, cmd: 0x0D, description: "Overwriting the controller's device database.", duration: "Infinite", root_cause: "Specification", confirmed: "CVE-2024-50930" },
-    PaperBug { id: 5, affected: "D6 and D7", cmdcl: 0x01, cmd: 0x02, description: "DoS on smartphone app.", duration: "Infinite", root_cause: "Specification", confirmed: "CVE-2024-50921" },
-    PaperBug { id: 6, affected: "D1 - D5", cmdcl: 0x9F, cmd: 0x01, description: "Z-Wave PC controller program crash.", duration: "Infinite", root_cause: "Implementation", confirmed: "CVE-2023-6640" },
-    PaperBug { id: 7, affected: "D1 - D7", cmdcl: 0x5A, cmd: 0x01, description: "Service interruption during the attack.", duration: "68 sec", root_cause: "Specification", confirmed: "CVE-2023-6533" },
-    PaperBug { id: 8, affected: "D1 - D7", cmdcl: 0x59, cmd: 0x03, description: "Service interruption during the attack.", duration: "67 sec", root_cause: "Specification", confirmed: "CVE-2024-50924" },
-    PaperBug { id: 9, affected: "D1 - D7", cmdcl: 0x7A, cmd: 0x01, description: "Service interruption during the attack.", duration: "63 sec", root_cause: "Specification", confirmed: "CVE-2023-6642" },
-    PaperBug { id: 10, affected: "D1 - D7", cmdcl: 0x86, cmd: 0x13, description: "Service interruption during the attack.", duration: "4 sec", root_cause: "Specification", confirmed: "CVE-2023-6641" },
-    PaperBug { id: 11, affected: "D1 - D7", cmdcl: 0x59, cmd: 0x05, description: "Service interruption during the attack.", duration: "62 sec", root_cause: "Specification", confirmed: "CVE-2023-6643" },
-    PaperBug { id: 12, affected: "D1 - D7", cmdcl: 0x01, cmd: 0x0D, description: "Remove the device's wakeup interval value.", duration: "Infinite", root_cause: "Specification", confirmed: "CVE-2024-50928" },
-    PaperBug { id: 13, affected: "D1 - D5", cmdcl: 0x73, cmd: 0x04, description: "Dos on the Z-Wave PC controller program.", duration: "Infinite", root_cause: "Implementation", confirmed: "vendor-ack" },
-    PaperBug { id: 14, affected: "D1 - D7", cmdcl: 0x01, cmd: 0x04, description: "Z-Wave controller service disruption.", duration: "4 min", root_cause: "Specification", confirmed: "vendor-ack" },
-    PaperBug { id: 15, affected: "D1 - D7", cmdcl: 0x7A, cmd: 0x03, description: "Service interruption during the attack.", duration: "59 sec", root_cause: "Specification", confirmed: "vendor-ack" },
+    PaperBug {
+        id: 1,
+        affected: "D1 - D7",
+        cmdcl: 0x01,
+        cmd: 0x0D,
+        description: "Memory corruption in existing device properties.",
+        duration: "Infinite",
+        root_cause: "Specification",
+        confirmed: "CVE-2024-50929",
+    },
+    PaperBug {
+        id: 2,
+        affected: "D1 - D7",
+        cmdcl: 0x01,
+        cmd: 0x0D,
+        description: "Fake device insertion into controller's memory.",
+        duration: "Infinite",
+        root_cause: "Specification",
+        confirmed: "CVE-2024-50920",
+    },
+    PaperBug {
+        id: 3,
+        affected: "D1 - D7",
+        cmdcl: 0x01,
+        cmd: 0x0D,
+        description: "Remove valid device in the controller's memory.",
+        duration: "Infinite",
+        root_cause: "Specification",
+        confirmed: "CVE-2024-50931",
+    },
+    PaperBug {
+        id: 4,
+        affected: "D1 - D7",
+        cmdcl: 0x01,
+        cmd: 0x0D,
+        description: "Overwriting the controller's device database.",
+        duration: "Infinite",
+        root_cause: "Specification",
+        confirmed: "CVE-2024-50930",
+    },
+    PaperBug {
+        id: 5,
+        affected: "D6 and D7",
+        cmdcl: 0x01,
+        cmd: 0x02,
+        description: "DoS on smartphone app.",
+        duration: "Infinite",
+        root_cause: "Specification",
+        confirmed: "CVE-2024-50921",
+    },
+    PaperBug {
+        id: 6,
+        affected: "D1 - D5",
+        cmdcl: 0x9F,
+        cmd: 0x01,
+        description: "Z-Wave PC controller program crash.",
+        duration: "Infinite",
+        root_cause: "Implementation",
+        confirmed: "CVE-2023-6640",
+    },
+    PaperBug {
+        id: 7,
+        affected: "D1 - D7",
+        cmdcl: 0x5A,
+        cmd: 0x01,
+        description: "Service interruption during the attack.",
+        duration: "68 sec",
+        root_cause: "Specification",
+        confirmed: "CVE-2023-6533",
+    },
+    PaperBug {
+        id: 8,
+        affected: "D1 - D7",
+        cmdcl: 0x59,
+        cmd: 0x03,
+        description: "Service interruption during the attack.",
+        duration: "67 sec",
+        root_cause: "Specification",
+        confirmed: "CVE-2024-50924",
+    },
+    PaperBug {
+        id: 9,
+        affected: "D1 - D7",
+        cmdcl: 0x7A,
+        cmd: 0x01,
+        description: "Service interruption during the attack.",
+        duration: "63 sec",
+        root_cause: "Specification",
+        confirmed: "CVE-2023-6642",
+    },
+    PaperBug {
+        id: 10,
+        affected: "D1 - D7",
+        cmdcl: 0x86,
+        cmd: 0x13,
+        description: "Service interruption during the attack.",
+        duration: "4 sec",
+        root_cause: "Specification",
+        confirmed: "CVE-2023-6641",
+    },
+    PaperBug {
+        id: 11,
+        affected: "D1 - D7",
+        cmdcl: 0x59,
+        cmd: 0x05,
+        description: "Service interruption during the attack.",
+        duration: "62 sec",
+        root_cause: "Specification",
+        confirmed: "CVE-2023-6643",
+    },
+    PaperBug {
+        id: 12,
+        affected: "D1 - D7",
+        cmdcl: 0x01,
+        cmd: 0x0D,
+        description: "Remove the device's wakeup interval value.",
+        duration: "Infinite",
+        root_cause: "Specification",
+        confirmed: "CVE-2024-50928",
+    },
+    PaperBug {
+        id: 13,
+        affected: "D1 - D5",
+        cmdcl: 0x73,
+        cmd: 0x04,
+        description: "Dos on the Z-Wave PC controller program.",
+        duration: "Infinite",
+        root_cause: "Implementation",
+        confirmed: "vendor-ack",
+    },
+    PaperBug {
+        id: 14,
+        affected: "D1 - D7",
+        cmdcl: 0x01,
+        cmd: 0x04,
+        description: "Z-Wave controller service disruption.",
+        duration: "4 min",
+        root_cause: "Specification",
+        confirmed: "vendor-ack",
+    },
+    PaperBug {
+        id: 15,
+        affected: "D1 - D7",
+        cmdcl: 0x7A,
+        cmd: 0x03,
+        description: "Service interruption during the attack.",
+        duration: "59 sec",
+        root_cause: "Specification",
+        confirmed: "vendor-ack",
+    },
 ];
 
 /// Looks up the paper row for a bug id.

@@ -12,10 +12,10 @@ pub fn table(headers: &[&str], rows: &[Vec<String>]) -> String {
     }
     let render_row = |cells: &[String]| -> String {
         let mut line = String::from("|");
-        for i in 0..cols {
+        for (i, width) in widths.iter().enumerate().take(cols) {
             let empty = String::new();
             let cell = cells.get(i).unwrap_or(&empty);
-            line.push_str(&format!(" {:<width$} |", cell, width = widths[i]));
+            line.push_str(&format!(" {cell:<width$} |"));
         }
         line
     };

@@ -6,23 +6,23 @@
 //! zcover discover    --device D4
 //! zcover fuzz        --device D1 --hours 1 --seed 42 --config full
 //! zcover fuzz        --device D1 --config beta --log bugs.txt
+//! zcover trials      --device D1 --trials 5 --workers 4 --hours 1
 //! zcover export-spec --out zw_classes.xml
 //! ```
 
 use std::time::Duration;
 
-use zcover::{ActiveScanner, BugLog, FuzzConfig, UnknownDiscovery, ZCover};
+use zcover::{ActiveScanner, BugLog, CampaignExecutor, FuzzConfig, UnknownDiscovery, ZCover};
 use zwave_controller::testbed::{DeviceModel, Testbed};
 
 fn parse_device(args: &[String]) -> DeviceModel {
     let idx = flag(args, "--device").unwrap_or_else(|| "D1".to_string());
-    DeviceModel::all()
-        .into_iter()
-        .find(|m| m.idx().eq_ignore_ascii_case(&idx))
-        .unwrap_or_else(|| {
+    DeviceModel::all().into_iter().find(|m| m.idx().eq_ignore_ascii_case(&idx)).unwrap_or_else(
+        || {
             eprintln!("unknown device {idx}; expected D1..D7");
             std::process::exit(2);
-        })
+        },
+    )
 }
 
 fn flag(args: &[String], name: &str) -> Option<String> {
@@ -42,10 +42,17 @@ fn main() {
             let scan = zc.fingerprint(&mut tb).expect("no traffic observed");
             let active = ActiveScanner::scan(&mut tb, zc.dongle_mut(), &scan)
                 .expect("controller did not answer the NIF request");
-            println!("device:     {} {}", tb.controller().config().brand, tb.controller().config().model);
+            println!(
+                "device:     {} {}",
+                tb.controller().config().brand,
+                tb.controller().config().model
+            );
             println!("home id:    {}", scan.home_id);
             println!("controller: {}", scan.controller);
-            println!("slaves:     {:?}", scan.slaves.iter().map(|n| n.to_string()).collect::<Vec<_>>());
+            println!(
+                "slaves:     {:?}",
+                scan.slaves.iter().map(|n| n.to_string()).collect::<Vec<_>>()
+            );
             println!("listed CMDCLs ({}):", active.listed.len());
             for cc in &active.listed {
                 println!("  {cc}");
@@ -59,10 +66,12 @@ fn main() {
             let active = ActiveScanner::scan(&mut tb, zc.dongle_mut(), &scan)
                 .expect("controller did not answer the NIF request");
             let discovery = UnknownDiscovery::run(&mut tb, zc.dongle_mut(), &scan, active.listed);
-            println!("listed: {}  spec-unlisted: {}  proprietary: {:?}",
+            println!(
+                "listed: {}  spec-unlisted: {}  proprietary: {:?}",
                 discovery.listed.len(),
                 discovery.unlisted_from_spec.len(),
-                discovery.proprietary.iter().map(|c| c.to_string()).collect::<Vec<_>>());
+                discovery.proprietary.iter().map(|c| c.to_string()).collect::<Vec<_>>()
+            );
             println!("prioritized fuzzing queue:");
             for (rank, cc) in discovery.prioritized_targets().iter().enumerate() {
                 let name = zwave_protocol::Registry::global()
@@ -92,10 +101,12 @@ fn main() {
             eprintln!("fuzzing {} for {hours}h virtual (seed {seed}) ...", model.idx());
             let report = zc.run_campaign(&mut tb, config).expect("fingerprinting failed");
             if let Some(path) = flag(&args, "--report") {
-                let label = format!("{} {} ({})",
+                let label = format!(
+                    "{} {} ({})",
                     tb.controller().config().brand,
                     tb.controller().config().model,
-                    model.idx());
+                    model.idx()
+                );
                 std::fs::write(&path, zcover::report::to_markdown(&report, &label))
                     .expect("writing the assessment report");
                 eprintln!("assessment report written to {path}");
@@ -105,6 +116,11 @@ fn main() {
                 report.campaign.packets_sent,
                 report.campaign.cmdcl_coverage.len(),
                 report.campaign.unique_vulns()
+            );
+            let c = report.campaign.counters;
+            println!(
+                "counters: {} packets, {} plans, {} outages, {} findings",
+                c.packets_sent, c.plans_executed, c.outages_observed, c.findings
             );
             let mut log = BugLog::new();
             for fault in tb.controller_mut().fault_log().records() {
@@ -117,20 +133,85 @@ fn main() {
                 eprintln!("bug log written to {path}");
             }
         }
+        "trials" => {
+            let model = parse_device(&args);
+            let hours: f64 = flag(&args, "--hours").and_then(|s| s.parse().ok()).unwrap_or(1.0);
+            let trials: u64 =
+                flag(&args, "--trials").and_then(|s| s.parse().ok()).unwrap_or(5).max(1);
+            let workers: usize = flag(&args, "--workers").and_then(|s| s.parse().ok()).unwrap_or(1);
+            let budget = Duration::from_secs_f64(hours * 3600.0);
+            let config = match flag(&args, "--config").as_deref() {
+                None | Some("full") => FuzzConfig::full(budget, seed),
+                Some("beta") => FuzzConfig::beta(budget, seed),
+                Some("gamma") => FuzzConfig::gamma(budget, seed),
+                Some("no-priority") => FuzzConfig::without_prioritization(budget, seed),
+                Some("no-plans") => FuzzConfig::without_semantic_plans(budget, seed),
+                Some(other) => {
+                    eprintln!("unknown config {other}");
+                    std::process::exit(2);
+                }
+            };
+            let executor = CampaignExecutor::new(workers);
+            eprintln!(
+                "running {trials} trials of {hours}h on {} across {} worker(s) \
+                 (campaign seed {seed}) ...",
+                model.idx(),
+                executor.workers()
+            );
+            let summary = executor
+                .run(trials, seed, |trial_seed| Testbed::new(model, trial_seed), &config)
+                .expect("fingerprinting failed");
+            println!(
+                "{} trials merged: union of {} unique vulnerabilities {:?}",
+                summary.trials(),
+                summary.union_bug_ids.len(),
+                summary.union_bug_ids
+            );
+            println!("stable core (found in all trials): {:?}", summary.found_in_all_trials());
+            println!(
+                "mean per trial: {:.0} packets, {:.1} unique vulnerabilities",
+                summary.mean_packets,
+                summary.mean_unique_vulns()
+            );
+            let c = summary.counters;
+            println!(
+                "counters: {} packets, {} plans, {} outages, {} findings",
+                c.packets_sent, c.plans_executed, c.outages_observed, c.findings
+            );
+            println!("per-bug hit counts (bug id: trials that found it):");
+            for (bug, hits) in &summary.hit_counts {
+                let mean_t = summary
+                    .mean_time_to_find(*bug)
+                    .map(|d| format!("{:.0} s", d.as_secs_f64()))
+                    .unwrap_or_else(|| "-".to_string());
+                println!("  {bug:02}: {hits}/{} (mean time to find {mean_t})", summary.trials());
+            }
+            if let Some(path) = flag(&args, "--log") {
+                let mut log = BugLog::new();
+                for finding in &summary.unique_findings {
+                    log.absorb(finding);
+                }
+                std::fs::write(&path, log.to_text()).expect("writing the bug log");
+                eprintln!("merged bug log written to {path}");
+            }
+        }
         "export-spec" => {
             let xml = zwave_protocol::registry::xml::to_xml(zwave_protocol::Registry::global());
             match flag(&args, "--out") {
                 Some(path) => {
                     std::fs::write(&path, &xml).expect("writing the XML file");
-                    eprintln!("{} classes exported to {path}", zwave_protocol::Registry::global().len());
+                    eprintln!(
+                        "{} classes exported to {path}",
+                        zwave_protocol::Registry::global().len()
+                    );
                 }
                 None => println!("{xml}"),
             }
         }
         _ => {
             eprintln!(
-                "usage: zcover <fingerprint|discover|fuzz|export-spec> \
-                 [--device D1..D7] [--seed N] [--hours H] \
+                "usage: zcover <fingerprint|discover|fuzz|trials|export-spec> \
+                 [--device D1..D7] [--seed N] [--hours H] [--trials N] [--workers N] \
                  [--config full|beta|gamma|no-priority|no-plans] [--log FILE] [--report FILE] [--out FILE]"
             );
             std::process::exit(if command == "help" { 0 } else { 2 });

@@ -76,6 +76,18 @@ impl BugLog {
         true
     }
 
+    /// Absorbs an already-verified finding from another log (e.g. a
+    /// parallel trial's); returns `true` when its bug id is new here. The
+    /// first-absorbed occurrence is kept, so merging trial logs in trial
+    /// order is deterministic.
+    pub fn absorb(&mut self, finding: &VulnFinding) -> bool {
+        if !self.seen.insert(finding.bug_id) {
+            return false;
+        }
+        self.findings.push(finding.clone());
+        true
+    }
+
     /// All unique findings, in discovery order.
     pub fn findings(&self) -> &[VulnFinding] {
         &self.findings

@@ -105,11 +105,10 @@ impl UnknownDiscovery {
                 target.pump();
                 dongle.wait_for_responses();
                 target.pump();
-                let answered = dongle
-                    .drain()
-                    .iter()
-                    .filter_map(|f| MacFrame::decode(&f.bytes).ok())
-                    .any(|m| m.src() == scan.controller && !m.is_ack() && !m.payload().is_empty());
+                let answered =
+                    dongle.drain().iter().filter_map(|f| MacFrame::decode(&f.bytes).ok()).any(
+                        |m| m.src() == scan.controller && !m.is_ack() && !m.payload().is_empty(),
+                    );
                 if answered {
                     validated.insert(cc);
                     break;
@@ -138,7 +137,9 @@ impl UnknownDiscovery {
         let listed_set: BTreeSet<u8> = listed.iter().map(|c| c.0).collect();
         let proprietary: Vec<CommandClassId> = validated
             .iter()
-            .filter(|&&cc| cc != 0x00 && !spec.contains(CommandClassId(cc)) && !listed_set.contains(&cc))
+            .filter(|&&cc| {
+                cc != 0x00 && !spec.contains(CommandClassId(cc)) && !listed_set.contains(&cc)
+            })
             .map(|&cc| CommandClassId(cc))
             .collect();
 
@@ -218,9 +219,6 @@ mod tests {
         let scan = passive.analyze().unwrap();
         let mut dongle = Dongle::attach(tb.medium(), 70.0);
         let _ = UnknownDiscovery::validation_sweep(&mut tb, &mut dongle, &scan);
-        assert!(
-            tb.controller().fault_log().is_empty(),
-            "bare-CMDCL probes must be benign"
-        );
+        assert!(tb.controller().fault_log().is_empty(), "bare-CMDCL probes must be benign");
     }
 }

@@ -110,10 +110,9 @@ impl Dongle {
     /// Checks captures for the MAC ack answering a previous
     /// [`Dongle::send_ping`].
     pub fn check_ping(&self, target: NodeId) -> PingOutcome {
-        let acked = self
-            .drain()
-            .iter()
-            .any(|f| MacFrame::decode(&f.bytes).map(|m| m.is_ack() && m.src() == target).unwrap_or(false));
+        let acked = self.drain().iter().any(|f| {
+            MacFrame::decode(&f.bytes).map(|m| m.is_ack() && m.src() == target).unwrap_or(false)
+        });
         if acked {
             PingOutcome::Alive
         } else {

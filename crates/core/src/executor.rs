@@ -1,0 +1,183 @@
+//! Deterministic parallel campaign executor.
+//!
+//! The paper's evaluation repeats every campaign over several
+//! independently-seeded trials ("five 24-hour fuzzing trials for each
+//! controller", Section IV). Trials are embarrassingly parallel — each one
+//! builds its own simulated radio medium, clock, and testbed — so this
+//! module fans them out across a small worker pool while keeping the
+//! result **bit-identical to the sequential path**:
+//!
+//! - Every trial's seed is a pure function of `(campaign_seed, trial)`
+//!   via [`derive_trial_seed`] (a splitmix64 stream over the campaign
+//!   seed), never of worker identity or claim order.
+//! - Workers claim trial indices from an atomic counter and write each
+//!   result into that trial's dedicated slot; the merge then reads the
+//!   slots in trial-index order. Scheduling decides only *when* a trial
+//!   runs, never what it computes or where its result lands.
+//!
+//! Consequently `CampaignExecutor::new(n).run(...)` returns the same
+//! [`TrialSummary`] for every `n`, which the determinism regression test
+//! in `tests/executor_determinism.rs` pins.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+use crate::fuzzer::{CampaignResult, FuzzConfig};
+use crate::target::FuzzTarget;
+use crate::trials::TrialSummary;
+use crate::{ZCover, ZCoverError};
+
+/// The per-trial seed: output `trial + 1` of a splitmix64 stream whose
+/// state starts at `campaign_seed`. A closed form rather than an iterated
+/// generator, so any trial's seed is computable independently — the
+/// property that lets workers claim trials in any order.
+///
+/// Unlike the former `campaign_seed + trial` scheme, nearby campaign seeds
+/// do not share trial seeds (campaign 7 trial 0 vs campaign 6 trial 1),
+/// so sweeps over campaign seeds never silently rerun the same trial.
+pub fn derive_trial_seed(campaign_seed: u64, trial: u64) -> u64 {
+    let mut z =
+        campaign_seed.wrapping_add(trial.wrapping_add(1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A worker pool running independent fuzzing trials and merging their
+/// results deterministically.
+#[derive(Debug, Clone, Copy)]
+pub struct CampaignExecutor {
+    workers: usize,
+}
+
+impl CampaignExecutor {
+    /// An executor with `workers` threads (clamped to at least 1).
+    pub fn new(workers: usize) -> Self {
+        CampaignExecutor { workers: workers.max(1) }
+    }
+
+    /// The single-threaded executor: runs every trial inline on the
+    /// calling thread, in trial order.
+    pub fn sequential() -> Self {
+        CampaignExecutor::new(1)
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Runs `trials` independent campaigns and merges them into a
+    /// [`TrialSummary`]. `make_target` builds a fresh target (own medium,
+    /// own clock) for a trial seed derived via [`derive_trial_seed`]; the
+    /// fuzz configuration is `base_config` with that seed substituted.
+    ///
+    /// The merged summary is identical for any worker count.
+    ///
+    /// # Errors
+    ///
+    /// When trials fail fingerprinting, returns the error of the
+    /// lowest-indexed failing trial (again independent of scheduling).
+    pub fn run<T, F>(
+        &self,
+        trials: u64,
+        campaign_seed: u64,
+        make_target: F,
+        base_config: &FuzzConfig,
+    ) -> Result<TrialSummary, ZCoverError>
+    where
+        T: FuzzTarget,
+        F: Fn(u64) -> T + Sync,
+    {
+        let slots: Vec<Mutex<Option<Result<CampaignResult, ZCoverError>>>> =
+            (0..trials).map(|_| Mutex::new(None)).collect();
+
+        let pool_size = self.workers.min(trials.max(1) as usize);
+        if pool_size <= 1 {
+            for (trial, slot) in slots.iter().enumerate() {
+                *slot.lock() =
+                    Some(run_one(trial as u64, campaign_seed, &make_target, base_config));
+            }
+        } else {
+            let next = AtomicU64::new(0);
+            crossbeam::thread::scope(|scope| {
+                for _ in 0..pool_size {
+                    scope.spawn(|_| loop {
+                        let trial = next.fetch_add(1, Ordering::Relaxed);
+                        if trial >= trials {
+                            break;
+                        }
+                        let outcome = run_one(trial, campaign_seed, &make_target, base_config);
+                        *slots[trial as usize].lock() = Some(outcome);
+                    });
+                }
+            })
+            .expect("campaign worker pool");
+        }
+
+        // Merge in trial-index order; the slot array makes this
+        // independent of which worker finished when.
+        let mut per_trial = Vec::with_capacity(trials as usize);
+        for slot in slots {
+            match slot.into_inner().expect("every claimed trial stores a result") {
+                Ok(result) => per_trial.push(result),
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(TrialSummary::from_trials(per_trial))
+    }
+}
+
+/// One complete trial: fresh target, fingerprint, discovery, campaign.
+fn run_one<T, F>(
+    trial: u64,
+    campaign_seed: u64,
+    make_target: &F,
+    base_config: &FuzzConfig,
+) -> Result<CampaignResult, ZCoverError>
+where
+    T: FuzzTarget,
+    F: Fn(u64) -> T,
+{
+    let seed = derive_trial_seed(campaign_seed, trial);
+    let mut target = make_target(seed);
+    let mut zcover = ZCover::attach(&target, 70.0);
+    let config = FuzzConfig { seed, ..base_config.clone() };
+    Ok(zcover.run_campaign(&mut target, config)?.campaign)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trial_seeds_are_deterministic_and_distinct() {
+        let seeds: Vec<u64> = (0..100).map(|t| derive_trial_seed(42, t)).collect();
+        assert_eq!(seeds, (0..100).map(|t| derive_trial_seed(42, t)).collect::<Vec<u64>>());
+        let mut unique = seeds.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), seeds.len());
+    }
+
+    #[test]
+    fn nearby_campaign_seeds_do_not_alias_trials() {
+        // The old additive scheme had derive(7, 0) == derive(6, 1); the
+        // splitmix stream must not.
+        for base in [0u64, 6, 41, u64::MAX - 3] {
+            assert_ne!(
+                derive_trial_seed(base.wrapping_add(1), 0),
+                derive_trial_seed(base, 1),
+                "aliasing at campaign seed {base}"
+            );
+        }
+    }
+
+    #[test]
+    fn executor_clamps_workers() {
+        assert_eq!(CampaignExecutor::new(0).workers(), 1);
+        assert_eq!(CampaignExecutor::sequential().workers(), 1);
+        assert_eq!(CampaignExecutor::new(8).workers(), 8);
+    }
+}

@@ -82,6 +82,70 @@ impl FuzzConfig {
     }
 }
 
+/// Structured observer of campaign progress, called synchronously from the
+/// fuzzing loop. Implementations must not perturb the campaign (they see
+/// events; they cannot influence scheduling), so the same seed produces
+/// the same campaign regardless of which sink is attached.
+pub trait TraceSink {
+    /// One fuzz packet was injected (liveness pings excluded).
+    fn packet_sent(&mut self) {}
+    /// One deterministic exploration plan was executed.
+    fn plan_executed(&mut self) {}
+    /// A packet caused a timed outage (hang) of the controller.
+    fn outage_observed(&mut self) {}
+    /// A new unique vulnerability entered the bug log.
+    fn finding(&mut self, _finding: &VulnFinding) {}
+}
+
+/// A sink that discards every event.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {}
+
+/// Per-campaign event counters, also usable as a self-counting
+/// [`TraceSink`]. The executor sums these across trials for the merged
+/// [`crate::TrialSummary`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CampaignCounters {
+    /// Fuzz packets injected (excluding liveness pings).
+    pub packets_sent: u64,
+    /// Deterministic exploration plans executed.
+    pub plans_executed: u64,
+    /// Timed outages (hangs) observed.
+    pub outages_observed: u64,
+    /// Unique vulnerability findings recorded.
+    pub findings: u64,
+}
+
+impl CampaignCounters {
+    /// Adds another counter set into this one.
+    pub fn merge(&mut self, other: &CampaignCounters) {
+        self.packets_sent += other.packets_sent;
+        self.plans_executed += other.plans_executed;
+        self.outages_observed += other.outages_observed;
+        self.findings += other.findings;
+    }
+}
+
+impl TraceSink for CampaignCounters {
+    fn packet_sent(&mut self) {
+        self.packets_sent += 1;
+    }
+
+    fn plan_executed(&mut self) {
+        self.plans_executed += 1;
+    }
+
+    fn outage_observed(&mut self) {
+        self.outages_observed += 1;
+    }
+
+    fn finding(&mut self, _finding: &VulnFinding) {
+        self.findings += 1;
+    }
+}
+
 /// One point of the Figure 12 detection-over-time series.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TraceEvent {
@@ -94,7 +158,7 @@ pub struct TraceEvent {
 }
 
 /// The outcome of one campaign.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CampaignResult {
     /// Fuzz packets injected (excluding liveness pings).
     pub packets_sent: u64,
@@ -106,6 +170,8 @@ pub struct CampaignResult {
     pub cmdcl_coverage: BTreeSet<u8>,
     /// Distinct CMD bytes exercised (Table V coverage).
     pub cmd_coverage: BTreeSet<u8>,
+    /// Structured event counters for the campaign.
+    pub counters: CampaignCounters,
     /// Campaign start (virtual).
     pub started: SimInstant,
     /// Campaign end (virtual).
@@ -134,10 +200,12 @@ struct CampaignState<'a, T: FuzzTarget> {
     target: &'a mut T,
     dongle: &'a mut Dongle,
     scan: &'a ScanReport,
+    sink: &'a mut dyn TraceSink,
     mutator: Mutator,
     log: BugLog,
     trace: Vec<TraceEvent>,
     packets: u64,
+    counters: CampaignCounters,
     cmdcl_coverage: BTreeSet<u8>,
     cmd_coverage: BTreeSet<u8>,
     deadline: SimInstant,
@@ -166,6 +234,21 @@ impl Fuzzer {
         scan: &ScanReport,
         discovery: &DiscoveryReport,
     ) -> CampaignResult {
+        self.run_with_sink(target, dongle, scan, discovery, &mut NullSink)
+    }
+
+    /// [`Fuzzer::run`] with a [`TraceSink`] observing the campaign as it
+    /// executes. The sink sees every packet, plan, outage, and finding
+    /// synchronously; the campaign itself is bit-identical whichever sink
+    /// is attached (the sink cannot influence scheduling or the RNG).
+    pub fn run_with_sink<T: FuzzTarget>(
+        &self,
+        target: &mut T,
+        dongle: &mut Dongle,
+        scan: &ScanReport,
+        discovery: &DiscoveryReport,
+        sink: &mut dyn TraceSink,
+    ) -> CampaignResult {
         let clock = target.medium().clock().clone();
         let started = clock.now();
         let semantic = Mutator::semantic_pool(scan.controller, &scan.slaves);
@@ -173,10 +256,12 @@ impl Fuzzer {
             target,
             dongle,
             scan,
+            sink,
             mutator: Mutator::new(self.config.seed, semantic),
             log: BugLog::new(),
             trace: Vec::new(),
             packets: 0,
+            counters: CampaignCounters::default(),
             cmdcl_coverage: BTreeSet::new(),
             cmd_coverage: BTreeSet::new(),
             deadline: started.plus(self.config.testing_duration),
@@ -231,6 +316,7 @@ impl Fuzzer {
             trace: state.trace,
             cmdcl_coverage: state.cmdcl_coverage,
             cmd_coverage: state.cmd_coverage,
+            counters: state.counters,
             started,
             ended: clock.now(),
         }
@@ -239,7 +325,11 @@ impl Fuzzer {
     /// One Algorithm 1 window: for each command candidate of `cc`, send
     /// the semi-valid seed, walk the deterministic exploration plans, then
     /// mutate randomly.
-    fn fuzz_cmdcl_window<T: FuzzTarget>(&self, state: &mut CampaignState<'_, T>, cc: CommandClassId) {
+    fn fuzz_cmdcl_window<T: FuzzTarget>(
+        &self,
+        state: &mut CampaignState<'_, T>,
+        cc: CommandClassId,
+    ) {
         let spec = Registry::global().get(cc);
         let window_start_packets = state.packets;
         let budget = u64::from(self.config.per_cmdcl_packets);
@@ -277,6 +367,8 @@ impl Fuzzer {
                     break 'window;
                 }
                 let payload = ApplicationPayload::new(cc, cmd, params);
+                state.counters.plans_executed += 1;
+                state.sink.plan_executed();
                 // A hang/outage means this command is conclusively
                 // vulnerable; spending further plans (and 60-240 s recovery
                 // waits each) on it would starve the rest of the queue.
@@ -366,6 +458,8 @@ impl Fuzzer {
             }
         }
         state.packets += 1;
+        state.counters.packets_sent += 1;
+        state.sink.packet_sent();
         state.cmdcl_coverage.insert(payload.command_class().0);
         if let Some(cmd) = payload.command() {
             state.cmd_coverage.insert(cmd);
@@ -385,7 +479,15 @@ impl Fuzzer {
                     bug_id: Some(fault.bug_id),
                 });
                 new_bug = true;
+                state.counters.findings += 1;
+                if let Some(finding) = state.log.findings().last() {
+                    state.sink.finding(finding);
+                }
             }
+        }
+        if outage_fired {
+            state.counters.outages_observed += 1;
+            state.sink.outage_observed();
         }
 
         // Liveness monitoring via NOP ping; a couple of quick retries
@@ -414,7 +516,7 @@ impl Fuzzer {
         }
 
         // Sample the timeline for Figure 12.
-        if !new_bug && state.packets % 10 == 0 {
+        if !new_bug && state.packets.is_multiple_of(10) {
             state.trace.push(TraceEvent {
                 at: state.target.medium().clock().now(),
                 packets: state.packets,
@@ -504,8 +606,7 @@ mod tests {
         let (mut tb, mut dongle, scan, discovery) = prepare(DeviceModel::D1, 5);
         let fuzzer = Fuzzer::new(FuzzConfig::full(Duration::from_secs(1800), 5));
         let result = fuzzer.run(&mut tb, &mut dongle, &scan, &discovery);
-        let marks: Vec<&TraceEvent> =
-            result.trace.iter().filter(|e| e.bug_id.is_some()).collect();
+        let marks: Vec<&TraceEvent> = result.trace.iter().filter(|e| e.bug_id.is_some()).collect();
         assert_eq!(marks.len(), result.unique_vulns());
         // Trace is time ordered.
         for pair in result.trace.windows(2) {

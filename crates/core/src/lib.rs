@@ -42,6 +42,7 @@ pub mod active;
 pub mod buglog;
 pub mod discovery;
 pub mod dongle;
+pub mod executor;
 pub mod fuzzer;
 pub mod minimize;
 pub mod mutation;
@@ -54,7 +55,10 @@ pub use active::{ActiveScanReport, ActiveScanner};
 pub use buglog::{BugLog, VulnFinding};
 pub use discovery::{DiscoveryReport, UnknownDiscovery};
 pub use dongle::{Dongle, PingOutcome};
-pub use fuzzer::{CampaignResult, FuzzConfig, Fuzzer, TraceEvent};
+pub use executor::{derive_trial_seed, CampaignExecutor};
+pub use fuzzer::{
+    CampaignCounters, CampaignResult, FuzzConfig, Fuzzer, NullSink, TraceEvent, TraceSink,
+};
 pub use minimize::minimize;
 pub use mutation::{MutationOp, Mutator};
 pub use passive::{PassiveScanner, ScanReport, TrafficStats};
@@ -117,7 +121,10 @@ impl ZCover {
     /// # Errors
     ///
     /// [`ZCoverError::NoTraffic`] when nothing was captured.
-    pub fn fingerprint<T: FuzzTarget>(&mut self, target: &mut T) -> Result<ScanReport, ZCoverError> {
+    pub fn fingerprint<T: FuzzTarget>(
+        &mut self,
+        target: &mut T,
+    ) -> Result<ScanReport, ZCoverError> {
         // Listen through a few rounds of benign traffic.
         for _ in 0..3 {
             target.generate_normal_traffic();
@@ -136,13 +143,28 @@ impl ZCover {
         target: &mut T,
         config: FuzzConfig,
     ) -> Result<ZCoverReport, ZCoverError> {
+        self.run_campaign_with_sink(target, config, &mut NullSink)
+    }
+
+    /// [`ZCover::run_campaign`] with a [`TraceSink`] observing the fuzzing
+    /// phase as it executes (the sink cannot perturb the campaign).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ZCover::run_campaign`].
+    pub fn run_campaign_with_sink<T: FuzzTarget>(
+        &mut self,
+        target: &mut T,
+        config: FuzzConfig,
+        sink: &mut dyn TraceSink,
+    ) -> Result<ZCoverReport, ZCoverError> {
         let scan = self.fingerprint(target)?;
         let active = ActiveScanner::scan(target, &mut self.dongle, &scan)
             .ok_or(ZCoverError::NoNifResponse)?;
         let discovery =
             UnknownDiscovery::run(target, &mut self.dongle, &scan, active.listed.clone());
         let fuzzer = Fuzzer::new(config);
-        let campaign = fuzzer.run(target, &mut self.dongle, &scan, &discovery);
+        let campaign = fuzzer.run_with_sink(target, &mut self.dongle, &scan, &discovery, sink);
         Ok(ZCoverReport { scan, active, discovery, campaign })
     }
 

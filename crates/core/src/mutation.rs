@@ -81,8 +81,7 @@ impl Mutator {
         if let Some(spec) = Registry::global().get(cc) {
             if let Some(cmd_spec) = spec.command(cmd) {
                 // Semi-valid baseline: every parameter at its default.
-                let defaults: Vec<u8> =
-                    cmd_spec.params.iter().map(|p| p.default_valid()).collect();
+                let defaults: Vec<u8> = cmd_spec.params.iter().map(|p| p.default_valid()).collect();
                 plans.push(defaults.clone());
                 // Boundary testing: each parameter swept through its
                 // boundary values while the others stay valid.
@@ -194,10 +193,8 @@ impl Mutator {
                 s.commands.choose(&mut self.rng).expect("non-empty").id
             }
             (FieldPosition::Param(i), Some(s)) => {
-                let param_spec = payload
-                    .command()
-                    .and_then(|cmd| s.command(cmd))
-                    .and_then(|c| c.params.get(i));
+                let param_spec =
+                    payload.command().and_then(|cmd| s.command(cmd)).and_then(|c| c.params.get(i));
                 match param_spec {
                     Some(p) => {
                         let values = p.valid_values();
@@ -241,10 +238,8 @@ impl Mutator {
             }
             (FieldPosition::Command, None) => self.rng.gen_range(0..=0x17),
             (FieldPosition::Param(i), Some(s)) => {
-                let param_spec = payload
-                    .command()
-                    .and_then(|cmd| s.command(cmd))
-                    .and_then(|c| c.params.get(i));
+                let param_spec =
+                    payload.command().and_then(|cmd| s.command(cmd)).and_then(|c| c.params.get(i));
                 match param_spec {
                     Some(p) => {
                         let invalid = p.invalid_values();

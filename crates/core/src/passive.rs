@@ -113,11 +113,8 @@ impl PassiveScanner {
                 .max_by_key(|(k, v)| (**v, std::cmp::Reverse(**k)))
                 .map(|(k, _)| k)?,
         );
-        let slaves: Vec<NodeId> = participation
-            .keys()
-            .filter(|&&n| n != controller.0)
-            .map(|&n| NodeId(n))
-            .collect();
+        let slaves: Vec<NodeId> =
+            participation.keys().filter(|&&n| n != controller.0).map(|&n| NodeId(n)).collect();
 
         let mut traffic = TrafficStats::default();
         for d in dissections.iter().filter(|d| d.home_id == home_id) {

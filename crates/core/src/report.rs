@@ -48,7 +48,10 @@ pub fn to_markdown(report: &ZCoverReport, target_label: &str) -> String {
     if report.campaign.findings.is_empty() {
         let _ = writeln!(out, "No vulnerabilities were found within the budget.");
     } else {
-        let _ = writeln!(out, "| bug | CMDCL | CMD | effect | duration | root cause | found at | trigger |");
+        let _ = writeln!(
+            out,
+            "| bug | CMDCL | CMD | effect | duration | root cause | found at | trigger |"
+        );
         let _ = writeln!(out, "|---|---|---|---|---|---|---|---|");
         for f in &report.campaign.findings {
             let trigger: Vec<String> = f.trigger.iter().map(|b| format!("{b:02X}")).collect();

@@ -1,31 +1,70 @@
-//! Multi-trial campaign orchestration.
+//! Multi-trial campaign aggregation.
 //!
 //! "Following recommended fuzzing practices, we conducted five 24-hour
-//! fuzzing trials for each controller" (Section IV). This module runs N
-//! independently-seeded campaigns against freshly-built targets and
-//! aggregates the union of findings plus per-trial statistics.
+//! fuzzing trials for each controller" (Section IV). This module defines
+//! the merged [`TrialSummary`] over N independently-seeded campaigns and
+//! the sequential [`run_trials`] entry point; the scheduling itself —
+//! sequential or across a worker pool — lives in
+//! [`crate::executor::CampaignExecutor`].
 
 use std::collections::BTreeMap;
 use std::time::Duration;
 
-use crate::fuzzer::{CampaignResult, FuzzConfig};
+use crate::buglog::{BugLog, VulnFinding};
+use crate::executor::CampaignExecutor;
+use crate::fuzzer::{CampaignCounters, CampaignResult, FuzzConfig};
 use crate::target::FuzzTarget;
-use crate::{ZCover, ZCoverError};
+use crate::ZCoverError;
 
 /// Aggregate of several independent trials on the same device model.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TrialSummary {
-    /// Each trial's campaign result, in seed order.
+    /// Each trial's campaign result, in trial order.
     pub per_trial: Vec<CampaignResult>,
     /// Union of unique bug ids across trials, ascending.
     pub union_bug_ids: Vec<u8>,
+    /// Deduplicated findings across trials: the first trial (by index) to
+    /// find a bug contributes its record, so the merge is independent of
+    /// worker scheduling.
+    pub unique_findings: Vec<VulnFinding>,
     /// For each bug id, how many of the trials found it.
     pub hit_counts: BTreeMap<u8, usize>,
+    /// Summed event counters across all trials.
+    pub counters: CampaignCounters,
     /// Mean packets sent per trial.
     pub mean_packets: f64,
 }
 
 impl TrialSummary {
+    /// Merges per-trial campaign results (already in trial order) into the
+    /// summary. This is the single merge path used by both the sequential
+    /// and the parallel executor, so the two are identical by
+    /// construction.
+    pub fn from_trials(per_trial: Vec<CampaignResult>) -> Self {
+        let mut hit_counts: BTreeMap<u8, usize> = BTreeMap::new();
+        let mut merged_log = BugLog::new();
+        let mut counters = CampaignCounters::default();
+        for result in &per_trial {
+            for finding in &result.findings {
+                *hit_counts.entry(finding.bug_id).or_default() += 1;
+                merged_log.absorb(finding);
+            }
+            counters.merge(&result.counters);
+        }
+        let union_bug_ids: Vec<u8> = hit_counts.keys().copied().collect();
+        let mean_packets = per_trial.iter().map(|r| r.packets_sent as f64).sum::<f64>()
+            / per_trial.len().max(1) as f64;
+
+        TrialSummary {
+            per_trial,
+            union_bug_ids,
+            unique_findings: merged_log.findings().to_vec(),
+            hit_counts,
+            counters,
+            mean_packets,
+        }
+    }
+
     /// Number of trials executed.
     pub fn trials(&self) -> usize {
         self.per_trial.len()
@@ -35,6 +74,13 @@ impl TrialSummary {
     pub fn found_in_all_trials(&self) -> Vec<u8> {
         let n = self.trials();
         self.hit_counts.iter().filter(|(_, c)| **c == n).map(|(id, _)| *id).collect()
+    }
+
+    /// Mean unique vulnerabilities found per trial (the Table VI ablation
+    /// metric when averaged over several trials).
+    pub fn mean_unique_vulns(&self) -> f64 {
+        self.per_trial.iter().map(|r| r.unique_vulns() as f64).sum::<f64>()
+            / self.trials().max(1) as f64
     }
 
     /// Mean virtual time until the bug was first found, across the trials
@@ -57,46 +103,28 @@ impl TrialSummary {
     }
 }
 
-/// Runs `trials` independent campaigns. `make_target` builds a fresh
-/// target for a given seed (fresh network, fresh keys — the paper powers
-/// devices back to factory state between trials); the fuzz configuration
-/// is `base_config` with the per-trial seed substituted.
+/// Runs `trials` independent campaigns sequentially (the one-worker
+/// [`CampaignExecutor`]). `make_target` builds a fresh target for a given
+/// seed (fresh network, fresh keys — the paper powers devices back to
+/// factory state between trials); the fuzz configuration is `base_config`
+/// with the per-trial seed substituted. Trial seeds derive from
+/// `campaign_seed` via [`crate::executor::derive_trial_seed`].
 ///
 /// # Errors
 ///
-/// Propagates the first [`ZCoverError`] from any trial's
-/// fingerprinting phase.
+/// Propagates the [`ZCoverError`] of the lowest-indexed trial whose
+/// fingerprinting phase failed.
 pub fn run_trials<T, F>(
     trials: u64,
-    base_seed: u64,
-    mut make_target: F,
+    campaign_seed: u64,
+    make_target: F,
     base_config: &FuzzConfig,
 ) -> Result<TrialSummary, ZCoverError>
 where
     T: FuzzTarget,
-    F: FnMut(u64) -> T,
+    F: Fn(u64) -> T + Sync,
 {
-    let mut per_trial = Vec::with_capacity(trials as usize);
-    for trial in 0..trials {
-        let seed = base_seed.wrapping_add(trial);
-        let mut target = make_target(seed);
-        let mut zcover = ZCover::attach(&target, 70.0);
-        let config = FuzzConfig { seed, ..base_config.clone() };
-        let report = zcover.run_campaign(&mut target, config)?;
-        per_trial.push(report.campaign);
-    }
-
-    let mut hit_counts: BTreeMap<u8, usize> = BTreeMap::new();
-    for result in &per_trial {
-        for finding in &result.findings {
-            *hit_counts.entry(finding.bug_id).or_default() += 1;
-        }
-    }
-    let union_bug_ids: Vec<u8> = hit_counts.keys().copied().collect();
-    let mean_packets =
-        per_trial.iter().map(|r| r.packets_sent as f64).sum::<f64>() / per_trial.len().max(1) as f64;
-
-    Ok(TrialSummary { per_trial, union_bug_ids, hit_counts, mean_packets })
+    CampaignExecutor::sequential().run(trials, campaign_seed, make_target, base_config)
 }
 
 #[cfg(test)]
@@ -114,6 +142,18 @@ mod tests {
         // The deterministic exploration plans make every bug a stable find.
         assert_eq!(summary.found_in_all_trials().len(), 15);
         assert!(summary.mean_packets > 1000.0);
+        // The merged findings are the union, deduplicated.
+        let mut ids: Vec<u8> = summary.unique_findings.iter().map(|f| f.bug_id).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, summary.union_bug_ids);
+        // Counters aggregate across trials.
+        assert_eq!(
+            summary.counters.packets_sent,
+            summary.per_trial.iter().map(|r| r.packets_sent).sum::<u64>()
+        );
+        assert_eq!(summary.counters.findings, 45);
+        assert!(summary.counters.plans_executed > 0);
+        assert!(summary.counters.outages_observed > 0);
     }
 
     #[test]

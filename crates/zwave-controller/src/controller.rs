@@ -5,7 +5,7 @@
 //! link. Its receive path mirrors real firmware:
 //!
 //! 1. home-id filter → 2. (vulnerable) pre-parse MAC quirks → 3. MAC
-//! validation (length, checksum, header) → 4. health gate → 5. MAC ack →
+//!    validation (length, checksum, header) → 4. health gate → 5. MAC ack →
 //! 6. application-layer dispatch, where the Table III vulnerabilities live.
 
 use std::collections::BTreeSet;
@@ -387,8 +387,7 @@ impl SimController {
         // 5. Addressing + MAC ack. Multicast frames carry a node mask in
         //    front of the payload and are never acknowledged.
         if frame.frame_control().header_type == zwave_protocol::frame::HeaderType::Multicast {
-            let Ok((header, apl)) = zwave_protocol::MulticastHeader::decode(frame.payload())
-            else {
+            let Ok((header, apl)) = zwave_protocol::MulticastHeader::decode(frame.payload()) else {
                 return;
             };
             if !header.contains(self.node_id) {
@@ -562,8 +561,8 @@ impl SimController {
         match &t.effect {
             VulnEffect::TamperNode { node, new_type } => {
                 if let Some(rec) = self.nvm.get_mut(NodeId(*node)) {
-                    rec.device_type =
-                        BasicDeviceType::from_byte(*new_type).unwrap_or(BasicDeviceType::RoutingSlave);
+                    rec.device_type = BasicDeviceType::from_byte(*new_type)
+                        .unwrap_or(BasicDeviceType::RoutingSlave);
                     rec.secure = false;
                 }
             }
@@ -648,7 +647,9 @@ impl SimController {
             // Basic Get → Basic Report.
             (0x20, Some(0x02)) => self.send_apl(src, vec![0x20, 0x03, 0xFF]),
             // Version Get → Version Report.
-            (0x86, Some(0x11)) => self.send_apl(src, vec![0x86, 0x12, 0x07, 0x01, 0x02, 0x05, 0x00]),
+            (0x86, Some(0x11)) => {
+                self.send_apl(src, vec![0x86, 0x12, 0x07, 0x01, 0x02, 0x05, 0x00])
+            }
             // Version CommandClassGet for an implemented class → Report.
             (0x86, Some(0x13)) if !payload.params().is_empty() => {
                 let queried = payload.params()[0];
@@ -910,15 +911,13 @@ mod app_state_tests {
 
     fn setup() -> (Medium, SimController, Transceiver) {
         let medium = Medium::new(SimClock::new(), 7);
-        let controller =
-            SimController::new(crate::testbed::DeviceModel::D1.config(), &medium, 0.0);
+        let controller = SimController::new(crate::testbed::DeviceModel::D1.config(), &medium, 0.0);
         let attacker = medium.attach(10.0);
         (medium, controller, attacker)
     }
 
     fn send(attacker: &Transceiver, c: &mut SimController, payload: Vec<u8>) {
-        let frame =
-            MacFrame::singlecast(HomeId(0xE7DE3F3D), NodeId(0x03), NodeId(0x01), payload);
+        let frame = MacFrame::singlecast(HomeId(0xE7DE3F3D), NodeId(0x03), NodeId(0x01), payload);
         attacker.transmit(&frame.encode());
         c.poll();
     }

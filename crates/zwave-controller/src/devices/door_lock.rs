@@ -110,8 +110,12 @@ impl SimDoorLock {
             (0x62, Some(0x02)) => self.report_state(src),
             // Battery Get.
             (0x80, Some(0x02)) => {
-                let report =
-                    self.session.encapsulate(self.home_id.0, self.node_id.0, src.0, &[0x80, 0x03, 0x5F]);
+                let report = self.session.encapsulate(
+                    self.home_id.0,
+                    self.node_id.0,
+                    src.0,
+                    &[0x80, 0x03, 0x5F],
+                );
                 self.send(src, report);
             }
             _ => {}

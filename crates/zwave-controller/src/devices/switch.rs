@@ -24,7 +24,14 @@ impl SimSwitch {
         node_id: NodeId,
         controller: NodeId,
     ) -> Self {
-        SimSwitch { radio: medium.attach(position_m), home_id, node_id, controller, on: false, seq: 0 }
+        SimSwitch {
+            radio: medium.attach(position_m),
+            home_id,
+            node_id,
+            controller,
+            on: false,
+            seq: 0,
+        }
     }
 
     /// Whether the load is powered.
@@ -64,7 +71,8 @@ impl SimSwitch {
             // Routing-slave duty: forward routed frames whose current
             // repeater is us, advancing the hop index.
             if frame.frame_control().header_type == zwave_protocol::frame::HeaderType::Routed {
-                if let Ok((mut header, apl)) = zwave_protocol::RoutingHeader::decode(frame.payload())
+                if let Ok((mut header, apl)) =
+                    zwave_protocol::RoutingHeader::decode(frame.payload())
                 {
                     if header.current_repeater() == Some(self.node_id) {
                         header.advance();

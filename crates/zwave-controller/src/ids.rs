@@ -189,11 +189,7 @@ impl Ids {
             self.model.known_nodes.insert(d.dst.0);
         }
         if let Some(apl) = &d.apl {
-            self.model
-                .clear_classes
-                .entry(d.src.0)
-                .or_default()
-                .insert(apl.command_class().0);
+            self.model.clear_classes.entry(d.src.0).or_default().insert(apl.command_class().0);
         }
     }
 
@@ -216,11 +212,8 @@ impl Ids {
         if is_sensitive_class(cc.0) {
             reasons.push(AlertReason::UnencryptedSensitiveClass);
         }
-        let seen_in_clear = self
-            .model
-            .clear_classes
-            .values()
-            .any(|classes| classes.contains(&cc.0));
+        let seen_in_clear =
+            self.model.clear_classes.values().any(|classes| classes.contains(&cc.0));
         if !seen_in_clear && !is_sensitive_class(cc.0) {
             reasons.push(AlertReason::UnexpectedCommandClass);
         }
@@ -263,7 +256,10 @@ mod tests {
         for _ in 0..5 {
             ids.observe(&frame(0xCB95A34A, 0x03, 0x01, vec![0x25, 0x03, 0x00]), SimInstant::ZERO);
             ids.observe(&frame(0xCB95A34A, 0x01, 0x03, vec![0x25, 0x02]), SimInstant::ZERO);
-            ids.observe(&frame(0xCB95A34A, 0x02, 0x01, vec![0x9F, 0x03, 0x00, 0x00, 1, 2, 3]), SimInstant::ZERO);
+            ids.observe(
+                &frame(0xCB95A34A, 0x02, 0x01, vec![0x9F, 0x03, 0x00, 0x00, 1, 2, 3]),
+                SimInstant::ZERO,
+            );
         }
         ids.finish_training();
         ids
@@ -348,7 +344,9 @@ mod tests {
     #[test]
     fn other_networks_are_ignored() {
         let mut ids = trained_ids();
-        assert!(ids.observe(&frame(0xDEADBEEF, 0x55, 0x01, vec![0x01, 0x0D, 0x02]), SimInstant::ZERO).is_none());
+        assert!(ids
+            .observe(&frame(0xDEADBEEF, 0x55, 0x01, vec![0x01, 0x0D, 0x02]), SimInstant::ZERO)
+            .is_none());
         assert_eq!(ids.stats().frames_seen, 0);
     }
 

@@ -44,7 +44,7 @@ pub mod vulns;
 
 pub use controller::{ControllerConfig, ControllerStats, SimController};
 pub use health::{EffectKind, FaultLog, FaultRecord, Health, RootCause};
-pub use ids::{Alert, AlertReason, Ids};
 pub use host::{AppLink, AppState, HostProgram, HostState};
+pub use ids::{Alert, AlertReason, Ids};
 pub use nvm::{NodeDatabase, NodeRecord};
 pub use testbed::{DeviceModel, Testbed, LOCK_NODE, SWITCH_NODE};

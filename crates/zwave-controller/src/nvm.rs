@@ -143,9 +143,7 @@ impl NodeDatabase {
                 BasicDeviceType::Slave => "slave",
                 BasicDeviceType::RoutingSlave => "routing slave",
             };
-            let wakeup = rec
-                .wakeup_interval_s
-                .map_or_else(|| "-".to_string(), |w| format!("{w}s"));
+            let wakeup = rec.wakeup_interval_s.map_or_else(|| "-".to_string(), |w| format!("{w}s"));
             out.push_str(&format!(
                 "#{:<3}| {:<18}| {:<7}| {}\n",
                 rec.node_id.0,

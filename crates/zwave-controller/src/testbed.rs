@@ -57,8 +57,7 @@ impl DeviceModel {
 
     fn config_parts(
         self,
-    ) -> (&'static str, &'static str, &'static str, u16, u32, bool, bool, bool, Vec<MacQuirk>)
-    {
+    ) -> (&'static str, &'static str, &'static str, u16, u32, bool, bool, bool, Vec<MacQuirk>) {
         // (idx, brand, model, year, home, usb, hub, full17, quirks)
         match self {
             DeviceModel::D1 => (
@@ -211,7 +210,8 @@ impl Testbed {
         controller.nvm_mut().insert(switch_rec);
         controller.commit_factory_state();
 
-        let lock = SimDoorLock::new(&medium, 8.0, home_id, LOCK_NODE, NodeId::CONTROLLER, lock_session);
+        let lock =
+            SimDoorLock::new(&medium, 8.0, home_id, LOCK_NODE, NodeId::CONTROLLER, lock_session);
         let switch = SimSwitch::new(&medium, 12.0, home_id, SWITCH_NODE, NodeId::CONTROLLER);
 
         Testbed { clock, medium, controller, lock, switch, sensor: None }
@@ -224,14 +224,8 @@ impl Testbed {
         let mut tb = Testbed::new(model, seed);
         let home_id = tb.controller.home_id();
         let s0_key = *tb.controller.s0_key();
-        let sensor = SimSensor::new(
-            &tb.medium,
-            15.0,
-            home_id,
-            SENSOR_NODE,
-            NodeId::CONTROLLER,
-            &s0_key,
-        );
+        let sensor =
+            SimSensor::new(&tb.medium, 15.0, home_id, SENSOR_NODE, NodeId::CONTROLLER, &s0_key);
         let mut record = NodeRecord::new(SENSOR_NODE, zwave_protocol::nif::BasicDeviceType::Slave);
         record.generic = 0x20; // binary sensor
         record.listening = false;

@@ -147,18 +147,36 @@ pub fn check(payload: &ApplicationPayload, ctx: &VulnContext<'_>) -> Option<Trig
                 let target = *p.first()?;
                 if target == 0xFF {
                     // Bug #04: broadcast marker wipes the device table.
-                    return hit(4, VulnEffect::OverwriteDatabase, E::DatabaseOverwritten, Specification, None);
+                    return hit(
+                        4,
+                        VulnEffect::OverwriteDatabase,
+                        E::DatabaseOverwritten,
+                        Specification,
+                        None,
+                    );
                 }
                 let exists = ctx.nvm.contains(zwave_protocol::NodeId(target));
                 if exists && target != ctx.self_node {
                     if n == 1 {
                         // Bug #03: truncated registration removes the node.
-                        return hit(3, VulnEffect::RemoveNode { node: target }, E::NodeRemoved, Specification, None);
+                        return hit(
+                            3,
+                            VulnEffect::RemoveNode { node: target },
+                            E::NodeRemoved,
+                            Specification,
+                            None,
+                        );
                     }
                     if p[1] == 0x00 {
                         // Bug #12: zero capability byte clears the wake-up
                         // interval.
-                        return hit(12, VulnEffect::ClearWakeup { node: target }, E::WakeupIntervalRemoved, Specification, None);
+                        return hit(
+                            12,
+                            VulnEffect::ClearWakeup { node: target },
+                            E::WakeupIntervalRemoved,
+                            Specification,
+                            None,
+                        );
                     }
                     if (0x01..=0x04).contains(&p[1]) {
                         // Bug #01: valid-but-different type byte overwrites
@@ -175,13 +193,13 @@ pub fn check(payload: &ApplicationPayload, ctx: &VulnContext<'_>) -> Option<Trig
                 } else if !exists && (0x02..=0xE8).contains(&target) {
                     // Bug #02: unauthenticated registration of a rogue node.
                     let type_byte = p.get(1).copied().unwrap_or(0x01);
-                    return hit(
+                    hit(
                         2,
                         VulnEffect::InsertRogue { node: target, type_byte },
                         E::RogueNodeInserted,
                         Specification,
                         None,
-                    );
+                    )
                 } else {
                     None
                 }
@@ -195,7 +213,13 @@ pub fn check(payload: &ApplicationPayload, ctx: &VulnContext<'_>) -> Option<Trig
                 // Bug #14: declared neighbour mask longer than supplied —
                 // the controller searches for non-existent nodes for four
                 // minutes.
-                hit(14, VulnEffect::Busy(outage::BUG14), E::BusySearch, Specification, Some(outage::BUG14))
+                hit(
+                    14,
+                    VulnEffect::Busy(outage::BUG14),
+                    E::BusySearch,
+                    Specification,
+                    Some(outage::BUG14),
+                )
             }
             _ => None,
         },
@@ -216,7 +240,13 @@ pub fn check(payload: &ApplicationPayload, ctx: &VulnContext<'_>) -> Option<Trig
             let canonical = cmd == 0x01 && n >= 1;
             let sloppy = (0x02..=0x0F).contains(&cmd);
             if canonical || sloppy {
-                hit(7, VulnEffect::Busy(outage::BUG07), E::ServiceInterruption, Specification, Some(outage::BUG07))
+                hit(
+                    7,
+                    VulnEffect::Busy(outage::BUG07),
+                    E::ServiceInterruption,
+                    Specification,
+                    Some(outage::BUG07),
+                )
             } else {
                 None
             }
@@ -225,10 +255,22 @@ pub fn check(payload: &ApplicationPayload, ctx: &VulnContext<'_>) -> Option<Trig
         // ── Association Group Info (bugs #08 and #11) ──────────────────
         0x59 => {
             if (cmd == 0x03 && (n < 2 || p[1] == 0x00)) || (0x10..=0x1F).contains(&cmd) {
-                return hit(8, VulnEffect::Busy(outage::BUG08), E::ServiceInterruption, Specification, Some(outage::BUG08));
+                return hit(
+                    8,
+                    VulnEffect::Busy(outage::BUG08),
+                    E::ServiceInterruption,
+                    Specification,
+                    Some(outage::BUG08),
+                );
             }
             if (cmd == 0x05 && (n < 2 || p[1] == 0x00)) || (0x20..=0x2F).contains(&cmd) {
-                return hit(11, VulnEffect::Busy(outage::BUG11), E::ServiceInterruption, Specification, Some(outage::BUG11));
+                return hit(
+                    11,
+                    VulnEffect::Busy(outage::BUG11),
+                    E::ServiceInterruption,
+                    Specification,
+                    Some(outage::BUG11),
+                );
             }
             None
         }
@@ -236,10 +278,22 @@ pub fn check(payload: &ApplicationPayload, ctx: &VulnContext<'_>) -> Option<Trig
         // ── Firmware Update MD (bugs #09 and #15) ──────────────────────
         0x7A => {
             if (cmd == 0x01 && n >= 1) || (0x10..=0x1F).contains(&cmd) {
-                return hit(9, VulnEffect::Busy(outage::BUG09), E::ServiceInterruption, Specification, Some(outage::BUG09));
+                return hit(
+                    9,
+                    VulnEffect::Busy(outage::BUG09),
+                    E::ServiceInterruption,
+                    Specification,
+                    Some(outage::BUG09),
+                );
             }
             if (cmd == 0x03 && n < 5) || (0x20..=0x2F).contains(&cmd) {
-                return hit(15, VulnEffect::Busy(outage::BUG15), E::ServiceInterruption, Specification, Some(outage::BUG15));
+                return hit(
+                    15,
+                    VulnEffect::Busy(outage::BUG15),
+                    E::ServiceInterruption,
+                    Specification,
+                    Some(outage::BUG15),
+                );
             }
             None
         }
@@ -249,7 +303,13 @@ pub fn check(payload: &ApplicationPayload, ctx: &VulnContext<'_>) -> Option<Trig
             let canonical = cmd == 0x13 && (n == 0 || !ctx.implemented.contains(&p[0]));
             let sloppy = (0x20..=0x2F).contains(&cmd);
             if canonical || sloppy {
-                hit(10, VulnEffect::Busy(outage::BUG10), E::ServiceInterruption, Specification, Some(outage::BUG10))
+                hit(
+                    10,
+                    VulnEffect::Busy(outage::BUG10),
+                    E::ServiceInterruption,
+                    Specification,
+                    Some(outage::BUG10),
+                )
             } else {
                 None
             }
@@ -329,7 +389,14 @@ mod tests {
     }
 
     fn ctx<'a>(nvm: &'a NodeDatabase, imp: &'a BTreeSet<u8>) -> VulnContext<'a> {
-        VulnContext { nvm, implemented: imp, encrypted: false, usb_host: true, smart_hub: false, self_node: 1 }
+        VulnContext {
+            nvm,
+            implemented: imp,
+            encrypted: false,
+            usb_host: true,
+            smart_hub: false,
+            self_node: 1,
+        }
     }
 
     fn pld(cc: u8, cmd: u8, params: &[u8]) -> ApplicationPayload {

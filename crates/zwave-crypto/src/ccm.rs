@@ -36,13 +36,20 @@ fn check_params(nonce: &[u8], tag_len: usize) -> Result<usize, CcmError> {
     if !(7..=13).contains(&nonce.len()) {
         return Err(CcmError::BadNonceLen(nonce.len()));
     }
-    if !(4..=16).contains(&tag_len) || tag_len % 2 != 0 {
+    if !(4..=16).contains(&tag_len) || !tag_len.is_multiple_of(2) {
         return Err(CcmError::BadTagLen(tag_len));
     }
     Ok(15 - nonce.len())
 }
 
-fn cbc_mac(aes: &Aes128, nonce: &[u8], aad: &[u8], payload: &[u8], tag_len: usize, q: usize) -> [u8; 16] {
+fn cbc_mac(
+    aes: &Aes128,
+    nonce: &[u8],
+    aad: &[u8],
+    payload: &[u8],
+    tag_len: usize,
+    q: usize,
+) -> [u8; 16] {
     // B0 block.
     let mut b0 = [0u8; 16];
     b0[0] = (if aad.is_empty() { 0 } else { 0x40 })

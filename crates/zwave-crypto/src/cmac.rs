@@ -26,7 +26,7 @@ pub fn cmac(key: &[u8; 16], msg: &[u8]) -> [u8; 16] {
     let k2 = dbl(&k1);
 
     let n_blocks = msg.len().div_ceil(16).max(1);
-    let complete_last = !msg.is_empty() && msg.len() % 16 == 0;
+    let complete_last = !msg.is_empty() && msg.len().is_multiple_of(16);
 
     let mut x = [0u8; 16];
     for i in 0..n_blocks - 1 {

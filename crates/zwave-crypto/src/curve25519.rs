@@ -226,7 +226,8 @@ mod tests {
     fn dh_is_commutative_for_arbitrary_scalars() {
         for seed in 0u8..4 {
             let a: SecretKey = core::array::from_fn(|i| seed.wrapping_add(i as u8).wrapping_mul(7));
-            let b: SecretKey = core::array::from_fn(|i| seed.wrapping_add(i as u8).wrapping_mul(13) ^ 0x5A);
+            let b: SecretKey =
+                core::array::from_fn(|i| seed.wrapping_add(i as u8).wrapping_mul(13) ^ 0x5A);
             let shared_ab = diffie_hellman(&a, &public_key(&b));
             let shared_ba = diffie_hellman(&b, &public_key(&a));
             assert_eq!(shared_ab, shared_ba);

@@ -210,8 +210,7 @@ impl IncludingController {
                 // The node asks for the network key under the temp session.
                 let keys = self.temp_keys.clone()?;
                 let node_ei = self.node_ei?;
-                let mut temp =
-                    S2Session::responder(keys, &node_ei, &self.our_ei);
+                let mut temp = S2Session::responder(keys, &node_ei, &self.our_ei);
                 let (ctrl, node) = self.node_ids;
                 let inner = match temp.decapsulate(self.home_id, node, ctrl, payload) {
                     Ok(inner) => inner,
@@ -228,11 +227,8 @@ impl IncludingController {
             (CtrlState::SentNetworkKey, cmd::MESSAGE_ENCAP) => {
                 // NETWORK KEY VERIFY must arrive under the permanent key.
                 let node_ei = self.node_ei?;
-                let mut perm = S2Session::responder(
-                    network_keys(&self.network_key),
-                    &node_ei,
-                    &self.our_ei,
-                );
+                let mut perm =
+                    S2Session::responder(network_keys(&self.network_key), &node_ei, &self.our_ei);
                 let (ctrl, node) = self.node_ids;
                 let inner = match perm.decapsulate(self.home_id, node, ctrl, payload) {
                     Ok(inner) => inner,
@@ -391,15 +387,13 @@ impl JoiningNode {
                 // one frame on it).
                 let mut temp = S2Session::initiator(keys, &self.our_ei, &ctrl_ei);
                 let (ctrl, node) = self.node_ids;
-                let _ = temp.encapsulate(self.home_id, node, ctrl, &[0x9F, cmd::NETWORK_KEY_GET, 0x87]);
+                let _ =
+                    temp.encapsulate(self.home_id, node, ctrl, &[0x9F, cmd::NETWORK_KEY_GET, 0x87]);
                 let inner = match temp.decapsulate(self.home_id, ctrl, node, payload) {
                     Ok(inner) => inner,
                     Err(_) => return self.fail(KexFailure::DecryptFailed),
                 };
-                if inner.len() < 3 + 16
-                    || inner[0] != 0x9F
-                    || inner[1] != cmd::NETWORK_KEY_REPORT
-                {
+                if inner.len() < 3 + 16 || inner[0] != 0x9F || inner[1] != cmd::NETWORK_KEY_REPORT {
                     return self.fail(KexFailure::OutOfOrder);
                 }
                 let mut key = [0u8; 16];

@@ -296,7 +296,10 @@ mod tests {
         bad[idx] ^= 1;
         assert_eq!(b.decapsulate(0xE7DE3F3D, 1, 2, &bad), Err(S2Error::AuthFailed));
         // Wrong home id (AAD binding).
-        assert_eq!(b.clone_for_test().decapsulate(0xDEADBEEF, 1, 2, &encap), Err(S2Error::AuthFailed));
+        assert_eq!(
+            b.clone_for_test().decapsulate(0xDEADBEEF, 1, 2, &encap),
+            Err(S2Error::AuthFailed)
+        );
         // Wrong src (AAD binding).
         assert_eq!(b.decapsulate(0xE7DE3F3D, 3, 2, &encap), Err(S2Error::AuthFailed));
     }

@@ -10,7 +10,9 @@ use serde::{Deserialize, Serialize};
 /// Well-known identifiers are provided as associated constants; the full
 /// specification data (commands, parameters, clusters) lives in
 /// [`crate::registry`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct CommandClassId(pub u8);
 
 impl CommandClassId {

@@ -150,14 +150,28 @@ impl MacFrame {
     /// [`MAX_MAC_FRAME_LEN`]; use [`MacFrame::try_new`] for fallible
     /// construction from untrusted sizes.
     pub fn singlecast(home_id: HomeId, src: NodeId, dst: NodeId, payload: Vec<u8>) -> Self {
-        MacFrame::try_new(home_id, src, FrameControl::singlecast(0), dst, payload, ChecksumKind::Cs8)
-            .expect("payload exceeds the 64-byte MAC frame limit")
+        MacFrame::try_new(
+            home_id,
+            src,
+            FrameControl::singlecast(0),
+            dst,
+            payload,
+            ChecksumKind::Cs8,
+        )
+        .expect("payload exceeds the 64-byte MAC frame limit")
     }
 
     /// Builds a MAC acknowledgement frame.
     pub fn ack(home_id: HomeId, src: NodeId, dst: NodeId, sequence: u8) -> Self {
-        MacFrame::try_new(home_id, src, FrameControl::ack(sequence), dst, Vec::new(), ChecksumKind::Cs8)
-            .expect("empty ack always fits")
+        MacFrame::try_new(
+            home_id,
+            src,
+            FrameControl::ack(sequence),
+            dst,
+            Vec::new(),
+            ChecksumKind::Cs8,
+        )
+        .expect("empty ack always fits")
     }
 
     /// Fallible general constructor.
@@ -371,10 +385,7 @@ mod tests {
     #[test]
     fn truncated_frame_is_rejected() {
         let wire = sample().encode();
-        assert!(matches!(
-            MacFrame::decode(&wire[..5]),
-            Err(ProtocolError::TruncatedFrame { .. })
-        ));
+        assert!(matches!(MacFrame::decode(&wire[..5]), Err(ProtocolError::TruncatedFrame { .. })));
     }
 
     #[test]

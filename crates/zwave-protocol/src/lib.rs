@@ -53,6 +53,6 @@ pub use error::ProtocolError;
 pub use frame::{FrameControl, HeaderType, MacFrame};
 pub use multicast::MulticastHeader;
 pub use nif::{NodeInfoFrame, ZWAVE_PROTOCOL_CMD_NODE_INFO, ZWAVE_PROTOCOL_CMD_REQUEST_NODE_INFO};
-pub use routing::RoutingHeader;
 pub use registry::{CommandClassSpec, CommandSpec, FunctionalCluster, ParamSpec, Registry};
+pub use routing::RoutingHeader;
 pub use types::{ChecksumKind, HomeId, NodeId, MAX_MAC_FRAME_LEN};

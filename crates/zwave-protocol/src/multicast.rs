@@ -43,10 +43,7 @@ impl MulticastHeader {
             return false;
         }
         let bit = (node.0 - 1) as usize;
-        self.mask
-            .get(bit / 8)
-            .map(|b| b & (1 << (bit % 8)) != 0)
-            .unwrap_or(false)
+        self.mask.get(bit / 8).map(|b| b & (1 << (bit % 8)) != 0).unwrap_or(false)
     }
 
     /// Every addressed node, ascending.
@@ -101,10 +98,7 @@ mod tests {
         assert!(header.contains(NodeId(2)));
         assert!(header.contains(NodeId(200)));
         assert!(!header.contains(NodeId(4)));
-        assert_eq!(
-            header.nodes(),
-            vec![NodeId(2), NodeId(3), NodeId(16), NodeId(200)]
-        );
+        assert_eq!(header.nodes(), vec![NodeId(2), NodeId(3), NodeId(16), NodeId(200)]);
         let encoded = header.encode();
         let (back, rest) = MulticastHeader::decode(&encoded).unwrap();
         assert_eq!(back, header);

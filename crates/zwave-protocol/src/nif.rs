@@ -108,10 +108,8 @@ impl NodeInfoFrame {
                 command: payload[1],
             });
         }
-        let basic = BasicDeviceType::from_byte(payload[2]).ok_or(ProtocolError::UnknownCommand {
-            command_class: 0x01,
-            command: payload[2],
-        })?;
+        let basic = BasicDeviceType::from_byte(payload[2])
+            .ok_or(ProtocolError::UnknownCommand { command_class: 0x01, command: payload[2] })?;
         let count = payload[5] as usize;
         let classes = &payload[6..];
         if classes.len() < count {

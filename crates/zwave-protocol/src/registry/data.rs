@@ -57,10 +57,8 @@ const TRIO: &[CommandSpec] = &[
 ];
 
 /// Get/Report pair for read-only classes.
-const GET_REPORT: &[CommandSpec] = &[
-    cmd!(0x02, "GET", Get, Controlling),
-    cmd!(0x03, "REPORT", Report, Supporting, ANY, ANY),
-];
+const GET_REPORT: &[CommandSpec] =
+    &[cmd!(0x02, "GET", Get, Controlling), cmd!(0x03, "REPORT", Report, Supporting, ANY, ANY)];
 
 /// The public command classes, ascending by CMDCL byte. Exactly 122 entries.
 pub(super) static PUBLIC_COMMAND_CLASSES: &[CommandClassSpec] = &[
@@ -132,7 +130,15 @@ pub(super) static PUBLIC_COMMAND_CLASSES: &[CommandClassSpec] = &[
             cmd!(0x01, "SWITCH_MULTILEVEL_SET", Set, Controlling, LEVEL, SECONDS),
             cmd!(0x02, "SWITCH_MULTILEVEL_GET", Get, Controlling),
             cmd!(0x03, "SWITCH_MULTILEVEL_REPORT", Report, Supporting, LEVEL, LEVEL, SECONDS),
-            cmd!(0x04, "SWITCH_MULTILEVEL_START_LEVEL_CHANGE", Set, Controlling, ANY, LEVEL, SECONDS),
+            cmd!(
+                0x04,
+                "SWITCH_MULTILEVEL_START_LEVEL_CHANGE",
+                Set,
+                Controlling,
+                ANY,
+                LEVEL,
+                SECONDS
+            ),
             cmd!(0x05, "SWITCH_MULTILEVEL_STOP_LEVEL_CHANGE", Set, Controlling),
             cmd!(0x06, "SWITCH_MULTILEVEL_SUPPORTED_GET", Get, Controlling),
             cmd!(0x07, "SWITCH_MULTILEVEL_SUPPORTED_REPORT", Report, Supporting, ANY, ANY),
@@ -144,9 +150,21 @@ pub(super) static PUBLIC_COMMAND_CLASSES: &[CommandClassSpec] = &[
         ApplicationFunctionality,
         1,
         &[
-            cmd!(0x01, "SWITCH_ALL_SET", Set, Controlling, ParamSpec::Enum(&[0x00, 0x01, 0x02, 0xFF])),
+            cmd!(
+                0x01,
+                "SWITCH_ALL_SET",
+                Set,
+                Controlling,
+                ParamSpec::Enum(&[0x00, 0x01, 0x02, 0xFF])
+            ),
             cmd!(0x02, "SWITCH_ALL_GET", Get, Controlling),
-            cmd!(0x03, "SWITCH_ALL_REPORT", Report, Supporting, ParamSpec::Enum(&[0x00, 0x01, 0x02, 0xFF])),
+            cmd!(
+                0x03,
+                "SWITCH_ALL_REPORT",
+                Report,
+                Supporting,
+                ParamSpec::Enum(&[0x00, 0x01, 0x02, 0xFF])
+            ),
             cmd!(0x04, "SWITCH_ALL_ON", Set, Controlling),
             cmd!(0x05, "SWITCH_ALL_OFF", Set, Controlling),
         ]
@@ -158,7 +176,14 @@ pub(super) static PUBLIC_COMMAND_CLASSES: &[CommandClassSpec] = &[
         "COMMAND_CLASS_SCENE_ACTIVATION",
         SensorActuator,
         1,
-        &[cmd!(0x01, "SCENE_ACTIVATION_SET", Set, Controlling, ParamSpec::Byte { min: 1, max: 255 }, SECONDS)]
+        &[cmd!(
+            0x01,
+            "SCENE_ACTIVATION_SET",
+            Set,
+            Controlling,
+            ParamSpec::Byte { min: 1, max: 255 },
+            SECONDS
+        )]
     ),
     cc!(0x2C, "COMMAND_CLASS_SCENE_ACTUATOR_CONF", SensorActuator, 1, TRIO),
     cc!(0x2D, "COMMAND_CLASS_SCENE_CONTROLLER_CONF", SensorActuator, 1, TRIO),
@@ -223,20 +248,82 @@ pub(super) static PUBLIC_COMMAND_CLASSES: &[CommandClassSpec] = &[
         4,
         // 23 commands: Figure 5's tallest bar and the top fuzzing priority.
         &[
-            cmd!(0x01, "NODE_ADD", Set, Controlling, ANY, ANY, ParamSpec::Enum(&[0x01, 0x05, 0x07]), ANY),
-            cmd!(0x02, "NODE_ADD_STATUS", Report, Supporting, ANY, ParamSpec::Enum(&[0x06, 0x07, 0x09]), NODE),
+            cmd!(
+                0x01,
+                "NODE_ADD",
+                Set,
+                Controlling,
+                ANY,
+                ANY,
+                ParamSpec::Enum(&[0x01, 0x05, 0x07]),
+                ANY
+            ),
+            cmd!(
+                0x02,
+                "NODE_ADD_STATUS",
+                Report,
+                Supporting,
+                ANY,
+                ParamSpec::Enum(&[0x06, 0x07, 0x09]),
+                NODE
+            ),
             cmd!(0x03, "NODE_REMOVE", Set, Controlling, ANY, ANY, ParamSpec::Enum(&[0x01, 0x05])),
-            cmd!(0x04, "NODE_REMOVE_STATUS", Report, Supporting, ANY, ParamSpec::Enum(&[0x06, 0x07]), NODE),
+            cmd!(
+                0x04,
+                "NODE_REMOVE_STATUS",
+                Report,
+                Supporting,
+                ANY,
+                ParamSpec::Enum(&[0x06, 0x07]),
+                NODE
+            ),
             cmd!(0x07, "FAILED_NODE_REMOVE", Set, Controlling, ANY, NODE),
-            cmd!(0x08, "FAILED_NODE_REMOVE_STATUS", Report, Supporting, ANY, ParamSpec::Enum(&[0x00, 0x01, 0x02]), NODE),
+            cmd!(
+                0x08,
+                "FAILED_NODE_REMOVE_STATUS",
+                Report,
+                Supporting,
+                ANY,
+                ParamSpec::Enum(&[0x00, 0x01, 0x02]),
+                NODE
+            ),
             cmd!(0x09, "FAILED_NODE_REPLACE", Set, Controlling, ANY, NODE, ANY),
-            cmd!(0x0A, "FAILED_NODE_REPLACE_STATUS", Report, Supporting, ANY, ParamSpec::Enum(&[0x04, 0x05, 0x06]), NODE),
+            cmd!(
+                0x0A,
+                "FAILED_NODE_REPLACE_STATUS",
+                Report,
+                Supporting,
+                ANY,
+                ParamSpec::Enum(&[0x04, 0x05, 0x06]),
+                NODE
+            ),
             cmd!(0x0B, "NODE_NEIGHBOR_UPDATE_REQUEST", Set, Controlling, ANY, NODE),
-            cmd!(0x0C, "NODE_NEIGHBOR_UPDATE_STATUS", Report, Supporting, ANY, ParamSpec::Enum(&[0x22, 0x23])),
+            cmd!(
+                0x0C,
+                "NODE_NEIGHBOR_UPDATE_STATUS",
+                Report,
+                Supporting,
+                ANY,
+                ParamSpec::Enum(&[0x22, 0x23])
+            ),
             cmd!(0x0D, "RETURN_ROUTE_ASSIGN", Set, Controlling, ANY, NODE, NODE),
-            cmd!(0x0E, "RETURN_ROUTE_ASSIGN_COMPLETE", Report, Supporting, ANY, ParamSpec::Enum(&[0x00, 0x01])),
+            cmd!(
+                0x0E,
+                "RETURN_ROUTE_ASSIGN_COMPLETE",
+                Report,
+                Supporting,
+                ANY,
+                ParamSpec::Enum(&[0x00, 0x01])
+            ),
             cmd!(0x0F, "RETURN_ROUTE_DELETE", Set, Controlling, ANY, NODE),
-            cmd!(0x10, "RETURN_ROUTE_DELETE_COMPLETE", Report, Supporting, ANY, ParamSpec::Enum(&[0x00, 0x01])),
+            cmd!(
+                0x10,
+                "RETURN_ROUTE_DELETE_COMPLETE",
+                Report,
+                Supporting,
+                ANY,
+                ParamSpec::Enum(&[0x00, 0x01])
+            ),
             cmd!(0x11, "NODE_ADD_KEYS_REPORT", Report, Supporting, ANY, ANY, ANY),
             cmd!(0x12, "NODE_ADD_KEYS_SET", Set, Controlling, ANY, ANY, ANY),
             cmd!(0x13, "NODE_ADD_DSK_REPORT", Report, Supporting, ANY, ANY, ANY),
@@ -273,14 +360,26 @@ pub(super) static PUBLIC_COMMAND_CLASSES: &[CommandClassSpec] = &[
         ClimateEnergy,
         3,
         &[
-            cmd!(0x01, "THERMOSTAT_MODE_SET", Set, Controlling, ParamSpec::Enum(&[0, 1, 2, 3, 4, 5, 6, 11, 15, 31])),
+            cmd!(
+                0x01,
+                "THERMOSTAT_MODE_SET",
+                Set,
+                Controlling,
+                ParamSpec::Enum(&[0, 1, 2, 3, 4, 5, 6, 11, 15, 31])
+            ),
             cmd!(0x02, "THERMOSTAT_MODE_GET", Get, Controlling),
             cmd!(0x03, "THERMOSTAT_MODE_REPORT", Report, Supporting, ANY),
             cmd!(0x04, "THERMOSTAT_MODE_SUPPORTED_GET", Get, Controlling),
             cmd!(0x05, "THERMOSTAT_MODE_SUPPORTED_REPORT", Report, Supporting, ANY, ANY),
         ]
     ),
-    cc!(0x41, "COMMAND_CLASS_PREPAYMENT_ENCAPSULATION", ClimateEnergy, 1, &[cmd!(0x01, "PREPAYMENT_ENCAPSULATION_CMD", Other, Controlling, ANY, ANY)]),
+    cc!(
+        0x41,
+        "COMMAND_CLASS_PREPAYMENT_ENCAPSULATION",
+        ClimateEnergy,
+        1,
+        &[cmd!(0x01, "PREPAYMENT_ENCAPSULATION_CMD", Other, Controlling, ANY, ANY)]
+    ),
     cc!(0x42, "COMMAND_CLASS_THERMOSTAT_OPERATING_STATE", ClimateEnergy, 2, GET_REPORT),
     cc!(
         0x43,
@@ -334,13 +433,43 @@ pub(super) static PUBLIC_COMMAND_CLASSES: &[CommandClassSpec] = &[
         2,
         // 10 commands: Figure 5's "10" bar.
         &[
-            cmd!(0x01, "LEARN_MODE_SET", Set, Controlling, ANY, ANY, ParamSpec::Enum(&[0x00, 0x01, 0x02])),
-            cmd!(0x02, "LEARN_MODE_SET_STATUS", Report, Supporting, ANY, ParamSpec::Enum(&[0x01, 0x06, 0x07, 0x09]), NODE),
+            cmd!(
+                0x01,
+                "LEARN_MODE_SET",
+                Set,
+                Controlling,
+                ANY,
+                ANY,
+                ParamSpec::Enum(&[0x00, 0x01, 0x02])
+            ),
+            cmd!(
+                0x02,
+                "LEARN_MODE_SET_STATUS",
+                Report,
+                Supporting,
+                ANY,
+                ParamSpec::Enum(&[0x01, 0x06, 0x07, 0x09]),
+                NODE
+            ),
             cmd!(0x03, "NETWORK_UPDATE_REQUEST", Set, Controlling, ANY),
-            cmd!(0x04, "NETWORK_UPDATE_REQUEST_STATUS", Report, Supporting, ANY, ParamSpec::Enum(&[0x00, 0x01, 0x02, 0x03, 0x04])),
+            cmd!(
+                0x04,
+                "NETWORK_UPDATE_REQUEST_STATUS",
+                Report,
+                Supporting,
+                ANY,
+                ParamSpec::Enum(&[0x00, 0x01, 0x02, 0x03, 0x04])
+            ),
             cmd!(0x05, "NODE_INFORMATION_SEND", Set, Controlling, ANY, NODE, ANY),
             cmd!(0x06, "DEFAULT_SET", Set, Controlling, ANY),
-            cmd!(0x07, "DEFAULT_SET_COMPLETE", Report, Supporting, ANY, ParamSpec::Enum(&[0x06, 0x07])),
+            cmd!(
+                0x07,
+                "DEFAULT_SET_COMPLETE",
+                Report,
+                Supporting,
+                ANY,
+                ParamSpec::Enum(&[0x06, 0x07])
+            ),
             cmd!(0x08, "DSK_GET", Get, Controlling, ANY),
             cmd!(0x09, "DSK_RAPORT", Report, Supporting, ANY, ANY, ANY),
             cmd!(0x0A, "LEARN_MODE_INTENT", Other, Controlling, ANY),
@@ -354,24 +483,87 @@ pub(super) static PUBLIC_COMMAND_CLASSES: &[CommandClassSpec] = &[
         &[
             cmd!(0x01, "SCHEDULE_ENTRY_LOCK_ENABLE_SET", Set, Controlling, ANY, BOOL),
             cmd!(0x02, "SCHEDULE_ENTRY_LOCK_ENABLE_ALL_SET", Set, Controlling, BOOL),
-            cmd!(0x03, "SCHEDULE_ENTRY_LOCK_WEEK_DAY_SET", Set, Controlling, ANY, ANY, ANY, ParamSpec::Byte { min: 0, max: 6 }),
+            cmd!(
+                0x03,
+                "SCHEDULE_ENTRY_LOCK_WEEK_DAY_SET",
+                Set,
+                Controlling,
+                ANY,
+                ANY,
+                ANY,
+                ParamSpec::Byte { min: 0, max: 6 }
+            ),
             cmd!(0x04, "SCHEDULE_ENTRY_LOCK_WEEK_DAY_GET", Get, Controlling, ANY, ANY),
-            cmd!(0x05, "SCHEDULE_ENTRY_LOCK_WEEK_DAY_REPORT", Report, Supporting, ANY, ANY, ANY, ANY),
+            cmd!(
+                0x05,
+                "SCHEDULE_ENTRY_LOCK_WEEK_DAY_REPORT",
+                Report,
+                Supporting,
+                ANY,
+                ANY,
+                ANY,
+                ANY
+            ),
             cmd!(0x06, "SCHEDULE_ENTRY_LOCK_YEAR_DAY_SET", Set, Controlling, ANY, ANY, ANY, ANY),
             cmd!(0x07, "SCHEDULE_ENTRY_LOCK_YEAR_DAY_GET", Get, Controlling, ANY, ANY),
-            cmd!(0x08, "SCHEDULE_ENTRY_LOCK_YEAR_DAY_REPORT", Report, Supporting, ANY, ANY, ANY, ANY),
+            cmd!(
+                0x08,
+                "SCHEDULE_ENTRY_LOCK_YEAR_DAY_REPORT",
+                Report,
+                Supporting,
+                ANY,
+                ANY,
+                ANY,
+                ANY
+            ),
             cmd!(0x09, "SCHEDULE_ENTRY_TYPE_SUPPORTED_GET", Get, Controlling),
             cmd!(0x0A, "SCHEDULE_ENTRY_TYPE_SUPPORTED_REPORT", Report, Supporting, ANY, ANY, ANY),
             cmd!(0x0B, "SCHEDULE_ENTRY_LOCK_TIME_OFFSET_GET", Get, Controlling),
             cmd!(0x0C, "SCHEDULE_ENTRY_LOCK_TIME_OFFSET_REPORT", Report, Supporting, ANY, ANY),
             cmd!(0x0D, "SCHEDULE_ENTRY_LOCK_TIME_OFFSET_SET", Set, Controlling, ANY, ANY),
             cmd!(0x0E, "SCHEDULE_ENTRY_LOCK_DAILY_REPEATING_GET", Get, Controlling, ANY, ANY),
-            cmd!(0x0F, "SCHEDULE_ENTRY_LOCK_DAILY_REPEATING_REPORT", Report, Supporting, ANY, ANY, ANY, ANY),
-            cmd!(0x10, "SCHEDULE_ENTRY_LOCK_DAILY_REPEATING_SET", Set, Controlling, ANY, ANY, ANY, ANY),
+            cmd!(
+                0x0F,
+                "SCHEDULE_ENTRY_LOCK_DAILY_REPEATING_REPORT",
+                Report,
+                Supporting,
+                ANY,
+                ANY,
+                ANY,
+                ANY
+            ),
+            cmd!(
+                0x10,
+                "SCHEDULE_ENTRY_LOCK_DAILY_REPEATING_SET",
+                Set,
+                Controlling,
+                ANY,
+                ANY,
+                ANY,
+                ANY
+            ),
         ]
     ),
-    cc!(0x4F, "COMMAND_CLASS_ZIP_6LOWPAN", Specialised, 1, &[cmd!(0x01, "LOWPAN_FIRST_FRAGMENT", Other, Controlling, ANY, ANY), cmd!(0x02, "LOWPAN_SUBSEQUENT_FRAGMENT", Other, Controlling, ANY, ANY)]),
-    cc!(0x50, "COMMAND_CLASS_BASIC_WINDOW_COVERING", SensorActuator, 1, &[cmd!(0x01, "BASIC_WINDOW_COVERING_START_LEVEL_CHANGE", Set, Controlling, ANY), cmd!(0x02, "BASIC_WINDOW_COVERING_STOP_LEVEL_CHANGE", Set, Controlling)]),
+    cc!(
+        0x4F,
+        "COMMAND_CLASS_ZIP_6LOWPAN",
+        Specialised,
+        1,
+        &[
+            cmd!(0x01, "LOWPAN_FIRST_FRAGMENT", Other, Controlling, ANY, ANY),
+            cmd!(0x02, "LOWPAN_SUBSEQUENT_FRAGMENT", Other, Controlling, ANY, ANY)
+        ]
+    ),
+    cc!(
+        0x50,
+        "COMMAND_CLASS_BASIC_WINDOW_COVERING",
+        SensorActuator,
+        1,
+        &[
+            cmd!(0x01, "BASIC_WINDOW_COVERING_START_LEVEL_CHANGE", Set, Controlling, ANY),
+            cmd!(0x02, "BASIC_WINDOW_COVERING_STOP_LEVEL_CHANGE", Set, Controlling)
+        ]
+    ),
     cc!(0x51, "COMMAND_CLASS_MTP_WINDOW_COVERING", SensorActuator, 1, TRIO),
     cc!(
         0x52,
@@ -386,7 +578,16 @@ pub(super) static PUBLIC_COMMAND_CLASSES: &[CommandClassSpec] = &[
             cmd!(0x05, "NM_MULTI_CHANNEL_END_POINT_GET", Get, Controlling, ANY, NODE),
             cmd!(0x06, "NM_MULTI_CHANNEL_END_POINT_REPORT", Report, Supporting, ANY, NODE, ANY),
             cmd!(0x07, "NM_MULTI_CHANNEL_CAPABILITY_GET", Get, Controlling, ANY, NODE, ANY),
-            cmd!(0x08, "NM_MULTI_CHANNEL_CAPABILITY_REPORT", Report, Supporting, ANY, NODE, ANY, ANY),
+            cmd!(
+                0x08,
+                "NM_MULTI_CHANNEL_CAPABILITY_REPORT",
+                Report,
+                Supporting,
+                ANY,
+                NODE,
+                ANY,
+                ANY
+            ),
         ]
     ),
     cc!(
@@ -412,8 +613,24 @@ pub(super) static PUBLIC_COMMAND_CLASSES: &[CommandClassSpec] = &[
         Network,
         1,
         &[
-            cmd!(0x01, "CONTROLLER_CHANGE", Set, Controlling, ANY, ANY, ParamSpec::Enum(&[0x01, 0x05])),
-            cmd!(0x02, "CONTROLLER_CHANGE_STATUS", Report, Supporting, ANY, ParamSpec::Enum(&[0x06, 0x07, 0x09]), NODE),
+            cmd!(
+                0x01,
+                "CONTROLLER_CHANGE",
+                Set,
+                Controlling,
+                ANY,
+                ANY,
+                ParamSpec::Enum(&[0x01, 0x05])
+            ),
+            cmd!(
+                0x02,
+                "CONTROLLER_CHANGE_STATUS",
+                Report,
+                Supporting,
+                ANY,
+                ParamSpec::Enum(&[0x06, 0x07, 0x09]),
+                NODE
+            ),
         ]
     ),
     cc!(
@@ -431,8 +648,20 @@ pub(super) static PUBLIC_COMMAND_CLASSES: &[CommandClassSpec] = &[
         ]
     ),
     // 1 command: one of Figure 5's "1" bars.
-    cc!(0x56, "COMMAND_CLASS_CRC_16_ENCAP", TransportEncapsulation, 1, &[cmd!(0x01, "CRC_16_ENCAP", Other, Controlling, ANY, ANY, ANY, ANY)]),
-    cc!(0x57, "COMMAND_CLASS_APPLICATION_CAPABILITY", Management, 1, &[cmd!(0x01, "COMMAND_COMMAND_CLASS_NOT_SUPPORTED", Report, Supporting, ANY, ANY, ANY)]),
+    cc!(
+        0x56,
+        "COMMAND_CLASS_CRC_16_ENCAP",
+        TransportEncapsulation,
+        1,
+        &[cmd!(0x01, "CRC_16_ENCAP", Other, Controlling, ANY, ANY, ANY, ANY)]
+    ),
+    cc!(
+        0x57,
+        "COMMAND_CLASS_APPLICATION_CAPABILITY",
+        Management,
+        1,
+        &[cmd!(0x01, "COMMAND_COMMAND_CLASS_NOT_SUPPORTED", Report, Supporting, ANY, ANY, ANY)]
+    ),
     cc!(
         0x58,
         "COMMAND_CLASS_ZIP_ND",
@@ -452,16 +681,58 @@ pub(super) static PUBLIC_COMMAND_CLASSES: &[CommandClassSpec] = &[
         // 6 commands: one of Figure 5's "6" bars. Bugs #08 (0x03) and
         // #11 (0x05) live at these coordinates.
         &[
-            cmd!(0x01, "ASSOCIATION_GROUP_NAME_GET", Get, Controlling, ParamSpec::Byte { min: 1, max: 255 }),
-            cmd!(0x02, "ASSOCIATION_GROUP_NAME_REPORT", Report, Supporting, ANY, ParamSpec::Size { max: 42 }, ANY),
-            cmd!(0x03, "ASSOCIATION_GROUP_INFO_GET", Get, Controlling, ANY, ParamSpec::Byte { min: 1, max: 255 }),
+            cmd!(
+                0x01,
+                "ASSOCIATION_GROUP_NAME_GET",
+                Get,
+                Controlling,
+                ParamSpec::Byte { min: 1, max: 255 }
+            ),
+            cmd!(
+                0x02,
+                "ASSOCIATION_GROUP_NAME_REPORT",
+                Report,
+                Supporting,
+                ANY,
+                ParamSpec::Size { max: 42 },
+                ANY
+            ),
+            cmd!(
+                0x03,
+                "ASSOCIATION_GROUP_INFO_GET",
+                Get,
+                Controlling,
+                ANY,
+                ParamSpec::Byte { min: 1, max: 255 }
+            ),
             cmd!(0x04, "ASSOCIATION_GROUP_INFO_REPORT", Report, Supporting, ANY, ANY, ANY, ANY),
-            cmd!(0x05, "ASSOCIATION_GROUP_COMMAND_LIST_GET", Get, Controlling, ANY, ParamSpec::Byte { min: 1, max: 255 }),
-            cmd!(0x06, "ASSOCIATION_GROUP_COMMAND_LIST_REPORT", Report, Supporting, ANY, ParamSpec::Size { max: 42 }, ANY),
+            cmd!(
+                0x05,
+                "ASSOCIATION_GROUP_COMMAND_LIST_GET",
+                Get,
+                Controlling,
+                ANY,
+                ParamSpec::Byte { min: 1, max: 255 }
+            ),
+            cmd!(
+                0x06,
+                "ASSOCIATION_GROUP_COMMAND_LIST_REPORT",
+                Report,
+                Supporting,
+                ANY,
+                ParamSpec::Size { max: 42 },
+                ANY
+            ),
         ]
     ),
     // 1 command: Figure 5's other "1" bar. Bug #07 lives at 0x5A/0x01.
-    cc!(0x5A, "COMMAND_CLASS_DEVICE_RESET_LOCALLY", Management, 1, &[cmd!(0x01, "DEVICE_RESET_LOCALLY_NOTIFICATION", Other, Supporting)]),
+    cc!(
+        0x5A,
+        "COMMAND_CLASS_DEVICE_RESET_LOCALLY",
+        Management,
+        1,
+        &[cmd!(0x01, "DEVICE_RESET_LOCALLY_NOTIFICATION", Other, Supporting)]
+    ),
     cc!(
         0x5B,
         "COMMAND_CLASS_CENTRAL_SCENE",
@@ -479,7 +750,16 @@ pub(super) static PUBLIC_COMMAND_CLASSES: &[CommandClassSpec] = &[
     cc!(0x5C, "COMMAND_CLASS_IP_ASSOCIATION", Specialised, 1, TRIO),
     cc!(0x5D, "COMMAND_CLASS_ANTITHEFT", Specialised, 3, TRIO),
     // 2 commands: one of Figure 5's "2" bars.
-    cc!(0x5E, "COMMAND_CLASS_ZWAVEPLUS_INFO", Management, 2, &[cmd!(0x01, "ZWAVEPLUS_INFO_GET", Get, Controlling), cmd!(0x02, "ZWAVEPLUS_INFO_REPORT", Report, Supporting, ANY, ANY, ANY, ANY, ANY)]),
+    cc!(
+        0x5E,
+        "COMMAND_CLASS_ZWAVEPLUS_INFO",
+        Management,
+        2,
+        &[
+            cmd!(0x01, "ZWAVEPLUS_INFO_GET", Get, Controlling),
+            cmd!(0x02, "ZWAVEPLUS_INFO_REPORT", Report, Supporting, ANY, ANY, ANY, ANY, ANY)
+        ]
+    ),
     cc!(
         0x5F,
         "COMMAND_CLASS_ZIP_GATEWAY",
@@ -512,10 +792,27 @@ pub(super) static PUBLIC_COMMAND_CLASSES: &[CommandClassSpec] = &[
             cmd!(0x09, "MULTI_CHANNEL_CAPABILITY_GET", Get, Controlling, ANY),
             cmd!(0x0A, "MULTI_CHANNEL_CAPABILITY_REPORT", Report, Supporting, ANY, ANY, ANY, ANY),
             cmd!(0x0B, "MULTI_CHANNEL_END_POINT_FIND", Get, Controlling, ANY, ANY),
-            cmd!(0x0C, "MULTI_CHANNEL_END_POINT_FIND_REPORT", Report, Supporting, ANY, ANY, ANY, ANY),
+            cmd!(
+                0x0C,
+                "MULTI_CHANNEL_END_POINT_FIND_REPORT",
+                Report,
+                Supporting,
+                ANY,
+                ANY,
+                ANY,
+                ANY
+            ),
             cmd!(0x0D, "MULTI_CHANNEL_CMD_ENCAP", Other, Controlling, ANY, ANY, ANY, ANY),
             cmd!(0x0E, "MULTI_CHANNEL_AGGREGATED_MEMBERS_GET", Get, Controlling, ANY),
-            cmd!(0x0F, "MULTI_CHANNEL_AGGREGATED_MEMBERS_REPORT", Report, Supporting, ANY, ANY, ANY),
+            cmd!(
+                0x0F,
+                "MULTI_CHANNEL_AGGREGATED_MEMBERS_REPORT",
+                Report,
+                Supporting,
+                ANY,
+                ANY,
+                ANY
+            ),
         ]
     ),
     cc!(
@@ -537,10 +834,25 @@ pub(super) static PUBLIC_COMMAND_CLASSES: &[CommandClassSpec] = &[
         4,
         // The Schlage BE469ZP (D8) primary class.
         &[
-            cmd!(0x01, "DOOR_LOCK_OPERATION_SET", Set, Controlling, ParamSpec::Enum(&[0x00, 0x01, 0x10, 0x11, 0x20, 0x21, 0xFF])),
+            cmd!(
+                0x01,
+                "DOOR_LOCK_OPERATION_SET",
+                Set,
+                Controlling,
+                ParamSpec::Enum(&[0x00, 0x01, 0x10, 0x11, 0x20, 0x21, 0xFF])
+            ),
             cmd!(0x02, "DOOR_LOCK_OPERATION_GET", Get, Controlling),
             cmd!(0x03, "DOOR_LOCK_OPERATION_REPORT", Report, Supporting, ANY, ANY, ANY, SECONDS),
-            cmd!(0x04, "DOOR_LOCK_CONFIGURATION_SET", Set, Controlling, ParamSpec::Enum(&[0x01, 0x02]), ANY, ANY, ANY),
+            cmd!(
+                0x04,
+                "DOOR_LOCK_CONFIGURATION_SET",
+                Set,
+                Controlling,
+                ParamSpec::Enum(&[0x01, 0x02]),
+                ANY,
+                ANY,
+                ANY
+            ),
             cmd!(0x05, "DOOR_LOCK_CONFIGURATION_GET", Get, Controlling),
             cmd!(0x06, "DOOR_LOCK_CONFIGURATION_REPORT", Report, Supporting, ANY, ANY, ANY, ANY),
             cmd!(0x07, "DOOR_LOCK_CAPABILITIES_GET", Get, Controlling),
@@ -553,7 +865,16 @@ pub(super) static PUBLIC_COMMAND_CLASSES: &[CommandClassSpec] = &[
         SensorActuator,
         2,
         &[
-            cmd!(0x01, "USER_CODE_SET", Set, Controlling, ANY, ParamSpec::Enum(&[0x00, 0x01, 0x02, 0x03]), ANY, ANY),
+            cmd!(
+                0x01,
+                "USER_CODE_SET",
+                Set,
+                Controlling,
+                ANY,
+                ParamSpec::Enum(&[0x00, 0x01, 0x02, 0x03]),
+                ANY,
+                ANY
+            ),
             cmd!(0x02, "USER_CODE_GET", Get, Controlling, ANY),
             cmd!(0x03, "USER_CODE_REPORT", Report, Supporting, ANY, ANY, ANY, ANY),
             cmd!(0x04, "USERS_NUMBER_GET", Get, Controlling),
@@ -607,7 +928,14 @@ pub(super) static PUBLIC_COMMAND_CLASSES: &[CommandClassSpec] = &[
             cmd!(0x01, "ZIP_NAMING_NAME_SET", Set, Controlling, ParamSpec::Size { max: 16 }, ANY),
             cmd!(0x02, "ZIP_NAMING_NAME_GET", Get, Controlling),
             cmd!(0x03, "ZIP_NAMING_NAME_REPORT", Report, Supporting, ANY, ANY),
-            cmd!(0x04, "ZIP_NAMING_LOCATION_SET", Set, Controlling, ParamSpec::Size { max: 16 }, ANY),
+            cmd!(
+                0x04,
+                "ZIP_NAMING_LOCATION_SET",
+                Set,
+                Controlling,
+                ParamSpec::Size { max: 16 },
+                ANY
+            ),
             cmd!(0x05, "ZIP_NAMING_LOCATION_GET", Get, Controlling),
             cmd!(0x06, "ZIP_NAMING_LOCATION_REPORT", Report, Supporting, ANY, ANY),
         ]
@@ -636,7 +964,15 @@ pub(super) static PUBLIC_COMMAND_CLASSES: &[CommandClassSpec] = &[
             cmd!(0x02, "WINDOW_COVERING_SUPPORTED_REPORT", Report, Supporting, ANY, ANY),
             cmd!(0x03, "WINDOW_COVERING_GET", Get, Controlling, ANY),
             cmd!(0x04, "WINDOW_COVERING_REPORT", Report, Supporting, ANY, LEVEL, LEVEL, SECONDS),
-            cmd!(0x05, "WINDOW_COVERING_SET", Set, Controlling, ParamSpec::Size { max: 31 }, ANY, ANY),
+            cmd!(
+                0x05,
+                "WINDOW_COVERING_SET",
+                Set,
+                Controlling,
+                ParamSpec::Size { max: 31 },
+                ANY,
+                ANY
+            ),
             cmd!(0x06, "WINDOW_COVERING_START_LEVEL_CHANGE", Set, Controlling, ANY, ANY, SECONDS),
             cmd!(0x07, "WINDOW_COVERING_STOP_LEVEL_CHANGE", Set, Controlling, ANY),
         ]
@@ -650,7 +986,17 @@ pub(super) static PUBLIC_COMMAND_CLASSES: &[CommandClassSpec] = &[
             cmd!(0x01, "IRRIGATION_SYSTEM_INFO_GET", Get, Controlling),
             cmd!(0x02, "IRRIGATION_SYSTEM_INFO_REPORT", Report, Supporting, ANY, ANY, ANY, ANY),
             cmd!(0x03, "IRRIGATION_SYSTEM_STATUS_GET", Get, Controlling),
-            cmd!(0x04, "IRRIGATION_SYSTEM_STATUS_REPORT", Report, Supporting, ANY, ANY, ANY, ANY, ANY),
+            cmd!(
+                0x04,
+                "IRRIGATION_SYSTEM_STATUS_REPORT",
+                Report,
+                Supporting,
+                ANY,
+                ANY,
+                ANY,
+                ANY,
+                ANY
+            ),
             cmd!(0x05, "IRRIGATION_SYSTEM_CONFIG_SET", Set, Controlling, ANY, ANY, ANY, ANY),
             cmd!(0x06, "IRRIGATION_SYSTEM_CONFIG_GET", Get, Controlling),
             cmd!(0x07, "IRRIGATION_SYSTEM_CONFIG_REPORT", Report, Supporting, ANY, ANY, ANY, ANY),
@@ -663,12 +1009,36 @@ pub(super) static PUBLIC_COMMAND_CLASSES: &[CommandClassSpec] = &[
             cmd!(0x0E, "IRRIGATION_VALVE_TABLE_SET", Set, Controlling, ANY, ANY, ANY, ANY),
             cmd!(0x0F, "IRRIGATION_VALVE_TABLE_GET", Get, Controlling, ANY),
             cmd!(0x10, "IRRIGATION_VALVE_TABLE_REPORT", Report, Supporting, ANY, ANY, ANY, ANY),
-            cmd!(0x11, "IRRIGATION_VALVE_TABLE_RUN", Set, Controlling, ParamSpec::Size { max: 16 }, ANY),
+            cmd!(
+                0x11,
+                "IRRIGATION_VALVE_TABLE_RUN",
+                Set,
+                Controlling,
+                ParamSpec::Size { max: 16 },
+                ANY
+            ),
             cmd!(0x12, "IRRIGATION_SYSTEM_SHUTOFF", Set, Controlling, SECONDS),
         ]
     ),
     // 2 commands: Figure 5's other "2" bar.
-    cc!(0x6C, "COMMAND_CLASS_SUPERVISION", TransportEncapsulation, 2, &[cmd!(0x01, "SUPERVISION_GET", Get, Controlling, ANY, ParamSpec::Size { max: 48 }, ANY), cmd!(0x02, "SUPERVISION_REPORT", Report, Supporting, ANY, ParamSpec::Enum(&[0x00, 0x01, 0x02, 0xFF]), SECONDS)]),
+    cc!(
+        0x6C,
+        "COMMAND_CLASS_SUPERVISION",
+        TransportEncapsulation,
+        2,
+        &[
+            cmd!(0x01, "SUPERVISION_GET", Get, Controlling, ANY, ParamSpec::Size { max: 48 }, ANY),
+            cmd!(
+                0x02,
+                "SUPERVISION_REPORT",
+                Report,
+                Supporting,
+                ANY,
+                ParamSpec::Enum(&[0x00, 0x01, 0x02, 0xFF]),
+                SECONDS
+            )
+        ]
+    ),
     cc!(0x6D, "COMMAND_CLASS_HUMIDITY_CONTROL_MODE", ClimateEnergy, 2, TRIO),
     cc!(0x6E, "COMMAND_CLASS_HUMIDITY_CONTROL_OPERATING_STATE", ClimateEnergy, 1, GET_REPORT),
     cc!(
@@ -679,9 +1049,25 @@ pub(super) static PUBLIC_COMMAND_CLASSES: &[CommandClassSpec] = &[
         &[
             cmd!(0x01, "ENTRY_CONTROL_NOTIFICATION", Report, Supporting, ANY, ANY, ANY, ANY),
             cmd!(0x02, "ENTRY_CONTROL_KEY_SUPPORTED_GET", Get, Controlling),
-            cmd!(0x03, "ENTRY_CONTROL_KEY_SUPPORTED_REPORT", Report, Supporting, ParamSpec::Size { max: 32 }, ANY),
+            cmd!(
+                0x03,
+                "ENTRY_CONTROL_KEY_SUPPORTED_REPORT",
+                Report,
+                Supporting,
+                ParamSpec::Size { max: 32 },
+                ANY
+            ),
             cmd!(0x04, "ENTRY_CONTROL_EVENT_SUPPORTED_GET", Get, Controlling),
-            cmd!(0x05, "ENTRY_CONTROL_EVENT_SUPPORTED_REPORT", Report, Supporting, ANY, ANY, ANY, ANY),
+            cmd!(
+                0x05,
+                "ENTRY_CONTROL_EVENT_SUPPORTED_REPORT",
+                Report,
+                Supporting,
+                ANY,
+                ANY,
+                ANY,
+                ANY
+            ),
             cmd!(0x06, "ENTRY_CONTROL_CONFIGURATION_SET", Set, Controlling, ANY, SECONDS),
             cmd!(0x07, "ENTRY_CONTROL_CONFIGURATION_GET", Get, Controlling),
             cmd!(0x08, "ENTRY_CONTROL_CONFIGURATION_REPORT", Report, Supporting, ANY, SECONDS),
@@ -695,7 +1081,15 @@ pub(super) static PUBLIC_COMMAND_CLASSES: &[CommandClassSpec] = &[
         // 7 commands.
         &[
             cmd!(0x01, "CONFIGURATION_DEFAULT_RESET", Set, Controlling),
-            cmd!(0x04, "CONFIGURATION_SET", Set, Controlling, ANY, ParamSpec::Enum(&[0x01, 0x02, 0x04]), ANY),
+            cmd!(
+                0x04,
+                "CONFIGURATION_SET",
+                Set,
+                Controlling,
+                ANY,
+                ParamSpec::Enum(&[0x01, 0x02, 0x04]),
+                ANY
+            ),
             cmd!(0x05, "CONFIGURATION_GET", Get, Controlling, ANY),
             cmd!(0x06, "CONFIGURATION_REPORT", Report, Supporting, ANY, ANY, ANY),
             cmd!(0x07, "CONFIGURATION_BULK_SET", Set, Controlling, ANY, ANY, ANY, ANY),
@@ -725,7 +1119,18 @@ pub(super) static PUBLIC_COMMAND_CLASSES: &[CommandClassSpec] = &[
         2,
         &[
             cmd!(0x04, "MANUFACTURER_SPECIFIC_GET", Get, Controlling),
-            cmd!(0x05, "MANUFACTURER_SPECIFIC_REPORT", Report, Supporting, ANY, ANY, ANY, ANY, ANY, ANY),
+            cmd!(
+                0x05,
+                "MANUFACTURER_SPECIFIC_REPORT",
+                Report,
+                Supporting,
+                ANY,
+                ANY,
+                ANY,
+                ANY,
+                ANY,
+                ANY
+            ),
             cmd!(0x06, "DEVICE_SPECIFIC_GET", Get, Controlling, ANY),
             cmd!(0x07, "DEVICE_SPECIFIC_REPORT", Report, Supporting, ANY, ANY, ANY),
         ]
@@ -737,10 +1142,33 @@ pub(super) static PUBLIC_COMMAND_CLASSES: &[CommandClassSpec] = &[
         1,
         // 4 commands: Figure 5's "4" bar. Bug #13 lives at 0x73/0x04.
         &[
-            cmd!(0x01, "POWERLEVEL_SET", Set, Controlling, ParamSpec::Byte { min: 0, max: 9 }, SECONDS),
+            cmd!(
+                0x01,
+                "POWERLEVEL_SET",
+                Set,
+                Controlling,
+                ParamSpec::Byte { min: 0, max: 9 },
+                SECONDS
+            ),
             cmd!(0x02, "POWERLEVEL_GET", Get, Controlling),
-            cmd!(0x03, "POWERLEVEL_REPORT", Report, Supporting, ParamSpec::Byte { min: 0, max: 9 }, SECONDS),
-            cmd!(0x04, "POWERLEVEL_TEST_NODE_SET", Set, Controlling, NODE, ParamSpec::Byte { min: 0, max: 9 }, ANY, ANY),
+            cmd!(
+                0x03,
+                "POWERLEVEL_REPORT",
+                Report,
+                Supporting,
+                ParamSpec::Byte { min: 0, max: 9 },
+                SECONDS
+            ),
+            cmd!(
+                0x04,
+                "POWERLEVEL_TEST_NODE_SET",
+                Set,
+                Controlling,
+                NODE,
+                ParamSpec::Byte { min: 0, max: 9 },
+                ANY,
+                ANY
+            ),
         ]
     ),
     cc!(
@@ -749,8 +1177,22 @@ pub(super) static PUBLIC_COMMAND_CLASSES: &[CommandClassSpec] = &[
         Network,
         1,
         &[
-            cmd!(0x01, "INCLUSION_CONTROLLER_INITIATE", Set, Controlling, NODE, ParamSpec::Enum(&[0x01, 0x02, 0x03])),
-            cmd!(0x02, "INCLUSION_CONTROLLER_COMPLETE", Report, Supporting, ParamSpec::Enum(&[0x01, 0x02, 0x03]), ANY),
+            cmd!(
+                0x01,
+                "INCLUSION_CONTROLLER_INITIATE",
+                Set,
+                Controlling,
+                NODE,
+                ParamSpec::Enum(&[0x01, 0x02, 0x03])
+            ),
+            cmd!(
+                0x02,
+                "INCLUSION_CONTROLLER_COMPLETE",
+                Report,
+                Supporting,
+                ParamSpec::Enum(&[0x01, 0x02, 0x03]),
+                ANY
+            ),
         ]
     ),
     cc!(
@@ -759,7 +1201,14 @@ pub(super) static PUBLIC_COMMAND_CLASSES: &[CommandClassSpec] = &[
         SensorActuator,
         2,
         &[
-            cmd!(0x01, "PROTECTION_SET", Set, Controlling, ParamSpec::Enum(&[0x00, 0x01, 0x02]), ANY),
+            cmd!(
+                0x01,
+                "PROTECTION_SET",
+                Set,
+                Controlling,
+                ParamSpec::Enum(&[0x00, 0x01, 0x02]),
+                ANY
+            ),
             cmd!(0x02, "PROTECTION_GET", Get, Controlling),
             cmd!(0x03, "PROTECTION_REPORT", Report, Supporting, ANY, ANY),
             cmd!(0x04, "PROTECTION_SUPPORTED_GET", Get, Controlling),
@@ -773,10 +1222,24 @@ pub(super) static PUBLIC_COMMAND_CLASSES: &[CommandClassSpec] = &[
         Management,
         1,
         &[
-            cmd!(0x01, "NODE_NAMING_NODE_NAME_SET", Set, Controlling, ANY, ParamSpec::Size { max: 16 }),
+            cmd!(
+                0x01,
+                "NODE_NAMING_NODE_NAME_SET",
+                Set,
+                Controlling,
+                ANY,
+                ParamSpec::Size { max: 16 }
+            ),
             cmd!(0x02, "NODE_NAMING_NODE_NAME_GET", Get, Controlling),
             cmd!(0x03, "NODE_NAMING_NODE_NAME_REPORT", Report, Supporting, ANY, ANY),
-            cmd!(0x04, "NODE_NAMING_NODE_LOCATION_SET", Set, Controlling, ANY, ParamSpec::Size { max: 16 }),
+            cmd!(
+                0x04,
+                "NODE_NAMING_NODE_LOCATION_SET",
+                Set,
+                Controlling,
+                ANY,
+                ParamSpec::Size { max: 16 }
+            ),
             cmd!(0x05, "NODE_NAMING_NODE_LOCATION_GET", Get, Controlling),
             cmd!(0x06, "NODE_NAMING_NODE_LOCATION_REPORT", Report, Supporting, ANY, ANY),
         ]
@@ -787,10 +1250,34 @@ pub(super) static PUBLIC_COMMAND_CLASSES: &[CommandClassSpec] = &[
         Network,
         1,
         &[
-            cmd!(0x01, "NODE_PROVISIONING_SET", Set, Controlling, ANY, ParamSpec::Size { max: 16 }, ANY),
-            cmd!(0x02, "NODE_PROVISIONING_DELETE", Set, Controlling, ANY, ParamSpec::Size { max: 16 }, ANY),
+            cmd!(
+                0x01,
+                "NODE_PROVISIONING_SET",
+                Set,
+                Controlling,
+                ANY,
+                ParamSpec::Size { max: 16 },
+                ANY
+            ),
+            cmd!(
+                0x02,
+                "NODE_PROVISIONING_DELETE",
+                Set,
+                Controlling,
+                ANY,
+                ParamSpec::Size { max: 16 },
+                ANY
+            ),
             cmd!(0x03, "NODE_PROVISIONING_LIST_ITERATION_GET", Get, Controlling, ANY, ANY),
-            cmd!(0x04, "NODE_PROVISIONING_LIST_ITERATION_REPORT", Report, Supporting, ANY, ANY, ANY),
+            cmd!(
+                0x04,
+                "NODE_PROVISIONING_LIST_ITERATION_REPORT",
+                Report,
+                Supporting,
+                ANY,
+                ANY,
+                ANY
+            ),
             cmd!(0x05, "NODE_PROVISIONING_GET", Get, Controlling, ANY, ParamSpec::Size { max: 16 }),
             cmd!(0x06, "NODE_PROVISIONING_REPORT", Report, Supporting, ANY, ANY, ANY),
         ]
@@ -823,15 +1310,44 @@ pub(super) static PUBLIC_COMMAND_CLASSES: &[CommandClassSpec] = &[
             cmd!(0x01, "FIRMWARE_MD_GET", Get, Controlling),
             cmd!(0x02, "FIRMWARE_MD_REPORT", Report, Supporting, ANY, ANY, ANY, ANY, ANY, ANY),
             cmd!(0x03, "FIRMWARE_UPDATE_MD_REQUEST_GET", Get, Controlling, ANY, ANY, ANY, ANY, ANY),
-            cmd!(0x04, "FIRMWARE_UPDATE_MD_REQUEST_REPORT", Report, Supporting, ParamSpec::Enum(&[0x00, 0xFF])),
+            cmd!(
+                0x04,
+                "FIRMWARE_UPDATE_MD_REQUEST_REPORT",
+                Report,
+                Supporting,
+                ParamSpec::Enum(&[0x00, 0xFF])
+            ),
             cmd!(0x05, "FIRMWARE_UPDATE_MD_GET", Get, Controlling, ANY, ANY),
             cmd!(0x06, "FIRMWARE_UPDATE_MD_REPORT", Report, Supporting, ANY, ANY, ANY),
-            cmd!(0x07, "FIRMWARE_UPDATE_MD_STATUS_REPORT", Report, Supporting, ParamSpec::Enum(&[0x00, 0x01, 0x02, 0xFF]), ANY),
+            cmd!(
+                0x07,
+                "FIRMWARE_UPDATE_MD_STATUS_REPORT",
+                Report,
+                Supporting,
+                ParamSpec::Enum(&[0x00, 0x01, 0x02, 0xFF]),
+                ANY
+            ),
             cmd!(0x08, "FIRMWARE_UPDATE_ACTIVATION_SET", Set, Controlling, ANY, ANY, ANY, ANY),
         ]
     ),
-    cc!(0x7B, "COMMAND_CLASS_GROUPING_NAME", Management, 1, &[cmd!(0x01, "GROUPING_NAME_SET", Set, Controlling, ANY, ParamSpec::Size { max: 16 }), cmd!(0x02, "GROUPING_NAME_GET", Get, Controlling, ANY), cmd!(0x03, "GROUPING_NAME_REPORT", Report, Supporting, ANY, ANY)]),
-    cc!(0x7C, "COMMAND_CLASS_REMOTE_ASSOCIATION_ACTIVATE", SensorActuator, 1, &[cmd!(0x01, "REMOTE_ASSOCIATION_ACTIVATE", Set, Controlling, ANY)]),
+    cc!(
+        0x7B,
+        "COMMAND_CLASS_GROUPING_NAME",
+        Management,
+        1,
+        &[
+            cmd!(0x01, "GROUPING_NAME_SET", Set, Controlling, ANY, ParamSpec::Size { max: 16 }),
+            cmd!(0x02, "GROUPING_NAME_GET", Get, Controlling, ANY),
+            cmd!(0x03, "GROUPING_NAME_REPORT", Report, Supporting, ANY, ANY)
+        ]
+    ),
+    cc!(
+        0x7C,
+        "COMMAND_CLASS_REMOTE_ASSOCIATION_ACTIVATE",
+        SensorActuator,
+        1,
+        &[cmd!(0x01, "REMOTE_ASSOCIATION_ACTIVATE", Set, Controlling, ANY)]
+    ),
     cc!(0x7D, "COMMAND_CLASS_REMOTE_ASSOCIATION", SensorActuator, 1, TRIO),
     cc!(0x7E, "COMMAND_CLASS_ANTITHEFT_UNLOCK", Specialised, 1, GET_REPORT),
     cc!(
@@ -854,7 +1370,14 @@ pub(super) static PUBLIC_COMMAND_CLASSES: &[CommandClassSpec] = &[
         &[
             cmd!(0x04, "CLOCK_SET", Set, Controlling, ANY, ParamSpec::Byte { min: 0, max: 59 }),
             cmd!(0x05, "CLOCK_GET", Get, Controlling),
-            cmd!(0x06, "CLOCK_REPORT", Report, Supporting, ANY, ParamSpec::Byte { min: 0, max: 59 }),
+            cmd!(
+                0x06,
+                "CLOCK_REPORT",
+                Report,
+                Supporting,
+                ANY,
+                ParamSpec::Byte { min: 0, max: 59 }
+            ),
         ]
     ),
     cc!(0x82, "COMMAND_CLASS_HAIL", SensorActuator, 1, &[cmd!(0x01, "HAIL", Other, Supporting)]),
@@ -881,7 +1404,14 @@ pub(super) static PUBLIC_COMMAND_CLASSES: &[CommandClassSpec] = &[
         3,
         // 7 commands: Figure 5's "7" bar.
         &[
-            cmd!(0x01, "ASSOCIATION_SET", Set, Controlling, ParamSpec::Byte { min: 1, max: 255 }, NODE),
+            cmd!(
+                0x01,
+                "ASSOCIATION_SET",
+                Set,
+                Controlling,
+                ParamSpec::Byte { min: 1, max: 255 },
+                NODE
+            ),
             cmd!(0x02, "ASSOCIATION_GET", Get, Controlling, ParamSpec::Byte { min: 1, max: 255 }),
             cmd!(0x03, "ASSOCIATION_REPORT", Report, Supporting, ANY, ANY, ANY, NODE),
             cmd!(0x04, "ASSOCIATION_REMOVE", Set, Controlling, ANY, NODE),
@@ -904,7 +1434,18 @@ pub(super) static PUBLIC_COMMAND_CLASSES: &[CommandClassSpec] = &[
             cmd!(0x15, "VERSION_CAPABILITIES_GET", Get, Controlling),
             cmd!(0x16, "VERSION_CAPABILITIES_REPORT", Report, Supporting, ANY),
             cmd!(0x17, "VERSION_ZWAVE_SOFTWARE_GET", Get, Controlling),
-            cmd!(0x18, "VERSION_ZWAVE_SOFTWARE_REPORT", Report, Supporting, ANY, ANY, ANY, ANY, ANY, ANY),
+            cmd!(
+                0x18,
+                "VERSION_ZWAVE_SOFTWARE_REPORT",
+                Report,
+                Supporting,
+                ANY,
+                ANY,
+                ANY,
+                ANY,
+                ANY,
+                ANY
+            ),
         ]
     ),
     cc!(
@@ -929,9 +1470,26 @@ pub(super) static PUBLIC_COMMAND_CLASSES: &[CommandClassSpec] = &[
         2,
         &[
             cmd!(0x01, "TIME_GET", Get, Controlling),
-            cmd!(0x02, "TIME_REPORT", Report, Supporting, ANY, ParamSpec::Byte { min: 0, max: 59 }, ParamSpec::Byte { min: 0, max: 59 }),
+            cmd!(
+                0x02,
+                "TIME_REPORT",
+                Report,
+                Supporting,
+                ANY,
+                ParamSpec::Byte { min: 0, max: 59 },
+                ParamSpec::Byte { min: 0, max: 59 }
+            ),
             cmd!(0x03, "DATE_GET", Get, Controlling),
-            cmd!(0x04, "DATE_REPORT", Report, Supporting, ANY, ANY, ParamSpec::Byte { min: 1, max: 12 }, ParamSpec::Byte { min: 1, max: 31 }),
+            cmd!(
+                0x04,
+                "DATE_REPORT",
+                Report,
+                Supporting,
+                ANY,
+                ANY,
+                ParamSpec::Byte { min: 1, max: 12 },
+                ParamSpec::Byte { min: 1, max: 31 }
+            ),
             cmd!(0x05, "TIME_OFFSET_SET", Set, Controlling, ANY, ANY, ANY, ANY),
             cmd!(0x06, "TIME_OFFSET_GET", Get, Controlling),
             cmd!(0x07, "TIME_OFFSET_REPORT", Report, Supporting, ANY, ANY, ANY, ANY),
@@ -945,17 +1503,52 @@ pub(super) static PUBLIC_COMMAND_CLASSES: &[CommandClassSpec] = &[
         Management,
         4,
         &[
-            cmd!(0x01, "MULTI_CHANNEL_ASSOCIATION_SET", Set, Controlling, ParamSpec::Byte { min: 1, max: 255 }, NODE, ANY),
-            cmd!(0x02, "MULTI_CHANNEL_ASSOCIATION_GET", Get, Controlling, ParamSpec::Byte { min: 1, max: 255 }),
+            cmd!(
+                0x01,
+                "MULTI_CHANNEL_ASSOCIATION_SET",
+                Set,
+                Controlling,
+                ParamSpec::Byte { min: 1, max: 255 },
+                NODE,
+                ANY
+            ),
+            cmd!(
+                0x02,
+                "MULTI_CHANNEL_ASSOCIATION_GET",
+                Get,
+                Controlling,
+                ParamSpec::Byte { min: 1, max: 255 }
+            ),
             cmd!(0x03, "MULTI_CHANNEL_ASSOCIATION_REPORT", Report, Supporting, ANY, ANY, ANY, ANY),
             cmd!(0x04, "MULTI_CHANNEL_ASSOCIATION_REMOVE", Set, Controlling, ANY, NODE, ANY),
             cmd!(0x05, "MULTI_CHANNEL_ASSOCIATION_GROUPINGS_GET", Get, Controlling),
             cmd!(0x06, "MULTI_CHANNEL_ASSOCIATION_GROUPINGS_REPORT", Report, Supporting, ANY),
         ]
     ),
-    cc!(0x8F, "COMMAND_CLASS_MULTI_CMD", TransportEncapsulation, 1, &[cmd!(0x01, "MULTI_CMD_ENCAP", Other, Controlling, ParamSpec::Size { max: 8 }, ANY, ANY, ANY)]),
+    cc!(
+        0x8F,
+        "COMMAND_CLASS_MULTI_CMD",
+        TransportEncapsulation,
+        1,
+        &[cmd!(
+            0x01,
+            "MULTI_CMD_ENCAP",
+            Other,
+            Controlling,
+            ParamSpec::Size { max: 8 },
+            ANY,
+            ANY,
+            ANY
+        )]
+    ),
     cc!(0x90, "COMMAND_CLASS_ENERGY_PRODUCTION", ClimateEnergy, 1, GET_REPORT),
-    cc!(0x91, "COMMAND_CLASS_MANUFACTURER_PROPRIETARY", Management, 1, &[cmd!(0x00, "MANUFACTURER_PROPRIETARY_CMD", Other, Controlling, ANY, ANY, ANY, ANY)]),
+    cc!(
+        0x91,
+        "COMMAND_CLASS_MANUFACTURER_PROPRIETARY",
+        Management,
+        1,
+        &[cmd!(0x00, "MANUFACTURER_PROPRIETARY_CMD", Other, Controlling, ANY, ANY, ANY, ANY)]
+    ),
     cc!(0x92, "COMMAND_CLASS_SCREEN_MD", DisplayAv, 2, GET_REPORT),
     cc!(0x93, "COMMAND_CLASS_SCREEN_ATTRIBUTES", DisplayAv, 1, GET_REPORT),
     cc!(0x94, "COMMAND_CLASS_SIMPLE_AV_CONTROL", DisplayAv, 4, TRIO),
@@ -979,7 +1572,16 @@ pub(super) static PUBLIC_COMMAND_CLASSES: &[CommandClassSpec] = &[
             cmd!(0x40, "SECURITY_NONCE_GET", Get, Controlling),
             cmd!(0x80, "SECURITY_NONCE_REPORT", Report, Supporting, ANY, ANY, ANY, ANY, ANY, ANY),
             cmd!(0x81, "SECURITY_MESSAGE_ENCAPSULATION", Other, Controlling, ANY, ANY, ANY, ANY),
-            cmd!(0xC1, "SECURITY_MESSAGE_ENCAPSULATION_NONCE_GET", Other, Controlling, ANY, ANY, ANY, ANY),
+            cmd!(
+                0xC1,
+                "SECURITY_MESSAGE_ENCAPSULATION_NONCE_GET",
+                Other,
+                Controlling,
+                ANY,
+                ANY,
+                ANY,
+                ANY
+            ),
         ]
     ),
     cc!(0x9A, "COMMAND_CLASS_IP_CONFIGURATION", Specialised, 1, TRIO),
@@ -1005,10 +1607,23 @@ pub(super) static PUBLIC_COMMAND_CLASSES: &[CommandClassSpec] = &[
             cmd!(0x01, "SENSOR_ALARM_GET", Get, Controlling, ANY),
             cmd!(0x02, "SENSOR_ALARM_REPORT", Report, Supporting, NODE, ANY, ANY, ANY, ANY),
             cmd!(0x03, "SENSOR_ALARM_SUPPORTED_GET", Get, Controlling),
-            cmd!(0x04, "SENSOR_ALARM_SUPPORTED_REPORT", Report, Supporting, ParamSpec::Size { max: 32 }, ANY),
+            cmd!(
+                0x04,
+                "SENSOR_ALARM_SUPPORTED_REPORT",
+                Report,
+                Supporting,
+                ParamSpec::Size { max: 32 },
+                ANY
+            ),
         ]
     ),
-    cc!(0x9D, "COMMAND_CLASS_SILENCE_ALARM", SensorActuator, 1, &[cmd!(0x01, "SENSOR_ALARM_SET", Set, Controlling, ANY, ANY, SECONDS, ANY)]),
+    cc!(
+        0x9D,
+        "COMMAND_CLASS_SILENCE_ALARM",
+        SensorActuator,
+        1,
+        &[cmd!(0x01, "SENSOR_ALARM_SET", Set, Controlling, ANY, ANY, SECONDS, ANY)]
+    ),
     cc!(
         0x9F,
         "COMMAND_CLASS_SECURITY_2",
@@ -1022,7 +1637,13 @@ pub(super) static PUBLIC_COMMAND_CLASSES: &[CommandClassSpec] = &[
             cmd!(0x04, "KEX_GET", Get, Controlling),
             cmd!(0x05, "KEX_REPORT", Report, Supporting, ANY, ANY, ANY, ANY),
             cmd!(0x06, "KEX_SET", Set, Controlling, ANY, ANY, ANY, ANY),
-            cmd!(0x07, "KEX_FAIL", Other, Supporting, ParamSpec::Enum(&[0x01, 0x02, 0x03, 0x05, 0x06, 0x07, 0x08, 0x09, 0x0A])),
+            cmd!(
+                0x07,
+                "KEX_FAIL",
+                Other,
+                Supporting,
+                ParamSpec::Enum(&[0x01, 0x02, 0x03, 0x05, 0x06, 0x07, 0x08, 0x09, 0x0A])
+            ),
             cmd!(0x08, "PUBLIC_KEY_REPORT", Report, Supporting, ANY, ANY, ANY, ANY),
             cmd!(0x09, "SECURITY_2_NETWORK_KEY_GET", Get, Controlling, ANY),
             cmd!(0x0A, "SECURITY_2_NETWORK_KEY_REPORT", Report, Supporting, ANY, ANY, ANY, ANY),

@@ -43,18 +43,90 @@ pub static ZWAVE_PROTOCOL: CommandClassSpec = CommandClassSpec {
     cluster: Network,
     version: 1,
     commands: &[
-        CommandSpec { id: CMD_NODE_INFO, name: "NODE_INFO", kind: Report, role: Supporting, params: &[ANY, ANY, ANY, ANY] },
-        CommandSpec { id: CMD_REQUEST_NODE_INFO, name: "REQUEST_NODE_INFO", kind: Get, role: Controlling, params: &[] },
-        CommandSpec { id: CMD_ASSIGN_IDS, name: "ASSIGN_IDS", kind: Set, role: Controlling, params: &[ANY, ANY, ANY, ANY, NODE] },
-        CommandSpec { id: CMD_FIND_NODES_IN_RANGE, name: "FIND_NODES_IN_RANGE", kind: Set, role: Controlling, params: &[ParamSpec::Size { max: 29 }, ANY, ANY] },
-        CommandSpec { id: 0x05, name: "GET_NODES_IN_RANGE", kind: Get, role: Controlling, params: &[] },
-        CommandSpec { id: 0x06, name: "RANGE_INFO", kind: Report, role: Supporting, params: &[ParamSpec::Size { max: 29 }, ANY] },
-        CommandSpec { id: 0x07, name: "COMMAND_COMPLETE", kind: Other, role: Supporting, params: &[ANY] },
-        CommandSpec { id: 0x08, name: "TRANSFER_PRESENTATION", kind: Other, role: Controlling, params: &[ANY] },
-        CommandSpec { id: 0x09, name: "TRANSFER_NODE_INFO", kind: Other, role: Controlling, params: &[ANY, NODE, ANY, ANY] },
-        CommandSpec { id: 0x0A, name: "TRANSFER_RANGE_INFO", kind: Other, role: Controlling, params: &[ANY, NODE, ANY] },
-        CommandSpec { id: 0x0B, name: "TRANSFER_END", kind: Other, role: Controlling, params: &[ANY] },
-        CommandSpec { id: 0x0C, name: "ASSIGN_RETURN_ROUTE", kind: Set, role: Controlling, params: &[NODE, NODE, ANY] },
+        CommandSpec {
+            id: CMD_NODE_INFO,
+            name: "NODE_INFO",
+            kind: Report,
+            role: Supporting,
+            params: &[ANY, ANY, ANY, ANY],
+        },
+        CommandSpec {
+            id: CMD_REQUEST_NODE_INFO,
+            name: "REQUEST_NODE_INFO",
+            kind: Get,
+            role: Controlling,
+            params: &[],
+        },
+        CommandSpec {
+            id: CMD_ASSIGN_IDS,
+            name: "ASSIGN_IDS",
+            kind: Set,
+            role: Controlling,
+            params: &[ANY, ANY, ANY, ANY, NODE],
+        },
+        CommandSpec {
+            id: CMD_FIND_NODES_IN_RANGE,
+            name: "FIND_NODES_IN_RANGE",
+            kind: Set,
+            role: Controlling,
+            params: &[ParamSpec::Size { max: 29 }, ANY, ANY],
+        },
+        CommandSpec {
+            id: 0x05,
+            name: "GET_NODES_IN_RANGE",
+            kind: Get,
+            role: Controlling,
+            params: &[],
+        },
+        CommandSpec {
+            id: 0x06,
+            name: "RANGE_INFO",
+            kind: Report,
+            role: Supporting,
+            params: &[ParamSpec::Size { max: 29 }, ANY],
+        },
+        CommandSpec {
+            id: 0x07,
+            name: "COMMAND_COMPLETE",
+            kind: Other,
+            role: Supporting,
+            params: &[ANY],
+        },
+        CommandSpec {
+            id: 0x08,
+            name: "TRANSFER_PRESENTATION",
+            kind: Other,
+            role: Controlling,
+            params: &[ANY],
+        },
+        CommandSpec {
+            id: 0x09,
+            name: "TRANSFER_NODE_INFO",
+            kind: Other,
+            role: Controlling,
+            params: &[ANY, NODE, ANY, ANY],
+        },
+        CommandSpec {
+            id: 0x0A,
+            name: "TRANSFER_RANGE_INFO",
+            kind: Other,
+            role: Controlling,
+            params: &[ANY, NODE, ANY],
+        },
+        CommandSpec {
+            id: 0x0B,
+            name: "TRANSFER_END",
+            kind: Other,
+            role: Controlling,
+            params: &[ANY],
+        },
+        CommandSpec {
+            id: 0x0C,
+            name: "ASSIGN_RETURN_ROUTE",
+            kind: Set,
+            role: Controlling,
+            params: &[NODE, NODE, ANY],
+        },
         CommandSpec {
             id: CMD_NEW_NODE_REGISTERED,
             name: "NEW_NODE_REGISTERED",
@@ -64,14 +136,62 @@ pub static ZWAVE_PROTOCOL: CommandClassSpec = CommandClassSpec {
             // then the supported-CMDCL list.
             params: &[NODE, ANY, ANY, ParamSpec::Enum(&[0x01, 0x02, 0x03, 0x04]), ANY, ANY],
         },
-        CommandSpec { id: 0x0E, name: "NEW_RANGE_REGISTERED", kind: Set, role: Controlling, params: &[NODE, ParamSpec::Size { max: 29 }, ANY] },
-        CommandSpec { id: 0x0F, name: "TRANSFER_NEW_PRIMARY_COMPLETE", kind: Other, role: Controlling, params: &[ANY] },
-        CommandSpec { id: 0x10, name: "AUTOMATIC_CONTROLLER_UPDATE_START", kind: Other, role: Controlling, params: &[] },
-        CommandSpec { id: 0x11, name: "SUC_NODE_ID", kind: Report, role: Supporting, params: &[NODE, ANY] },
-        CommandSpec { id: 0x12, name: "SET_SUC", kind: Set, role: Controlling, params: &[ANY, ANY] },
-        CommandSpec { id: 0x13, name: "SET_SUC_ACK", kind: Other, role: Supporting, params: &[ANY, ANY] },
-        CommandSpec { id: 0x14, name: "ASSIGN_SUC_RETURN_ROUTE", kind: Set, role: Controlling, params: &[NODE, ANY, ANY] },
-        CommandSpec { id: 0x15, name: "STATIC_ROUTE_REQUEST", kind: Get, role: Controlling, params: &[NODE, NODE, NODE] },
+        CommandSpec {
+            id: 0x0E,
+            name: "NEW_RANGE_REGISTERED",
+            kind: Set,
+            role: Controlling,
+            params: &[NODE, ParamSpec::Size { max: 29 }, ANY],
+        },
+        CommandSpec {
+            id: 0x0F,
+            name: "TRANSFER_NEW_PRIMARY_COMPLETE",
+            kind: Other,
+            role: Controlling,
+            params: &[ANY],
+        },
+        CommandSpec {
+            id: 0x10,
+            name: "AUTOMATIC_CONTROLLER_UPDATE_START",
+            kind: Other,
+            role: Controlling,
+            params: &[],
+        },
+        CommandSpec {
+            id: 0x11,
+            name: "SUC_NODE_ID",
+            kind: Report,
+            role: Supporting,
+            params: &[NODE, ANY],
+        },
+        CommandSpec {
+            id: 0x12,
+            name: "SET_SUC",
+            kind: Set,
+            role: Controlling,
+            params: &[ANY, ANY],
+        },
+        CommandSpec {
+            id: 0x13,
+            name: "SET_SUC_ACK",
+            kind: Other,
+            role: Supporting,
+            params: &[ANY, ANY],
+        },
+        CommandSpec {
+            id: 0x14,
+            name: "ASSIGN_SUC_RETURN_ROUTE",
+            kind: Set,
+            role: Controlling,
+            params: &[NODE, ANY, ANY],
+        },
+        CommandSpec {
+            id: 0x15,
+            name: "STATIC_ROUTE_REQUEST",
+            kind: Get,
+            role: Controlling,
+            params: &[NODE, NODE, NODE],
+        },
         CommandSpec { id: 0x16, name: "LOST", kind: Other, role: Supporting, params: &[NODE] },
     ],
 };
@@ -84,9 +204,27 @@ pub static ZENSOR_NET: CommandClassSpec = CommandClassSpec {
     cluster: Network,
     version: 1,
     commands: &[
-        CommandSpec { id: 0x01, name: "ZENSOR_BIND_REQUEST", kind: Set, role: Controlling, params: &[NODE, ANY] },
-        CommandSpec { id: 0x02, name: "ZENSOR_BIND_ACCEPT", kind: Report, role: Supporting, params: &[NODE] },
-        CommandSpec { id: 0x03, name: "ZENSOR_SENSOR_DATA", kind: Report, role: Supporting, params: &[ANY, ANY, ANY] },
+        CommandSpec {
+            id: 0x01,
+            name: "ZENSOR_BIND_REQUEST",
+            kind: Set,
+            role: Controlling,
+            params: &[NODE, ANY],
+        },
+        CommandSpec {
+            id: 0x02,
+            name: "ZENSOR_BIND_ACCEPT",
+            kind: Report,
+            role: Supporting,
+            params: &[NODE],
+        },
+        CommandSpec {
+            id: 0x03,
+            name: "ZENSOR_SENSOR_DATA",
+            kind: Report,
+            role: Supporting,
+            params: &[ANY, ANY, ANY],
+        },
     ],
 };
 

@@ -391,10 +391,10 @@ mod tests {
         assert_eq!(parsed.len(), 1);
         assert_eq!(parsed[0].id, CommandClassId(0xF0));
         assert_eq!(parsed[0].commands.len(), 2);
-        assert_eq!(parsed[0].commands[0].params, vec![
-            ParamSpec::Byte { min: 0, max: 0x63 },
-            ParamSpec::NodeId
-        ]);
+        assert_eq!(
+            parsed[0].commands[0].params,
+            vec![ParamSpec::Byte { min: 0, max: 0x63 }, ParamSpec::NodeId]
+        );
         assert_eq!(parsed[0].commands[1].kind, CommandKind::Get);
     }
 

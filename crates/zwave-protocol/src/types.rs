@@ -27,7 +27,9 @@ pub const BROADCAST_NODE_ID: NodeId = NodeId(0xFF);
 /// assert_eq!(h.to_string(), "CB95A34A");
 /// assert_eq!(h.to_bytes(), [0xCB, 0x95, 0xA3, 0x4A]);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct HomeId(pub u32);
 
 impl HomeId {
@@ -75,7 +77,9 @@ impl From<u32> for HomeId {
 /// assert!(NodeId(0xFF).is_broadcast());
 /// assert!(!NodeId(0x01).is_broadcast());
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct NodeId(pub u8);
 
 impl NodeId {

@@ -91,7 +91,8 @@ mod tests {
         let mid = clock.now();
         a.transmit(&[2]);
         sniffer.poll();
-        let early = sniffer.captures_between(SimInstant::ZERO, mid.plus(std::time::Duration::from_micros(1)));
+        let early = sniffer
+            .captures_between(SimInstant::ZERO, mid.plus(std::time::Duration::from_micros(1)));
         assert_eq!(early.len(), 1);
         assert_eq!(early[0].bytes, vec![1]);
     }

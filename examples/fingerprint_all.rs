@@ -9,13 +9,16 @@ use zcover_suite::zcover::{ActiveScanner, UnknownDiscovery, ZCover};
 use zcover_suite::zwave_controller::testbed::{DeviceModel, Testbed};
 
 fn main() {
-    println!("{:<4} {:<10} {:<10} {:<8} {:<14} {:<16} proprietary", "ID", "brand", "home id", "node", "known CMDCLs", "unknown CMDCLs");
+    println!(
+        "{:<4} {:<10} {:<10} {:<8} {:<14} {:<16} proprietary",
+        "ID", "brand", "home id", "node", "known CMDCLs", "unknown CMDCLs"
+    );
     for model in DeviceModel::all() {
         let mut testbed = Testbed::new(model, 21);
         let mut zcover = ZCover::attach(&testbed, 55.0);
         let scan = zcover.fingerprint(&mut testbed).expect("traffic");
-        let active = ActiveScanner::scan(&mut testbed, zcover.dongle_mut(), &scan)
-            .expect("NIF answered");
+        let active =
+            ActiveScanner::scan(&mut testbed, zcover.dongle_mut(), &scan).expect("NIF answered");
         let discovery =
             UnknownDiscovery::run(&mut testbed, zcover.dongle_mut(), &scan, active.listed);
         println!(

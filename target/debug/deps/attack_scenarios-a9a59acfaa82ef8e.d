@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/attack_scenarios-a9a59acfaa82ef8e.d: tests/attack_scenarios.rs Cargo.toml
+
+/root/repo/target/debug/deps/libattack_scenarios-a9a59acfaa82ef8e.rmeta: tests/attack_scenarios.rs Cargo.toml
+
+tests/attack_scenarios.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/comparison-02734dc1506c09aa.d: tests/comparison.rs
+
+/root/repo/target/debug/deps/comparison-02734dc1506c09aa: tests/comparison.rs
+
+tests/comparison.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/comparison-77fc3e4a4d2d5b9e.d: tests/comparison.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcomparison-77fc3e4a4d2d5b9e.rmeta: tests/comparison.rs Cargo.toml
+
+tests/comparison.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

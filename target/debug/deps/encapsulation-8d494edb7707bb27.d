@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/encapsulation-8d494edb7707bb27.d: tests/encapsulation.rs
+
+/root/repo/target/debug/deps/encapsulation-8d494edb7707bb27: tests/encapsulation.rs
+
+tests/encapsulation.rs:

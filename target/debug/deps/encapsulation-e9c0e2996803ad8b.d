@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/encapsulation-e9c0e2996803ad8b.d: tests/encapsulation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libencapsulation-e9c0e2996803ad8b.rmeta: tests/encapsulation.rs Cargo.toml
+
+tests/encapsulation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

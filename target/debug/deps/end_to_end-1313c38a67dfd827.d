@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-1313c38a67dfd827.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-1313c38a67dfd827: tests/end_to_end.rs
+
+tests/end_to_end.rs:

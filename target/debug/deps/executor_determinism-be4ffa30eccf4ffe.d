@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/executor_determinism-be4ffa30eccf4ffe.d: crates/core/tests/executor_determinism.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexecutor_determinism-be4ffa30eccf4ffe.rmeta: crates/core/tests/executor_determinism.rs Cargo.toml
+
+crates/core/tests/executor_determinism.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

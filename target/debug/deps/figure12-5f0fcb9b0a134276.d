@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/figure12-5f0fcb9b0a134276.d: crates/bench/src/bin/figure12.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfigure12-5f0fcb9b0a134276.rmeta: crates/bench/src/bin/figure12.rs Cargo.toml
+
+crates/bench/src/bin/figure12.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

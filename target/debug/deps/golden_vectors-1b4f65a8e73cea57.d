@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/golden_vectors-1b4f65a8e73cea57.d: crates/zwave-protocol/tests/golden_vectors.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgolden_vectors-1b4f65a8e73cea57.rmeta: crates/zwave-protocol/tests/golden_vectors.rs Cargo.toml
+
+crates/zwave-protocol/tests/golden_vectors.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/inclusion_over_air-0ac09510f8bb64a3.d: tests/inclusion_over_air.rs
+
+/root/repo/target/debug/deps/inclusion_over_air-0ac09510f8bb64a3: tests/inclusion_over_air.rs
+
+tests/inclusion_over_air.rs:

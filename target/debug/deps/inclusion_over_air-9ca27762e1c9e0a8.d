@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/inclusion_over_air-9ca27762e1c9e0a8.d: tests/inclusion_over_air.rs Cargo.toml
+
+/root/repo/target/debug/deps/libinclusion_over_air-9ca27762e1c9e0a8.rmeta: tests/inclusion_over_air.rs Cargo.toml
+
+tests/inclusion_over_air.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

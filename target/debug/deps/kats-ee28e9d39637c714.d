@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/kats-ee28e9d39637c714.d: crates/zwave-crypto/tests/kats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libkats-ee28e9d39637c714.rmeta: crates/zwave-crypto/tests/kats.rs Cargo.toml
+
+crates/zwave-crypto/tests/kats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-006d65fd6f74a778.d: crates/zwave-protocol/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-006d65fd6f74a778.rmeta: crates/zwave-protocol/tests/proptests.rs Cargo.toml
+
+crates/zwave-protocol/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

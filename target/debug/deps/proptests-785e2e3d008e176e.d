@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-785e2e3d008e176e.d: crates/zwave-controller/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-785e2e3d008e176e.rmeta: crates/zwave-controller/tests/proptests.rs Cargo.toml
+
+crates/zwave-controller/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-ce6d3889a147b831.d: crates/zwave-crypto/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-ce6d3889a147b831.rmeta: crates/zwave-crypto/tests/proptests.rs Cargo.toml
+
+crates/zwave-crypto/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

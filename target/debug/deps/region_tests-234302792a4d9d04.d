@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/region_tests-234302792a4d9d04.d: crates/zwave-radio/tests/region_tests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libregion_tests-234302792a4d9d04.rmeta: crates/zwave-radio/tests/region_tests.rs Cargo.toml
+
+crates/zwave-radio/tests/region_tests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/remediation-28186ef1466ada67.d: tests/remediation.rs
+
+/root/repo/target/debug/deps/remediation-28186ef1466ada67: tests/remediation.rs
+
+tests/remediation.rs:

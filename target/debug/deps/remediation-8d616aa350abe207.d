@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/remediation-8d616aa350abe207.d: tests/remediation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libremediation-8d616aa350abe207.rmeta: tests/remediation.rs Cargo.toml
+
+tests/remediation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

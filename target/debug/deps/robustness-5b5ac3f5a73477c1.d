@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/robustness-5b5ac3f5a73477c1.d: tests/robustness.rs Cargo.toml
+
+/root/repo/target/debug/deps/librobustness-5b5ac3f5a73477c1.rmeta: tests/robustness.rs Cargo.toml
+
+tests/robustness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/robustness-c4c21f622f8eaf0b.d: tests/robustness.rs
+
+/root/repo/target/debug/deps/robustness-c4c21f622f8eaf0b: tests/robustness.rs
+
+tests/robustness.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sensor_device-687985a9ab77dfaf.d: tests/sensor_device.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsensor_device-687985a9ab77dfaf.rmeta: tests/sensor_device.rs Cargo.toml
+
+tests/sensor_device.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sensor_device-c6ab0d182ef6a0e1.d: tests/sensor_device.rs
+
+/root/repo/target/debug/deps/sensor_device-c6ab0d182ef6a0e1: tests/sensor_device.rs
+
+tests/sensor_device.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/vfuzz-7c0558c4436f4361.d: crates/vfuzz/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvfuzz-7c0558c4436f4361.rmeta: crates/vfuzz/src/lib.rs Cargo.toml
+
+crates/vfuzz/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

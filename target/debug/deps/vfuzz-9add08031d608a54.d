@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/vfuzz-9add08031d608a54.d: crates/vfuzz/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvfuzz-9add08031d608a54.rmeta: crates/vfuzz/src/lib.rs Cargo.toml
+
+crates/vfuzz/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/vfuzz-eed1346d15a8757f.d: crates/vfuzz/src/lib.rs
+
+/root/repo/target/debug/deps/libvfuzz-eed1346d15a8757f.rlib: crates/vfuzz/src/lib.rs
+
+/root/repo/target/debug/deps/libvfuzz-eed1346d15a8757f.rmeta: crates/vfuzz/src/lib.rs
+
+crates/vfuzz/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/zcover-08b9c46b5ee28acb.d: crates/core/src/bin/zcover.rs Cargo.toml
+
+/root/repo/target/debug/deps/libzcover-08b9c46b5ee28acb.rmeta: crates/core/src/bin/zcover.rs Cargo.toml
+
+crates/core/src/bin/zcover.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/zcover-4b077eeb5df5185a.d: crates/core/src/bin/zcover.rs Cargo.toml
+
+/root/repo/target/debug/deps/libzcover-4b077eeb5df5185a.rmeta: crates/core/src/bin/zcover.rs Cargo.toml
+
+crates/core/src/bin/zcover.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

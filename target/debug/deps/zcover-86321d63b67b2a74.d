@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/zcover-86321d63b67b2a74.d: crates/core/src/lib.rs crates/core/src/active.rs crates/core/src/buglog.rs crates/core/src/discovery.rs crates/core/src/dongle.rs crates/core/src/executor.rs crates/core/src/fuzzer.rs crates/core/src/minimize.rs crates/core/src/mutation.rs crates/core/src/passive.rs crates/core/src/report.rs crates/core/src/target.rs crates/core/src/trials.rs Cargo.toml
+
+/root/repo/target/debug/deps/libzcover-86321d63b67b2a74.rmeta: crates/core/src/lib.rs crates/core/src/active.rs crates/core/src/buglog.rs crates/core/src/discovery.rs crates/core/src/dongle.rs crates/core/src/executor.rs crates/core/src/fuzzer.rs crates/core/src/minimize.rs crates/core/src/mutation.rs crates/core/src/passive.rs crates/core/src/report.rs crates/core/src/target.rs crates/core/src/trials.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/active.rs:
+crates/core/src/buglog.rs:
+crates/core/src/discovery.rs:
+crates/core/src/dongle.rs:
+crates/core/src/executor.rs:
+crates/core/src/fuzzer.rs:
+crates/core/src/minimize.rs:
+crates/core/src/mutation.rs:
+crates/core/src/passive.rs:
+crates/core/src/report.rs:
+crates/core/src/target.rs:
+crates/core/src/trials.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/zcover_bench-7ad404fccf266920.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/paperdata.rs crates/bench/src/render.rs Cargo.toml
+
+/root/repo/target/debug/deps/libzcover_bench-7ad404fccf266920.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/paperdata.rs crates/bench/src/render.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/paperdata.rs:
+crates/bench/src/render.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/zcover_suite-04f9a95816357752.d: src/lib.rs
+
+/root/repo/target/debug/deps/zcover_suite-04f9a95816357752: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/zcover_suite-0a7a95182fb67afc.d: src/lib.rs
+
+/root/repo/target/debug/deps/libzcover_suite-0a7a95182fb67afc.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libzcover_suite-0a7a95182fb67afc.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/zcover_suite-a3948bdccb195c29.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libzcover_suite-a3948bdccb195c29.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/zwave_controller-6ebd4c4f2307dd01.d: crates/zwave-controller/src/lib.rs crates/zwave-controller/src/controller.rs crates/zwave-controller/src/devices/mod.rs crates/zwave-controller/src/devices/door_lock.rs crates/zwave-controller/src/devices/sensor.rs crates/zwave-controller/src/devices/switch.rs crates/zwave-controller/src/health.rs crates/zwave-controller/src/host.rs crates/zwave-controller/src/ids.rs crates/zwave-controller/src/nvm.rs crates/zwave-controller/src/testbed.rs crates/zwave-controller/src/vulns.rs Cargo.toml
+
+/root/repo/target/debug/deps/libzwave_controller-6ebd4c4f2307dd01.rmeta: crates/zwave-controller/src/lib.rs crates/zwave-controller/src/controller.rs crates/zwave-controller/src/devices/mod.rs crates/zwave-controller/src/devices/door_lock.rs crates/zwave-controller/src/devices/sensor.rs crates/zwave-controller/src/devices/switch.rs crates/zwave-controller/src/health.rs crates/zwave-controller/src/host.rs crates/zwave-controller/src/ids.rs crates/zwave-controller/src/nvm.rs crates/zwave-controller/src/testbed.rs crates/zwave-controller/src/vulns.rs Cargo.toml
+
+crates/zwave-controller/src/lib.rs:
+crates/zwave-controller/src/controller.rs:
+crates/zwave-controller/src/devices/mod.rs:
+crates/zwave-controller/src/devices/door_lock.rs:
+crates/zwave-controller/src/devices/sensor.rs:
+crates/zwave-controller/src/devices/switch.rs:
+crates/zwave-controller/src/health.rs:
+crates/zwave-controller/src/host.rs:
+crates/zwave-controller/src/ids.rs:
+crates/zwave-controller/src/nvm.rs:
+crates/zwave-controller/src/testbed.rs:
+crates/zwave-controller/src/vulns.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/zwave_controller-f311b2ec009030d2.d: crates/zwave-controller/src/lib.rs crates/zwave-controller/src/controller.rs crates/zwave-controller/src/devices/mod.rs crates/zwave-controller/src/devices/door_lock.rs crates/zwave-controller/src/devices/sensor.rs crates/zwave-controller/src/devices/switch.rs crates/zwave-controller/src/health.rs crates/zwave-controller/src/host.rs crates/zwave-controller/src/ids.rs crates/zwave-controller/src/nvm.rs crates/zwave-controller/src/testbed.rs crates/zwave-controller/src/vulns.rs
+
+/root/repo/target/debug/deps/libzwave_controller-f311b2ec009030d2.rlib: crates/zwave-controller/src/lib.rs crates/zwave-controller/src/controller.rs crates/zwave-controller/src/devices/mod.rs crates/zwave-controller/src/devices/door_lock.rs crates/zwave-controller/src/devices/sensor.rs crates/zwave-controller/src/devices/switch.rs crates/zwave-controller/src/health.rs crates/zwave-controller/src/host.rs crates/zwave-controller/src/ids.rs crates/zwave-controller/src/nvm.rs crates/zwave-controller/src/testbed.rs crates/zwave-controller/src/vulns.rs
+
+/root/repo/target/debug/deps/libzwave_controller-f311b2ec009030d2.rmeta: crates/zwave-controller/src/lib.rs crates/zwave-controller/src/controller.rs crates/zwave-controller/src/devices/mod.rs crates/zwave-controller/src/devices/door_lock.rs crates/zwave-controller/src/devices/sensor.rs crates/zwave-controller/src/devices/switch.rs crates/zwave-controller/src/health.rs crates/zwave-controller/src/host.rs crates/zwave-controller/src/ids.rs crates/zwave-controller/src/nvm.rs crates/zwave-controller/src/testbed.rs crates/zwave-controller/src/vulns.rs
+
+crates/zwave-controller/src/lib.rs:
+crates/zwave-controller/src/controller.rs:
+crates/zwave-controller/src/devices/mod.rs:
+crates/zwave-controller/src/devices/door_lock.rs:
+crates/zwave-controller/src/devices/sensor.rs:
+crates/zwave-controller/src/devices/switch.rs:
+crates/zwave-controller/src/health.rs:
+crates/zwave-controller/src/host.rs:
+crates/zwave-controller/src/ids.rs:
+crates/zwave-controller/src/nvm.rs:
+crates/zwave-controller/src/testbed.rs:
+crates/zwave-controller/src/vulns.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/zwave_crypto-3d35dfcb23a0774c.d: crates/zwave-crypto/src/lib.rs crates/zwave-crypto/src/aes.rs crates/zwave-crypto/src/ccm.rs crates/zwave-crypto/src/cmac.rs crates/zwave-crypto/src/curve25519.rs crates/zwave-crypto/src/inclusion.rs crates/zwave-crypto/src/kdf.rs crates/zwave-crypto/src/keys.rs crates/zwave-crypto/src/s0.rs crates/zwave-crypto/src/s2.rs Cargo.toml
+
+/root/repo/target/debug/deps/libzwave_crypto-3d35dfcb23a0774c.rmeta: crates/zwave-crypto/src/lib.rs crates/zwave-crypto/src/aes.rs crates/zwave-crypto/src/ccm.rs crates/zwave-crypto/src/cmac.rs crates/zwave-crypto/src/curve25519.rs crates/zwave-crypto/src/inclusion.rs crates/zwave-crypto/src/kdf.rs crates/zwave-crypto/src/keys.rs crates/zwave-crypto/src/s0.rs crates/zwave-crypto/src/s2.rs Cargo.toml
+
+crates/zwave-crypto/src/lib.rs:
+crates/zwave-crypto/src/aes.rs:
+crates/zwave-crypto/src/ccm.rs:
+crates/zwave-crypto/src/cmac.rs:
+crates/zwave-crypto/src/curve25519.rs:
+crates/zwave-crypto/src/inclusion.rs:
+crates/zwave-crypto/src/kdf.rs:
+crates/zwave-crypto/src/keys.rs:
+crates/zwave-crypto/src/s0.rs:
+crates/zwave-crypto/src/s2.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

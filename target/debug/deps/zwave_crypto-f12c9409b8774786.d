@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/zwave_crypto-f12c9409b8774786.d: crates/zwave-crypto/src/lib.rs crates/zwave-crypto/src/aes.rs crates/zwave-crypto/src/ccm.rs crates/zwave-crypto/src/cmac.rs crates/zwave-crypto/src/curve25519.rs crates/zwave-crypto/src/inclusion.rs crates/zwave-crypto/src/kdf.rs crates/zwave-crypto/src/keys.rs crates/zwave-crypto/src/s0.rs crates/zwave-crypto/src/s2.rs
+
+/root/repo/target/debug/deps/libzwave_crypto-f12c9409b8774786.rlib: crates/zwave-crypto/src/lib.rs crates/zwave-crypto/src/aes.rs crates/zwave-crypto/src/ccm.rs crates/zwave-crypto/src/cmac.rs crates/zwave-crypto/src/curve25519.rs crates/zwave-crypto/src/inclusion.rs crates/zwave-crypto/src/kdf.rs crates/zwave-crypto/src/keys.rs crates/zwave-crypto/src/s0.rs crates/zwave-crypto/src/s2.rs
+
+/root/repo/target/debug/deps/libzwave_crypto-f12c9409b8774786.rmeta: crates/zwave-crypto/src/lib.rs crates/zwave-crypto/src/aes.rs crates/zwave-crypto/src/ccm.rs crates/zwave-crypto/src/cmac.rs crates/zwave-crypto/src/curve25519.rs crates/zwave-crypto/src/inclusion.rs crates/zwave-crypto/src/kdf.rs crates/zwave-crypto/src/keys.rs crates/zwave-crypto/src/s0.rs crates/zwave-crypto/src/s2.rs
+
+crates/zwave-crypto/src/lib.rs:
+crates/zwave-crypto/src/aes.rs:
+crates/zwave-crypto/src/ccm.rs:
+crates/zwave-crypto/src/cmac.rs:
+crates/zwave-crypto/src/curve25519.rs:
+crates/zwave-crypto/src/inclusion.rs:
+crates/zwave-crypto/src/kdf.rs:
+crates/zwave-crypto/src/keys.rs:
+crates/zwave-crypto/src/s0.rs:
+crates/zwave-crypto/src/s2.rs:

@@ -1,0 +1,23 @@
+/root/repo/target/debug/deps/zwave_protocol-87292ebaa292927d.d: crates/zwave-protocol/src/lib.rs crates/zwave-protocol/src/apl.rs crates/zwave-protocol/src/checksum.rs crates/zwave-protocol/src/command_class.rs crates/zwave-protocol/src/dissect.rs crates/zwave-protocol/src/error.rs crates/zwave-protocol/src/frame.rs crates/zwave-protocol/src/multicast.rs crates/zwave-protocol/src/nif.rs crates/zwave-protocol/src/registry/mod.rs crates/zwave-protocol/src/registry/data.rs crates/zwave-protocol/src/registry/proprietary.rs crates/zwave-protocol/src/registry/xml.rs crates/zwave-protocol/src/routing.rs crates/zwave-protocol/src/types.rs Cargo.toml
+
+/root/repo/target/debug/deps/libzwave_protocol-87292ebaa292927d.rmeta: crates/zwave-protocol/src/lib.rs crates/zwave-protocol/src/apl.rs crates/zwave-protocol/src/checksum.rs crates/zwave-protocol/src/command_class.rs crates/zwave-protocol/src/dissect.rs crates/zwave-protocol/src/error.rs crates/zwave-protocol/src/frame.rs crates/zwave-protocol/src/multicast.rs crates/zwave-protocol/src/nif.rs crates/zwave-protocol/src/registry/mod.rs crates/zwave-protocol/src/registry/data.rs crates/zwave-protocol/src/registry/proprietary.rs crates/zwave-protocol/src/registry/xml.rs crates/zwave-protocol/src/routing.rs crates/zwave-protocol/src/types.rs Cargo.toml
+
+crates/zwave-protocol/src/lib.rs:
+crates/zwave-protocol/src/apl.rs:
+crates/zwave-protocol/src/checksum.rs:
+crates/zwave-protocol/src/command_class.rs:
+crates/zwave-protocol/src/dissect.rs:
+crates/zwave-protocol/src/error.rs:
+crates/zwave-protocol/src/frame.rs:
+crates/zwave-protocol/src/multicast.rs:
+crates/zwave-protocol/src/nif.rs:
+crates/zwave-protocol/src/registry/mod.rs:
+crates/zwave-protocol/src/registry/data.rs:
+crates/zwave-protocol/src/registry/proprietary.rs:
+crates/zwave-protocol/src/registry/xml.rs:
+crates/zwave-protocol/src/routing.rs:
+crates/zwave-protocol/src/types.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/zwave_radio-ac332b560412a3a9.d: crates/zwave-radio/src/lib.rs crates/zwave-radio/src/clock.rs crates/zwave-radio/src/medium.rs crates/zwave-radio/src/noise.rs crates/zwave-radio/src/region.rs crates/zwave-radio/src/sniffer.rs Cargo.toml
+
+/root/repo/target/debug/deps/libzwave_radio-ac332b560412a3a9.rmeta: crates/zwave-radio/src/lib.rs crates/zwave-radio/src/clock.rs crates/zwave-radio/src/medium.rs crates/zwave-radio/src/noise.rs crates/zwave-radio/src/region.rs crates/zwave-radio/src/sniffer.rs Cargo.toml
+
+crates/zwave-radio/src/lib.rs:
+crates/zwave-radio/src/clock.rs:
+crates/zwave-radio/src/medium.rs:
+crates/zwave-radio/src/noise.rs:
+crates/zwave-radio/src/region.rs:
+crates/zwave-radio/src/sniffer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/zwave_radio-b22768aa347b6b02.d: crates/zwave-radio/src/lib.rs crates/zwave-radio/src/clock.rs crates/zwave-radio/src/medium.rs crates/zwave-radio/src/noise.rs crates/zwave-radio/src/region.rs crates/zwave-radio/src/sniffer.rs
+
+/root/repo/target/debug/deps/libzwave_radio-b22768aa347b6b02.rlib: crates/zwave-radio/src/lib.rs crates/zwave-radio/src/clock.rs crates/zwave-radio/src/medium.rs crates/zwave-radio/src/noise.rs crates/zwave-radio/src/region.rs crates/zwave-radio/src/sniffer.rs
+
+/root/repo/target/debug/deps/libzwave_radio-b22768aa347b6b02.rmeta: crates/zwave-radio/src/lib.rs crates/zwave-radio/src/clock.rs crates/zwave-radio/src/medium.rs crates/zwave-radio/src/noise.rs crates/zwave-radio/src/region.rs crates/zwave-radio/src/sniffer.rs
+
+crates/zwave-radio/src/lib.rs:
+crates/zwave-radio/src/clock.rs:
+crates/zwave-radio/src/medium.rs:
+crates/zwave-radio/src/noise.rs:
+crates/zwave-radio/src/region.rs:
+crates/zwave-radio/src/sniffer.rs:

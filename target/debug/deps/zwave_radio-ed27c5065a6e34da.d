@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/zwave_radio-ed27c5065a6e34da.d: crates/zwave-radio/src/lib.rs crates/zwave-radio/src/clock.rs crates/zwave-radio/src/medium.rs crates/zwave-radio/src/noise.rs crates/zwave-radio/src/region.rs crates/zwave-radio/src/sniffer.rs Cargo.toml
+
+/root/repo/target/debug/deps/libzwave_radio-ed27c5065a6e34da.rmeta: crates/zwave-radio/src/lib.rs crates/zwave-radio/src/clock.rs crates/zwave-radio/src/medium.rs crates/zwave-radio/src/noise.rs crates/zwave-radio/src/region.rs crates/zwave-radio/src/sniffer.rs Cargo.toml
+
+crates/zwave-radio/src/lib.rs:
+crates/zwave-radio/src/clock.rs:
+crates/zwave-radio/src/medium.rs:
+crates/zwave-radio/src/noise.rs:
+crates/zwave-radio/src/region.rs:
+crates/zwave-radio/src/sniffer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/ablation-1b9e76777d4f9d7e.d: examples/ablation.rs
+
+/root/repo/target/debug/examples/ablation-1b9e76777d4f9d7e: examples/ablation.rs
+
+examples/ablation.rs:

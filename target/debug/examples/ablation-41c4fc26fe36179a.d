@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/ablation-41c4fc26fe36179a.d: examples/ablation.rs Cargo.toml
+
+/root/repo/target/debug/examples/libablation-41c4fc26fe36179a.rmeta: examples/ablation.rs Cargo.toml
+
+examples/ablation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/fingerprint_all-9dfbb25096a17ef4.d: examples/fingerprint_all.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfingerprint_all-9dfbb25096a17ef4.rmeta: examples/fingerprint_all.rs Cargo.toml
+
+examples/fingerprint_all.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fingerprint_all-c8daabb9ff081a34.d: examples/fingerprint_all.rs
+
+/root/repo/target/debug/examples/fingerprint_all-c8daabb9ff081a34: examples/fingerprint_all.rs
+
+examples/fingerprint_all.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/ids_monitor-68940e1e97c93209.d: examples/ids_monitor.rs Cargo.toml
+
+/root/repo/target/debug/examples/libids_monitor-68940e1e97c93209.rmeta: examples/ids_monitor.rs Cargo.toml
+
+examples/ids_monitor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

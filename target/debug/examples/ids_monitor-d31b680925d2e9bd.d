@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/ids_monitor-d31b680925d2e9bd.d: examples/ids_monitor.rs
+
+/root/repo/target/debug/examples/ids_monitor-d31b680925d2e9bd: examples/ids_monitor.rs
+
+examples/ids_monitor.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/memory_tampering-07b637fed4e4b0c2.d: examples/memory_tampering.rs
+
+/root/repo/target/debug/examples/memory_tampering-07b637fed4e4b0c2: examples/memory_tampering.rs
+
+examples/memory_tampering.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/memory_tampering-ec5148c6f1fcc7dd.d: examples/memory_tampering.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmemory_tampering-ec5148c6f1fcc7dd.rmeta: examples/memory_tampering.rs Cargo.toml
+
+examples/memory_tampering.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

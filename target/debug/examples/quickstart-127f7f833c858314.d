@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-127f7f833c858314.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-127f7f833c858314: examples/quickstart.rs
+
+examples/quickstart.rs:

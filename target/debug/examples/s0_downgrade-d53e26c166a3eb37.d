@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/s0_downgrade-d53e26c166a3eb37.d: examples/s0_downgrade.rs Cargo.toml
+
+/root/repo/target/debug/examples/libs0_downgrade-d53e26c166a3eb37.rmeta: examples/s0_downgrade.rs Cargo.toml
+
+examples/s0_downgrade.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

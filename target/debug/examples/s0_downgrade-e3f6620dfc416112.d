@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/s0_downgrade-e3f6620dfc416112.d: examples/s0_downgrade.rs
+
+/root/repo/target/debug/examples/s0_downgrade-e3f6620dfc416112: examples/s0_downgrade.rs
+
+examples/s0_downgrade.rs:

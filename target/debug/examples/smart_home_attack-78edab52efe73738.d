@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/smart_home_attack-78edab52efe73738.d: examples/smart_home_attack.rs
+
+/root/repo/target/debug/examples/smart_home_attack-78edab52efe73738: examples/smart_home_attack.rs
+
+examples/smart_home_attack.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/smart_home_attack-e39f66aea66a1fe4.d: examples/smart_home_attack.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsmart_home_attack-e39f66aea66a1fe4.rmeta: examples/smart_home_attack.rs Cargo.toml
+
+examples/smart_home_attack.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/attack_scenarios-52135e39ad16d2be.d: tests/attack_scenarios.rs
+
+/root/repo/target/release/deps/attack_scenarios-52135e39ad16d2be: tests/attack_scenarios.rs
+
+tests/attack_scenarios.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/attack_scenarios-e5a1bd7ec5d52ec6.d: tests/attack_scenarios.rs
+
+/root/repo/target/release/deps/attack_scenarios-e5a1bd7ec5d52ec6: tests/attack_scenarios.rs
+
+tests/attack_scenarios.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/comparison-5d52bde3b78ab667.d: tests/comparison.rs
+
+/root/repo/target/release/deps/comparison-5d52bde3b78ab667: tests/comparison.rs
+
+tests/comparison.rs:

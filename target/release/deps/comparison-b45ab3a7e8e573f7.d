@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/comparison-b45ab3a7e8e573f7.d: tests/comparison.rs
+
+/root/repo/target/release/deps/comparison-b45ab3a7e8e573f7: tests/comparison.rs
+
+tests/comparison.rs:

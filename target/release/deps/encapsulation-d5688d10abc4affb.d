@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/encapsulation-d5688d10abc4affb.d: tests/encapsulation.rs
+
+/root/repo/target/release/deps/encapsulation-d5688d10abc4affb: tests/encapsulation.rs
+
+tests/encapsulation.rs:

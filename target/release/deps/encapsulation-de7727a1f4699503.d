@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/encapsulation-de7727a1f4699503.d: tests/encapsulation.rs
+
+/root/repo/target/release/deps/encapsulation-de7727a1f4699503: tests/encapsulation.rs
+
+tests/encapsulation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/end_to_end-5927fb51eb6c97a0.d: tests/end_to_end.rs
+
+/root/repo/target/release/deps/end_to_end-5927fb51eb6c97a0: tests/end_to_end.rs
+
+tests/end_to_end.rs:

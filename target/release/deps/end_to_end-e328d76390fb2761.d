@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/end_to_end-e328d76390fb2761.d: tests/end_to_end.rs
+
+/root/repo/target/release/deps/end_to_end-e328d76390fb2761: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/executor-fc3101e1739171b6.d: crates/bench/benches/executor.rs
+
+/root/repo/target/release/deps/executor-fc3101e1739171b6: crates/bench/benches/executor.rs
+
+crates/bench/benches/executor.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/executor_determinism-a5a4e787b1f70025.d: crates/core/tests/executor_determinism.rs
+
+/root/repo/target/release/deps/executor_determinism-a5a4e787b1f70025: crates/core/tests/executor_determinism.rs
+
+crates/core/tests/executor_determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figure12-242fd33e2ff902b4.d: crates/bench/src/bin/figure12.rs
+
+/root/repo/target/release/deps/figure12-242fd33e2ff902b4: crates/bench/src/bin/figure12.rs
+
+crates/bench/src/bin/figure12.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figure12-64d9bb867e244d1e.d: crates/bench/src/bin/figure12.rs
+
+/root/repo/target/release/deps/figure12-64d9bb867e244d1e: crates/bench/src/bin/figure12.rs
+
+crates/bench/src/bin/figure12.rs:

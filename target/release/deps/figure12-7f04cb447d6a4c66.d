@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figure12-7f04cb447d6a4c66.d: crates/bench/src/bin/figure12.rs
+
+/root/repo/target/release/deps/figure12-7f04cb447d6a4c66: crates/bench/src/bin/figure12.rs
+
+crates/bench/src/bin/figure12.rs:

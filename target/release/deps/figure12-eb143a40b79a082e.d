@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figure12-eb143a40b79a082e.d: crates/bench/src/bin/figure12.rs
+
+/root/repo/target/release/deps/figure12-eb143a40b79a082e: crates/bench/src/bin/figure12.rs
+
+crates/bench/src/bin/figure12.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figure5-1015c240552cbbb9.d: crates/bench/src/bin/figure5.rs
+
+/root/repo/target/release/deps/figure5-1015c240552cbbb9: crates/bench/src/bin/figure5.rs
+
+crates/bench/src/bin/figure5.rs:

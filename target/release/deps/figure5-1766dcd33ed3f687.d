@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figure5-1766dcd33ed3f687.d: crates/bench/src/bin/figure5.rs
+
+/root/repo/target/release/deps/figure5-1766dcd33ed3f687: crates/bench/src/bin/figure5.rs
+
+crates/bench/src/bin/figure5.rs:

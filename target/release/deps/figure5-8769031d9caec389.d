@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figure5-8769031d9caec389.d: crates/bench/src/bin/figure5.rs
+
+/root/repo/target/release/deps/figure5-8769031d9caec389: crates/bench/src/bin/figure5.rs
+
+crates/bench/src/bin/figure5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figure5-bd15e0d93d068f4d.d: crates/bench/src/bin/figure5.rs
+
+/root/repo/target/release/deps/figure5-bd15e0d93d068f4d: crates/bench/src/bin/figure5.rs
+
+crates/bench/src/bin/figure5.rs:

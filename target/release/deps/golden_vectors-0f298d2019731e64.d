@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/golden_vectors-0f298d2019731e64.d: crates/zwave-protocol/tests/golden_vectors.rs
+
+/root/repo/target/release/deps/golden_vectors-0f298d2019731e64: crates/zwave-protocol/tests/golden_vectors.rs
+
+crates/zwave-protocol/tests/golden_vectors.rs:

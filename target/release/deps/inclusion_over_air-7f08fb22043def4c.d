@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/inclusion_over_air-7f08fb22043def4c.d: tests/inclusion_over_air.rs
+
+/root/repo/target/release/deps/inclusion_over_air-7f08fb22043def4c: tests/inclusion_over_air.rs
+
+tests/inclusion_over_air.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/inclusion_over_air-8f6a5b6ce80ecc7a.d: tests/inclusion_over_air.rs
+
+/root/repo/target/release/deps/inclusion_over_air-8f6a5b6ce80ecc7a: tests/inclusion_over_air.rs
+
+tests/inclusion_over_air.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/kats-6601a7eed6e106f6.d: crates/zwave-crypto/tests/kats.rs
+
+/root/repo/target/release/deps/kats-6601a7eed6e106f6: crates/zwave-crypto/tests/kats.rs
+
+crates/zwave-crypto/tests/kats.rs:

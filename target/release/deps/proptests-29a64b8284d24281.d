@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-29a64b8284d24281.d: crates/core/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-29a64b8284d24281: crates/core/tests/proptests.rs
+
+crates/core/tests/proptests.rs:

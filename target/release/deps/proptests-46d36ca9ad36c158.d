@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-46d36ca9ad36c158.d: crates/zwave-controller/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-46d36ca9ad36c158: crates/zwave-controller/tests/proptests.rs
+
+crates/zwave-controller/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-553afdd9471b129e.d: crates/zwave-protocol/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-553afdd9471b129e: crates/zwave-protocol/tests/proptests.rs
+
+crates/zwave-protocol/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-5e252edda6a5beec.d: crates/core/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-5e252edda6a5beec: crates/core/tests/proptests.rs
+
+crates/core/tests/proptests.rs:

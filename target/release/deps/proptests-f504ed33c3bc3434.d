@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-f504ed33c3bc3434.d: crates/zwave-crypto/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-f504ed33c3bc3434: crates/zwave-crypto/tests/proptests.rs
+
+crates/zwave-crypto/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/region_tests-ef8245ec1d18db4c.d: crates/zwave-radio/tests/region_tests.rs
+
+/root/repo/target/release/deps/region_tests-ef8245ec1d18db4c: crates/zwave-radio/tests/region_tests.rs
+
+crates/zwave-radio/tests/region_tests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/remediation-4d780a086b7c0f56.d: tests/remediation.rs
+
+/root/repo/target/release/deps/remediation-4d780a086b7c0f56: tests/remediation.rs
+
+tests/remediation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/remediation-ae9bb67dfaa73355.d: tests/remediation.rs
+
+/root/repo/target/release/deps/remediation-ae9bb67dfaa73355: tests/remediation.rs
+
+tests/remediation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/robustness-18338db4e21ec9ef.d: crates/bench/src/bin/robustness.rs
+
+/root/repo/target/release/deps/robustness-18338db4e21ec9ef: crates/bench/src/bin/robustness.rs
+
+crates/bench/src/bin/robustness.rs:

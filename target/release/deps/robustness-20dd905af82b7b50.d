@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/robustness-20dd905af82b7b50.d: tests/robustness.rs
+
+/root/repo/target/release/deps/robustness-20dd905af82b7b50: tests/robustness.rs
+
+tests/robustness.rs:

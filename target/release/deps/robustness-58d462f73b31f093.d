@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/robustness-58d462f73b31f093.d: crates/bench/src/bin/robustness.rs
+
+/root/repo/target/release/deps/robustness-58d462f73b31f093: crates/bench/src/bin/robustness.rs
+
+crates/bench/src/bin/robustness.rs:

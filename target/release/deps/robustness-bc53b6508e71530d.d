@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/robustness-bc53b6508e71530d.d: tests/robustness.rs
+
+/root/repo/target/release/deps/robustness-bc53b6508e71530d: tests/robustness.rs
+
+tests/robustness.rs:

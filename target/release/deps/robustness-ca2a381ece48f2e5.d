@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/robustness-ca2a381ece48f2e5.d: crates/bench/src/bin/robustness.rs
+
+/root/repo/target/release/deps/robustness-ca2a381ece48f2e5: crates/bench/src/bin/robustness.rs
+
+crates/bench/src/bin/robustness.rs:

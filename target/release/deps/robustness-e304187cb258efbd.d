@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/robustness-e304187cb258efbd.d: crates/bench/src/bin/robustness.rs
+
+/root/repo/target/release/deps/robustness-e304187cb258efbd: crates/bench/src/bin/robustness.rs
+
+crates/bench/src/bin/robustness.rs:

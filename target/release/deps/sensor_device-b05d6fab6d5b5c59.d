@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sensor_device-b05d6fab6d5b5c59.d: tests/sensor_device.rs
+
+/root/repo/target/release/deps/sensor_device-b05d6fab6d5b5c59: tests/sensor_device.rs
+
+tests/sensor_device.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sensor_device-eaffb7959abcc404.d: tests/sensor_device.rs
+
+/root/repo/target/release/deps/sensor_device-eaffb7959abcc404: tests/sensor_device.rs
+
+tests/sensor_device.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2-19f0d4c7faa9736a.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/release/deps/table2-19f0d4c7faa9736a: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2-4a9cb6b75b4d203f.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/release/deps/table2-4a9cb6b75b4d203f: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2-70c4a3beca1e9ca0.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/release/deps/table2-70c4a3beca1e9ca0: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

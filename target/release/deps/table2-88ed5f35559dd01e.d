@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2-88ed5f35559dd01e.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/release/deps/table2-88ed5f35559dd01e: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

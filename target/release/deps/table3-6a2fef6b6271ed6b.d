@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3-6a2fef6b6271ed6b.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/release/deps/table3-6a2fef6b6271ed6b: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

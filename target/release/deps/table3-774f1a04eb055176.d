@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3-774f1a04eb055176.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/release/deps/table3-774f1a04eb055176: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

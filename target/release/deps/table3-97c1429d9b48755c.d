@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3-97c1429d9b48755c.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/release/deps/table3-97c1429d9b48755c: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

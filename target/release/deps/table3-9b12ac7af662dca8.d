@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3-9b12ac7af662dca8.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/release/deps/table3-9b12ac7af662dca8: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table4-a9a22810ab72a5f1.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/release/deps/table4-a9a22810ab72a5f1: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

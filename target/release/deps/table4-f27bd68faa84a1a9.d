@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table4-f27bd68faa84a1a9.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/release/deps/table4-f27bd68faa84a1a9: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

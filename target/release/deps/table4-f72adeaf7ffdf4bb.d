@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table4-f72adeaf7ffdf4bb.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/release/deps/table4-f72adeaf7ffdf4bb: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

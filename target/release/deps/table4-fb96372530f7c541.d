@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table4-fb96372530f7c541.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/release/deps/table4-fb96372530f7c541: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table5-25b1a040500ae94e.d: crates/bench/src/bin/table5.rs
+
+/root/repo/target/release/deps/table5-25b1a040500ae94e: crates/bench/src/bin/table5.rs
+
+crates/bench/src/bin/table5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table5-6941482be47d7896.d: crates/bench/src/bin/table5.rs
+
+/root/repo/target/release/deps/table5-6941482be47d7896: crates/bench/src/bin/table5.rs
+
+crates/bench/src/bin/table5.rs:

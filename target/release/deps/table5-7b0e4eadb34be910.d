@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table5-7b0e4eadb34be910.d: crates/bench/src/bin/table5.rs
+
+/root/repo/target/release/deps/table5-7b0e4eadb34be910: crates/bench/src/bin/table5.rs
+
+crates/bench/src/bin/table5.rs:

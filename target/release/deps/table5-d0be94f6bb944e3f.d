@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table5-d0be94f6bb944e3f.d: crates/bench/src/bin/table5.rs
+
+/root/repo/target/release/deps/table5-d0be94f6bb944e3f: crates/bench/src/bin/table5.rs
+
+crates/bench/src/bin/table5.rs:

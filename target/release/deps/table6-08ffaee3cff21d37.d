@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table6-08ffaee3cff21d37.d: crates/bench/src/bin/table6.rs
+
+/root/repo/target/release/deps/table6-08ffaee3cff21d37: crates/bench/src/bin/table6.rs
+
+crates/bench/src/bin/table6.rs:

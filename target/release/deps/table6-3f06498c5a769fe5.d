@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table6-3f06498c5a769fe5.d: crates/bench/src/bin/table6.rs
+
+/root/repo/target/release/deps/table6-3f06498c5a769fe5: crates/bench/src/bin/table6.rs
+
+crates/bench/src/bin/table6.rs:

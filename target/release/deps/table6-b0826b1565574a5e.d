@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table6-b0826b1565574a5e.d: crates/bench/src/bin/table6.rs
+
+/root/repo/target/release/deps/table6-b0826b1565574a5e: crates/bench/src/bin/table6.rs
+
+crates/bench/src/bin/table6.rs:

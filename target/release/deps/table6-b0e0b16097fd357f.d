@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table6-b0e0b16097fd357f.d: crates/bench/src/bin/table6.rs
+
+/root/repo/target/release/deps/table6-b0e0b16097fd357f: crates/bench/src/bin/table6.rs
+
+crates/bench/src/bin/table6.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/vfuzz-4f5c53c5a0420580.d: crates/vfuzz/src/lib.rs
+
+/root/repo/target/release/deps/libvfuzz-4f5c53c5a0420580.rlib: crates/vfuzz/src/lib.rs
+
+/root/repo/target/release/deps/libvfuzz-4f5c53c5a0420580.rmeta: crates/vfuzz/src/lib.rs
+
+crates/vfuzz/src/lib.rs:

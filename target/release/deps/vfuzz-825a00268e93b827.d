@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/vfuzz-825a00268e93b827.d: crates/vfuzz/src/lib.rs
+
+/root/repo/target/release/deps/vfuzz-825a00268e93b827: crates/vfuzz/src/lib.rs
+
+crates/vfuzz/src/lib.rs:

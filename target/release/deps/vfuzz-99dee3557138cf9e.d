@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/vfuzz-99dee3557138cf9e.d: crates/vfuzz/src/lib.rs
+
+/root/repo/target/release/deps/vfuzz-99dee3557138cf9e: crates/vfuzz/src/lib.rs
+
+crates/vfuzz/src/lib.rs:

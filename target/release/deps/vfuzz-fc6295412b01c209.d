@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/vfuzz-fc6295412b01c209.d: crates/vfuzz/src/lib.rs
+
+/root/repo/target/release/deps/libvfuzz-fc6295412b01c209.rlib: crates/vfuzz/src/lib.rs
+
+/root/repo/target/release/deps/libvfuzz-fc6295412b01c209.rmeta: crates/vfuzz/src/lib.rs
+
+crates/vfuzz/src/lib.rs:

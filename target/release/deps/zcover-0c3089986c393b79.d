@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/zcover-0c3089986c393b79.d: crates/core/src/bin/zcover.rs
+
+/root/repo/target/release/deps/zcover-0c3089986c393b79: crates/core/src/bin/zcover.rs
+
+crates/core/src/bin/zcover.rs:

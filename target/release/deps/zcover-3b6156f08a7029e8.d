@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/zcover-3b6156f08a7029e8.d: crates/core/src/bin/zcover.rs
+
+/root/repo/target/release/deps/zcover-3b6156f08a7029e8: crates/core/src/bin/zcover.rs
+
+crates/core/src/bin/zcover.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/zcover-4477dfee3955cffc.d: crates/core/src/bin/zcover.rs
+
+/root/repo/target/release/deps/zcover-4477dfee3955cffc: crates/core/src/bin/zcover.rs
+
+crates/core/src/bin/zcover.rs:

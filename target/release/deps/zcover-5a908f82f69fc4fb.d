@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/zcover-5a908f82f69fc4fb.d: crates/core/src/lib.rs crates/core/src/active.rs crates/core/src/buglog.rs crates/core/src/discovery.rs crates/core/src/dongle.rs crates/core/src/fuzzer.rs crates/core/src/minimize.rs crates/core/src/mutation.rs crates/core/src/passive.rs crates/core/src/report.rs crates/core/src/target.rs crates/core/src/trials.rs
+
+/root/repo/target/release/deps/libzcover-5a908f82f69fc4fb.rlib: crates/core/src/lib.rs crates/core/src/active.rs crates/core/src/buglog.rs crates/core/src/discovery.rs crates/core/src/dongle.rs crates/core/src/fuzzer.rs crates/core/src/minimize.rs crates/core/src/mutation.rs crates/core/src/passive.rs crates/core/src/report.rs crates/core/src/target.rs crates/core/src/trials.rs
+
+/root/repo/target/release/deps/libzcover-5a908f82f69fc4fb.rmeta: crates/core/src/lib.rs crates/core/src/active.rs crates/core/src/buglog.rs crates/core/src/discovery.rs crates/core/src/dongle.rs crates/core/src/fuzzer.rs crates/core/src/minimize.rs crates/core/src/mutation.rs crates/core/src/passive.rs crates/core/src/report.rs crates/core/src/target.rs crates/core/src/trials.rs
+
+crates/core/src/lib.rs:
+crates/core/src/active.rs:
+crates/core/src/buglog.rs:
+crates/core/src/discovery.rs:
+crates/core/src/dongle.rs:
+crates/core/src/fuzzer.rs:
+crates/core/src/minimize.rs:
+crates/core/src/mutation.rs:
+crates/core/src/passive.rs:
+crates/core/src/report.rs:
+crates/core/src/target.rs:
+crates/core/src/trials.rs:

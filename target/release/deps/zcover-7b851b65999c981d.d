@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/zcover-7b851b65999c981d.d: crates/core/src/bin/zcover.rs
+
+/root/repo/target/release/deps/zcover-7b851b65999c981d: crates/core/src/bin/zcover.rs
+
+crates/core/src/bin/zcover.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/release/deps/zcover-fdfd4f7e977e8732.d: crates/core/src/lib.rs crates/core/src/active.rs crates/core/src/buglog.rs crates/core/src/discovery.rs crates/core/src/dongle.rs crates/core/src/executor.rs crates/core/src/fuzzer.rs crates/core/src/minimize.rs crates/core/src/mutation.rs crates/core/src/passive.rs crates/core/src/report.rs crates/core/src/target.rs crates/core/src/trials.rs
+
+/root/repo/target/release/deps/libzcover-fdfd4f7e977e8732.rlib: crates/core/src/lib.rs crates/core/src/active.rs crates/core/src/buglog.rs crates/core/src/discovery.rs crates/core/src/dongle.rs crates/core/src/executor.rs crates/core/src/fuzzer.rs crates/core/src/minimize.rs crates/core/src/mutation.rs crates/core/src/passive.rs crates/core/src/report.rs crates/core/src/target.rs crates/core/src/trials.rs
+
+/root/repo/target/release/deps/libzcover-fdfd4f7e977e8732.rmeta: crates/core/src/lib.rs crates/core/src/active.rs crates/core/src/buglog.rs crates/core/src/discovery.rs crates/core/src/dongle.rs crates/core/src/executor.rs crates/core/src/fuzzer.rs crates/core/src/minimize.rs crates/core/src/mutation.rs crates/core/src/passive.rs crates/core/src/report.rs crates/core/src/target.rs crates/core/src/trials.rs
+
+crates/core/src/lib.rs:
+crates/core/src/active.rs:
+crates/core/src/buglog.rs:
+crates/core/src/discovery.rs:
+crates/core/src/dongle.rs:
+crates/core/src/executor.rs:
+crates/core/src/fuzzer.rs:
+crates/core/src/minimize.rs:
+crates/core/src/mutation.rs:
+crates/core/src/passive.rs:
+crates/core/src/report.rs:
+crates/core/src/target.rs:
+crates/core/src/trials.rs:

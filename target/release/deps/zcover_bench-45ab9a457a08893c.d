@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/zcover_bench-45ab9a457a08893c.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/paperdata.rs crates/bench/src/render.rs
+
+/root/repo/target/release/deps/zcover_bench-45ab9a457a08893c: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/paperdata.rs crates/bench/src/render.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/paperdata.rs:
+crates/bench/src/render.rs:

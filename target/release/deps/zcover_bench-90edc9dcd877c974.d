@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/zcover_bench-90edc9dcd877c974.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/paperdata.rs crates/bench/src/render.rs
+
+/root/repo/target/release/deps/zcover_bench-90edc9dcd877c974: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/paperdata.rs crates/bench/src/render.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/paperdata.rs:
+crates/bench/src/render.rs:

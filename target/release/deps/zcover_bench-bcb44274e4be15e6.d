@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/zcover_bench-bcb44274e4be15e6.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/paperdata.rs crates/bench/src/render.rs
+
+/root/repo/target/release/deps/libzcover_bench-bcb44274e4be15e6.rlib: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/paperdata.rs crates/bench/src/render.rs
+
+/root/repo/target/release/deps/libzcover_bench-bcb44274e4be15e6.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/paperdata.rs crates/bench/src/render.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/paperdata.rs:
+crates/bench/src/render.rs:

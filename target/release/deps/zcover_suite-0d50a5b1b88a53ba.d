@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/zcover_suite-0d50a5b1b88a53ba.d: src/lib.rs
+
+/root/repo/target/release/deps/zcover_suite-0d50a5b1b88a53ba: src/lib.rs
+
+src/lib.rs:

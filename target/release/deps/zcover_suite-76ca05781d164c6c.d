@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/zcover_suite-76ca05781d164c6c.d: src/lib.rs
+
+/root/repo/target/release/deps/libzcover_suite-76ca05781d164c6c.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libzcover_suite-76ca05781d164c6c.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/zcover_suite-77035dc3fd8c41f8.d: src/lib.rs
+
+/root/repo/target/release/deps/libzcover_suite-77035dc3fd8c41f8.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libzcover_suite-77035dc3fd8c41f8.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/zcover_suite-b763f95a727d1902.d: src/lib.rs
+
+/root/repo/target/release/deps/zcover_suite-b763f95a727d1902: src/lib.rs
+
+src/lib.rs:

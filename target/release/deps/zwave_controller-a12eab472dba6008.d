@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/zwave_controller-a12eab472dba6008.d: crates/zwave-controller/src/lib.rs crates/zwave-controller/src/controller.rs crates/zwave-controller/src/devices/mod.rs crates/zwave-controller/src/devices/door_lock.rs crates/zwave-controller/src/devices/sensor.rs crates/zwave-controller/src/devices/switch.rs crates/zwave-controller/src/health.rs crates/zwave-controller/src/host.rs crates/zwave-controller/src/ids.rs crates/zwave-controller/src/nvm.rs crates/zwave-controller/src/testbed.rs crates/zwave-controller/src/vulns.rs
+
+/root/repo/target/release/deps/libzwave_controller-a12eab472dba6008.rlib: crates/zwave-controller/src/lib.rs crates/zwave-controller/src/controller.rs crates/zwave-controller/src/devices/mod.rs crates/zwave-controller/src/devices/door_lock.rs crates/zwave-controller/src/devices/sensor.rs crates/zwave-controller/src/devices/switch.rs crates/zwave-controller/src/health.rs crates/zwave-controller/src/host.rs crates/zwave-controller/src/ids.rs crates/zwave-controller/src/nvm.rs crates/zwave-controller/src/testbed.rs crates/zwave-controller/src/vulns.rs
+
+/root/repo/target/release/deps/libzwave_controller-a12eab472dba6008.rmeta: crates/zwave-controller/src/lib.rs crates/zwave-controller/src/controller.rs crates/zwave-controller/src/devices/mod.rs crates/zwave-controller/src/devices/door_lock.rs crates/zwave-controller/src/devices/sensor.rs crates/zwave-controller/src/devices/switch.rs crates/zwave-controller/src/health.rs crates/zwave-controller/src/host.rs crates/zwave-controller/src/ids.rs crates/zwave-controller/src/nvm.rs crates/zwave-controller/src/testbed.rs crates/zwave-controller/src/vulns.rs
+
+crates/zwave-controller/src/lib.rs:
+crates/zwave-controller/src/controller.rs:
+crates/zwave-controller/src/devices/mod.rs:
+crates/zwave-controller/src/devices/door_lock.rs:
+crates/zwave-controller/src/devices/sensor.rs:
+crates/zwave-controller/src/devices/switch.rs:
+crates/zwave-controller/src/health.rs:
+crates/zwave-controller/src/host.rs:
+crates/zwave-controller/src/ids.rs:
+crates/zwave-controller/src/nvm.rs:
+crates/zwave-controller/src/testbed.rs:
+crates/zwave-controller/src/vulns.rs:

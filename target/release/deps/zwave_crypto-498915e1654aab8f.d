@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/zwave_crypto-498915e1654aab8f.d: crates/zwave-crypto/src/lib.rs crates/zwave-crypto/src/aes.rs crates/zwave-crypto/src/ccm.rs crates/zwave-crypto/src/cmac.rs crates/zwave-crypto/src/curve25519.rs crates/zwave-crypto/src/inclusion.rs crates/zwave-crypto/src/kdf.rs crates/zwave-crypto/src/keys.rs crates/zwave-crypto/src/s0.rs crates/zwave-crypto/src/s2.rs
+
+/root/repo/target/release/deps/libzwave_crypto-498915e1654aab8f.rlib: crates/zwave-crypto/src/lib.rs crates/zwave-crypto/src/aes.rs crates/zwave-crypto/src/ccm.rs crates/zwave-crypto/src/cmac.rs crates/zwave-crypto/src/curve25519.rs crates/zwave-crypto/src/inclusion.rs crates/zwave-crypto/src/kdf.rs crates/zwave-crypto/src/keys.rs crates/zwave-crypto/src/s0.rs crates/zwave-crypto/src/s2.rs
+
+/root/repo/target/release/deps/libzwave_crypto-498915e1654aab8f.rmeta: crates/zwave-crypto/src/lib.rs crates/zwave-crypto/src/aes.rs crates/zwave-crypto/src/ccm.rs crates/zwave-crypto/src/cmac.rs crates/zwave-crypto/src/curve25519.rs crates/zwave-crypto/src/inclusion.rs crates/zwave-crypto/src/kdf.rs crates/zwave-crypto/src/keys.rs crates/zwave-crypto/src/s0.rs crates/zwave-crypto/src/s2.rs
+
+crates/zwave-crypto/src/lib.rs:
+crates/zwave-crypto/src/aes.rs:
+crates/zwave-crypto/src/ccm.rs:
+crates/zwave-crypto/src/cmac.rs:
+crates/zwave-crypto/src/curve25519.rs:
+crates/zwave-crypto/src/inclusion.rs:
+crates/zwave-crypto/src/kdf.rs:
+crates/zwave-crypto/src/keys.rs:
+crates/zwave-crypto/src/s0.rs:
+crates/zwave-crypto/src/s2.rs:

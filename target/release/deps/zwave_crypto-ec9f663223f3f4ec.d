@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/zwave_crypto-ec9f663223f3f4ec.d: crates/zwave-crypto/src/lib.rs crates/zwave-crypto/src/aes.rs crates/zwave-crypto/src/ccm.rs crates/zwave-crypto/src/cmac.rs crates/zwave-crypto/src/curve25519.rs crates/zwave-crypto/src/inclusion.rs crates/zwave-crypto/src/kdf.rs crates/zwave-crypto/src/keys.rs crates/zwave-crypto/src/s0.rs crates/zwave-crypto/src/s2.rs
+
+/root/repo/target/release/deps/zwave_crypto-ec9f663223f3f4ec: crates/zwave-crypto/src/lib.rs crates/zwave-crypto/src/aes.rs crates/zwave-crypto/src/ccm.rs crates/zwave-crypto/src/cmac.rs crates/zwave-crypto/src/curve25519.rs crates/zwave-crypto/src/inclusion.rs crates/zwave-crypto/src/kdf.rs crates/zwave-crypto/src/keys.rs crates/zwave-crypto/src/s0.rs crates/zwave-crypto/src/s2.rs
+
+crates/zwave-crypto/src/lib.rs:
+crates/zwave-crypto/src/aes.rs:
+crates/zwave-crypto/src/ccm.rs:
+crates/zwave-crypto/src/cmac.rs:
+crates/zwave-crypto/src/curve25519.rs:
+crates/zwave-crypto/src/inclusion.rs:
+crates/zwave-crypto/src/kdf.rs:
+crates/zwave-crypto/src/keys.rs:
+crates/zwave-crypto/src/s0.rs:
+crates/zwave-crypto/src/s2.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/zwave_radio-2fc672e1047f05bb.d: crates/zwave-radio/src/lib.rs crates/zwave-radio/src/clock.rs crates/zwave-radio/src/medium.rs crates/zwave-radio/src/noise.rs crates/zwave-radio/src/region.rs crates/zwave-radio/src/sniffer.rs
+
+/root/repo/target/release/deps/zwave_radio-2fc672e1047f05bb: crates/zwave-radio/src/lib.rs crates/zwave-radio/src/clock.rs crates/zwave-radio/src/medium.rs crates/zwave-radio/src/noise.rs crates/zwave-radio/src/region.rs crates/zwave-radio/src/sniffer.rs
+
+crates/zwave-radio/src/lib.rs:
+crates/zwave-radio/src/clock.rs:
+crates/zwave-radio/src/medium.rs:
+crates/zwave-radio/src/noise.rs:
+crates/zwave-radio/src/region.rs:
+crates/zwave-radio/src/sniffer.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/ablation-38bd79179db336ed.d: examples/ablation.rs
+
+/root/repo/target/release/examples/ablation-38bd79179db336ed: examples/ablation.rs
+
+examples/ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/ablation-f666a38188749b29.d: examples/ablation.rs
+
+/root/repo/target/release/examples/ablation-f666a38188749b29: examples/ablation.rs
+
+examples/ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/fingerprint_all-98ad22076bf575e6.d: examples/fingerprint_all.rs
+
+/root/repo/target/release/examples/fingerprint_all-98ad22076bf575e6: examples/fingerprint_all.rs
+
+examples/fingerprint_all.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/fingerprint_all-bfd7282360601465.d: examples/fingerprint_all.rs
+
+/root/repo/target/release/examples/fingerprint_all-bfd7282360601465: examples/fingerprint_all.rs
+
+examples/fingerprint_all.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/ids_monitor-2249e57573dfa6a1.d: examples/ids_monitor.rs
+
+/root/repo/target/release/examples/ids_monitor-2249e57573dfa6a1: examples/ids_monitor.rs
+
+examples/ids_monitor.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/ids_monitor-e36301a2d099f128.d: examples/ids_monitor.rs
+
+/root/repo/target/release/examples/ids_monitor-e36301a2d099f128: examples/ids_monitor.rs
+
+examples/ids_monitor.rs:

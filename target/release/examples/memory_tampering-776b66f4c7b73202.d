@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/memory_tampering-776b66f4c7b73202.d: examples/memory_tampering.rs
+
+/root/repo/target/release/examples/memory_tampering-776b66f4c7b73202: examples/memory_tampering.rs
+
+examples/memory_tampering.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/memory_tampering-8d7bcb98fcf33a44.d: examples/memory_tampering.rs
+
+/root/repo/target/release/examples/memory_tampering-8d7bcb98fcf33a44: examples/memory_tampering.rs
+
+examples/memory_tampering.rs:

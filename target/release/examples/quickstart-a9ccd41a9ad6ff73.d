@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-a9ccd41a9ad6ff73.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-a9ccd41a9ad6ff73: examples/quickstart.rs
+
+examples/quickstart.rs:

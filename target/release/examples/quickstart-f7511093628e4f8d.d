@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-f7511093628e4f8d.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-f7511093628e4f8d: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/s0_downgrade-0ede854c357d17ae.d: examples/s0_downgrade.rs
+
+/root/repo/target/release/examples/s0_downgrade-0ede854c357d17ae: examples/s0_downgrade.rs
+
+examples/s0_downgrade.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/s0_downgrade-8887e9cffba16af2.d: examples/s0_downgrade.rs
+
+/root/repo/target/release/examples/s0_downgrade-8887e9cffba16af2: examples/s0_downgrade.rs
+
+examples/s0_downgrade.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/smart_home_attack-0208257296a16252.d: examples/smart_home_attack.rs
+
+/root/repo/target/release/examples/smart_home_attack-0208257296a16252: examples/smart_home_attack.rs
+
+examples/smart_home_attack.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/smart_home_attack-b8096aa2a166d314.d: examples/smart_home_attack.rs
+
+/root/repo/target/release/examples/smart_home_attack-b8096aa2a166d314: examples/smart_home_attack.rs
+
+examples/smart_home_attack.rs:

@@ -120,10 +120,8 @@ fn replayed_sniffed_s2_frames_do_not_unlock() {
     let sniffer = tb.attach_attacker(70.0);
     tb.exchange_normal_traffic();
     let captured: Vec<Vec<u8>> = sniffer.drain().into_iter().map(|f| f.bytes).collect();
-    let s2_frames: Vec<&Vec<u8>> = captured
-        .iter()
-        .filter(|b| b.len() > 11 && b[9] == 0x9F && b[10] == 0x03)
-        .collect();
+    let s2_frames: Vec<&Vec<u8>> =
+        captured.iter().filter(|b| b.len() > 11 && b[9] == 0x9F && b[10] == 0x03).collect();
     assert!(!s2_frames.is_empty(), "the exchange used S2 encapsulation");
     tb.exchange_normal_traffic(); // advance the SPAN
     let was_locked = tb.lock().is_locked();

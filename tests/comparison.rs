@@ -45,12 +45,7 @@ fn zcover_beats_vfuzz_on_every_usb_device() {
     for model in DeviceModel::usb_models() {
         let z = zcover_findings(model, 8);
         let v = vfuzz_findings(model, 8);
-        assert!(
-            z.len() > v.len(),
-            "{model:?}: zcover {} vs vfuzz {}",
-            z.len(),
-            v.len()
-        );
+        assert!(z.len() > v.len(), "{model:?}: zcover {} vs vfuzz {}", z.len(), v.len());
     }
 }
 

@@ -2,18 +2,13 @@
 //! handling: S0, CRC-16 and Supervision unwrapping, and the security
 //! semantics each carries (a checksum is not a MAC; an S0 MAC is).
 
+use zcover_suite::zwave_controller::testbed::{DeviceModel, Testbed, LOCK_NODE, SWITCH_NODE};
 use zcover_suite::zwave_crypto::s0::{self, S0Keys};
 use zcover_suite::zwave_protocol::checksum::crc16_ccitt;
 use zcover_suite::zwave_protocol::{MacFrame, NodeId};
-use zcover_suite::zwave_controller::testbed::{DeviceModel, Testbed, LOCK_NODE, SWITCH_NODE};
 
 fn send(tb: &mut Testbed, attacker: &zcover_suite::zwave_radio::Transceiver, payload: Vec<u8>) {
-    let frame = MacFrame::singlecast(
-        tb.controller().home_id(),
-        SWITCH_NODE,
-        NodeId(0x01),
-        payload,
-    );
+    let frame = MacFrame::singlecast(tb.controller().home_id(), SWITCH_NODE, NodeId(0x01), payload);
     attacker.transmit(&frame.encode());
     tb.pump();
 }
@@ -93,10 +88,7 @@ fn supervision_length_mismatch_is_dropped() {
     // Declared length 5 but only 2 inner bytes: dropped, no report.
     send(&mut tb, &attacker, vec![0x6C, 0x01, 0x05, 0x05, 0x20, 0x02]);
     let frames = attacker.drain();
-    assert!(frames
-        .iter()
-        .filter_map(|f| MacFrame::decode(&f.bytes).ok())
-        .all(|m| m.is_ack()));
+    assert!(frames.iter().filter_map(|f| MacFrame::decode(&f.bytes).ok()).all(|m| m.is_ack()));
 }
 
 #[test]
@@ -119,14 +111,8 @@ fn s0_nonce_flow_and_encapsulated_dispatch() {
 
     // 2. Encapsulate a Basic Get under the S0 key with that nonce.
     let sender_nonce = [0x77u8; 8];
-    let encap = s0::encapsulate(
-        &keys,
-        SWITCH_NODE.0,
-        0x01,
-        &sender_nonce,
-        &receiver_nonce,
-        &[0x20, 0x02],
-    );
+    let encap =
+        s0::encapsulate(&keys, SWITCH_NODE.0, 0x01, &sender_nonce, &receiver_nonce, &[0x20, 0x02]);
     attacker.drain();
     send(&mut tb, &attacker, encap);
     let frames = attacker.drain();
@@ -162,10 +148,7 @@ fn s0_nonces_are_single_use() {
     send(&mut tb, &attacker, encap);
     let frames = attacker.drain();
     assert!(
-        frames
-            .iter()
-            .filter_map(|f| MacFrame::decode(&f.bytes).ok())
-            .all(|m| m.is_ack()),
+        frames.iter().filter_map(|f| MacFrame::decode(&f.bytes).ok()).all(|m| m.is_ack()),
         "replay with a consumed nonce must be dropped"
     );
 }
@@ -191,6 +174,9 @@ fn s0_encapsulated_payloads_do_not_trigger_the_unencrypted_bugs() {
     let attack = [0x01, 0x0D, LOCK_NODE.0];
     let encap = s0::encapsulate(&keys, SWITCH_NODE.0, 0x01, &[2u8; 8], &nonce, &attack);
     send(&mut tb, &attacker, encap);
-    assert!(tb.controller().nvm().contains(LOCK_NODE), "S0-authenticated path must not fire the bug");
+    assert!(
+        tb.controller().nvm().contains(LOCK_NODE),
+        "S0-authenticated path must not fire the bug"
+    );
     assert!(tb.controller().fault_log().is_empty());
 }

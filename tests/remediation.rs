@@ -33,9 +33,8 @@ fn ids_detects_the_overwhelming_majority_of_attack_packets() {
     // Attack window: a short ZCover campaign runs against the hub. Every
     // verified bug trigger must correspond to at least one IDS alert.
     let mut zcover = ZCover::attach(&tb, 70.0);
-    let report = zcover
-        .run_campaign(&mut tb, FuzzConfig::full(Duration::from_secs(3600), 13))
-        .unwrap();
+    let report =
+        zcover.run_campaign(&mut tb, FuzzConfig::full(Duration::from_secs(3600), 13)).unwrap();
     assert!(report.campaign.unique_vulns() >= 10);
 
     ids_tap.poll();
@@ -101,9 +100,8 @@ fn patched_firmware_yields_zero_findings() {
     tb.controller_mut().apply_patches(&all_bugs);
 
     let mut zcover = ZCover::attach(&tb, 70.0);
-    let report = zcover
-        .run_campaign(&mut tb, FuzzConfig::full(Duration::from_secs(3600), 15))
-        .unwrap();
+    let report =
+        zcover.run_campaign(&mut tb, FuzzConfig::full(Duration::from_secs(3600), 15)).unwrap();
     assert_eq!(report.campaign.unique_vulns(), 0, "patched device still vulnerable");
     assert!(tb.controller().fault_log().is_empty());
 }
@@ -115,9 +113,8 @@ fn partial_patching_removes_exactly_the_patched_bugs() {
     tb.controller_mut().apply_patches(&[1, 2, 3, 4, 12]);
 
     let mut zcover = ZCover::attach(&tb, 70.0);
-    let report = zcover
-        .run_campaign(&mut tb, FuzzConfig::full(Duration::from_secs(3600), 16))
-        .unwrap();
+    let report =
+        zcover.run_campaign(&mut tb, FuzzConfig::full(Duration::from_secs(3600), 16)).unwrap();
     let mut ids: Vec<u8> = report.campaign.findings.iter().map(|f| f.bug_id).collect();
     ids.sort_unstable();
     assert_eq!(ids, vec![5, 6, 7, 8, 9, 10, 11, 13, 14, 15]);

@@ -26,12 +26,7 @@ fn campaign_tolerates_a_lossy_channel() {
     // Every reported finding is backed by a verified fault record — loss
     // cannot fabricate findings.
     for f in &report.campaign.findings {
-        assert!(tb
-            .controller()
-            .fault_log()
-            .records()
-            .iter()
-            .any(|r| r.bug_id == f.bug_id));
+        assert!(tb.controller().fault_log().records().iter().any(|r| r.bug_id == f.bug_id));
     }
 }
 
@@ -53,8 +48,7 @@ fn corrupted_frames_never_become_findings() {
             // graceful outcome.
         }
     }
-    let zero_days =
-        tb.controller().fault_log().records().iter().filter(|r| r.bug_id <= 15).count();
+    let zero_days = tb.controller().fault_log().records().iter().filter(|r| r.bug_id <= 15).count();
     assert_eq!(zero_days, 0, "corrupted frames must not trigger application-layer bugs");
 }
 
@@ -77,12 +71,10 @@ fn quirky_models_may_glitch_under_corruption_but_never_lose_nvm() {
         tb.pump();
     }
     assert_eq!(tb.controller().nvm(), &nvm_before, "corruption must never tamper NVM");
-    assert!(tb
-        .controller()
-        .fault_log()
-        .records()
-        .iter()
-        .all(|r| r.bug_id > 100), "only MAC quirks may fire under corruption");
+    assert!(
+        tb.controller().fault_log().records().iter().all(|r| r.bug_id > 100),
+        "only MAC quirks may fire under corruption"
+    );
 }
 
 #[test]

@@ -29,10 +29,8 @@ fn sensor_report_is_s0_encapsulated_on_air() {
     tb.pump();
 
     let frames: Vec<Vec<u8>> = sniffer.drain().into_iter().map(|f| f.bytes).collect();
-    let sensor_frames: Vec<&Vec<u8>> = frames
-        .iter()
-        .filter(|b| b.len() > 10 && b[4] == SENSOR_NODE.0)
-        .collect();
+    let sensor_frames: Vec<&Vec<u8>> =
+        frames.iter().filter(|b| b.len() > 10 && b[4] == SENSOR_NODE.0).collect();
     assert!(!sensor_frames.is_empty());
     // The motion value never appears as a plain SENSOR_BINARY report.
     assert!(
@@ -47,10 +45,7 @@ fn sensor_report_is_s0_encapsulated_on_air() {
 #[test]
 fn bug12_clears_the_sensors_wakeup_interval_too() {
     let mut tb = Testbed::with_sensor(DeviceModel::D6, 53);
-    assert_eq!(
-        tb.controller().nvm().get(SENSOR_NODE).unwrap().wakeup_interval_s,
-        Some(600)
-    );
+    assert_eq!(tb.controller().nvm().get(SENSOR_NODE).unwrap().wakeup_interval_s, Some(600));
     let attacker = tb.attach_attacker(70.0);
     let frame = MacFrame::singlecast(
         tb.controller().home_id(),

@@ -1,0 +1,198 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Mirrors the criterion API shape the workspace's benches use
+//! ([`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! [`Bencher::iter`], [`criterion_group!`], [`criterion_main!`]) on top of
+//! a small wall-clock harness: each benchmark is calibrated so one batch
+//! takes a measurable slice of time, then timed over `sample_size` batches,
+//! and the per-iteration mean/min are printed. No statistics beyond that —
+//! enough to compare orders of magnitude and relative speedups (e.g. the
+//! campaign-executor scaling bench), not to detect 1% regressions.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`]: keeps the optimiser from deleting
+/// benchmarked work.
+pub use std::hint::black_box;
+
+/// Target wall-clock time for one calibrated batch.
+const BATCH_TARGET: Duration = Duration::from_millis(20);
+
+/// Timing harness handed to each benchmark closure.
+pub struct Bencher {
+    samples: usize,
+}
+
+impl Bencher {
+    /// Calibrates a batch size for `f`, times `samples` batches, and
+    /// prints the per-iteration mean and minimum.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Calibrate: grow the batch until it takes at least BATCH_TARGET.
+        let mut batch: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= BATCH_TARGET || batch >= 1 << 30 {
+                break;
+            }
+            // Aim past the target so the next probe usually terminates.
+            let scale = (BATCH_TARGET.as_nanos() * 2 / elapsed.as_nanos().max(1)).max(2);
+            batch = batch.saturating_mul(scale.min(1 << 20) as u64);
+        }
+
+        let mut total = Duration::ZERO;
+        let mut best = Duration::MAX;
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            total += elapsed;
+            best = best.min(elapsed);
+        }
+        let iters = u128::from(batch) * self.samples as u128;
+        let mean = Duration::from_nanos((total.as_nanos() / iters.max(1)) as u64);
+        self.report(mean, div_duration(best, batch));
+    }
+
+    fn report(&self, mean: Duration, min: Duration) {
+        println!("        time: [mean {} | min {}]", fmt_ns(mean), fmt_ns(min));
+    }
+}
+
+fn div_duration(d: Duration, by: u64) -> Duration {
+    Duration::from_nanos((d.as_nanos() / u128::from(by.max(1))) as u64)
+}
+
+fn fmt_ns(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// Benchmark registry: runs each registered function immediately and
+/// prints its timing.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Runs a single named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        println!("{name}");
+        f(&mut Bencher { samples: self.sample_size });
+        self
+    }
+
+    /// Opens a named group; benchmarks inside print as `group/name`.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.to_string(), sample_size: self.sample_size, _parent: self }
+    }
+}
+
+/// A named group of benchmarks with its own sample size.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed batches each benchmark in the group runs.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs a benchmark within the group.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        println!("{}/{name}", self.name);
+        f(&mut Bencher { samples: self.sample_size });
+        self
+    }
+
+    /// Ends the group (printing is immediate, so this is a marker only).
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut runs = 0u64;
+        let mut c = Criterion::default();
+        c.bench_function("smoke", |b| {
+            b.iter(|| {
+                runs += 1;
+                black_box(runs)
+            })
+        });
+        assert!(runs > 0);
+    }
+
+    #[test]
+    fn group_respects_api_shape() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2);
+        group.bench_function("inner", |b| b.iter(|| black_box(1 + 1)));
+        group.finish();
+    }
+
+    #[test]
+    fn fmt_ns_scales_units() {
+        assert_eq!(fmt_ns(Duration::from_nanos(5)), "5 ns");
+        assert!(fmt_ns(Duration::from_micros(12)).ends_with("µs"));
+        assert!(fmt_ns(Duration::from_millis(12)).ends_with("ms"));
+        assert!(fmt_ns(Duration::from_secs(2)).ends_with('s'));
+    }
+}

@@ -1,0 +1,447 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the slice of the proptest API the workspace's property tests
+//! use: the [`proptest!`] macro, [`any`], range and tuple strategies,
+//! [`collection::vec`], [`Strategy::prop_map`], [`sample::Index`], and the
+//! `prop_assert*` / `prop_assume!` macros. Cases are drawn from a
+//! deterministic RNG seeded from the test's module path and name, so runs
+//! are reproducible; there is no shrinking — a failure reports the case
+//! number and the assertion message.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SampleUniform};
+
+#[doc(hidden)]
+pub use rand as __rand;
+
+/// A source of values for one test argument.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { source: self, map: f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    source: S,
+    map: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut StdRng) -> O {
+        (self.map)(self.source.generate(rng))
+    }
+}
+
+/// Types with a canonical uniform strategy, used by [`any`].
+pub trait Arbitrary: Sized {
+    /// Draws one uniform value.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_via_gen {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut StdRng) -> Self {
+                rng.gen()
+            }
+        }
+    )*};
+}
+impl_arbitrary_via_gen!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool);
+
+impl<const N: usize> Arbitrary for [u8; N] {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        rng.gen()
+    }
+}
+
+/// The canonical strategy for `T`: uniform over the whole domain.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+/// Strategy returned by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+impl<T: SampleUniform> Strategy for Range<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl<T: SampleUniform> Strategy for RangeInclusive<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($( ( $($S:ident $idx:tt),+ ) )+) => {$(
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($( self.$idx.generate(rng), )+)
+            }
+        }
+    )+};
+}
+
+impl_tuple_strategy! {
+    (A 0)
+    (A 0, B 1)
+    (A 0, B 1, C 2)
+    (A 0, B 1, C 2, D 3)
+    (A 0, B 1, C 2, D 3, E 4)
+    (A 0, B 1, C 2, D 3, E 4, F 5)
+    (A 0, B 1, C 2, D 3, E 4, F 5, G 6)
+    (A 0, B 1, C 2, D 3, E 4, F 5, G 6, H 7)
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Rng, StdRng, Strategy};
+
+    /// An inclusive length range for [`vec`].
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec size range");
+            SizeRange { lo: r.start, hi: r.end - 1 }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            let (lo, hi) = r.into_inner();
+            assert!(lo <= hi, "empty vec size range");
+            SizeRange { lo, hi }
+        }
+    }
+
+    /// Strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    /// A `Vec` whose length is drawn from `size` and whose elements come
+    /// from `elem`.
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { elem, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.lo..=self.size.hi);
+            (0..len).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+/// Sampling helpers.
+pub mod sample {
+    use super::{Arbitrary, Rng, StdRng};
+
+    /// A stand-in for an index into a collection whose length is unknown
+    /// at generation time; resolve it with [`Index::index`].
+    #[derive(Clone, Copy, Debug)]
+    pub struct Index(usize);
+
+    impl Index {
+        /// This index modulo `len`. Panics if `len` is zero.
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "Index::index on an empty collection");
+            self.0 % len
+        }
+    }
+
+    impl Arbitrary for Index {
+        fn arbitrary(rng: &mut StdRng) -> Self {
+            Index(rng.gen::<u64>() as usize)
+        }
+    }
+}
+
+/// Runner configuration.
+pub mod test_runner {
+    /// How many cases each property runs.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Config {
+        /// Number of generated cases per property.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A config running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 256 }
+        }
+    }
+}
+
+/// The glob-import surface: strategies, macros, and `prop` as an alias for
+/// this crate (for paths like `prop::sample::Index`).
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Strategy,
+    };
+}
+
+#[doc(hidden)]
+pub fn __seed_from_path(path: &str) -> u64 {
+    // FNV-1a: stable across runs and platforms, so every property replays
+    // the same case sequence.
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in path.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that replays a deterministic sequence of generated
+/// cases. An optional `#![proptest_config(...)]` header sets the case count.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            cfg = <$crate::test_runner::Config as ::std::default::Default>::default();
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        #[test]
+        fn $name() {
+            let __config: $crate::test_runner::Config = $cfg;
+            let __seed = $crate::__seed_from_path(
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            let mut __rng = <$crate::__rand::rngs::StdRng as $crate::__rand::SeedableRng>::seed_from_u64(__seed);
+            let __strategy = ($($strat,)+);
+            for __case in 0..__config.cases {
+                let ($($arg,)+) = $crate::Strategy::generate(&__strategy, &mut __rng);
+                let __outcome: ::std::result::Result<(), ::std::string::String> =
+                    (move || {
+                        $body
+                        #[allow(unreachable_code)]
+                        ::std::result::Result::Ok(())
+                    })();
+                if let ::std::result::Result::Err(__msg) = __outcome {
+                    panic!(
+                        "property {} failed at case {}/{}: {}",
+                        stringify!($name),
+                        __case,
+                        __config.cases,
+                        __msg
+                    );
+                }
+            }
+        }
+    )*};
+}
+
+/// Asserts a condition inside a property, failing the case (not panicking
+/// mid-generation) when it is false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(::std::format!($($fmt)+));
+        }
+    };
+}
+
+/// Asserts two expressions are equal inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: `left == right`\n  left: {:?}\n right: {:?}",
+                __l,
+                __r
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: `left == right` ({}): left {:?}, right {:?}",
+                ::std::format!($($fmt)+),
+                __l,
+                __r
+            ));
+        }
+    }};
+}
+
+/// Asserts two expressions are unequal inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if *__l == *__r {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: `left != right`\n  both: {:?}",
+                __l
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if *__l == *__r {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: `left != right` ({}): both {:?}",
+                ::std::format!($($fmt)+),
+                __l
+            ));
+        }
+    }};
+}
+
+/// Skips the current case when its precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Ok(());
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn strategies_are_deterministic_per_seed() {
+        let strat = (any::<u8>(), 0u8..16, crate::collection::vec(any::<u8>(), 0..=5));
+        let mut a = rand::StdRng::seed_from_u64(9);
+        let mut b = rand::StdRng::seed_from_u64(9);
+        for _ in 0..50 {
+            assert_eq!(strat.generate(&mut a), strat.generate(&mut b));
+        }
+    }
+
+    #[test]
+    fn vec_lengths_respect_bounds() {
+        let strat = crate::collection::vec(any::<u8>(), 3..14);
+        let mut rng = rand::StdRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let v = strat.generate(&mut rng);
+            assert!((3..14).contains(&v.len()), "len={}", v.len());
+        }
+    }
+
+    #[test]
+    fn prop_map_applies() {
+        let strat = (any::<u8>(), any::<u8>()).prop_map(|(a, b)| u16::from(a) + u16::from(b));
+        let mut rng = rand::StdRng::seed_from_u64(2);
+        for _ in 0..50 {
+            assert!(strat.generate(&mut rng) <= 510);
+        }
+    }
+
+    #[test]
+    fn index_resolves_in_bounds() {
+        let mut rng = rand::StdRng::seed_from_u64(3);
+        for _ in 0..100 {
+            let idx = <crate::sample::Index as crate::Arbitrary>::arbitrary(&mut rng);
+            assert!(idx.index(7) < 7);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        fn macro_wires_args_and_assertions(x in any::<u8>(), lo in 0u8..8) {
+            prop_assume!(x != 255);
+            let sum = u16::from(x) + u16::from(lo);
+            prop_assert!(sum <= 254 + 7, "sum out of range: {sum}");
+            prop_assert_eq!(sum, u16::from(x) + u16::from(lo));
+            prop_assert_ne!(sum + 1, sum);
+        }
+    }
+}

@@ -1,0 +1,18 @@
+//! Offline stand-in for `serde`.
+//!
+//! Supplies the `Serialize`/`Deserialize` names — as marker traits and as
+//! no-op derive macros — so the workspace's wire-model annotations keep
+//! compiling without network access. No serialisation actually happens
+//! anywhere in the tree today; a future PR that needs it should vendor a
+//! data format and replace this stub with real trait machinery.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}

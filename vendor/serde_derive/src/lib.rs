@@ -1,0 +1,22 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace annotates wire-model types with
+//! `#[derive(Serialize, Deserialize)]` but nothing currently serialises
+//! them (there is no serde_json or similar in the tree). These derives
+//! therefore expand to nothing: the attribute remains valid so the
+//! annotations stay in place for a future PR that vendors a real data
+//! format, at zero build cost today.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
