@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/executor_determinism-37362aa2e334c053.d: crates/core/tests/executor_determinism.rs
+
+/root/repo/target/debug/deps/executor_determinism-37362aa2e334c053: crates/core/tests/executor_determinism.rs
+
+crates/core/tests/executor_determinism.rs:

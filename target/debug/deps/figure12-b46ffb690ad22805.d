@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure12-b46ffb690ad22805.d: crates/bench/src/bin/figure12.rs
+
+/root/repo/target/debug/deps/libfigure12-b46ffb690ad22805.rmeta: crates/bench/src/bin/figure12.rs
+
+crates/bench/src/bin/figure12.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure5-f5823fa05fbad690.d: crates/bench/src/bin/figure5.rs
+
+/root/repo/target/debug/deps/libfigure5-f5823fa05fbad690.rmeta: crates/bench/src/bin/figure5.rs
+
+crates/bench/src/bin/figure5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/robustness-0e2b89341073bf01.d: crates/bench/src/bin/robustness.rs
+
+/root/repo/target/debug/deps/librobustness-0e2b89341073bf01.rmeta: crates/bench/src/bin/robustness.rs
+
+crates/bench/src/bin/robustness.rs:

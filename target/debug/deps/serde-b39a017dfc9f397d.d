@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-b39a017dfc9f397d.d: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-b39a017dfc9f397d.rmeta: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

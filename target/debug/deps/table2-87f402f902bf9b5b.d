@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-87f402f902bf9b5b.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/libtable2-87f402f902bf9b5b.rmeta: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-a661c459ccc5ffe6.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/libtable3-a661c459ccc5ffe6.rmeta: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4-7d4b4d0e24ed7d53.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/debug/deps/libtable4-7d4b4d0e24ed7d53.rmeta: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

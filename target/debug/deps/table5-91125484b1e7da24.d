@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table5-91125484b1e7da24.d: crates/bench/src/bin/table5.rs
+
+/root/repo/target/debug/deps/libtable5-91125484b1e7da24.rmeta: crates/bench/src/bin/table5.rs
+
+crates/bench/src/bin/table5.rs:

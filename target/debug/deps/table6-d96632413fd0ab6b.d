@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table6-d96632413fd0ab6b.d: crates/bench/src/bin/table6.rs
+
+/root/repo/target/debug/deps/libtable6-d96632413fd0ab6b.rmeta: crates/bench/src/bin/table6.rs
+
+crates/bench/src/bin/table6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/vfuzz-d863364d436810d2.d: crates/vfuzz/src/lib.rs
+
+/root/repo/target/debug/deps/libvfuzz-d863364d436810d2.rmeta: crates/vfuzz/src/lib.rs
+
+crates/vfuzz/src/lib.rs:

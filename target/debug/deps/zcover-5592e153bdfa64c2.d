@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/zcover-5592e153bdfa64c2.d: crates/core/src/lib.rs crates/core/src/active.rs crates/core/src/buglog.rs crates/core/src/discovery.rs crates/core/src/dongle.rs crates/core/src/executor.rs crates/core/src/fuzzer.rs crates/core/src/minimize.rs crates/core/src/mutation.rs crates/core/src/passive.rs crates/core/src/report.rs crates/core/src/target.rs crates/core/src/trials.rs
+
+/root/repo/target/debug/deps/libzcover-5592e153bdfa64c2.rmeta: crates/core/src/lib.rs crates/core/src/active.rs crates/core/src/buglog.rs crates/core/src/discovery.rs crates/core/src/dongle.rs crates/core/src/executor.rs crates/core/src/fuzzer.rs crates/core/src/minimize.rs crates/core/src/mutation.rs crates/core/src/passive.rs crates/core/src/report.rs crates/core/src/target.rs crates/core/src/trials.rs
+
+crates/core/src/lib.rs:
+crates/core/src/active.rs:
+crates/core/src/buglog.rs:
+crates/core/src/discovery.rs:
+crates/core/src/dongle.rs:
+crates/core/src/executor.rs:
+crates/core/src/fuzzer.rs:
+crates/core/src/minimize.rs:
+crates/core/src/mutation.rs:
+crates/core/src/passive.rs:
+crates/core/src/report.rs:
+crates/core/src/target.rs:
+crates/core/src/trials.rs:

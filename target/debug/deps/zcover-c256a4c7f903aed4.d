@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/zcover-c256a4c7f903aed4.d: crates/core/src/bin/zcover.rs
+
+/root/repo/target/debug/deps/zcover-c256a4c7f903aed4: crates/core/src/bin/zcover.rs
+
+crates/core/src/bin/zcover.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/zcover-dcd03d42bc895c05.d: crates/core/src/bin/zcover.rs
+
+/root/repo/target/debug/deps/libzcover-dcd03d42bc895c05.rmeta: crates/core/src/bin/zcover.rs
+
+crates/core/src/bin/zcover.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/zcover_bench-0b651bd6448e6c40.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/paperdata.rs crates/bench/src/render.rs
+
+/root/repo/target/debug/deps/libzcover_bench-0b651bd6448e6c40.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/paperdata.rs crates/bench/src/render.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/paperdata.rs:
+crates/bench/src/render.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/zcover_suite-772281c0b942d8a2.d: src/lib.rs
+
+/root/repo/target/debug/deps/libzcover_suite-772281c0b942d8a2.rmeta: src/lib.rs
+
+src/lib.rs:

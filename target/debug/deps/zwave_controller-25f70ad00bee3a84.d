@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/zwave_controller-25f70ad00bee3a84.d: crates/zwave-controller/src/lib.rs crates/zwave-controller/src/controller.rs crates/zwave-controller/src/devices/mod.rs crates/zwave-controller/src/devices/door_lock.rs crates/zwave-controller/src/devices/sensor.rs crates/zwave-controller/src/devices/switch.rs crates/zwave-controller/src/health.rs crates/zwave-controller/src/host.rs crates/zwave-controller/src/ids.rs crates/zwave-controller/src/nvm.rs crates/zwave-controller/src/testbed.rs crates/zwave-controller/src/vulns.rs
+
+/root/repo/target/debug/deps/libzwave_controller-25f70ad00bee3a84.rmeta: crates/zwave-controller/src/lib.rs crates/zwave-controller/src/controller.rs crates/zwave-controller/src/devices/mod.rs crates/zwave-controller/src/devices/door_lock.rs crates/zwave-controller/src/devices/sensor.rs crates/zwave-controller/src/devices/switch.rs crates/zwave-controller/src/health.rs crates/zwave-controller/src/host.rs crates/zwave-controller/src/ids.rs crates/zwave-controller/src/nvm.rs crates/zwave-controller/src/testbed.rs crates/zwave-controller/src/vulns.rs
+
+crates/zwave-controller/src/lib.rs:
+crates/zwave-controller/src/controller.rs:
+crates/zwave-controller/src/devices/mod.rs:
+crates/zwave-controller/src/devices/door_lock.rs:
+crates/zwave-controller/src/devices/sensor.rs:
+crates/zwave-controller/src/devices/switch.rs:
+crates/zwave-controller/src/health.rs:
+crates/zwave-controller/src/host.rs:
+crates/zwave-controller/src/ids.rs:
+crates/zwave-controller/src/nvm.rs:
+crates/zwave-controller/src/testbed.rs:
+crates/zwave-controller/src/vulns.rs:

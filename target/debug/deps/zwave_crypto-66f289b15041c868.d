@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/zwave_crypto-66f289b15041c868.d: crates/zwave-crypto/src/lib.rs crates/zwave-crypto/src/aes.rs crates/zwave-crypto/src/ccm.rs crates/zwave-crypto/src/cmac.rs crates/zwave-crypto/src/curve25519.rs crates/zwave-crypto/src/inclusion.rs crates/zwave-crypto/src/kdf.rs crates/zwave-crypto/src/keys.rs crates/zwave-crypto/src/s0.rs crates/zwave-crypto/src/s2.rs
+
+/root/repo/target/debug/deps/libzwave_crypto-66f289b15041c868.rmeta: crates/zwave-crypto/src/lib.rs crates/zwave-crypto/src/aes.rs crates/zwave-crypto/src/ccm.rs crates/zwave-crypto/src/cmac.rs crates/zwave-crypto/src/curve25519.rs crates/zwave-crypto/src/inclusion.rs crates/zwave-crypto/src/kdf.rs crates/zwave-crypto/src/keys.rs crates/zwave-crypto/src/s0.rs crates/zwave-crypto/src/s2.rs
+
+crates/zwave-crypto/src/lib.rs:
+crates/zwave-crypto/src/aes.rs:
+crates/zwave-crypto/src/ccm.rs:
+crates/zwave-crypto/src/cmac.rs:
+crates/zwave-crypto/src/curve25519.rs:
+crates/zwave-crypto/src/inclusion.rs:
+crates/zwave-crypto/src/kdf.rs:
+crates/zwave-crypto/src/keys.rs:
+crates/zwave-crypto/src/s0.rs:
+crates/zwave-crypto/src/s2.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/zwave_protocol-571b836bcc764391.d: crates/zwave-protocol/src/lib.rs crates/zwave-protocol/src/apl.rs crates/zwave-protocol/src/checksum.rs crates/zwave-protocol/src/command_class.rs crates/zwave-protocol/src/dissect.rs crates/zwave-protocol/src/error.rs crates/zwave-protocol/src/frame.rs crates/zwave-protocol/src/multicast.rs crates/zwave-protocol/src/nif.rs crates/zwave-protocol/src/registry/mod.rs crates/zwave-protocol/src/registry/data.rs crates/zwave-protocol/src/registry/proprietary.rs crates/zwave-protocol/src/registry/xml.rs crates/zwave-protocol/src/routing.rs crates/zwave-protocol/src/types.rs
+
+/root/repo/target/debug/deps/libzwave_protocol-571b836bcc764391.rmeta: crates/zwave-protocol/src/lib.rs crates/zwave-protocol/src/apl.rs crates/zwave-protocol/src/checksum.rs crates/zwave-protocol/src/command_class.rs crates/zwave-protocol/src/dissect.rs crates/zwave-protocol/src/error.rs crates/zwave-protocol/src/frame.rs crates/zwave-protocol/src/multicast.rs crates/zwave-protocol/src/nif.rs crates/zwave-protocol/src/registry/mod.rs crates/zwave-protocol/src/registry/data.rs crates/zwave-protocol/src/registry/proprietary.rs crates/zwave-protocol/src/registry/xml.rs crates/zwave-protocol/src/routing.rs crates/zwave-protocol/src/types.rs
+
+crates/zwave-protocol/src/lib.rs:
+crates/zwave-protocol/src/apl.rs:
+crates/zwave-protocol/src/checksum.rs:
+crates/zwave-protocol/src/command_class.rs:
+crates/zwave-protocol/src/dissect.rs:
+crates/zwave-protocol/src/error.rs:
+crates/zwave-protocol/src/frame.rs:
+crates/zwave-protocol/src/multicast.rs:
+crates/zwave-protocol/src/nif.rs:
+crates/zwave-protocol/src/registry/mod.rs:
+crates/zwave-protocol/src/registry/data.rs:
+crates/zwave-protocol/src/registry/proprietary.rs:
+crates/zwave-protocol/src/registry/xml.rs:
+crates/zwave-protocol/src/routing.rs:
+crates/zwave-protocol/src/types.rs:

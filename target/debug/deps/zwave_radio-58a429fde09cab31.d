@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/zwave_radio-58a429fde09cab31.d: crates/zwave-radio/src/lib.rs crates/zwave-radio/src/clock.rs crates/zwave-radio/src/medium.rs crates/zwave-radio/src/noise.rs crates/zwave-radio/src/region.rs crates/zwave-radio/src/sniffer.rs
+
+/root/repo/target/debug/deps/libzwave_radio-58a429fde09cab31.rmeta: crates/zwave-radio/src/lib.rs crates/zwave-radio/src/clock.rs crates/zwave-radio/src/medium.rs crates/zwave-radio/src/noise.rs crates/zwave-radio/src/region.rs crates/zwave-radio/src/sniffer.rs
+
+crates/zwave-radio/src/lib.rs:
+crates/zwave-radio/src/clock.rs:
+crates/zwave-radio/src/medium.rs:
+crates/zwave-radio/src/noise.rs:
+crates/zwave-radio/src/region.rs:
+crates/zwave-radio/src/sniffer.rs:
