@@ -1,22 +1,27 @@
 //! Regenerates Table III: runs a full ZCover campaign against every
 //! controller (D1-D7) and reports the zero-day findings next to the
 //! paper's rows. Use `--paper` for 24-hour budgets, `--trials N` for
-//! multiple seeds per device (the paper ran five) and `--workers N` to
+//! multiple seeds per device (the paper ran five), `--workers N` to
 //! spread the trials over a thread pool (results are identical for any
-//! worker count).
+//! worker count) and `--impairment clean|lossy|bursty|adversarial` to run
+//! the whole table over an impaired channel.
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let budget = zcover_bench::budget_from_args(&args);
     let trials = zcover_bench::u64_flag(&args, "--trials", 1);
     let workers = zcover_bench::u64_flag(&args, "--workers", 1) as usize;
+    let profile = zcover_bench::impairment_from_args(&args);
     eprintln!(
-        "running {} trial(s) x {:.0}h virtual per device on D1-D7 across {} worker(s) ...",
+        "running {} trial(s) x {:.0}h virtual per device on D1-D7 across {} worker(s), \
+         {} channel ...",
         trials,
         budget.as_secs_f64() / 3600.0,
-        workers
+        workers,
+        profile
     );
-    let (result, text) = zcover_bench::experiments::table3(budget, trials, workers);
+    let (result, text) =
+        zcover_bench::experiments::table3_with_profile(budget, trials, workers, profile);
     println!("{text}");
     println!(
         "summary: {} unique zero-days across the testbed (paper: 15, of which 12 CVEs)",

@@ -5,7 +5,7 @@
 use std::collections::BTreeMap;
 use std::time::Duration;
 
-use zcover::{CampaignExecutor, FuzzConfig, TrialSummary, ZCover, ZCoverReport};
+use zcover::{CampaignExecutor, FuzzConfig, ImpairmentProfile, TrialSummary, ZCover, ZCoverReport};
 use zwave_controller::testbed::{DeviceModel, Testbed};
 use zwave_radio::SimInstant;
 
@@ -95,9 +95,22 @@ pub struct Table3Result {
 /// across `workers` threads (the result is identical for any worker
 /// count).
 pub fn table3(fuzz: Duration, trials: u64, workers: usize) -> (Table3Result, String) {
+    table3_with_profile(fuzz, trials, workers, ImpairmentProfile::Clean)
+}
+
+/// [`table3`] with a named channel-impairment profile applied to every
+/// campaign — the adversarial-channel extension of EXPERIMENTS.md. The
+/// result is still deterministic per (campaign seed, profile) and
+/// identical for any worker count.
+pub fn table3_with_profile(
+    fuzz: Duration,
+    trials: u64,
+    workers: usize,
+    profile: ImpairmentProfile,
+) -> (Table3Result, String) {
     let mut affected: BTreeMap<u8, Vec<&'static str>> = BTreeMap::new();
     let mut durations: BTreeMap<u8, String> = BTreeMap::new();
-    let config = FuzzConfig::full(fuzz, 0);
+    let config = FuzzConfig::full(fuzz, 0).with_impairment(profile);
     for (device, model) in DeviceModel::all().into_iter().enumerate() {
         let summary = CampaignExecutor::new(workers)
             .run(trials, 1000 + device as u64, |seed| Testbed::new(model, seed), &config)
@@ -131,7 +144,8 @@ pub fn table3(fuzz: Duration, trials: u64, workers: usize) -> (Table3Result, Str
         ]);
     }
     let text = format!(
-        "Table III — zero-day vulnerability discovery ({} unique bugs found; paper: 15)\n{}",
+        "Table III — zero-day vulnerability discovery, {profile} channel \
+         ({} unique bugs found; paper: 15)\n{}",
         total_unique,
         render::table(
             &[

@@ -47,6 +47,21 @@ pub fn u64_flag(args: &[String], name: &str, default: u64) -> u64 {
         .unwrap_or(default)
 }
 
+/// Parses `--impairment NAME` from `args` (default: the clean channel),
+/// exiting with a usage error on an unknown profile name.
+pub fn impairment_from_args(args: &[String]) -> zcover::ImpairmentProfile {
+    let name = args
+        .iter()
+        .position(|a| a == "--impairment")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "clean".to_string());
+    zcover::ImpairmentProfile::parse(&name).unwrap_or_else(|| {
+        eprintln!("unknown impairment profile {name}; expected clean|lossy|bursty|adversarial");
+        std::process::exit(2);
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -64,5 +79,12 @@ mod tests {
         assert_eq!(u64_flag(&args, "--trials", 1), 4);
         assert_eq!(u64_flag(&args, "--workers", 2), 2);
         assert_eq!(u64_flag(&args, "--seed", 6), 6);
+    }
+
+    #[test]
+    fn impairment_flag_defaults_to_clean_and_parses_names() {
+        assert_eq!(impairment_from_args(&[]), zcover::ImpairmentProfile::Clean);
+        let args: Vec<String> = ["--impairment", "Bursty"].iter().map(|s| s.to_string()).collect();
+        assert_eq!(impairment_from_args(&args), zcover::ImpairmentProfile::Bursty);
     }
 }

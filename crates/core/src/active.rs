@@ -53,7 +53,7 @@ impl ActiveScanner {
         //    few times so channel loss cannot blank the fingerprint), then
         // 3. response analysis: extract the listed classes from the NIF.
         let mut listed = None;
-        for _attempt in 0..4 {
+        for _attempt in 0..6 {
             dongle.flush();
             dongle.inject_apl(scan.home_id, src, scan.controller, encode_nif_request());
             target.pump();

@@ -12,7 +12,10 @@
 
 use std::time::Duration;
 
-use zcover::{ActiveScanner, BugLog, CampaignExecutor, FuzzConfig, UnknownDiscovery, ZCover};
+use zcover::{
+    ActiveScanner, BugLog, CampaignExecutor, FuzzConfig, ImpairmentProfile, UnknownDiscovery,
+    ZCover,
+};
 use zwave_controller::testbed::{DeviceModel, Testbed};
 
 fn parse_device(args: &[String]) -> DeviceModel {
@@ -27,6 +30,14 @@ fn parse_device(args: &[String]) -> DeviceModel {
 
 fn flag(args: &[String], name: &str) -> Option<String> {
     args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).cloned()
+}
+
+fn parse_impairment(args: &[String]) -> ImpairmentProfile {
+    let name = flag(args, "--impairment").unwrap_or_else(|| "clean".to_string());
+    ImpairmentProfile::parse(&name).unwrap_or_else(|| {
+        eprintln!("unknown impairment profile {name}; expected clean|lossy|bursty|adversarial");
+        std::process::exit(2);
+    })
 }
 
 fn main() {
@@ -96,9 +107,14 @@ fn main() {
                     std::process::exit(2);
                 }
             };
+            let profile = parse_impairment(&args);
+            let config = config.with_impairment(profile);
             let mut tb = Testbed::new(model, seed);
             let mut zc = ZCover::attach(&tb, 70.0);
-            eprintln!("fuzzing {} for {hours}h virtual (seed {seed}) ...", model.idx());
+            eprintln!(
+                "fuzzing {} for {hours}h virtual (seed {seed}, channel {profile}) ...",
+                model.idx()
+            );
             let report = zc.run_campaign(&mut tb, config).expect("fingerprinting failed");
             if let Some(path) = flag(&args, "--report") {
                 let label = format!(
@@ -121,6 +137,17 @@ fn main() {
             println!(
                 "counters: {} packets, {} plans, {} outages, {} findings",
                 c.packets_sent, c.plans_executed, c.outages_observed, c.findings
+            );
+            println!(
+                "channel:  {} losses, {} dups, {} reorders, {} truncations, \
+                 {} blackout drops, {} retransmissions, {} ack timeouts",
+                c.losses,
+                c.duplicates,
+                c.reorders,
+                c.truncations,
+                c.blackout_drops,
+                c.retransmissions,
+                c.ack_timeouts
             );
             let mut log = BugLog::new();
             for fault in tb.controller_mut().fault_log().records() {
@@ -151,10 +178,12 @@ fn main() {
                     std::process::exit(2);
                 }
             };
+            let profile = parse_impairment(&args);
+            let config = config.with_impairment(profile);
             let executor = CampaignExecutor::new(workers);
             eprintln!(
                 "running {trials} trials of {hours}h on {} across {} worker(s) \
-                 (campaign seed {seed}) ...",
+                 (campaign seed {seed}, channel {profile}) ...",
                 model.idx(),
                 executor.workers()
             );
@@ -177,6 +206,17 @@ fn main() {
             println!(
                 "counters: {} packets, {} plans, {} outages, {} findings",
                 c.packets_sent, c.plans_executed, c.outages_observed, c.findings
+            );
+            println!(
+                "channel:  {} losses, {} dups, {} reorders, {} truncations, \
+                 {} blackout drops, {} retransmissions, {} ack timeouts",
+                c.losses,
+                c.duplicates,
+                c.reorders,
+                c.truncations,
+                c.blackout_drops,
+                c.retransmissions,
+                c.ack_timeouts
             );
             println!("per-bug hit counts (bug id: trials that found it):");
             for (bug, hits) in &summary.hit_counts {
@@ -212,7 +252,9 @@ fn main() {
             eprintln!(
                 "usage: zcover <fingerprint|discover|fuzz|trials|export-spec> \
                  [--device D1..D7] [--seed N] [--hours H] [--trials N] [--workers N] \
-                 [--config full|beta|gamma|no-priority|no-plans] [--log FILE] [--report FILE] [--out FILE]"
+                 [--config full|beta|gamma|no-priority|no-plans] \
+                 [--impairment clean|lossy|bursty|adversarial] \
+                 [--log FILE] [--report FILE] [--out FILE]"
             );
             std::process::exit(if command == "help" { 0 } else { 2 });
         }

@@ -99,7 +99,7 @@ impl UnknownDiscovery {
             // Each probe is retransmitted a couple of times so that channel
             // loss cannot silently demote a supported class ("systematic"
             // testing survives an imperfect link).
-            for _attempt in 0..3 {
+            for _attempt in 0..5 {
                 dongle.flush();
                 dongle.inject_apl(scan.home_id, src, scan.controller, vec![cc]);
                 target.pump();

@@ -21,6 +21,8 @@ pub struct Dongle {
     seq: u8,
     response_wait: Duration,
     frames_injected: u64,
+    retransmissions: u64,
+    last_frame: Option<Vec<u8>>,
 }
 
 /// Outcome of a liveness ping.
@@ -44,6 +46,8 @@ impl Dongle {
             seq: 0,
             response_wait: DEFAULT_RESPONSE_WAIT,
             frames_injected: 0,
+            retransmissions: 0,
+            last_frame: None,
         }
     }
 
@@ -62,6 +66,11 @@ impl Dongle {
         self.frames_injected
     }
 
+    /// Total link-layer retransmissions performed so far.
+    pub fn retransmissions(&self) -> u64 {
+        self.retransmissions
+    }
+
     /// Crafts and injects an application payload as `src` → `dst` with a
     /// valid checksum (ZCover always sends MAC-valid frames; only the APL
     /// content is fuzzed, per Table I).
@@ -72,7 +81,9 @@ impl Dongle {
         let Ok(frame) = MacFrame::try_new(home_id, src, fc, dst, payload, ChecksumKind::Cs8) else {
             return; // oversized mutants are silently clamped by the caller
         };
-        self.radio.transmit(&frame.encode());
+        let bytes = frame.encode();
+        self.radio.transmit(&bytes);
+        self.last_frame = Some(bytes);
         self.frames_injected += 1;
     }
 
@@ -80,7 +91,21 @@ impl Dongle {
     /// replay attacks use this).
     pub fn inject_raw(&mut self, bytes: &[u8]) {
         self.radio.transmit(bytes);
+        self.last_frame = Some(bytes.to_vec());
         self.frames_injected += 1;
+    }
+
+    /// G.9959-style retransmission: resends the last injected frame
+    /// *byte-identically* (same sequence number), so a receiver whose ack
+    /// was lost recognises the copy as a duplicate instead of reprocessing
+    /// it. Returns `false` when nothing has been injected yet.
+    pub fn retransmit_last(&mut self) -> bool {
+        let Some(bytes) = self.last_frame.clone() else {
+            return false;
+        };
+        self.radio.transmit(&bytes);
+        self.retransmissions += 1;
+        true
     }
 
     /// Advances virtual time by the response-wait window.

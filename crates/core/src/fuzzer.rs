@@ -8,7 +8,7 @@ use std::time::Duration;
 use zwave_protocol::apl::ApplicationPayload;
 use zwave_protocol::registry::Registry;
 use zwave_protocol::CommandClassId;
-use zwave_radio::SimInstant;
+use zwave_radio::{ImpairmentProfile, MediumStats, SimInstant};
 
 use crate::buglog::{BugLog, VulnFinding};
 use crate::discovery::DiscoveryReport;
@@ -41,6 +41,9 @@ pub struct FuzzConfig {
     pub semantic_plans: bool,
     /// RNG seed for the trial.
     pub seed: u64,
+    /// Named channel-impairment profile applied to the simulated medium
+    /// for the whole campaign (Section IV's noisy-environment runs).
+    pub impairment: ImpairmentProfile,
 }
 
 impl FuzzConfig {
@@ -55,7 +58,14 @@ impl FuzzConfig {
             prioritize: true,
             semantic_plans: true,
             seed,
+            impairment: ImpairmentProfile::Clean,
         }
+    }
+
+    /// Returns the same configuration with `profile` applied to the
+    /// simulated channel.
+    pub fn with_impairment(self, profile: ImpairmentProfile) -> Self {
+        FuzzConfig { impairment: profile, ..self }
     }
 
     /// Extended ablation: no command-count prioritisation (queue scanned
@@ -95,6 +105,10 @@ pub trait TraceSink {
     fn outage_observed(&mut self) {}
     /// A new unique vulnerability entered the bug log.
     fn finding(&mut self, _finding: &VulnFinding) {}
+    /// A fuzz packet went unacknowledged and was retransmitted.
+    fn retransmission(&mut self) {}
+    /// A fuzz packet exhausted its retransmission budget without an ack.
+    fn ack_timeout(&mut self) {}
 }
 
 /// A sink that discards every event.
@@ -116,6 +130,20 @@ pub struct CampaignCounters {
     pub outages_observed: u64,
     /// Unique vulnerability findings recorded.
     pub findings: u64,
+    /// Frames the impaired channel dropped (noise plus impairment stages).
+    pub losses: u64,
+    /// Frames the impaired channel delivered twice.
+    pub duplicates: u64,
+    /// Frames the impaired channel delivered out of order.
+    pub reorders: u64,
+    /// Frames the impaired channel truncated.
+    pub truncations: u64,
+    /// Frames silenced by a scripted blackout window.
+    pub blackout_drops: u64,
+    /// Unacknowledged fuzz packets retransmitted by the dongle.
+    pub retransmissions: u64,
+    /// Fuzz packets that exhausted the retransmission budget unacked.
+    pub ack_timeouts: u64,
 }
 
 impl CampaignCounters {
@@ -125,6 +153,22 @@ impl CampaignCounters {
         self.plans_executed += other.plans_executed;
         self.outages_observed += other.outages_observed;
         self.findings += other.findings;
+        self.losses += other.losses;
+        self.duplicates += other.duplicates;
+        self.reorders += other.reorders;
+        self.truncations += other.truncations;
+        self.blackout_drops += other.blackout_drops;
+        self.retransmissions += other.retransmissions;
+        self.ack_timeouts += other.ack_timeouts;
+    }
+
+    /// Copies the channel-side tallies out of a [`MediumStats`] delta.
+    pub fn absorb_channel(&mut self, delta: &MediumStats) {
+        self.losses += delta.losses;
+        self.duplicates += delta.duplicates;
+        self.reorders += delta.reorders;
+        self.truncations += delta.truncations;
+        self.blackout_drops += delta.blackout_drops;
     }
 }
 
@@ -143,6 +187,14 @@ impl TraceSink for CampaignCounters {
 
     fn finding(&mut self, _finding: &VulnFinding) {
         self.findings += 1;
+    }
+
+    fn retransmission(&mut self) {
+        self.retransmissions += 1;
+    }
+
+    fn ack_timeout(&mut self) {
+        self.ack_timeouts += 1;
     }
 }
 
@@ -251,6 +303,7 @@ impl Fuzzer {
     ) -> CampaignResult {
         let clock = target.medium().clock().clone();
         let started = clock.now();
+        let channel_before = target.medium().stats();
         let semantic = Mutator::semantic_pool(scan.controller, &scan.slaves);
         let mut state = CampaignState {
             target,
@@ -309,6 +362,9 @@ impl Fuzzer {
                 Self::send_and_observe(&mut state, &payload);
             }
         }
+
+        let channel_delta = state.target.medium().stats().since(&channel_before);
+        state.counters.absorb_channel(&channel_delta);
 
         CampaignResult {
             packets_sent: state.packets,
@@ -439,23 +495,38 @@ impl Fuzzer {
         let dst = state.scan.controller;
         let home = state.scan.home_id;
 
-        // Transmit with G.9959 MAC retransmission: up to two retries when
-        // no acknowledgement arrives (lossy-channel resilience; on a clean
-        // channel a live controller acks the first attempt).
-        state.dongle.flush();
-        for _attempt in 0..3 {
-            state.dongle.inject_apl(home, src, dst, payload.encode());
+        // Transmit with G.9959 MAC retransmission: the frame is injected
+        // once and, when no acknowledgement arrives, resent *byte-
+        // identically* up to twice, so a receiver whose ack was lost
+        // suppresses the copy instead of reprocessing it. On a clean
+        // channel a live controller acks the first attempt.
+        let check_ack = |state: &mut CampaignState<'_, T>| {
             state.target.pump();
             state.dongle.wait_for_responses();
             state.target.pump();
-            let acked = state.dongle.drain().iter().any(|f| {
+            state.dongle.drain().iter().any(|f| {
                 zwave_protocol::MacFrame::decode(&f.bytes)
                     .map(|m| m.is_ack() && m.src() == dst)
                     .unwrap_or(false)
-            });
+            })
+        };
+        state.dongle.flush();
+        state.dongle.inject_apl(home, src, dst, payload.encode());
+        let mut acked = check_ack(state);
+        for _retry in 0..2 {
             if acked {
                 break;
             }
+            if !state.dongle.retransmit_last() {
+                break;
+            }
+            state.counters.retransmissions += 1;
+            state.sink.retransmission();
+            acked = check_ack(state);
+        }
+        if !acked {
+            state.counters.ack_timeouts += 1;
+            state.sink.ack_timeout();
         }
         state.packets += 1;
         state.counters.packets_sent += 1;
@@ -491,9 +562,12 @@ impl Fuzzer {
         }
 
         // Liveness monitoring via NOP ping; a couple of quick retries
-        // filter channel loss from genuine outages, then wait out timed
-        // outages so the remaining test cases are not wasted on a deaf
-        // device.
+        // filter channel loss from genuine outages. The oracle then
+        // distinguishes "target crashed/hung" (a fault fired — wait out
+        // the recovery so later test cases are not wasted on a deaf
+        // device) from "frame never arrived" (no fault observed: the
+        // impaired channel ate the ping, so move on without burning 300 s
+        // of recovery budget on a live controller).
         let mut alive = PingOutcome::Unresponsive;
         for _ in 0..3 {
             state.dongle.send_ping(home, src, dst);
@@ -503,7 +577,7 @@ impl Fuzzer {
                 break;
             }
         }
-        if alive == PingOutcome::Unresponsive {
+        if alive == PingOutcome::Unresponsive && outage_fired {
             let clock = state.target.medium().clock().clone();
             for _ in 0..300 {
                 clock.advance(Duration::from_secs(1));

@@ -64,6 +64,7 @@ pub use mutation::{MutationOp, Mutator};
 pub use passive::{PassiveScanner, ScanReport, TrafficStats};
 pub use target::FuzzTarget;
 pub use trials::{run_trials, TrialSummary};
+pub use zwave_radio::{ImpairmentProfile, ImpairmentSchedule, ImpairmentStage};
 
 /// Errors from the end-to-end ZCover pipeline.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -158,6 +159,10 @@ impl ZCover {
         config: FuzzConfig,
         sink: &mut dyn TraceSink,
     ) -> Result<ZCoverReport, ZCoverError> {
+        // The named impairment profile shapes the channel for every phase:
+        // fingerprinting, discovery and the fuzzing campaign all face the
+        // same (deterministically) hostile medium.
+        target.medium().set_impairment(config.impairment.schedule());
         let scan = self.fingerprint(target)?;
         let active = ActiveScanner::scan(target, &mut self.dongle, &scan)
             .ok_or(ZCoverError::NoNifResponse)?;

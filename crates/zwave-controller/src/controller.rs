@@ -20,6 +20,7 @@ use zwave_crypto::s2::S2Session;
 
 use crate::health::{EffectKind, FaultLog, FaultRecord, Health, RootCause};
 use crate::host::{AppLink, HostProgram};
+use crate::link::{LinkPolicy, LinkStats, PendingTx, DUP_WINDOW};
 use crate::nvm::{NodeDatabase, NodeRecord};
 use crate::vulns::{self, MacQuirk, VulnContext, VulnEffect};
 
@@ -78,6 +79,10 @@ pub struct SimController {
     faults: FaultLog,
     fault_cursor: usize,
     stats: ControllerStats,
+    link: LinkPolicy,
+    link_stats: LinkStats,
+    pending_tx: Option<PendingTx>,
+    recent_rx: std::collections::VecDeque<Vec<u8>>,
     seq: u8,
     s2_sessions: Vec<(NodeId, S2Session)>,
     patched_bugs: BTreeSet<u8>,
@@ -131,6 +136,10 @@ impl SimController {
             faults: FaultLog::new(),
             fault_cursor: 0,
             stats: ControllerStats::default(),
+            link: LinkPolicy::default(),
+            link_stats: LinkStats::default(),
+            pending_tx: None,
+            recent_rx: std::collections::VecDeque::with_capacity(DUP_WINDOW),
             seq: 0,
             s2_sessions: Vec::new(),
             patched_bugs: BTreeSet::new(),
@@ -249,6 +258,22 @@ impl SimController {
         self.stats
     }
 
+    /// The link-layer retry/timeout policy in force.
+    pub fn link_policy(&self) -> LinkPolicy {
+        self.link
+    }
+
+    /// Replaces the link-layer retry/timeout policy.
+    pub fn set_link_policy(&mut self, policy: LinkPolicy) {
+        self.link = policy;
+    }
+
+    /// Link-layer counters: retransmissions, ack timeouts, duplicates
+    /// suppressed.
+    pub fn link_stats(&self) -> LinkStats {
+        self.link_stats
+    }
+
     /// The full fault log.
     pub fn fault_log(&self) -> &FaultLog {
         &self.faults
@@ -281,6 +306,8 @@ impl SimController {
         let snapshot = self.factory_nvm.snapshot();
         self.nvm.restore(&snapshot);
         self.health = Health::Operational;
+        self.pending_tx = None;
+        self.recent_rx.clear();
         if let Some(host) = &mut self.host {
             host.restart();
         }
@@ -300,6 +327,8 @@ impl SimController {
     }
 
     /// Sends an application payload to `dst` as an acknowledged singlecast.
+    /// The frame is tracked for retransmission until `dst` acks it or the
+    /// [`LinkPolicy`] retry budget runs out.
     pub fn send_apl(&mut self, dst: NodeId, payload: Vec<u8>) {
         let mut fc = zwave_protocol::frame::FrameControl::singlecast(self.seq);
         self.seq = (self.seq + 1) & 0x0F;
@@ -313,8 +342,18 @@ impl SimController {
             zwave_protocol::ChecksumKind::Cs8,
         )
         .expect("controller payloads are bounded");
-        self.radio.transmit(&frame.encode());
+        let bytes = frame.encode();
+        self.radio.transmit(&bytes);
         self.stats.responses_sent += 1;
+        // A newer transmission supersedes any still-unacked predecessor
+        // (single in-flight frame, like the real single-buffer MAC).
+        self.pending_tx = Some(PendingTx {
+            bytes,
+            dst,
+            seq: self.seq,
+            attempts: 1,
+            deadline: self.now().plus(self.link.wait_after(1)),
+        });
     }
 
     /// Polls the door lock's state through the paired S2 session — the
@@ -340,11 +379,53 @@ impl SimController {
         }
     }
 
-    /// Processes every frame waiting on the radio.
+    /// Processes every frame waiting on the radio, then services the
+    /// retransmission timer for any still-unacked transmission.
     pub fn poll(&mut self) {
         while let Some(rx) = self.radio.try_recv() {
             self.handle_raw(&rx.bytes);
         }
+        self.service_retransmission();
+    }
+
+    /// Retransmits the pending frame when its ack wait has expired, or
+    /// abandons it once the retry budget is spent.
+    fn service_retransmission(&mut self) {
+        let now = self.now();
+        let Some(pending) = self.pending_tx.as_ref() else { return };
+        if now < pending.deadline {
+            return;
+        }
+        if pending.attempts > self.link.max_retries {
+            self.pending_tx = None;
+            self.link_stats.ack_timeouts += 1;
+            return;
+        }
+        // Identical bytes on air: same sequence number, so the receiver's
+        // duplicate filter absorbs the copy if only the ack was lost.
+        let bytes = pending.bytes.clone();
+        let attempts = pending.attempts + 1;
+        self.radio.transmit(&bytes);
+        self.link_stats.retransmissions += 1;
+        let deadline = self.now().plus(self.link.wait_after(attempts));
+        if let Some(pending) = self.pending_tx.as_mut() {
+            pending.attempts = attempts;
+            pending.deadline = deadline;
+        }
+    }
+
+    /// Duplicate filter: returns `true` (and counts it) when `raw` matches
+    /// a recently dispatched frame byte-for-byte; otherwise remembers it.
+    fn is_duplicate(&mut self, raw: &[u8]) -> bool {
+        if self.recent_rx.iter().any(|seen| seen[..] == *raw) {
+            self.link_stats.duplicates_suppressed += 1;
+            return true;
+        }
+        if self.recent_rx.len() == DUP_WINDOW {
+            self.recent_rx.pop_front();
+        }
+        self.recent_rx.push_back(raw.to_vec());
+        false
     }
 
     fn handle_raw(&mut self, raw: &[u8]) {
@@ -393,6 +474,9 @@ impl SimController {
             if !header.contains(self.node_id) {
                 return;
             }
+            if self.is_duplicate(raw) {
+                return;
+            }
             if let Ok(payload) = ApplicationPayload::parse(apl) {
                 self.dispatch(frame.src(), &payload, false);
             }
@@ -402,6 +486,12 @@ impl SimController {
             return;
         }
         if frame.is_ack() {
+            // The ack we were waiting on clears the retransmission timer.
+            if let Some(pending) = &self.pending_tx {
+                if frame.src() == pending.dst && frame.frame_control().sequence == pending.seq {
+                    self.pending_tx = None;
+                }
+            }
             return;
         }
         if frame.frame_control().ack_requested {
@@ -413,6 +503,12 @@ impl SimController {
             );
             self.radio.transmit(&ack.encode());
             self.stats.acks_sent += 1;
+        }
+        // Duplicate suppression comes *after* the MAC ack: a retransmitted
+        // frame means the sender missed our ack, so we re-ack but do not
+        // re-process the application payload.
+        if self.is_duplicate(raw) {
+            return;
         }
 
         // 6. Application dispatch. Routed frames addressed to us carry a
@@ -889,6 +985,120 @@ mod tests {
         assert!(c.nvm().contains(NodeId(0x01)));
         assert!(c.host().unwrap().is_usable());
         assert!(c.is_responsive());
+    }
+
+    #[test]
+    fn duplicate_frame_is_reacked_but_not_reprocessed() {
+        let (_m, mut c, attacker) = setup();
+        // Bug #02 rogue insert, transmitted twice byte-identically (a MAC
+        // retransmission after a lost ack).
+        let raw = frame(0xE7DE3F3D, 0x0F, 0x01, vec![0x01, 0x0D, 0x0A, 0x01]);
+        attacker.transmit(&raw);
+        c.poll();
+        assert_eq!(c.take_new_faults().len(), 1);
+        attacker.drain();
+        attacker.transmit(&raw);
+        c.poll();
+        // Re-acked so the sender stops retrying, but the payload is not
+        // dispatched a second time.
+        assert_eq!(c.stats().acks_sent, 2);
+        assert!(c.take_new_faults().is_empty(), "duplicate must not re-trigger the fault");
+        assert_eq!(c.link_stats().duplicates_suppressed, 1);
+    }
+
+    #[test]
+    fn repeated_pings_with_fresh_sequence_numbers_are_not_duplicates() {
+        let (_m, mut c, attacker) = setup();
+        // NOP pings repeat the same payload; their rolling sequence number
+        // keeps them distinct for far longer than the dup window.
+        for seq in 0..12u8 {
+            let mut fc = zwave_protocol::frame::FrameControl::singlecast(seq & 0x0F);
+            fc.sequence = seq & 0x0F;
+            let f = MacFrame::try_new(
+                HomeId(0xE7DE3F3D),
+                NodeId(0x0F),
+                fc,
+                NodeId(0x01),
+                vec![0x00],
+                zwave_protocol::ChecksumKind::Cs8,
+            )
+            .unwrap();
+            attacker.transmit(&f.encode());
+        }
+        c.poll();
+        assert_eq!(c.link_stats().duplicates_suppressed, 0);
+        assert_eq!(c.stats().apl_processed, 12);
+    }
+
+    #[test]
+    fn unacked_response_is_retransmitted_with_backoff_then_abandoned() {
+        let (m, mut c, attacker) = setup();
+        // A Basic Get whose response goes to node 0x0F — nobody acks it.
+        attacker.transmit(&frame(0xE7DE3F3D, 0x0F, 0x01, vec![0x20, 0x02]));
+        c.poll();
+        attacker.drain();
+        // First retransmission after the 350 ms ack timeout...
+        m.clock().advance(Duration::from_millis(400));
+        c.poll();
+        assert_eq!(c.link_stats().retransmissions, 1);
+        assert_eq!(attacker.drain().len(), 1);
+        // ...second after the doubled backoff...
+        m.clock().advance(Duration::from_millis(800));
+        c.poll();
+        assert_eq!(c.link_stats().retransmissions, 2);
+        // ...then the retry budget is spent and the frame is abandoned.
+        m.clock().advance(Duration::from_secs(2));
+        c.poll();
+        assert_eq!(c.link_stats().retransmissions, 2);
+        assert_eq!(c.link_stats().ack_timeouts, 1);
+        m.clock().advance(Duration::from_secs(10));
+        c.poll();
+        assert_eq!(c.link_stats().ack_timeouts, 1, "abandoned frame stays abandoned");
+    }
+
+    #[test]
+    fn retransmissions_resend_identical_bytes() {
+        let (m, mut c, attacker) = setup();
+        attacker.transmit(&frame(0xE7DE3F3D, 0x0F, 0x01, vec![0x20, 0x02]));
+        c.poll();
+        let first: Vec<Vec<u8>> = attacker
+            .drain()
+            .iter()
+            .filter_map(|f| MacFrame::decode(&f.bytes).ok().filter(|d| !d.is_ack()))
+            .map(|d| d.encode())
+            .collect();
+        assert_eq!(first.len(), 1, "one Basic Report expected");
+        m.clock().advance(Duration::from_millis(400));
+        c.poll();
+        let retry = attacker.drain();
+        assert_eq!(retry.len(), 1);
+        assert_eq!(retry[0].bytes, first[0], "retransmission must reuse the same frame bytes");
+    }
+
+    #[test]
+    fn ack_from_destination_cancels_retransmission() {
+        let (m, mut c, attacker) = setup();
+        attacker.transmit(&frame(0xE7DE3F3D, 0x0F, 0x01, vec![0x20, 0x02]));
+        c.poll();
+        // Find the response and ack it back with the matching sequence.
+        let response = attacker
+            .drain()
+            .iter()
+            .filter_map(|f| MacFrame::decode(&f.bytes).ok())
+            .find(|d| !d.is_ack())
+            .expect("basic report");
+        let ack = MacFrame::ack(
+            HomeId(0xE7DE3F3D),
+            response.dst(),
+            NodeId(0x01),
+            response.frame_control().sequence,
+        );
+        attacker.transmit(&ack.encode());
+        c.poll();
+        m.clock().advance(Duration::from_secs(5));
+        c.poll();
+        assert_eq!(c.link_stats().retransmissions, 0);
+        assert_eq!(c.link_stats().ack_timeouts, 0);
     }
 
     #[test]

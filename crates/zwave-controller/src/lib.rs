@@ -38,6 +38,7 @@ pub mod devices;
 pub mod health;
 pub mod host;
 pub mod ids;
+pub mod link;
 pub mod nvm;
 pub mod testbed;
 pub mod vulns;
@@ -46,5 +47,6 @@ pub use controller::{ControllerConfig, ControllerStats, SimController};
 pub use health::{EffectKind, FaultLog, FaultRecord, Health, RootCause};
 pub use host::{AppLink, AppState, HostProgram, HostState};
 pub use ids::{Alert, AlertReason, Ids};
+pub use link::{LinkPolicy, LinkStats};
 pub use nvm::{NodeDatabase, NodeRecord};
 pub use testbed::{DeviceModel, Testbed, LOCK_NODE, SWITCH_NODE};

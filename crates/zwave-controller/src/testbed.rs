@@ -289,6 +289,11 @@ impl Testbed {
         self.medium.attach(position_m)
     }
 
+    /// Sets the controller's link-layer retry/timeout policy.
+    pub fn set_link_policy(&mut self, policy: crate::link::LinkPolicy) {
+        self.controller.set_link_policy(policy);
+    }
+
     /// Lets every device process pending traffic. Three rounds cover
     /// request → response → ack chains.
     pub fn pump(&mut self) {

@@ -6,7 +6,9 @@
 
 use zwave_protocol::checksum::{crc16_ccitt, crc16_verify, cs8, cs8_verify};
 use zwave_protocol::dissect::{to_hex, Dissection};
-use zwave_protocol::frame::{FrameControl, MacFrame};
+use zwave_protocol::frame::{FrameControl, HeaderType, MacFrame};
+use zwave_protocol::multicast::MulticastHeader;
+use zwave_protocol::routing::RoutingHeader;
 use zwave_protocol::types::{ChecksumKind, HomeId, NodeId};
 use zwave_protocol::CommandClassId;
 
@@ -102,6 +104,112 @@ fn dissection_of_golden_wire_recovers_figure4_fields() {
     let apl = d.apl.as_ref().expect("BASIC_SET parses");
     assert_eq!(apl.command_class(), CommandClassId::BASIC);
     assert_eq!(to_hex(&SINGLECAST_WIRE[8..12]), "0x01 0x20 0x01 0xFF", "Figure 4 hex rendering");
+}
+
+/// Multicast data frame, home 0xCB95A34A, controller 0x01 → broadcast
+/// address, sequence 3, addressing nodes {2, 3, 4} via a one-byte mask
+/// and carrying BASIC_SET 0x00 ("all off"). The multicast encapsulation
+/// `[mask_len, mask..., APL...]` rides inside the ordinary MAC payload.
+const MULTICAST_WIRE: [u8; 15] = [
+    0xCB, 0x95, 0xA3, 0x4A, // home id
+    0x01, // src (controller)
+    0x02, // P1: multicast header type, no ack
+    0x03, // P2: sequence 3
+    0x0F, // LEN = 15
+    0xFF, // dst: broadcast address
+    0x01, 0x0E, // multicast header: 1 mask byte, bits for nodes 2..4
+    0x20, 0x01, 0x00, // BASIC_SET 0x00
+    0x96, // CS-8
+];
+
+/// Routed singlecast, home 0xCB95A34A, 0x01 → 0x06 through repeaters
+/// {3, 4}, sequence 9, carrying SWITCH_BINARY_SET 0xFF. The routing
+/// header `[flags, hop, count, repeaters...]` precedes the APL bytes.
+const ROUTED_WIRE: [u8; 18] = [
+    0xCB, 0x95, 0xA3, 0x4A, // home id
+    0x01, // src (controller)
+    0x48, // P1: routed header type | ack requested
+    0x09, // P2: sequence 9
+    0x12, // LEN = 18
+    0x06, // dst (final destination)
+    0x01, 0x00, 0x02, 0x03, 0x04, // routing: outbound, hop 0, 2 repeaters {3, 4}
+    0x25, 0x01, 0xFF, // SWITCH_BINARY_SET 0xFF
+    0xC3, // CS-8
+];
+
+#[test]
+fn multicast_encapsulation_encodes_to_golden_bytes() {
+    let mut payload = MulticastHeader::from_nodes(&[NodeId(2), NodeId(3), NodeId(4)]).encode();
+    payload.extend_from_slice(&[0x20, 0x01, 0x00]);
+    let fc = FrameControl {
+        header_type: HeaderType::Multicast,
+        ack_requested: false,
+        low_power: false,
+        speed_modified: false,
+        sequence: 3,
+        beam_control: 0,
+    };
+    let frame = MacFrame::try_new(
+        HomeId(0xCB95A34A),
+        NodeId(0x01),
+        fc,
+        NodeId(0xFF),
+        payload,
+        ChecksumKind::Cs8,
+    )
+    .unwrap();
+    assert_eq!(frame.encode(), MULTICAST_WIRE);
+}
+
+#[test]
+fn multicast_golden_bytes_decode_to_the_mask_and_apl() {
+    let frame = MacFrame::decode(&MULTICAST_WIRE).unwrap();
+    assert_eq!(frame.frame_control().header_type, HeaderType::Multicast);
+    assert!(!frame.frame_control().ack_requested);
+    let (header, apl) = MulticastHeader::decode(frame.payload()).unwrap();
+    assert_eq!(header.nodes(), vec![NodeId(2), NodeId(3), NodeId(4)]);
+    assert!(!header.contains(NodeId(1)), "the sender itself is not addressed");
+    assert_eq!(apl, &[0x20, 0x01, 0x00]);
+}
+
+#[test]
+fn routed_frame_encodes_to_golden_bytes() {
+    let mut payload = RoutingHeader::outbound(vec![NodeId(3), NodeId(4)]).encode();
+    payload.extend_from_slice(&[0x25, 0x01, 0xFF]);
+    let fc = FrameControl {
+        header_type: HeaderType::Routed,
+        ack_requested: true,
+        low_power: false,
+        speed_modified: false,
+        sequence: 9,
+        beam_control: 0,
+    };
+    let frame = MacFrame::try_new(
+        HomeId(0xCB95A34A),
+        NodeId(0x01),
+        fc,
+        NodeId(0x06),
+        payload,
+        ChecksumKind::Cs8,
+    )
+    .unwrap();
+    assert_eq!(frame.encode(), ROUTED_WIRE);
+}
+
+#[test]
+fn routed_golden_bytes_decode_and_advance_through_the_route() {
+    let frame = MacFrame::decode(&ROUTED_WIRE).unwrap();
+    assert_eq!(frame.frame_control().header_type, HeaderType::Routed);
+    let (mut header, apl) = RoutingHeader::decode(frame.payload()).unwrap();
+    assert!(header.outbound);
+    assert_eq!(header.current_repeater(), Some(NodeId(3)));
+    assert_eq!(apl, &[0x25, 0x01, 0xFF]);
+    // Walk the two hops: the wire bytes change only in the hop index.
+    header.advance();
+    assert_eq!(header.current_repeater(), Some(NodeId(4)));
+    assert_eq!(header.encode(), vec![0x01, 0x01, 0x02, 0x03, 0x04]);
+    header.advance();
+    assert!(header.on_final_leg());
 }
 
 #[test]

@@ -29,12 +29,14 @@
 #![warn(missing_docs)]
 
 pub mod clock;
+pub mod impairment;
 pub mod medium;
 pub mod noise;
 pub mod region;
 pub mod sniffer;
 
 pub use clock::{SimClock, SimInstant};
+pub use impairment::{GilbertElliott, ImpairmentProfile, ImpairmentSchedule, ImpairmentStage};
 pub use medium::{Medium, MediumStats, RxFrame, Transceiver};
 pub use noise::NoiseModel;
 pub use region::Region;

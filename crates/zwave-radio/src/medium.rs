@@ -7,10 +7,10 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use parking_lot::Mutex;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::Rng;
 
 use crate::clock::{SimClock, SimInstant};
+use crate::impairment::{delivery_rng, frame_rng, ImpairmentSchedule, ImpairmentStage};
 use crate::noise::{rssi_dbm, NoiseModel};
 use crate::region::Region;
 
@@ -40,12 +40,37 @@ impl RxFrame {
 pub struct MediumStats {
     /// Frames handed to the medium for transmission.
     pub frames_sent: u64,
-    /// Per-receiver deliveries that succeeded.
+    /// Per-receiver deliveries that succeeded (including duplicates).
     pub deliveries: u64,
     /// Per-receiver deliveries lost to the channel.
     pub losses: u64,
-    /// Delivered frames that suffered byte corruption.
+    /// Delivered frames that suffered byte corruption (noise or bit flips).
     pub corruptions: u64,
+    /// Extra copies delivered by a duplication stage.
+    pub duplicates: u64,
+    /// Deliveries that jumped ahead of already-queued frames.
+    pub reorders: u64,
+    /// Deliveries truncated to a strict prefix.
+    pub truncations: u64,
+    /// Per-receiver deliveries suppressed by a blackout window.
+    pub blackout_drops: u64,
+}
+
+impl MediumStats {
+    /// Component-wise difference vs an earlier snapshot (saturating, so a
+    /// medium reset between snapshots yields zeros rather than wrapping).
+    pub fn since(&self, earlier: &MediumStats) -> MediumStats {
+        MediumStats {
+            frames_sent: self.frames_sent.saturating_sub(earlier.frames_sent),
+            deliveries: self.deliveries.saturating_sub(earlier.deliveries),
+            losses: self.losses.saturating_sub(earlier.losses),
+            corruptions: self.corruptions.saturating_sub(earlier.corruptions),
+            duplicates: self.duplicates.saturating_sub(earlier.duplicates),
+            reorders: self.reorders.saturating_sub(earlier.reorders),
+            truncations: self.truncations.saturating_sub(earlier.truncations),
+            blackout_drops: self.blackout_drops.saturating_sub(earlier.blackout_drops),
+        }
+    }
 }
 
 #[derive(Debug)]
@@ -61,7 +86,11 @@ struct Station {
 struct MediumInner {
     stations: Vec<Station>,
     noise: NoiseModel,
-    rng: StdRng,
+    seed: u64,
+    impairment: ImpairmentSchedule,
+    /// Current Gilbert–Elliott channel state (true = bad/bursty state),
+    /// shared by all receivers and advanced once per transmitted frame.
+    ge_bad: bool,
     stats: MediumStats,
     bitrate: u32,
 }
@@ -85,7 +114,9 @@ impl Medium {
             inner: Arc::new(Mutex::new(MediumInner {
                 stations: Vec::new(),
                 noise,
-                rng: StdRng::seed_from_u64(seed),
+                seed,
+                impairment: ImpairmentSchedule::clean(),
+                ge_bad: false,
                 stats: MediumStats::default(),
                 bitrate: DEFAULT_BITRATE,
             })),
@@ -123,6 +154,19 @@ impl Medium {
         self.inner.lock().noise = noise;
     }
 
+    /// Installs a composable impairment schedule, resetting the bursty
+    /// channel to its good state.
+    pub fn set_impairment(&self, schedule: ImpairmentSchedule) {
+        let mut inner = self.inner.lock();
+        inner.impairment = schedule;
+        inner.ge_bad = false;
+    }
+
+    /// The active impairment schedule.
+    pub fn impairment(&self) -> ImpairmentSchedule {
+        self.inner.lock().impairment.clone()
+    }
+
     /// Current statistics snapshot.
     pub fn stats(&self) -> MediumStats {
         self.inner.lock().stats
@@ -138,31 +182,113 @@ impl Medium {
         let now = self.clock.now();
 
         let mut inner = self.inner.lock();
+        let frame_index = inner.stats.frames_sent;
         inner.stats.frames_sent += 1;
         let tx_pos = inner.stations[from].position_m;
         let tx_region = inner.stations[from].region;
         let noise = inner.noise;
-        // Split borrows: stats and rng are updated while iterating stations.
-        let MediumInner { stations, rng, stats, .. } = &mut *inner;
+        let seed = inner.seed;
+
+        // Advance the shared Gilbert–Elliott state exactly once per frame,
+        // from an RNG keyed on (seed, frame index) — never on call order.
+        if let Some(ge) = inner.impairment.gilbert_elliott() {
+            let mut rng = frame_rng(seed, frame_index);
+            inner.ge_bad = ge.step(inner.ge_bad, &mut rng);
+        }
+        let ge_bad = inner.ge_bad;
+        let blacked_out = inner.impairment.blacked_out(now.as_micros());
+
+        // Split borrows: stats updated while iterating stations.
+        let MediumInner { stations, stats, impairment, .. } = &mut *inner;
         for (i, station) in stations.iter_mut().enumerate() {
             if i == from || !station.enabled || !station.region.interoperates_with(tx_region) {
                 continue;
             }
+            if blacked_out {
+                stats.blackout_drops += 1;
+                continue;
+            }
             let distance = (station.position_m - tx_pos).abs();
-            if noise.roll_loss(rng, distance) {
+            // Every random outcome at this receiver derives from
+            // (seed, frame index, receiver index): deterministic regardless
+            // of how many draws other frames or receivers consumed.
+            let mut rng = delivery_rng(seed, frame_index, i as u64);
+            if noise.roll_loss(&mut rng, distance) {
                 stats.losses += 1;
                 continue;
             }
             let mut delivered = bytes.to_vec();
-            if noise.roll_corruption(rng, &mut delivered) {
+            let mut corrupted = noise.roll_corruption(&mut rng, &mut delivered);
+            let mut lost = false;
+            let mut duplicated = false;
+            let mut reorder_window = 0usize;
+            for stage in impairment.stages() {
+                match *stage {
+                    ImpairmentStage::Loss { probability } => {
+                        lost |= probability > 0.0 && rng.gen_bool(probability.min(1.0));
+                    }
+                    ImpairmentStage::BurstyLoss(ge) => {
+                        lost |= ge.roll_loss(ge_bad, &mut rng);
+                    }
+                    ImpairmentStage::Duplicate { probability } => {
+                        duplicated |= probability > 0.0 && rng.gen_bool(probability.min(1.0));
+                    }
+                    ImpairmentStage::Reorder { probability, window } => {
+                        if probability > 0.0 && rng.gen_bool(probability.min(1.0)) {
+                            reorder_window = reorder_window.max(window);
+                        }
+                    }
+                    ImpairmentStage::Truncate { probability } => {
+                        if probability > 0.0
+                            && rng.gen_bool(probability.min(1.0))
+                            && delivered.len() > 1
+                        {
+                            let keep = rng.gen_range(1..delivered.len());
+                            delivered.truncate(keep);
+                            stats.truncations += 1;
+                        }
+                    }
+                    ImpairmentStage::BitFlip { probability } => {
+                        if probability > 0.0
+                            && rng.gen_bool(probability.min(1.0))
+                            && !delivered.is_empty()
+                        {
+                            let idx = rng.gen_range(0..delivered.len());
+                            let bit = rng.gen_range(0..8u8);
+                            delivered[idx] ^= 1 << bit;
+                            corrupted = true;
+                        }
+                    }
+                    ImpairmentStage::Blackout { .. } => {} // handled per frame above
+                }
+            }
+            if lost {
+                stats.losses += 1;
+                continue;
+            }
+            if corrupted {
                 stats.corruptions += 1;
             }
-            stats.deliveries += 1;
-            station.queue.push_back(RxFrame {
+            let frame = RxFrame {
                 bytes: delivered,
                 at: now,
                 rssi_cdbm: (rssi_dbm(distance) * 100.0) as i32,
-            });
+            };
+            // Bounded reordering: the frame jumps ahead of at most
+            // `reorder_window` already-queued frames.
+            let at = station.queue.len().saturating_sub(reorder_window);
+            if at < station.queue.len() {
+                stats.reorders += 1;
+            }
+            stats.deliveries += 1;
+            if duplicated {
+                stats.duplicates += 1;
+                stats.deliveries += 1;
+                station.queue.insert(at, frame.clone());
+                station.queue.insert(at + 1, frame);
+            } else {
+                station.queue.insert(at, frame);
+            }
         }
     }
 }
@@ -242,6 +368,7 @@ impl Transceiver {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::impairment::ImpairmentProfile;
 
     #[test]
     fn broadcast_reaches_all_other_stations() {
@@ -341,6 +468,171 @@ mod tests {
         assert!(!sniffer.is_promiscuous());
         sniffer.set_promiscuous(true);
         assert!(sniffer.is_promiscuous());
+    }
+
+    #[test]
+    fn corruption_is_deterministic_per_seed_and_frame_index() {
+        // Regression: corruption used to consume a shared call-order RNG, so
+        // an unrelated extra transmission shifted every later outcome. Now
+        // frame N's corruption at receiver R is a pure function of
+        // (seed, N, R): pin the exact corrupted bytes for a fixed seed.
+        let run = |warmup: usize| {
+            let medium = Medium::with_noise(
+                SimClock::new(),
+                7,
+                NoiseModel { corruption: 1.0, ..NoiseModel::default() },
+            );
+            let a = medium.attach(0.0);
+            let b = medium.attach(1.0);
+            // Consume extra RNG-free queue operations; they must not matter.
+            for _ in 0..warmup {
+                let _ = b.pending();
+            }
+            let mut frames = Vec::new();
+            for n in 0..4u8 {
+                a.transmit(&[n; 8]);
+                frames.push(b.try_recv().unwrap().bytes);
+            }
+            frames
+        };
+        let first = run(0);
+        assert_eq!(first, run(25));
+        // Pin the corrupted positions themselves so the derivation can never
+        // silently change: exactly one byte differs per frame, at a fixed
+        // index, for seed 7.
+        let positions: Vec<usize> = first
+            .iter()
+            .enumerate()
+            .map(|(n, f)| f.iter().position(|&byte| byte != n as u8).unwrap())
+            .collect();
+        assert_eq!(positions, vec![0, 4, 0, 5], "corrupted-byte positions moved for seed 7");
+    }
+
+    #[test]
+    fn same_frame_corrupts_differently_at_each_receiver() {
+        let medium = Medium::with_noise(
+            SimClock::new(),
+            7,
+            NoiseModel { corruption: 1.0, ..NoiseModel::default() },
+        );
+        let a = medium.attach(0.0);
+        let b = medium.attach(1.0);
+        let c = medium.attach(2.0);
+        a.transmit(&[0u8; 16]);
+        assert_ne!(b.try_recv().unwrap().bytes, c.try_recv().unwrap().bytes);
+    }
+
+    #[test]
+    fn duplication_delivers_identical_back_to_back_copies() {
+        let medium = Medium::new(SimClock::new(), 3);
+        medium.set_impairment(
+            ImpairmentSchedule::clean().with(ImpairmentStage::Duplicate { probability: 1.0 }),
+        );
+        let a = medium.attach(0.0);
+        let b = medium.attach(1.0);
+        a.transmit(&[0xDE, 0xAD]);
+        let frames = b.drain();
+        assert_eq!(frames.len(), 2);
+        assert_eq!(frames[0], frames[1]);
+        assert_eq!(frames[0].bytes, vec![0xDE, 0xAD]);
+        assert_eq!(medium.stats().duplicates, 1);
+        assert_eq!(medium.stats().deliveries, 2);
+    }
+
+    #[test]
+    fn reordering_respects_its_window() {
+        let medium = Medium::new(SimClock::new(), 3);
+        medium.set_impairment(
+            ImpairmentSchedule::clean()
+                .with(ImpairmentStage::Reorder { probability: 1.0, window: 2 }),
+        );
+        let a = medium.attach(0.0);
+        let b = medium.attach(1.0);
+        for n in 0..6u8 {
+            a.transmit(&[n]);
+        }
+        let order: Vec<u8> = b.drain().iter().map(|f| f.bytes[0]).collect();
+        // Every frame may jump ahead of at most 2 queued frames, so frame n
+        // can never appear more than 2 positions before its send order.
+        for (pos, &n) in order.iter().enumerate() {
+            assert!(pos + 2 >= n as usize, "frame {n} displaced beyond window: order {order:?}");
+        }
+        assert!(medium.stats().reorders > 0);
+    }
+
+    #[test]
+    fn truncation_yields_strict_nonempty_prefixes() {
+        let medium = Medium::new(SimClock::new(), 5);
+        medium.set_impairment(
+            ImpairmentSchedule::clean().with(ImpairmentStage::Truncate { probability: 1.0 }),
+        );
+        let a = medium.attach(0.0);
+        let b = medium.attach(1.0);
+        let payload = [1u8, 2, 3, 4, 5, 6, 7, 8];
+        for _ in 0..10 {
+            a.transmit(&payload);
+        }
+        for frame in b.drain() {
+            assert!(!frame.bytes.is_empty() && frame.bytes.len() < payload.len());
+            assert_eq!(frame.bytes[..], payload[..frame.bytes.len()]);
+        }
+        assert_eq!(medium.stats().truncations, 10);
+    }
+
+    #[test]
+    fn blackout_silences_the_channel_on_schedule() {
+        let clock = SimClock::new();
+        let medium = Medium::new(clock.clone(), 5);
+        medium.set_impairment(ImpairmentSchedule::clean().with(ImpairmentStage::Blackout {
+            first_start: Duration::from_secs(10),
+            every: Duration::ZERO,
+            length: Duration::from_secs(5),
+        }));
+        let a = medium.attach(0.0);
+        let b = medium.attach(1.0);
+        a.transmit(&[1]);
+        assert_eq!(b.drain().len(), 1, "before the window");
+        clock.advance(Duration::from_secs(11));
+        a.transmit(&[2]);
+        assert_eq!(b.drain().len(), 0, "inside the window");
+        assert_eq!(medium.stats().blackout_drops, 1);
+        clock.advance(Duration::from_secs(10));
+        a.transmit(&[3]);
+        assert_eq!(b.drain().len(), 1, "after the window");
+    }
+
+    #[test]
+    fn impairment_outcomes_are_independent_of_unrelated_traffic_order() {
+        // Two media with the same seed and schedule: in the second, station
+        // d is deaf (different region) so it consumes no impairment draws.
+        // Frame-for-frame outcomes at b must still be identical.
+        let schedule = ImpairmentProfile::Adversarial.schedule();
+        let run = |extra_station: bool| {
+            let medium = Medium::new(SimClock::new(), 99);
+            medium.set_impairment(schedule.clone());
+            let a = medium.attach(0.0);
+            let b = medium.attach(1.0);
+            if extra_station {
+                let d = medium.attach(2.0);
+                d.set_enabled(false);
+            }
+            for n in 0..40u8 {
+                a.transmit(&[n, n, n, n]);
+            }
+            b.drain().into_iter().map(|f| f.bytes).collect::<Vec<_>>()
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn stats_since_subtracts_componentwise() {
+        let before = MediumStats { frames_sent: 3, deliveries: 2, losses: 1, ..Default::default() };
+        let after = MediumStats { frames_sent: 10, deliveries: 6, losses: 4, ..Default::default() };
+        let delta = after.since(&before);
+        assert_eq!(delta.frames_sent, 7);
+        assert_eq!(delta.deliveries, 4);
+        assert_eq!(delta.losses, 3);
+        assert_eq!(MediumStats::default().since(&after).frames_sent, 0, "saturates");
     }
 
     #[test]

@@ -1,0 +1,182 @@
+//! Property-based tests for the channel-impairment stages: whatever the
+//! seed, probability, and traffic shape, each stage keeps its structural
+//! invariants (duplication copies, reordering stays bounded, the
+//! Gilbert-Elliott chain converges to its stationary loss rate).
+
+use proptest::prelude::*;
+
+use zwave_radio::{
+    GilbertElliott, ImpairmentSchedule, ImpairmentStage, Medium, SimClock, Transceiver,
+};
+
+/// A fresh medium with `schedule` applied, one sender and one receiver.
+fn impaired_pair(seed: u64, schedule: ImpairmentSchedule) -> (Medium, Transceiver, Transceiver) {
+    let medium = Medium::new(SimClock::new(), seed);
+    medium.set_impairment(schedule);
+    let tx = medium.attach(0.0);
+    let rx = medium.attach(10.0);
+    (medium, tx, rx)
+}
+
+/// Distinct, well-formed-enough frames: a fixed prefix plus the index, so
+/// every transmission is identifiable on receive.
+fn tagged_frame(i: u16, filler: u8) -> Vec<u8> {
+    vec![0xCB, 0x95, (i >> 8) as u8, (i & 0xFF) as u8, filler]
+}
+
+proptest! {
+    /// Duplication may repeat a frame but never invents bytes: every
+    /// received frame is byte-identical to one that was transmitted, and
+    /// each transmission is received once or twice.
+    #[test]
+    fn duplication_never_creates_new_payload_bytes(
+        seed in any::<u64>(),
+        probability in (0u32..=1000).prop_map(|x| f64::from(x) / 1000.0),
+        frames in 1u16..40,
+        filler in any::<u8>(),
+    ) {
+        let (_medium, tx, rx) = impaired_pair(
+            seed,
+            ImpairmentSchedule::clean().with(ImpairmentStage::Duplicate { probability }),
+        );
+        let sent: Vec<Vec<u8>> = (0..frames).map(|i| tagged_frame(i, filler)).collect();
+        for frame in &sent {
+            tx.transmit(frame);
+        }
+        let mut copies = vec![0usize; sent.len()];
+        for got in rx.drain() {
+            let idx = sent
+                .iter()
+                .position(|s| s[..] == got.bytes[..])
+                .expect("received bytes match a transmission exactly");
+            copies[idx] += 1;
+        }
+        for (idx, n) in copies.iter().enumerate() {
+            prop_assert!(
+                (1..=2).contains(n),
+                "frame {idx} delivered {n} times (duplication is at most one extra copy)"
+            );
+        }
+    }
+
+    /// Bounded reordering: a reordered frame may cut the queue, but never
+    /// past more than `window` frames transmitted before it (a frame that
+    /// keeps being overtaken can drift later, but no frame ever jumps
+    /// *ahead* beyond the window).
+    #[test]
+    fn reordering_never_exceeds_its_window(
+        seed in any::<u64>(),
+        probability in (0u32..=1000).prop_map(|x| f64::from(x) / 1000.0),
+        window in 1usize..6,
+        frames in 2u16..60,
+    ) {
+        let (_medium, tx, rx) = impaired_pair(
+            seed,
+            ImpairmentSchedule::clean().with(ImpairmentStage::Reorder { probability, window }),
+        );
+        for i in 0..frames {
+            tx.transmit(&tagged_frame(i, 0));
+        }
+        let received: Vec<usize> = rx
+            .drain()
+            .iter()
+            .map(|f| ((f.bytes[2] as usize) << 8) | f.bytes[3] as usize)
+            .collect();
+        prop_assert_eq!(received.len(), frames as usize, "reordering must not drop frames");
+        for (position, &i) in received.iter().enumerate() {
+            let overtaken =
+                received.iter().skip(position + 1).filter(|&&j| j < i).count();
+            prop_assert!(
+                overtaken <= window,
+                "frame {i} overtook {overtaken} earlier frames (> window {window})"
+            );
+        }
+    }
+
+    /// The Gilbert-Elliott chain's empirical loss rate converges to the
+    /// analytic long-run mixture of the good/bad-state loss rates.
+    #[test]
+    fn gilbert_elliott_long_run_loss_converges_to_stationary_probability(
+        seed in any::<u64>(),
+        p_gb in (20u32..=500).prop_map(|x| f64::from(x) / 1000.0),
+        p_bg in (20u32..=500).prop_map(|x| f64::from(x) / 1000.0),
+        loss_good in (0u32..=200).prop_map(|x| f64::from(x) / 1000.0),
+        loss_bad in (500u32..=1000).prop_map(|x| f64::from(x) / 1000.0),
+    ) {
+        let ge = GilbertElliott {
+            p_good_to_bad: p_gb,
+            p_bad_to_good: p_bg,
+            loss_good,
+            loss_bad,
+        };
+        let (medium, tx, rx) = impaired_pair(
+            seed,
+            ImpairmentSchedule::clean().with(ImpairmentStage::BurstyLoss(ge)),
+        );
+        let trials: u64 = 6000;
+        for i in 0..trials {
+            tx.transmit(&tagged_frame((i % u64::from(u16::MAX)) as u16, (i >> 16) as u8));
+        }
+        let delivered = rx.drain().len() as u64;
+        let observed = (trials - delivered) as f64 / trials as f64;
+        let expected = ge.long_run_loss();
+        // Chain mixing is slow for small transition probabilities; 6000
+        // samples put the empirical rate within a few points of the
+        // stationary mixture for the parameter box above.
+        prop_assert!(
+            (observed - expected).abs() < 0.06,
+            "observed loss {observed:.3} vs stationary {expected:.3}"
+        );
+        prop_assert_eq!(medium.stats().losses, trials - delivered);
+    }
+
+    /// The stationary decomposition itself: long_run_loss is a convex
+    /// combination of the two per-state rates, weighted by stationary_bad.
+    #[test]
+    fn long_run_loss_is_the_stationary_mixture(
+        p_gb in (1u32..=1000).prop_map(|x| f64::from(x) / 1000.0),
+        p_bg in (1u32..=1000).prop_map(|x| f64::from(x) / 1000.0),
+        loss_good in (0u32..=1000).prop_map(|x| f64::from(x) / 1000.0),
+        loss_bad in (0u32..=1000).prop_map(|x| f64::from(x) / 1000.0),
+    ) {
+        let ge = GilbertElliott {
+            p_good_to_bad: p_gb,
+            p_bad_to_good: p_bg,
+            loss_good,
+            loss_bad,
+        };
+        let pi_bad = ge.stationary_bad();
+        prop_assert!((0.0..=1.0).contains(&pi_bad));
+        let mixture = pi_bad * loss_bad + (1.0 - pi_bad) * loss_good;
+        prop_assert!((ge.long_run_loss() - mixture).abs() < 1e-12);
+        let lo = loss_good.min(loss_bad);
+        let hi = loss_good.max(loss_bad);
+        prop_assert!((lo..=hi).contains(&ge.long_run_loss()));
+    }
+
+    /// Truncation only ever shortens: with truncation in the schedule,
+    /// every received frame is a non-empty strict-or-equal prefix of its
+    /// transmission.
+    #[test]
+    fn truncation_yields_prefixes_of_the_transmission(
+        seed in any::<u64>(),
+        probability in (0u32..=1000).prop_map(|x| f64::from(x) / 1000.0),
+        frames in 1u16..40,
+    ) {
+        let (_medium, tx, rx) = impaired_pair(
+            seed,
+            ImpairmentSchedule::clean().with(ImpairmentStage::Truncate { probability }),
+        );
+        let sent: Vec<Vec<u8>> = (0..frames).map(|i| tagged_frame(i, 0x5A)).collect();
+        for frame in &sent {
+            tx.transmit(frame);
+        }
+        for got in rx.drain() {
+            prop_assert!(!got.bytes.is_empty(), "truncation must leave at least one byte");
+            prop_assert!(
+                sent.iter().any(|s| s.starts_with(&got.bytes)),
+                "received bytes are not a prefix of any transmission"
+            );
+        }
+    }
+}

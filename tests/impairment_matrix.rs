@@ -1,0 +1,176 @@
+//! The adversarial-channel scenario matrix: every named impairment
+//! profile, crossed with worker counts and the full device testbed.
+//!
+//! Three properties are pinned here (EXPERIMENTS.md "Adversarial
+//! channel"):
+//!
+//! 1. **Determinism** — for a fixed (campaign seed, profile), trial
+//!    results are bit-identical whatever the executor's worker count.
+//! 2. **Robustness** — the paper-reproducible Table III bugs still
+//!    surface on every device under the `lossy` and `bursty` profiles
+//!    within a bounded virtual budget (4 h).
+//! 3. **Accounting** — per-trial [`CampaignCounters`] report the channel
+//!    impairments (losses, duplicates, reorders, truncations, blackout
+//!    drops) and the dongle's reaction (retransmissions, ack timeouts).
+
+use std::time::Duration;
+
+use zcover_suite::zcover::{
+    CampaignExecutor, CampaignResult, FuzzConfig, ImpairmentProfile, ZCover,
+};
+use zcover_suite::zwave_controller::testbed::{DeviceModel, Testbed};
+
+/// Bugs #06 and #13 need the PC controller program, which the smart hubs
+/// D6/D7 do not run (Table III "affected devices").
+fn expected_bugs(model: DeviceModel) -> Vec<u8> {
+    match model {
+        DeviceModel::D6 | DeviceModel::D7 => vec![1, 2, 3, 4, 5, 7, 8, 9, 10, 11, 12, 14, 15],
+        _ => (1..=15).collect(),
+    }
+}
+
+fn run_matrix_trials(
+    model: DeviceModel,
+    profile: ImpairmentProfile,
+    trials: u64,
+    workers: usize,
+    budget: Duration,
+) -> Vec<CampaignResult> {
+    let config = FuzzConfig::full(budget, 0).with_impairment(profile);
+    let summary = CampaignExecutor::new(workers)
+        .run(trials, 0xC0FFEE, |seed| Testbed::new(model, seed), &config)
+        .expect("fingerprinting succeeds under every profile");
+    summary.per_trial
+}
+
+#[test]
+fn trials_are_bit_identical_across_worker_counts_for_every_profile() {
+    // The core acceptance gate: (seed, profile) fully determines the
+    // campaign; the worker count is pure mechanics.
+    let budget = Duration::from_secs(1800);
+    for profile in ImpairmentProfile::all() {
+        let baseline = run_matrix_trials(DeviceModel::D1, profile, 3, 1, budget);
+        for workers in [2, 4] {
+            let multi = run_matrix_trials(DeviceModel::D1, profile, 3, workers, budget);
+            assert_eq!(
+                baseline, multi,
+                "profile {profile}: trial results diverged between 1 and {workers} workers"
+            );
+        }
+    }
+}
+
+#[test]
+fn rerunning_a_profile_reproduces_the_same_campaign() {
+    for profile in [ImpairmentProfile::Lossy, ImpairmentProfile::Adversarial] {
+        let a = run_matrix_trials(DeviceModel::D3, profile, 2, 2, Duration::from_secs(1200));
+        let b = run_matrix_trials(DeviceModel::D3, profile, 2, 2, Duration::from_secs(1200));
+        assert_eq!(a, b, "profile {profile} is not reproducible");
+    }
+}
+
+#[test]
+fn lossy_channel_still_surfaces_every_paper_bug_on_every_device() {
+    // Table III under `lossy`: 15% flat loss + corruption + duplication
+    // slows the campaign but must not hide any reproducible bug within a
+    // 4 h virtual budget.
+    for model in DeviceModel::all() {
+        let results =
+            run_matrix_trials(model, ImpairmentProfile::Lossy, 1, 1, Duration::from_secs(4 * 3600));
+        let mut ids: Vec<u8> =
+            results[0].findings.iter().map(|f| f.bug_id).filter(|id| *id <= 15).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, expected_bugs(model), "{model:?} under lossy");
+    }
+}
+
+#[test]
+fn bursty_channel_still_surfaces_every_paper_bug_on_every_device() {
+    // Same matrix row under Gilbert-Elliott burst loss with reordering:
+    // correlated loss (90% in the bad state) is the harder regime for the
+    // retransmission machinery, since whole exchanges vanish at once.
+    for model in DeviceModel::all() {
+        let results = run_matrix_trials(
+            model,
+            ImpairmentProfile::Bursty,
+            1,
+            1,
+            Duration::from_secs(4 * 3600),
+        );
+        let mut ids: Vec<u8> =
+            results[0].findings.iter().map(|f| f.bug_id).filter(|id| *id <= 15).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, expected_bugs(model), "{model:?} under bursty");
+    }
+}
+
+#[test]
+fn campaign_counters_report_the_channel_impairments_per_trial() {
+    let lossy = run_matrix_trials(
+        DeviceModel::D1,
+        ImpairmentProfile::Lossy,
+        1,
+        1,
+        Duration::from_secs(1800),
+    );
+    let c = lossy[0].counters;
+    assert!(c.losses > 0, "lossy profile produced no losses");
+    assert!(c.duplicates > 0, "lossy profile produced no duplicates");
+    assert!(c.retransmissions > 0, "loss never triggered a retransmission");
+    assert!(c.ack_timeouts > 0, "15% loss should exhaust some retransmission budgets");
+
+    let adversarial = run_matrix_trials(
+        DeviceModel::D1,
+        ImpairmentProfile::Adversarial,
+        1,
+        1,
+        Duration::from_secs(1800),
+    );
+    let c = adversarial[0].counters;
+    assert!(c.losses > 0, "adversarial profile produced no losses");
+    assert!(c.truncations > 0, "adversarial profile produced no truncations");
+    assert!(c.reorders > 0, "adversarial profile produced no reorders");
+    assert!(c.blackout_drops > 0, "the scripted blackout window never fired");
+}
+
+#[test]
+fn clean_profile_reports_zero_channel_impairments() {
+    let clean = run_matrix_trials(
+        DeviceModel::D1,
+        ImpairmentProfile::Clean,
+        1,
+        1,
+        Duration::from_secs(3600),
+    );
+    let c = clean[0].counters;
+    assert_eq!(c.losses, 0);
+    assert_eq!(c.duplicates, 0);
+    assert_eq!(c.reorders, 0);
+    assert_eq!(c.truncations, 0);
+    assert_eq!(c.blackout_drops, 0);
+    assert_eq!(c.ack_timeouts, 0, "a live controller acks every frame on a clean channel");
+    // Clean-channel campaigns are the PR-1 baseline: the link layer must
+    // not change what the fuzzer finds there.
+    let mut ids: Vec<u8> =
+        clean[0].findings.iter().map(|f| f.bug_id).filter(|id| *id <= 15).collect();
+    ids.sort_unstable();
+    assert_eq!(ids, expected_bugs(DeviceModel::D1));
+}
+
+#[test]
+fn impaired_channels_never_fabricate_findings() {
+    // The oracle ground truth: every finding reported under the nastiest
+    // profile is backed by a fault record in the controller's own log.
+    let mut tb = Testbed::new(DeviceModel::D4, 51);
+    let mut zcover = ZCover::attach(&tb, 70.0);
+    let config = FuzzConfig::full(Duration::from_secs(1800), 51)
+        .with_impairment(ImpairmentProfile::Adversarial);
+    let report = zcover.run_campaign(&mut tb, config).expect("fingerprinting under adversarial");
+    for f in &report.campaign.findings {
+        assert!(
+            tb.controller().fault_log().records().iter().any(|r| r.bug_id == f.bug_id),
+            "finding #{:02} has no backing fault record",
+            f.bug_id
+        );
+    }
+}

@@ -4,9 +4,12 @@
 
 use std::time::Duration;
 
-use zcover_suite::zcover::{FuzzConfig, ZCover};
+use zcover_suite::zcover::{Dongle, FuzzConfig, PingOutcome, ZCover};
 use zcover_suite::zwave_controller::testbed::{DeviceModel, Testbed};
-use zcover_suite::zwave_radio::NoiseModel;
+use zcover_suite::zwave_protocol::NodeId;
+use zcover_suite::zwave_radio::{
+    ImpairmentProfile, ImpairmentSchedule, ImpairmentStage, NoiseModel,
+};
 
 #[test]
 fn campaign_tolerates_a_lossy_channel() {
@@ -84,4 +87,103 @@ fn fingerprinting_succeeds_despite_moderate_loss() {
     let mut zcover = ZCover::attach(&tb, 70.0);
     let scan = zcover.fingerprint(&mut tb).expect("three rounds of traffic survive 30% loss");
     assert_eq!(scan.home_id, tb.controller().home_id());
+}
+
+// ──────────────── Adversarial-channel scenarios (impairment layer) ────────────────
+
+#[test]
+fn duplicated_channel_frames_are_reacked_but_not_reprocessed() {
+    // A channel that duplicates every frame exercises the controller's
+    // link-layer duplicate filter: the copy is acknowledged again (its ack
+    // may have been the lost half of the exchange) but must not dispatch
+    // to the application layer twice.
+    let mut tb = Testbed::new(DeviceModel::D1, 41);
+    tb.medium().set_impairment(
+        ImpairmentSchedule::clean().with(ImpairmentStage::Duplicate { probability: 1.0 }),
+    );
+    let mut dongle = Dongle::attach(tb.medium(), 70.0);
+    let before = tb.controller().stats();
+    // VERSION_GET from the (spoofed) lock: a benign, answerable request.
+    dongle.inject_apl(tb.controller().home_id(), NodeId(0x02), NodeId(0x01), vec![0x86, 0x11]);
+    tb.pump();
+    let after = tb.controller().stats();
+    assert_eq!(after.apl_processed - before.apl_processed, 1, "duplicate was reprocessed");
+    assert_eq!(after.acks_sent - before.acks_sent, 2, "duplicate was not re-acked");
+    assert!(tb.controller().link_stats().duplicates_suppressed >= 1);
+}
+
+#[test]
+fn blackout_window_silences_the_controller_then_recovers() {
+    // A scripted 30 s blackout at the start of the timeline: pings inside
+    // the window vanish (no crash is declared), pings after it answer.
+    let mut tb = Testbed::new(DeviceModel::D2, 42);
+    tb.medium().set_impairment(ImpairmentSchedule::clean().with(ImpairmentStage::Blackout {
+        first_start: Duration::ZERO,
+        every: Duration::ZERO,
+        length: Duration::from_secs(30),
+    }));
+    let mut dongle = Dongle::attach(tb.medium(), 70.0);
+    let home = tb.controller().home_id();
+
+    dongle.send_ping(home, NodeId(0x02), NodeId(0x01));
+    tb.pump();
+    assert_eq!(
+        dongle.check_ping(NodeId(0x01)),
+        PingOutcome::Unresponsive,
+        "the blackout window must silence the channel"
+    );
+    tb.clock().advance(Duration::from_secs(31));
+    dongle.send_ping(home, NodeId(0x02), NodeId(0x01));
+    tb.pump();
+    assert_eq!(
+        dongle.check_ping(NodeId(0x01)),
+        PingOutcome::Alive,
+        "the controller was healthy all along; only the channel was dark"
+    );
+    assert!(tb.medium().stats().blackout_drops > 0);
+}
+
+#[test]
+fn controller_retransmits_its_unacked_responses_under_heavy_loss() {
+    // When the channel eats the slave's ack, the controller's own link
+    // layer retries its response with backoff instead of giving up.
+    let mut tb = Testbed::new(DeviceModel::D1, 43);
+    tb.medium().set_impairment(
+        ImpairmentSchedule::clean().with(ImpairmentStage::Loss { probability: 0.6 }),
+    );
+    let mut dongle = Dongle::attach(tb.medium(), 70.0);
+    let home = tb.controller().home_id();
+    for _ in 0..20 {
+        // Each VERSION_GET makes the controller answer the spoofed lock;
+        // 60% loss guarantees some of those answers go unacked.
+        dongle.inject_apl(home, NodeId(0x02), NodeId(0x01), vec![0x86, 0x11]);
+        tb.pump();
+        tb.clock().advance(Duration::from_millis(400));
+        tb.pump();
+    }
+    let stats = tb.controller().link_stats();
+    assert!(stats.retransmissions > 0, "no response was ever retried under 60% loss");
+}
+
+#[test]
+fn campaign_under_the_adversarial_profile_degrades_gracefully() {
+    // The nastiest named profile (burst loss + truncation + bit flips +
+    // duplication + reordering + periodic blackouts): the campaign must
+    // keep finding real bugs and must never report phantom ones.
+    let mut tb = Testbed::new(DeviceModel::D1, 44);
+    let mut zcover = ZCover::attach(&tb, 70.0);
+    let config = FuzzConfig::full(Duration::from_secs(3600), 44)
+        .with_impairment(ImpairmentProfile::Adversarial);
+    let report = zcover.run_campaign(&mut tb, config).expect("fingerprinting survives");
+    assert!(
+        report.campaign.unique_vulns() >= 8,
+        "only {} bugs under the adversarial profile",
+        report.campaign.unique_vulns()
+    );
+    for f in &report.campaign.findings {
+        assert!(tb.controller().fault_log().records().iter().any(|r| r.bug_id == f.bug_id));
+    }
+    // The channel accounting shows the profile actually bit.
+    let c = report.campaign.counters;
+    assert!(c.losses > 0 && c.truncations > 0 && c.blackout_drops > 0);
 }
