@@ -1,0 +1,149 @@
+//! Micro-benchmark for the event-driven scheduler: a recovery-storm
+//! campaign — repeated outage triggers on an adversarial channel, each
+//! followed by a liveness wait — driven two ways over the same kernel:
+//!
+//! - **poll-stepping**: the pre-scheduler strategy, advancing virtual time
+//!   one second per liveness ping while the controller sits in its outage;
+//! - **event-hop**: [`zwave_radio::Medium::advance_to_next_wakeup`],
+//!   jumping straight to the controller's recovery wakeup.
+//!
+//! Both modes run the same virtual workload, so the wall-clock ratio
+//! isolates the scheduler win on idle-heavy campaigns. Results (frames/sec,
+//! events/sec, speedup) are written to `BENCH_scheduler.json` in the
+//! current directory; `--out PATH` overrides, `--cycles N` scales the
+//! storm length.
+
+use std::time::{Duration, Instant};
+
+use zcover::{Dongle, ImpairmentProfile, PingOutcome};
+use zwave_controller::testbed::{DeviceModel, Testbed, SWITCH_NODE};
+use zwave_protocol::NodeId;
+
+/// Outage-inducing triggers cycled through the storm; each parks the D1
+/// controller in a 59-68 s Busy outage (bugs #7, #8, #9, #11, #15).
+const TRIGGERS: [&[u8]; 5] = [
+    &[0x5A, 0x01, 0x00],
+    &[0x59, 0x03, 0x00, 0x00],
+    &[0x7A, 0x01, 0x00],
+    &[0x59, 0x05, 0x00, 0x00],
+    &[0x7A, 0x03, 0x00],
+];
+
+struct StormOutcome {
+    wall: Duration,
+    virtual_time: Duration,
+    frames: u64,
+    events: u64,
+    recoveries: u64,
+}
+
+fn recovery_storm(cycles: usize, event_hop: bool) -> StormOutcome {
+    let mut tb = Testbed::new(DeviceModel::D1, 42);
+    tb.medium().set_impairment(ImpairmentProfile::Adversarial.schedule());
+    let mut dongle = Dongle::attach(tb.medium(), 70.0);
+    let home = tb.controller().home_id();
+    let (src, dst) = (SWITCH_NODE, NodeId(0x01));
+    let clock = tb.clock().clone();
+    let wall = Instant::now();
+    let mut recoveries = 0;
+    for cycle in 0..cycles {
+        dongle.inject_apl(home, src, dst, TRIGGERS[cycle % TRIGGERS.len()].to_vec());
+        tb.pump();
+        let deadline = clock.now().plus(Duration::from_secs(300));
+        if event_hop {
+            'cycle: loop {
+                let hopped = tb.medium().advance_to_next_wakeup(deadline);
+                // 3-attempt ping retry, matching the fuzzer: one ping per
+                // hop is not loss-tolerant on an adversarial channel.
+                for _ in 0..3 {
+                    dongle.send_ping(home, src, dst);
+                    tb.pump();
+                    if dongle.check_ping(dst) == PingOutcome::Alive {
+                        recoveries += 1;
+                        break 'cycle;
+                    }
+                }
+                if !hopped {
+                    break;
+                }
+            }
+        } else {
+            for _ in 0..300 {
+                clock.advance(Duration::from_secs(1));
+                dongle.send_ping(home, src, dst);
+                tb.pump();
+                if dongle.check_ping(dst) == PingOutcome::Alive {
+                    recoveries += 1;
+                    break;
+                }
+            }
+        }
+    }
+    let stats = tb.medium().stats();
+    StormOutcome {
+        wall: wall.elapsed(),
+        virtual_time: Duration::from_micros(clock.now().as_micros()),
+        frames: stats.frames_sent,
+        events: tb.medium().scheduler().events_processed(),
+        recoveries,
+    }
+}
+
+fn rate(count: u64, wall: Duration) -> f64 {
+    count as f64 / wall.as_secs_f64().max(1e-9)
+}
+
+fn mode_json(label: &str, o: &StormOutcome) -> String {
+    format!(
+        "  \"{label}\": {{\n    \"wall_s\": {:.4},\n    \"virtual_s\": {:.1},\n    \
+         \"frames\": {},\n    \"events\": {},\n    \"recoveries\": {},\n    \
+         \"frames_per_sec\": {:.0},\n    \"events_per_sec\": {:.0}\n  }}",
+        o.wall.as_secs_f64(),
+        o.virtual_time.as_secs_f64(),
+        o.frames,
+        o.events,
+        o.recoveries,
+        rate(o.frames, o.wall),
+        rate(o.events, o.wall)
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let cycles = zcover_bench::u64_flag(&args, "--cycles", 200) as usize;
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_scheduler.json".to_string());
+
+    eprintln!("recovery storm, poll-stepping mode ({cycles} cycles) ...");
+    let poll = recovery_storm(cycles, false);
+    eprintln!("recovery storm, event-hop mode ({cycles} cycles) ...");
+    let hop = recovery_storm(cycles, true);
+    let speedup = poll.wall.as_secs_f64() / hop.wall.as_secs_f64().max(1e-9);
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"scheduler_recovery_storm\",\n  \"device\": \"D1\",\n  \
+         \"seed\": 42,\n  \"impairment\": \"adversarial\",\n  \"cycles\": {cycles},\n\
+         {},\n{},\n  \"speedup\": {speedup:.1}\n}}\n",
+        mode_json("poll_stepping", &poll),
+        mode_json("event_hop", &hop),
+    );
+    std::fs::write(&out, &json).expect("writing the benchmark record");
+    eprintln!("wrote {out}");
+    println!(
+        "poll-stepping: {:.3} s wall, {} recoveries | event-hop: {:.3} s wall, {} recoveries \
+         | speedup {speedup:.1}x",
+        poll.wall.as_secs_f64(),
+        poll.recoveries,
+        hop.wall.as_secs_f64(),
+        hop.recoveries
+    );
+    assert!(
+        hop.recoveries >= 3,
+        "the storm must observe at least 3 crash recoveries (saw {})",
+        hop.recoveries
+    );
+}

@@ -5,10 +5,9 @@
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let seed = zcover_bench::u64_flag(&args, "--seed", 12);
-    let trials = zcover_bench::u64_flag(&args, "--trials", 1);
-    let workers = zcover_bench::u64_flag(&args, "--workers", 1) as usize;
-    let (series, text) = zcover_bench::experiments::figure12(800.0, seed, trials, workers);
+    let spec = zcover_bench::CampaignSpec::from_args(&args, 12, 1);
+    let (series, text) =
+        zcover_bench::experiments::figure12(800.0, spec.seed, spec.trials, spec.workers);
     println!("{text}");
     println!("{}", zcover_bench::experiments::performance_summary(&series));
 

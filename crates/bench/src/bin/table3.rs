@@ -8,20 +8,14 @@
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let budget = zcover_bench::budget_from_args(&args);
-    let trials = zcover_bench::u64_flag(&args, "--trials", 1);
-    let workers = zcover_bench::u64_flag(&args, "--workers", 1) as usize;
-    let profile = zcover_bench::impairment_from_args(&args);
-    eprintln!(
-        "running {} trial(s) x {:.0}h virtual per device on D1-D7 across {} worker(s), \
-         {} channel ...",
-        trials,
-        budget.as_secs_f64() / 3600.0,
-        workers,
-        profile
+    let spec = zcover_bench::CampaignSpec::from_args(&args, 0, 1);
+    eprintln!("{}", spec.banner("per device on D1-D7"));
+    let (result, text) = zcover_bench::experiments::table3_with_profile(
+        spec.budget,
+        spec.trials,
+        spec.workers,
+        spec.profile,
     );
-    let (result, text) =
-        zcover_bench::experiments::table3_with_profile(budget, trials, workers, profile);
     println!("{text}");
     println!(
         "summary: {} unique zero-days across the testbed (paper: 15, of which 12 CVEs)",

@@ -6,13 +6,12 @@
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let seed = zcover_bench::u64_flag(&args, "--seed", 6);
-    let trials = zcover_bench::u64_flag(&args, "--trials", 3);
-    let workers = zcover_bench::u64_flag(&args, "--workers", 1) as usize;
-    let (_results, text) = zcover_bench::experiments::table6(seed, trials, workers);
+    let spec = zcover_bench::CampaignSpec::from_args(&args, 6, 3);
+    let (_results, text) = zcover_bench::experiments::table6(spec.seed, spec.trials, spec.workers);
     println!("{text}");
     if args.iter().any(|a| a == "--extended") {
-        let (_results, text) = zcover_bench::experiments::table6_extended(seed, trials, workers);
+        let (_results, text) =
+            zcover_bench::experiments::table6_extended(spec.seed, spec.trials, spec.workers);
         println!("{text}");
     }
 }

@@ -62,9 +62,73 @@ pub fn impairment_from_args(args: &[String]) -> zcover::ImpairmentProfile {
     })
 }
 
+/// Campaign-wide knobs shared by the per-table binaries — seed, trial
+/// count, worker pool, virtual budget and channel profile — parsed once
+/// instead of each binary repeating the flag plumbing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignSpec {
+    /// Base campaign seed (`--seed N`).
+    pub seed: u64,
+    /// Trials per configuration (`--trials N`).
+    pub trials: u64,
+    /// Worker threads for the campaign executor (`--workers N`).
+    pub workers: usize,
+    /// Virtual fuzzing budget (`--paper` selects the 24-hour budget).
+    pub budget: Duration,
+    /// Channel impairment profile (`--impairment NAME`).
+    pub profile: zcover::ImpairmentProfile,
+}
+
+impl CampaignSpec {
+    /// Parses the shared campaign flags from `args`. Binaries differ only
+    /// in their default seed and trial count, so those are parameters.
+    pub fn from_args(args: &[String], default_seed: u64, default_trials: u64) -> Self {
+        CampaignSpec {
+            seed: u64_flag(args, "--seed", default_seed),
+            trials: u64_flag(args, "--trials", default_trials),
+            workers: u64_flag(args, "--workers", 1) as usize,
+            budget: budget_from_args(args),
+            profile: impairment_from_args(args),
+        }
+    }
+
+    /// One-line progress banner describing the campaign about to run.
+    pub fn banner(&self, scope: &str) -> String {
+        format!(
+            "running {} trial(s) x {:.0}h virtual {} across {} worker(s), {} channel ...",
+            self.trials,
+            self.budget.as_secs_f64() / 3600.0,
+            scope,
+            self.workers,
+            self.profile
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn campaign_spec_parses_shared_flags_with_per_binary_defaults() {
+        let args: Vec<String> = ["--trials", "5", "--workers", "4", "--impairment", "lossy"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let spec = CampaignSpec::from_args(&args, 12, 1);
+        assert_eq!(spec.seed, 12);
+        assert_eq!(spec.trials, 5);
+        assert_eq!(spec.workers, 4);
+        assert_eq!(spec.budget.as_secs(), 7200);
+        assert_eq!(spec.profile, zcover::ImpairmentProfile::Lossy);
+        let paper: Vec<String> = ["--paper", "--seed", "9"].iter().map(|s| s.to_string()).collect();
+        let spec = CampaignSpec::from_args(&paper, 6, 3);
+        assert_eq!((spec.seed, spec.trials, spec.workers), (9, 3, 1));
+        assert_eq!(spec.budget.as_secs(), 86400);
+        let banner = spec.banner("per device on D1-D7");
+        assert!(banner.contains("3 trial(s)"));
+        assert!(banner.contains("24h virtual per device on D1-D7"));
+    }
 
     #[test]
     fn budget_flag() {

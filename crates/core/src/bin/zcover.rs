@@ -40,6 +40,36 @@ fn parse_impairment(args: &[String]) -> ImpairmentProfile {
     })
 }
 
+/// Builds the fuzz configuration from `--config` and `--impairment` (the
+/// plumbing `fuzz` and `trials` share).
+fn parse_config(args: &[String], budget: Duration, seed: u64) -> FuzzConfig {
+    let config = match flag(args, "--config").as_deref() {
+        None | Some("full") => FuzzConfig::full(budget, seed),
+        Some("beta") => FuzzConfig::beta(budget, seed),
+        Some("gamma") => FuzzConfig::gamma(budget, seed),
+        Some("no-priority") => FuzzConfig::without_prioritization(budget, seed),
+        Some("no-plans") => FuzzConfig::without_semantic_plans(budget, seed),
+        Some(other) => {
+            eprintln!("unknown config {other}");
+            std::process::exit(2);
+        }
+    };
+    config.with_impairment(parse_impairment(args))
+}
+
+/// Whether `--format json` selects machine-readable output (default:
+/// text, which stays byte-identical to the pre-flag behaviour).
+fn json_output(args: &[String]) -> bool {
+    match flag(args, "--format").as_deref() {
+        None | Some("text") => false,
+        Some("json") => true,
+        Some(other) => {
+            eprintln!("unknown format {other}; expected text|json");
+            std::process::exit(2);
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let command = args.first().map(String::as_str).unwrap_or("help");
@@ -96,19 +126,9 @@ fn main() {
             let model = parse_device(&args);
             let hours: f64 = flag(&args, "--hours").and_then(|s| s.parse().ok()).unwrap_or(1.0);
             let budget = Duration::from_secs_f64(hours * 3600.0);
-            let config = match flag(&args, "--config").as_deref() {
-                None | Some("full") => FuzzConfig::full(budget, seed),
-                Some("beta") => FuzzConfig::beta(budget, seed),
-                Some("gamma") => FuzzConfig::gamma(budget, seed),
-                Some("no-priority") => FuzzConfig::without_prioritization(budget, seed),
-                Some("no-plans") => FuzzConfig::without_semantic_plans(budget, seed),
-                Some(other) => {
-                    eprintln!("unknown config {other}");
-                    std::process::exit(2);
-                }
-            };
-            let profile = parse_impairment(&args);
-            let config = config.with_impairment(profile);
+            let config = parse_config(&args, budget, seed);
+            let profile = config.impairment;
+            let json = json_output(&args);
             let mut tb = Testbed::new(model, seed);
             let mut zc = ZCover::attach(&tb, 70.0);
             eprintln!(
@@ -127,34 +147,40 @@ fn main() {
                     .expect("writing the assessment report");
                 eprintln!("assessment report written to {path}");
             }
-            println!(
-                "{} packets, {} CMDCLs covered, {} unique vulnerabilities:",
-                report.campaign.packets_sent,
-                report.campaign.cmdcl_coverage.len(),
-                report.campaign.unique_vulns()
-            );
-            let c = report.campaign.counters;
-            println!(
-                "counters: {} packets, {} plans, {} outages, {} findings",
-                c.packets_sent, c.plans_executed, c.outages_observed, c.findings
-            );
-            println!(
-                "channel:  {} losses, {} dups, {} reorders, {} truncations, \
-                 {} blackout drops, {} retransmissions, {} ack timeouts",
-                c.losses,
-                c.duplicates,
-                c.reorders,
-                c.truncations,
-                c.blackout_drops,
-                c.retransmissions,
-                c.ack_timeouts
-            );
+            if json {
+                println!("{}", zcover::report::campaign_to_json(&report.campaign));
+            } else {
+                println!(
+                    "{} packets, {} CMDCLs covered, {} unique vulnerabilities:",
+                    report.campaign.packets_sent,
+                    report.campaign.cmdcl_coverage.len(),
+                    report.campaign.unique_vulns()
+                );
+                let c = report.campaign.counters;
+                println!(
+                    "counters: {} packets, {} plans, {} outages, {} findings",
+                    c.packets_sent, c.plans_executed, c.outages_observed, c.findings
+                );
+                println!(
+                    "channel:  {} losses, {} dups, {} reorders, {} truncations, \
+                     {} blackout drops, {} retransmissions, {} ack timeouts",
+                    c.losses,
+                    c.duplicates,
+                    c.reorders,
+                    c.truncations,
+                    c.blackout_drops,
+                    c.retransmissions,
+                    c.ack_timeouts
+                );
+            }
             let mut log = BugLog::new();
             for fault in tb.controller_mut().fault_log().records() {
                 log.record(fault, 0);
             }
             let text = log.to_text();
-            println!("{text}");
+            if !json {
+                println!("{text}");
+            }
             if let Some(path) = flag(&args, "--log") {
                 std::fs::write(&path, &text).expect("writing the bug log");
                 eprintln!("bug log written to {path}");
@@ -167,19 +193,9 @@ fn main() {
                 flag(&args, "--trials").and_then(|s| s.parse().ok()).unwrap_or(5).max(1);
             let workers: usize = flag(&args, "--workers").and_then(|s| s.parse().ok()).unwrap_or(1);
             let budget = Duration::from_secs_f64(hours * 3600.0);
-            let config = match flag(&args, "--config").as_deref() {
-                None | Some("full") => FuzzConfig::full(budget, seed),
-                Some("beta") => FuzzConfig::beta(budget, seed),
-                Some("gamma") => FuzzConfig::gamma(budget, seed),
-                Some("no-priority") => FuzzConfig::without_prioritization(budget, seed),
-                Some("no-plans") => FuzzConfig::without_semantic_plans(budget, seed),
-                Some(other) => {
-                    eprintln!("unknown config {other}");
-                    std::process::exit(2);
-                }
-            };
-            let profile = parse_impairment(&args);
-            let config = config.with_impairment(profile);
+            let config = parse_config(&args, budget, seed);
+            let profile = config.impairment;
+            let json = json_output(&args);
             let executor = CampaignExecutor::new(workers);
             eprintln!(
                 "running {trials} trials of {hours}h on {} across {} worker(s) \
@@ -190,6 +206,18 @@ fn main() {
             let summary = executor
                 .run(trials, seed, |trial_seed| Testbed::new(model, trial_seed), &config)
                 .expect("fingerprinting failed");
+            if json {
+                println!("{}", zcover::report::summary_to_json(&summary));
+                if let Some(path) = flag(&args, "--log") {
+                    let mut log = BugLog::new();
+                    for finding in &summary.unique_findings {
+                        log.absorb(finding);
+                    }
+                    std::fs::write(&path, log.to_text()).expect("writing the bug log");
+                    eprintln!("merged bug log written to {path}");
+                }
+                return;
+            }
             println!(
                 "{} trials merged: union of {} unique vulnerabilities {:?}",
                 summary.trials(),
@@ -254,7 +282,7 @@ fn main() {
                  [--device D1..D7] [--seed N] [--hours H] [--trials N] [--workers N] \
                  [--config full|beta|gamma|no-priority|no-plans] \
                  [--impairment clean|lossy|bursty|adversarial] \
-                 [--log FILE] [--report FILE] [--out FILE]"
+                 [--format text|json] [--log FILE] [--report FILE] [--out FILE]"
             );
             std::process::exit(if command == "help" { 0 } else { 2 });
         }

@@ -578,12 +578,26 @@ impl Fuzzer {
             }
         }
         if alive == PingOutcome::Unresponsive && outage_fired {
-            let clock = state.target.medium().clock().clone();
-            for _ in 0..300 {
-                clock.advance(Duration::from_secs(1));
-                state.dongle.send_ping(home, src, dst);
-                state.target.pump();
-                if state.dongle.check_ping(dst) == PingOutcome::Alive {
+            // Hop straight to the next scheduled event — normally the
+            // controller's recovery wakeup — instead of stepping virtual
+            // seconds one ping at a time. The 300 s cap bounds the wait
+            // exactly like the stepping loop did.
+            let deadline = state.target.medium().clock().now().plus(Duration::from_secs(300));
+            loop {
+                let hopped = state.target.advance_to_event(deadline);
+                // Same 3-attempt retry as the liveness check above: the
+                // stepping loop was naturally loss-tolerant (a ping every
+                // second), a single ping per hop is not.
+                let mut recovered = PingOutcome::Unresponsive;
+                for _ in 0..3 {
+                    state.dongle.send_ping(home, src, dst);
+                    state.target.pump();
+                    recovered = state.dongle.check_ping(dst);
+                    if recovered == PingOutcome::Alive {
+                        break;
+                    }
+                }
+                if recovered == PingOutcome::Alive || !hopped {
                     break;
                 }
             }

@@ -105,6 +105,35 @@ mod tests {
     }
 
     #[test]
+    fn minimized_trigger_fires_the_same_bug_id_and_never_grows() {
+        use zwave_controller::testbed::{DeviceModel, Testbed};
+        use zwave_protocol::{MacFrame, NodeId};
+
+        // Replays a candidate against a fresh testbed and reports whether
+        // the given bug id fires — the oracle the paper's PoC step uses.
+        let fires = |candidate: &[u8], bug_id: u8| {
+            let mut tb = Testbed::new(DeviceModel::D1, 11);
+            let attacker = tb.attach_attacker(70.0);
+            let frame = MacFrame::singlecast(
+                tb.controller().home_id(),
+                NodeId(0x03),
+                NodeId(0x01),
+                candidate.to_vec(),
+            );
+            attacker.transmit(&frame.encode());
+            tb.pump();
+            tb.controller().fault_log().records().iter().any(|r| r.bug_id == bug_id)
+        };
+        // Bug #10's sloppy Version-command trigger with a junk tail.
+        let noisy = vec![0x86, 0x25, 0xDE, 0xAD, 0xBE, 0xEF];
+        assert!(fires(&noisy, 10), "the noisy original must reproduce bug 10");
+        let minimal = minimize(&noisy, |c| fires(c, 10));
+        assert!(minimal.len() <= noisy.len(), "minimization must never grow the trigger");
+        assert!(fires(&minimal, 10), "the minimized trigger fires the same bug id");
+        assert!(minimal.len() < noisy.len(), "the junk tail is removable noise");
+    }
+
+    #[test]
     fn minimizes_against_a_real_testbed() {
         use zwave_controller::testbed::{DeviceModel, Testbed};
         use zwave_protocol::{MacFrame, NodeId};

@@ -1,10 +1,15 @@
 //! Campaign report rendering: turns a [`ZCoverReport`] into the
 //! human-readable assessment document an operator files after a test
-//! engagement.
+//! engagement, and campaign/trial results into machine-readable JSON for
+//! `zcover --format json`.
 
 use std::fmt::Write as _;
 
+use crate::buglog::VulnFinding;
+use crate::fuzzer::{CampaignCounters, CampaignResult};
+use crate::trials::TrialSummary;
 use crate::ZCoverReport;
+use zwave_radio::SimInstant;
 
 /// Renders a complete markdown assessment report.
 pub fn to_markdown(report: &ZCoverReport, target_label: &str) -> String {
@@ -72,12 +77,183 @@ pub fn to_markdown(report: &ZCoverReport, target_label: &str) -> String {
     out
 }
 
+/// Escapes a string for embedding in a JSON value.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn counters_json(c: &CampaignCounters) -> String {
+    format!(
+        "{{\"packets_sent\":{},\"plans_executed\":{},\"outages_observed\":{},\"findings\":{},\
+         \"losses\":{},\"duplicates\":{},\"reorders\":{},\"truncations\":{},\
+         \"blackout_drops\":{},\"retransmissions\":{},\"ack_timeouts\":{}}}",
+        c.packets_sent,
+        c.plans_executed,
+        c.outages_observed,
+        c.findings,
+        c.losses,
+        c.duplicates,
+        c.reorders,
+        c.truncations,
+        c.blackout_drops,
+        c.retransmissions,
+        c.ack_timeouts
+    )
+}
+
+fn finding_json(f: &VulnFinding, started: SimInstant) -> String {
+    let trigger: Vec<String> = f.trigger.iter().map(|b| format!("{b:02X}")).collect();
+    format!(
+        "{{\"bug_id\":{},\"cmdcl\":{},\"cmd\":{},\"effect\":\"{}\",\"root_cause\":\"{}\",\
+         \"duration\":\"{}\",\"found_at_s\":{:.3},\"found_after_packets\":{},\"trigger\":\"{}\"}}",
+        f.bug_id,
+        f.cmdcl,
+        f.cmd,
+        json_escape(&f.effect.to_string()),
+        json_escape(&f.root_cause.to_string()),
+        json_escape(&f.duration_label()),
+        f.found_at.duration_since(started).as_secs_f64(),
+        f.found_after_packets,
+        trigger.join(" ")
+    )
+}
+
+/// Renders one campaign result as a single JSON object (`zcover fuzz
+/// --format json`). All keys are emitted in a fixed order so the output
+/// is byte-stable for a given campaign.
+pub fn campaign_to_json(result: &CampaignResult) -> String {
+    let findings: Vec<String> =
+        result.findings.iter().map(|f| finding_json(f, result.started)).collect();
+    format!(
+        "{{\"packets_sent\":{},\"virtual_duration_s\":{:.3},\"cmdcl_coverage\":{},\
+         \"cmd_coverage\":{},\"unique_vulns\":{},\"counters\":{},\"findings\":[{}]}}",
+        result.packets_sent,
+        result.duration().as_secs_f64(),
+        result.cmdcl_coverage.len(),
+        result.cmd_coverage.len(),
+        result.unique_vulns(),
+        counters_json(&result.counters),
+        findings.join(",")
+    )
+}
+
+/// Renders a multi-trial summary as JSON (`zcover trials --format json`):
+/// one object per trial under `"trials"` plus the merged aggregate under
+/// `"merged"`.
+pub fn summary_to_json(summary: &TrialSummary) -> String {
+    let trials: Vec<String> = summary.per_trial.iter().map(campaign_to_json).collect();
+    let union: Vec<String> = summary.union_bug_ids.iter().map(u8::to_string).collect();
+    let core: Vec<String> = summary.found_in_all_trials().iter().map(u8::to_string).collect();
+    let hits: Vec<String> =
+        summary.hit_counts.iter().map(|(bug, hits)| format!("\"{bug}\":{hits}")).collect();
+    let times: Vec<String> = summary
+        .hit_counts
+        .keys()
+        .filter_map(|bug| {
+            summary.mean_time_to_find(*bug).map(|d| format!("\"{bug}\":{:.3}", d.as_secs_f64()))
+        })
+        .collect();
+    format!(
+        "{{\"trials\":[{}],\"merged\":{{\"union_bug_ids\":[{}],\"stable_core\":[{}],\
+         \"mean_packets\":{:.1},\"mean_unique_vulns\":{:.2},\"hit_counts\":{{{}}},\
+         \"mean_time_to_find_s\":{{{}}},\"counters\":{}}}}}",
+        trials.join(","),
+        union.join(","),
+        core.join(","),
+        summary.mean_packets,
+        summary.mean_unique_vulns(),
+        hits.join(","),
+        times.join(","),
+        counters_json(&summary.counters)
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::{FuzzConfig, ZCover};
     use std::time::Duration;
     use zwave_controller::testbed::{DeviceModel, Testbed};
+
+    /// A stack-based structural check that `s` is one balanced JSON value
+    /// (braces/brackets match, quotes close) — enough to catch escaping
+    /// and comma mistakes without a full parser.
+    fn assert_balanced_json(s: &str) {
+        let mut stack = Vec::new();
+        let mut in_string = false;
+        let mut escaped = false;
+        for ch in s.chars() {
+            if in_string {
+                match (escaped, ch) {
+                    (true, _) => escaped = false,
+                    (false, '\\') => escaped = true,
+                    (false, '"') => in_string = false,
+                    _ => {}
+                }
+                continue;
+            }
+            match ch {
+                '"' => in_string = true,
+                '{' | '[' => stack.push(ch),
+                '}' => assert_eq!(stack.pop(), Some('{'), "unbalanced brace in {s}"),
+                ']' => assert_eq!(stack.pop(), Some('['), "unbalanced bracket in {s}"),
+                _ => {}
+            }
+        }
+        assert!(!in_string, "unterminated string in {s}");
+        assert!(stack.is_empty(), "unclosed scopes in {s}");
+    }
+
+    #[test]
+    fn json_escape_handles_quotes_and_control_characters() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn campaign_json_is_balanced_and_lists_every_finding() {
+        let mut tb = Testbed::new(DeviceModel::D1, 3);
+        let mut zc = ZCover::attach(&tb, 70.0);
+        let report =
+            zc.run_campaign(&mut tb, FuzzConfig::full(Duration::from_secs(900), 3)).unwrap();
+        let json = campaign_to_json(&report.campaign);
+        assert_balanced_json(&json);
+        assert!(json.starts_with("{\"packets_sent\":"));
+        assert_eq!(
+            json.matches("\"bug_id\":").count(),
+            report.campaign.unique_vulns(),
+            "one finding object per unique vulnerability"
+        );
+        assert!(json.contains("\"counters\":{\"packets_sent\":"));
+    }
+
+    #[test]
+    fn summary_json_nests_per_trial_objects_and_merged_aggregate() {
+        let config = FuzzConfig::full(Duration::from_secs(900), 0);
+        let summary =
+            crate::trials::run_trials(2, 7, |seed| Testbed::new(DeviceModel::D1, seed), &config)
+                .unwrap();
+        let json = summary_to_json(&summary);
+        assert_balanced_json(&json);
+        assert_eq!(json.matches("\"virtual_duration_s\":").count(), 2, "one object per trial");
+        assert!(json.contains("\"merged\":{\"union_bug_ids\":["));
+        assert!(json.contains("\"stable_core\":["));
+        assert!(json.contains("\"mean_time_to_find_s\":{"));
+    }
 
     #[test]
     fn report_renders_every_section_and_finding() {

@@ -9,7 +9,7 @@
 
 use zwave_controller::testbed::Testbed;
 use zwave_controller::FaultRecord;
-use zwave_radio::Medium;
+use zwave_radio::{Medium, SimInstant};
 
 /// A fuzzable Z-Wave network.
 pub trait FuzzTarget {
@@ -18,6 +18,14 @@ pub trait FuzzTarget {
 
     /// Lets every simulated device process pending traffic.
     fn pump(&mut self);
+
+    /// Hops virtual time forward to the next scheduled event (at most
+    /// `cap`), returning whether an event was reached. With nothing due
+    /// before `cap`, time advances to `cap` and this returns `false` —
+    /// the caller's signal that further waiting is pointless.
+    fn advance_to_event(&mut self, cap: SimInstant) -> bool {
+        self.medium().advance_to_next_wakeup(cap)
+    }
 
     /// Drains verified fault events since the last call — the oracle that
     /// stands in for the paper's manual crash verification and PoC

@@ -85,6 +85,34 @@ proptest! {
         prop_assert_eq!(minimize(&minimal, oracle).len(), minimal.len());
     }
 
+    /// Minimization after an arbitrary mutation chain: however the
+    /// mutator mangled the trigger, the minimized payload still satisfies
+    /// the oracle, never grows, keeps the command class, and is a fixed
+    /// point of a second minimization pass.
+    #[test]
+    fn minimize_survives_random_mutation_chains(
+        seed in any::<u64>(),
+        steps in 1usize..40,
+    ) {
+        let mut mutator = Mutator::new(seed, vec![0x01]);
+        let mut payload =
+            ApplicationPayload::new(CommandClassId(0x5A), 0x01, vec![0x00, 0x07]);
+        let spec = Registry::global().get(CommandClassId(0x5A));
+        for _ in 0..steps {
+            mutator.mutate(&mut payload, spec);
+        }
+        let trigger = payload.encode();
+        // Oracle keyed on the command class, like the length-independent
+        // parser bugs: every mutated descendant still reproduces.
+        let oracle = |p: &[u8]| p.first() == Some(&0x5A);
+        prop_assume!(oracle(&trigger));
+        let minimal = minimize(&trigger, oracle);
+        prop_assert!(oracle(&minimal));
+        prop_assert!(minimal.len() <= trigger.len());
+        let again = minimize(&minimal, oracle);
+        prop_assert_eq!(again, minimal.clone(), "minimization is idempotent");
+    }
+
     /// γ's random payload generator stays within the MAC payload budget
     /// and parses.
     #[test]

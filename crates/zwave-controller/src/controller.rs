@@ -306,7 +306,9 @@ impl SimController {
         let snapshot = self.factory_nvm.snapshot();
         self.nvm.restore(&snapshot);
         self.health = Health::Operational;
-        self.pending_tx = None;
+        if let Some(token) = self.pending_tx.take().and_then(|p| p.timer) {
+            self.radio.cancel_wakeup(token);
+        }
         self.recent_rx.clear();
         if let Some(host) = &mut self.host {
             host.restart();
@@ -326,6 +328,14 @@ impl SimController {
         self.radio.medium().clock().now()
     }
 
+    pub(crate) fn station_index(&self) -> usize {
+        self.radio.station_index()
+    }
+
+    pub(crate) fn has_pending(&self) -> bool {
+        self.radio.pending() > 0
+    }
+
     /// Sends an application payload to `dst` as an acknowledged singlecast.
     /// The frame is tracked for retransmission until `dst` acks it or the
     /// [`LinkPolicy`] retry budget runs out.
@@ -343,16 +353,23 @@ impl SimController {
         )
         .expect("controller payloads are bounded");
         let bytes = frame.encode();
-        self.radio.transmit(&bytes);
+        // The arrival instant (transmit time plus queued airtime) anchors
+        // the ack wait: the receiver cannot ack before the frame lands.
+        let arrival = self.radio.transmit(&bytes);
         self.stats.responses_sent += 1;
         // A newer transmission supersedes any still-unacked predecessor
         // (single in-flight frame, like the real single-buffer MAC).
+        if let Some(token) = self.pending_tx.take().and_then(|p| p.timer) {
+            self.radio.cancel_wakeup(token);
+        }
+        let deadline = arrival.plus(self.link.wait_after(1));
         self.pending_tx = Some(PendingTx {
             bytes,
             dst,
             seq: self.seq,
             attempts: 1,
-            deadline: self.now().plus(self.link.wait_after(1)),
+            deadline,
+            timer: Some(self.radio.schedule_wakeup(deadline)),
         });
     }
 
@@ -405,12 +422,16 @@ impl SimController {
         // duplicate filter absorbs the copy if only the ack was lost.
         let bytes = pending.bytes.clone();
         let attempts = pending.attempts + 1;
-        self.radio.transmit(&bytes);
+        let arrival = self.radio.transmit(&bytes);
         self.link_stats.retransmissions += 1;
-        let deadline = self.now().plus(self.link.wait_after(attempts));
+        // The expired wakeup already fired (that is what got us polled), so
+        // only the fresh one needs arming.
+        let deadline = arrival.plus(self.link.wait_after(attempts));
+        let timer = Some(self.radio.schedule_wakeup(deadline));
         if let Some(pending) = self.pending_tx.as_mut() {
             pending.attempts = attempts;
             pending.deadline = deadline;
+            pending.timer = timer;
         }
     }
 
@@ -439,7 +460,10 @@ impl SimController {
         //    validating the checksum, so these fire on malformed frames.
         let quirks = self.config.mac_quirks.clone();
         if let Some(quirk) = vulns::check_mac_quirks(&quirks, raw) {
-            self.health = Health::BusyUntil(self.now().plus(vulns::MAC_QUIRK_OUTAGE));
+            let until = self.now().plus(vulns::MAC_QUIRK_OUTAGE);
+            self.health = Health::BusyUntil(until);
+            // Wakeup hint so an event-driven driver re-polls at recovery.
+            self.radio.schedule_wakeup(until);
             self.faults.push(FaultRecord {
                 at: self.now(),
                 bug_id: 100 + quirk.id,
@@ -489,7 +513,9 @@ impl SimController {
             // The ack we were waiting on clears the retransmission timer.
             if let Some(pending) = &self.pending_tx {
                 if frame.src() == pending.dst && frame.frame_control().sequence == pending.seq {
-                    self.pending_tx = None;
+                    if let Some(token) = self.pending_tx.take().and_then(|p| p.timer) {
+                        self.radio.cancel_wakeup(token);
+                    }
                 }
             }
             return;
@@ -694,7 +720,11 @@ impl SimController {
                 }
             }
             VulnEffect::Busy(d) => {
-                self.health = Health::BusyUntil(self.now().plus(*d));
+                let until = self.now().plus(*d);
+                self.health = Health::BusyUntil(until);
+                // Wakeup hint so an event-driven driver re-polls at
+                // recovery instead of stepping through the outage.
+                self.radio.schedule_wakeup(until);
             }
             VulnEffect::ClearWakeup { node } => {
                 if let Some(rec) = self.nvm.get_mut(NodeId(*node)) {

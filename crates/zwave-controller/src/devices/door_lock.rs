@@ -1,5 +1,7 @@
 //! The S2-secured smart door lock (testbed device D8).
 
+use std::time::Duration;
+
 use zwave_crypto::s2::S2Session;
 use zwave_protocol::apl::ApplicationPayload;
 use zwave_protocol::{CommandClassId, HomeId, MacFrame, NodeId};
@@ -15,6 +17,7 @@ pub struct SimDoorLock {
     session: S2Session,
     locked: bool,
     seq: u8,
+    report_every: Option<Duration>,
 }
 
 impl SimDoorLock {
@@ -35,7 +38,35 @@ impl SimDoorLock {
             session,
             locked: true,
             seq: 0,
+            report_every: None,
         }
+    }
+
+    /// Opt-in periodic state reports: every `every` of virtual time the
+    /// lock reports its bolt state to the controller over S2, driven by
+    /// scheduler wakeups rather than polling. Off by default.
+    pub fn enable_periodic_reports(&mut self, every: Duration) {
+        self.report_every = Some(every);
+        let at = self.radio.medium().clock().now().plus(every);
+        self.radio.schedule_wakeup(at);
+    }
+
+    /// Handles a fired scheduler wakeup: emits the periodic report and
+    /// re-arms the next one.
+    pub fn on_wakeup(&mut self) {
+        if let Some(every) = self.report_every {
+            self.report_to_controller();
+            let at = self.radio.medium().clock().now().plus(every);
+            self.radio.schedule_wakeup(at);
+        }
+    }
+
+    pub(crate) fn station_index(&self) -> usize {
+        self.radio.station_index()
+    }
+
+    pub(crate) fn has_pending(&self) -> bool {
+        self.radio.pending() > 0
     }
 
     /// Whether the bolt is currently thrown.

@@ -3,6 +3,8 @@
 //! the legacy-device traffic pattern that the Wake Up command class (and
 //! bug #12's target field) exists for.
 
+use std::time::Duration;
+
 use zwave_crypto::s0::{self, S0Keys};
 use zwave_crypto::NetworkKey;
 use zwave_protocol::apl::ApplicationPayload;
@@ -31,6 +33,7 @@ pub struct SimSensor {
     reports_sent: u32,
     seq: u8,
     nonce_counter: u64,
+    wake_every: Option<Duration>,
 }
 
 impl SimSensor {
@@ -54,7 +57,37 @@ impl SimSensor {
             reports_sent: 0,
             seq: 0,
             nonce_counter: 0,
+            wake_every: None,
         }
+    }
+
+    /// Opt-in periodic wake cycle: every `every` of virtual time the
+    /// sensor wakes (announcing itself and starting its S0 report), driven
+    /// by scheduler wakeups rather than polling. Off by default.
+    pub fn enable_periodic_reports(&mut self, every: Duration) {
+        self.wake_every = Some(every);
+        let at = self.radio.medium().clock().now().plus(every);
+        self.radio.schedule_wakeup(at);
+    }
+
+    /// Handles a fired scheduler wakeup: starts a wake cycle (unless one
+    /// is already in progress) and re-arms the next one.
+    pub fn on_wakeup(&mut self) {
+        if let Some(every) = self.wake_every {
+            if self.state == SensorState::Sleeping {
+                self.wake();
+            }
+            let at = self.radio.medium().clock().now().plus(every);
+            self.radio.schedule_wakeup(at);
+        }
+    }
+
+    pub(crate) fn station_index(&self) -> usize {
+        self.radio.station_index()
+    }
+
+    pub(crate) fn has_pending(&self) -> bool {
+        self.radio.pending() > 0
     }
 
     /// The sensor's node id.

@@ -1,5 +1,7 @@
 //! The legacy no-security smart switch (testbed device D9).
 
+use std::time::Duration;
+
 use zwave_protocol::apl::ApplicationPayload;
 use zwave_protocol::{HomeId, MacFrame, NodeId};
 use zwave_radio::{Medium, Transceiver};
@@ -13,6 +15,7 @@ pub struct SimSwitch {
     controller: NodeId,
     on: bool,
     seq: u8,
+    report_every: Option<Duration>,
 }
 
 impl SimSwitch {
@@ -31,7 +34,35 @@ impl SimSwitch {
             controller,
             on: false,
             seq: 0,
+            report_every: None,
         }
+    }
+
+    /// Opt-in periodic status reports: every `every` of virtual time the
+    /// switch reports its state to the controller, driven by scheduler
+    /// wakeups rather than polling. Off by default.
+    pub fn enable_periodic_reports(&mut self, every: Duration) {
+        self.report_every = Some(every);
+        let at = self.radio.medium().clock().now().plus(every);
+        self.radio.schedule_wakeup(at);
+    }
+
+    /// Handles a fired scheduler wakeup: emits the periodic report and
+    /// re-arms the next one.
+    pub fn on_wakeup(&mut self) {
+        if let Some(every) = self.report_every {
+            self.report_to_controller();
+            let at = self.radio.medium().clock().now().plus(every);
+            self.radio.schedule_wakeup(at);
+        }
+    }
+
+    pub(crate) fn station_index(&self) -> usize {
+        self.radio.station_index()
+    }
+
+    pub(crate) fn has_pending(&self) -> bool {
+        self.radio.pending() > 0
     }
 
     /// Whether the load is powered.

@@ -11,7 +11,7 @@
 use std::time::Duration;
 
 use zwave_protocol::NodeId;
-use zwave_radio::SimInstant;
+use zwave_radio::{SimInstant, TimerToken};
 
 /// How many recently-dispatched frames the duplicate filter remembers.
 /// Must stay below the 16-value sequence-number space so a legitimately
@@ -78,6 +78,10 @@ pub(crate) struct PendingTx {
     pub attempts: u32,
     /// When the current ack wait expires.
     pub deadline: SimInstant,
+    /// Scheduler wakeup armed for `deadline`, cancelled when the ack
+    /// arrives (or the transmission is superseded). The wakeup is a hint:
+    /// retransmission logic always re-checks the deadline itself.
+    pub timer: Option<TimerToken>,
 }
 
 #[cfg(test)]

@@ -278,9 +278,19 @@ impl Testbed {
         &self.lock
     }
 
+    /// Mutable access to the door lock slave.
+    pub fn lock_mut(&mut self) -> &mut SimDoorLock {
+        &mut self.lock
+    }
+
     /// The smart switch slave.
     pub fn switch(&self) -> &SimSwitch {
         &self.switch
+    }
+
+    /// Mutable access to the smart switch slave.
+    pub fn switch_mut(&mut self) -> &mut SimSwitch {
+        &mut self.switch
     }
 
     /// Attaches an attacker radio at `position_m` metres (10-70 m in the
@@ -294,15 +304,54 @@ impl Testbed {
         self.controller.set_link_policy(policy);
     }
 
-    /// Lets every device process pending traffic. Three rounds cover
-    /// request → response → ack chains.
+    /// Lets every device process pending traffic, event-driven: each round
+    /// routes fired scheduler wakeups to their owners, then polls — in
+    /// fixed station order — only the devices with pending frames or fired
+    /// timers, until the network quiesces (bounded to keep adversarial
+    /// impairment schedules from spinning forever).
     pub fn pump(&mut self) {
-        for _ in 0..3 {
-            self.controller.poll();
-            self.lock.poll();
-            self.switch.poll();
+        let ctrl_idx = self.controller.station_index();
+        let lock_idx = self.lock.station_index();
+        let switch_idx = self.switch.station_index();
+        let sensor_idx = self.sensor.as_ref().map(|s| s.station_index());
+        for _ in 0..16 {
+            let fired = self.medium.take_fired_actors();
+            for &actor in &fired {
+                if actor == lock_idx {
+                    self.lock.on_wakeup();
+                } else if actor == switch_idx {
+                    self.switch.on_wakeup();
+                } else if Some(actor) == sensor_idx {
+                    if let Some(sensor) = &mut self.sensor {
+                        sensor.on_wakeup();
+                    }
+                }
+            }
+            let mut progressed = false;
+            if fired.contains(&ctrl_idx) || self.controller.has_pending() {
+                self.controller.poll();
+                progressed = true;
+            }
+            if fired.contains(&lock_idx) || self.lock.has_pending() {
+                self.lock.poll();
+                progressed = true;
+            }
+            if fired.contains(&switch_idx) || self.switch.has_pending() {
+                self.switch.poll();
+                progressed = true;
+            }
             if let Some(sensor) = &mut self.sensor {
-                sensor.poll();
+                // A sleeping sensor's radio is off: frames queue unread, so
+                // pending traffic alone is not progress it can make.
+                if !sensor.is_sleeping()
+                    && (sensor_idx.is_some_and(|idx| fired.contains(&idx)) || sensor.has_pending())
+                {
+                    sensor.poll();
+                    progressed = true;
+                }
+            }
+            if !progressed {
+                break;
             }
         }
     }
@@ -429,6 +478,34 @@ mod tests {
         let tb1 = Testbed::new(DeviceModel::D1, 1);
         assert!(tb1.controller().host().is_some());
         assert!(tb1.controller().app().is_none());
+    }
+
+    #[test]
+    fn periodic_switch_reports_fire_on_their_timer() {
+        use std::time::Duration;
+        let mut tb = Testbed::new(DeviceModel::D6, 42);
+        let sniffer = tb.attach_attacker(70.0);
+        tb.switch_mut().enable_periodic_reports(Duration::from_secs(60));
+        tb.pump();
+        assert!(sniffer.drain().is_empty(), "no report before the interval elapses");
+        tb.clock().advance(Duration::from_secs(61));
+        tb.pump();
+        assert!(!sniffer.drain().is_empty(), "report after the first interval");
+        tb.clock().advance(Duration::from_secs(60));
+        tb.pump();
+        assert!(!sniffer.drain().is_empty(), "timer re-arms for the next interval");
+    }
+
+    #[test]
+    fn periodic_sensor_wake_cycle_delivers_s0_reports() {
+        use std::time::Duration;
+        let mut tb = Testbed::with_sensor(DeviceModel::D6, 42);
+        tb.sensor_mut().unwrap().enable_periodic_reports(Duration::from_secs(600));
+        assert_eq!(tb.sensor().unwrap().reports_sent(), 0);
+        tb.clock().advance(Duration::from_secs(601));
+        tb.pump();
+        assert_eq!(tb.sensor().unwrap().reports_sent(), 1, "wake cycle completed one S0 report");
+        assert!(tb.sensor().unwrap().is_sleeping(), "sensor back to sleep after reporting");
     }
 
     #[test]

@@ -18,6 +18,11 @@ impl SimInstant {
     /// The clock epoch.
     pub const ZERO: SimInstant = SimInstant(0);
 
+    /// The instant `micros` microseconds after the epoch.
+    pub fn from_micros(micros: u64) -> SimInstant {
+        SimInstant(micros)
+    }
+
     /// Microseconds since the epoch.
     pub fn as_micros(self) -> u64 {
         self.0

@@ -33,6 +33,7 @@ pub mod impairment;
 pub mod medium;
 pub mod noise;
 pub mod region;
+pub mod sched;
 pub mod sniffer;
 
 pub use clock::{SimClock, SimInstant};
@@ -40,4 +41,5 @@ pub use impairment::{GilbertElliott, ImpairmentProfile, ImpairmentSchedule, Impa
 pub use medium::{Medium, MediumStats, RxFrame, Transceiver};
 pub use noise::NoiseModel;
 pub use region::Region;
+pub use sched::{Delivery, Event, EventKind, SimScheduler, TimerToken};
 pub use sniffer::Sniffer;

@@ -1,6 +1,27 @@
 //! The shared RF medium: broadcast delivery with per-receiver impairments,
 //! promiscuous sniffing, airtime accounting on the virtual clock, and
 //! transmission statistics.
+//!
+//! # Event-driven delivery
+//!
+//! Transmission is split in two on the [`SimScheduler`]:
+//!
+//! - **Transmit time** decides everything random. The frame is serialized
+//!   onto the channel (`arrival = max(now, air_busy_until) + airtime`),
+//!   the Gilbert–Elliott state steps once, and every per-receiver outcome
+//!   (loss, corruption, duplication, reorder window) is drawn from RNGs
+//!   keyed on `(seed, frame index, receiver)` — never on call order. The
+//!   surviving deliveries ride a single [`EventKind::FrameArrival`] event.
+//! - **Arrival time** (any receive-side query) releases due events and
+//!   merely enqueues the pre-computed bytes at each receiver.
+//!
+//! Crucially the shared clock does *not* move inside `transmit`: two
+//! stations transmitting back-to-back from the same handler observe the
+//! same `now`, and their frames serialize on `air_busy_until` in transmit
+//! order. Queries (`try_recv`, `drain`, `pending`, `stats`) first *flush*:
+//! they release every event due by `max(now, air_busy_until)` and advance
+//! the clock there, so receive-side observers still see airtime-accounted
+//! time exactly as before.
 
 use std::collections::VecDeque;
 use std::sync::Arc;
@@ -13,6 +34,7 @@ use crate::clock::{SimClock, SimInstant};
 use crate::impairment::{delivery_rng, frame_rng, ImpairmentSchedule, ImpairmentStage};
 use crate::noise::{rssi_dbm, NoiseModel};
 use crate::region::Region;
+use crate::sched::{Delivery, Event, EventKind, SimScheduler, TimerToken};
 
 /// Default on-air data rate: Z-Wave R2, 40 kbit/s.
 pub const DEFAULT_BITRATE: u32 = 40_000;
@@ -93,12 +115,24 @@ struct MediumInner {
     ge_bad: bool,
     stats: MediumStats,
     bitrate: u32,
+    /// The channel is occupied until this instant; transmissions serialize
+    /// behind it, and queries flush (at least) up to it.
+    air_busy_until: SimInstant,
+    /// Station indices whose wakeup timers fired, in fire order.
+    fired: Vec<usize>,
+    /// Whether a scripted blackout window is currently open (maintained by
+    /// `BlackoutStart`/`BlackoutEnd` events).
+    in_blackout: bool,
+    /// Bumped by every `set_impairment`; blackout events from older
+    /// generations are ignored when they surface.
+    blackout_gen: u64,
 }
 
 /// The shared radio medium. Cloning yields another handle to the same air.
 #[derive(Debug, Clone)]
 pub struct Medium {
     inner: Arc<Mutex<MediumInner>>,
+    sched: SimScheduler,
     clock: SimClock,
 }
 
@@ -119,7 +153,12 @@ impl Medium {
                 ge_bad: false,
                 stats: MediumStats::default(),
                 bitrate: DEFAULT_BITRATE,
+                air_busy_until: SimInstant::ZERO,
+                fired: Vec::new(),
+                in_blackout: false,
+                blackout_gen: 0,
             })),
+            sched: SimScheduler::new(clock.clone()),
             clock,
         }
     }
@@ -127,6 +166,11 @@ impl Medium {
     /// The virtual clock this medium advances.
     pub fn clock(&self) -> &SimClock {
         &self.clock
+    }
+
+    /// The discrete-event scheduler driving this medium's simulation.
+    pub fn scheduler(&self) -> &SimScheduler {
+        &self.sched
     }
 
     /// Attaches a new transceiver at `position_m` metres from the origin,
@@ -155,11 +199,71 @@ impl Medium {
     }
 
     /// Installs a composable impairment schedule, resetting the bursty
-    /// channel to its good state.
+    /// channel to its good state and (re)scripting blackout window events.
     pub fn set_impairment(&self, schedule: ImpairmentSchedule) {
         let mut inner = self.inner.lock();
         inner.impairment = schedule;
         inner.ge_bad = false;
+        inner.blackout_gen += 1;
+        let generation = inner.blackout_gen;
+        let now = self.clock.now().as_micros();
+        inner.in_blackout = inner.impairment.blacked_out(now);
+        let blackouts: Vec<(usize, ImpairmentStage)> = inner
+            .impairment
+            .stages()
+            .iter()
+            .copied()
+            .enumerate()
+            .filter(|(_, s)| matches!(s, ImpairmentStage::Blackout { .. }))
+            .collect();
+        drop(inner);
+        for (stage_idx, stage) in blackouts {
+            self.schedule_blackout_window(generation, stage_idx, &stage, now);
+        }
+    }
+
+    /// Schedules the `BlackoutStart`/`BlackoutEnd` pair for the first
+    /// window of `stage` whose end lies after `from_micros` (if any).
+    fn schedule_blackout_window(
+        &self,
+        generation: u64,
+        stage_idx: usize,
+        stage: &ImpairmentStage,
+        from_micros: u64,
+    ) {
+        let ImpairmentStage::Blackout { first_start, every, length } = stage else {
+            return;
+        };
+        let start = first_start.as_micros() as u64;
+        let len = length.as_micros() as u64;
+        let period = every.as_micros() as u64;
+        let k = match from_micros.saturating_sub(start).checked_div(period) {
+            None => {
+                // period == 0: a one-shot window.
+                if start + len <= from_micros {
+                    return; // already over
+                }
+                0
+            }
+            Some(mut k) => {
+                if start + k * period + len <= from_micros {
+                    k += 1;
+                }
+                k
+            }
+        };
+        let w_start = SimInstant::from_micros(start + k * period);
+        let w_end = SimInstant::from_micros(start + k * period + len);
+        self.sched.schedule(
+            w_start,
+            SimScheduler::MEDIUM_ACTOR,
+            EventKind::BlackoutStart { generation, stage: stage_idx },
+        );
+        self.sched.schedule(
+            w_end,
+            SimScheduler::MEDIUM_ACTOR,
+            EventKind::BlackoutEnd { generation, stage: stage_idx },
+        );
     }
 
     /// The active impairment schedule.
@@ -167,21 +271,135 @@ impl Medium {
         self.inner.lock().impairment.clone()
     }
 
-    /// Current statistics snapshot.
+    /// Whether a scripted blackout window is open right now.
+    pub fn in_blackout(&self) -> bool {
+        self.flush();
+        self.inner.lock().in_blackout
+    }
+
+    /// Current statistics snapshot (flushes in-flight frames first).
     pub fn stats(&self) -> MediumStats {
+        self.flush();
         self.inner.lock().stats
     }
 
-    fn transmit(&self, from: usize, bytes: &[u8]) {
-        // Advance the clock by the frame's airtime before delivery.
-        let bits = (bytes.len() as u64) * 8;
-        let inner = self.inner.lock();
-        let airtime = Duration::from_micros(bits * 1_000_000 / inner.bitrate as u64);
-        drop(inner);
-        self.clock.advance(airtime);
-        let now = self.clock.now();
+    /// Releases every event due by `max(now, air_busy_until)` and advances
+    /// the clock there. Idempotent; called by every receive-side query.
+    fn flush(&self) {
+        let target = self.clock.now().max(self.inner.lock().air_busy_until);
+        while let Some(event) = self.sched.pop_due(target) {
+            self.apply(event);
+        }
+        self.clock.advance_to(target);
+    }
 
+    /// Applies one released event to the medium state.
+    fn apply(&self, event: Event) {
+        match event.kind {
+            EventKind::FrameArrival(deliveries) => {
+                let mut inner = self.inner.lock();
+                let MediumInner { stations, stats, .. } = &mut *inner;
+                for d in deliveries {
+                    let station = &mut stations[d.station];
+                    let frame = RxFrame { bytes: d.bytes, at: event.at, rssi_cdbm: d.rssi_cdbm };
+                    // Bounded reordering: the frame jumps ahead of at most
+                    // `reorder_window` already-queued frames.
+                    let at = station.queue.len().saturating_sub(d.reorder_window);
+                    if at < station.queue.len() {
+                        stats.reorders += 1;
+                    }
+                    stats.deliveries += 1;
+                    if d.duplicated {
+                        stats.duplicates += 1;
+                        stats.deliveries += 1;
+                        station.queue.insert(at, frame.clone());
+                        station.queue.insert(at + 1, frame);
+                    } else {
+                        station.queue.insert(at, frame);
+                    }
+                }
+            }
+            EventKind::Timer(_) => self.inner.lock().fired.push(event.actor),
+            EventKind::BlackoutStart { generation, .. } => {
+                let mut inner = self.inner.lock();
+                if generation == inner.blackout_gen {
+                    inner.in_blackout = true;
+                }
+            }
+            EventKind::BlackoutEnd { generation, stage } => {
+                let (reschedule, stage_params) = {
+                    let mut inner = self.inner.lock();
+                    if generation != inner.blackout_gen {
+                        (false, None)
+                    } else {
+                        inner.in_blackout = inner.impairment.blacked_out(event.at.as_micros());
+                        (true, inner.impairment.stages().get(stage).copied())
+                    }
+                };
+                if reschedule {
+                    if let Some(params) = stage_params {
+                        self.schedule_blackout_window(
+                            generation,
+                            stage,
+                            &params,
+                            event.at.as_micros(),
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Hops virtual time forward to the next scheduled event, releasing it
+    /// — or to `cap` when nothing is due before then. Returns whether an
+    /// event was released. This is the "one event hop" primitive that lets
+    /// idle-heavy waits (outage recovery, quiet periods) skip dead time.
+    pub fn advance_to_next_wakeup(&self, cap: SimInstant) -> bool {
+        self.flush();
+        match self.sched.next_due() {
+            Some(at) if at <= cap => {
+                while let Some(event) = self.sched.pop_due(at) {
+                    self.apply(event);
+                }
+                self.clock.advance_to(at);
+                true
+            }
+            _ => {
+                self.clock.advance_to(cap);
+                false
+            }
+        }
+    }
+
+    /// Drains the list of stations whose wakeup timers have fired
+    /// (flushing due events first). Each station appears at most once, in
+    /// first-fire order.
+    pub fn take_fired_actors(&self) -> Vec<usize> {
+        self.flush();
+        let fired = std::mem::take(&mut self.inner.lock().fired);
+        let mut unique = Vec::with_capacity(fired.len());
+        for actor in fired {
+            if !unique.contains(&actor) {
+                unique.push(actor);
+            }
+        }
+        unique
+    }
+
+    /// Serializes the frame onto the channel and schedules its arrival;
+    /// returns the arrival instant. Every random outcome is decided here,
+    /// from RNGs keyed on `(seed, frame index, receiver)`.
+    fn transmit(&self, from: usize, bytes: &[u8]) -> SimInstant {
+        let bits = (bytes.len() as u64) * 8;
         let mut inner = self.inner.lock();
+        let airtime = Duration::from_micros(bits * 1_000_000 / inner.bitrate as u64);
+        // The channel is half-duplex: frames serialize in transmit order
+        // behind whatever is already in flight. The shared clock does NOT
+        // move here — mid-handler transmit order can never skew time.
+        let start = self.clock.now().max(inner.air_busy_until);
+        let arrival = start.plus(airtime);
+        inner.air_busy_until = arrival;
+
         let frame_index = inner.stats.frames_sent;
         inner.stats.frames_sent += 1;
         let tx_pos = inner.stations[from].position_m;
@@ -196,11 +414,12 @@ impl Medium {
             inner.ge_bad = ge.step(inner.ge_bad, &mut rng);
         }
         let ge_bad = inner.ge_bad;
-        let blacked_out = inner.impairment.blacked_out(now.as_micros());
+        let blacked_out = inner.impairment.blacked_out(arrival.as_micros());
 
+        let mut deliveries = Vec::new();
         // Split borrows: stats updated while iterating stations.
         let MediumInner { stations, stats, impairment, .. } = &mut *inner;
-        for (i, station) in stations.iter_mut().enumerate() {
+        for (i, station) in stations.iter().enumerate() {
             if i == from || !station.enabled || !station.region.interoperates_with(tx_region) {
                 continue;
             }
@@ -269,27 +488,19 @@ impl Medium {
             if corrupted {
                 stats.corruptions += 1;
             }
-            let frame = RxFrame {
+            deliveries.push(Delivery {
+                station: i,
                 bytes: delivered,
-                at: now,
                 rssi_cdbm: (rssi_dbm(distance) * 100.0) as i32,
-            };
-            // Bounded reordering: the frame jumps ahead of at most
-            // `reorder_window` already-queued frames.
-            let at = station.queue.len().saturating_sub(reorder_window);
-            if at < station.queue.len() {
-                stats.reorders += 1;
-            }
-            stats.deliveries += 1;
-            if duplicated {
-                stats.duplicates += 1;
-                stats.deliveries += 1;
-                station.queue.insert(at, frame.clone());
-                station.queue.insert(at + 1, frame);
-            } else {
-                station.queue.insert(at, frame);
-            }
+                duplicated,
+                reorder_window,
+            });
         }
+        drop(inner);
+        // Scheduled even with zero surviving deliveries: the frame still
+        // occupied the channel and the event keeps time accounting exact.
+        self.sched.schedule(arrival, from, EventKind::FrameArrival(deliveries));
+        arrival
     }
 }
 
@@ -301,24 +512,50 @@ pub struct Transceiver {
 }
 
 impl Transceiver {
-    /// Broadcasts `bytes` onto the air, advancing the clock by the airtime.
-    pub fn transmit(&self, bytes: &[u8]) {
-        self.medium.transmit(self.index, bytes);
+    /// Broadcasts `bytes` onto the air. The frame serializes behind any
+    /// in-flight transmission; the returned instant is when it arrives at
+    /// the receivers (`now` plus queued airtime).
+    pub fn transmit(&self, bytes: &[u8]) -> SimInstant {
+        self.medium.transmit(self.index, bytes)
     }
 
-    /// Pops the next received frame, if any.
+    /// Pops the next received frame, if any (releasing due deliveries
+    /// first).
     pub fn try_recv(&self) -> Option<RxFrame> {
+        self.medium.flush();
         self.medium.inner.lock().stations[self.index].queue.pop_front()
     }
 
-    /// Drains every queued frame.
+    /// Drains every queued frame (releasing due deliveries first).
     pub fn drain(&self) -> Vec<RxFrame> {
+        self.medium.flush();
         self.medium.inner.lock().stations[self.index].queue.drain(..).collect()
     }
 
-    /// Number of frames waiting in the receive queue.
+    /// Number of frames waiting in the receive queue (releasing due
+    /// deliveries first).
     pub fn pending(&self) -> usize {
+        self.medium.flush();
         self.medium.inner.lock().stations[self.index].queue.len()
+    }
+
+    /// Schedules a cancellable wakeup for this station at `at`. The wakeup
+    /// is a hint, not a command: when it fires, the station surfaces in
+    /// [`Medium::take_fired_actors`] so a driver knows to poll it — the
+    /// station's own deadline checks decide what (if anything) to do.
+    pub fn schedule_wakeup(&self, at: SimInstant) -> TimerToken {
+        self.medium.sched.schedule_timer(at, self.index)
+    }
+
+    /// Cancels a wakeup scheduled by [`Transceiver::schedule_wakeup`].
+    pub fn cancel_wakeup(&self, token: TimerToken) {
+        self.medium.sched.cancel_timer(token);
+    }
+
+    /// This radio's station index on the medium (its actor id in scheduler
+    /// events).
+    pub fn station_index(&self) -> usize {
+        self.index
     }
 
     /// Enables or disables promiscuous capture. (All stations on a shared
@@ -387,10 +624,45 @@ mod tests {
         let clock = SimClock::new();
         let medium = Medium::new(clock.clone(), 1);
         let a = medium.attach(0.0);
-        let _b = medium.attach(1.0);
-        // 40 bytes at 40 kbit/s = 8 ms.
-        a.transmit(&[0u8; 40]);
+        let b = medium.attach(1.0);
+        // 40 bytes at 40 kbit/s = 8 ms. The clock does not move inside the
+        // transmit call itself...
+        let arrival = a.transmit(&[0u8; 40]);
+        assert_eq!(arrival.as_micros(), 8_000);
+        assert_eq!(clock.now(), SimInstant::ZERO);
+        // ...but any receive-side query flushes airtime into the clock.
+        assert_eq!(b.pending(), 1);
         assert_eq!(clock.now().as_micros(), 8_000);
+    }
+
+    #[test]
+    fn back_to_back_transmissions_serialize_on_the_channel() {
+        // Regression: `transmit` used to advance the shared clock in-call,
+        // so two stations transmitting from the same handler observed
+        // order-dependent timestamps. Airtime now serializes on the
+        // channel; transmit order decides arrival order, and the final
+        // clock is the total airtime either way.
+        let run = |swap: bool| {
+            let clock = SimClock::new();
+            let medium = Medium::new(clock.clone(), 11);
+            let a = medium.attach(0.0);
+            let b = medium.attach(1.0);
+            let c = medium.attach(2.0);
+            let (first, second) = if swap { (&b, &a) } else { (&a, &b) };
+            let t1 = first.transmit(&[0x11; 10]); // 2 ms airtime
+            assert_eq!(clock.now(), SimInstant::ZERO, "clock moved mid-handler");
+            let t2 = second.transmit(&[0x22; 30]); // 6 ms airtime
+            assert!(t1 < t2, "frames must serialize in transmit order");
+            let received = c.drain();
+            (t1, t2, received.len(), clock.now())
+        };
+        let (a1, a2, n_ab, end_ab) = run(false);
+        let (b1, b2, n_ba, end_ba) = run(true);
+        assert_eq!((a1.as_micros(), a2.as_micros()), (2_000, 8_000));
+        assert_eq!((b1.as_micros(), b2.as_micros()), (2_000, 8_000));
+        assert_eq!(n_ab, n_ba, "delivery count depends on transmit order");
+        assert_eq!(end_ab, end_ba, "total airtime depends on transmit order");
+        assert_eq!(end_ab.as_micros(), 8_000);
     }
 
     #[test]
@@ -599,6 +871,74 @@ mod tests {
         clock.advance(Duration::from_secs(10));
         a.transmit(&[3]);
         assert_eq!(b.drain().len(), 1, "after the window");
+    }
+
+    #[test]
+    fn blackout_windows_fire_as_paired_events() {
+        let clock = SimClock::new();
+        let medium = Medium::new(clock.clone(), 5);
+        medium.set_impairment(ImpairmentSchedule::clean().with(ImpairmentStage::Blackout {
+            first_start: Duration::from_secs(10),
+            every: Duration::from_secs(30),
+            length: Duration::from_secs(5),
+        }));
+        assert!(!medium.in_blackout());
+        clock.advance(Duration::from_secs(12));
+        assert!(medium.in_blackout(), "start event opened the first window");
+        clock.advance(Duration::from_secs(5)); // t = 17 s
+        assert!(!medium.in_blackout(), "end event closed the first window");
+        clock.advance(Duration::from_secs(25)); // t = 42 s, second window 40-45 s
+        assert!(medium.in_blackout(), "periodic window was rescheduled");
+        clock.advance(Duration::from_secs(5)); // t = 47 s
+        assert!(!medium.in_blackout());
+    }
+
+    #[test]
+    fn reinstalling_impairments_invalidates_stale_blackout_events() {
+        let clock = SimClock::new();
+        let medium = Medium::new(clock.clone(), 5);
+        medium.set_impairment(ImpairmentSchedule::clean().with(ImpairmentStage::Blackout {
+            first_start: Duration::from_secs(10),
+            every: Duration::ZERO,
+            length: Duration::from_secs(5),
+        }));
+        // Replace the schedule before the window opens: the stale start
+        // event must not flip the channel into a blackout.
+        medium.set_impairment(ImpairmentSchedule::clean());
+        clock.advance(Duration::from_secs(12));
+        assert!(!medium.in_blackout(), "stale generation toggled the blackout flag");
+    }
+
+    #[test]
+    fn wakeup_timers_fire_into_the_actor_list() {
+        let clock = SimClock::new();
+        let medium = Medium::new(clock.clone(), 1);
+        let a = medium.attach(0.0);
+        a.schedule_wakeup(clock.now().plus(Duration::from_millis(5)));
+        assert!(medium.take_fired_actors().is_empty(), "timer fired early");
+        clock.advance(Duration::from_millis(10));
+        assert_eq!(medium.take_fired_actors(), vec![a.station_index()]);
+        assert!(medium.take_fired_actors().is_empty(), "fired list drains");
+        // A cancelled wakeup never fires.
+        let token = a.schedule_wakeup(clock.now().plus(Duration::from_millis(5)));
+        a.cancel_wakeup(token);
+        clock.advance(Duration::from_millis(10));
+        assert!(medium.take_fired_actors().is_empty());
+    }
+
+    #[test]
+    fn advance_to_next_wakeup_hops_straight_to_the_event() {
+        let clock = SimClock::new();
+        let medium = Medium::new(clock.clone(), 1);
+        let a = medium.attach(0.0);
+        a.schedule_wakeup(clock.now().plus(Duration::from_secs(2)));
+        let cap = clock.now().plus(Duration::from_secs(300));
+        assert!(medium.advance_to_next_wakeup(cap), "timer was due before the cap");
+        assert_eq!(clock.now().as_micros(), 2_000_000, "hopped exactly to the timer");
+        assert_eq!(medium.take_fired_actors(), vec![a.station_index()]);
+        // Nothing left: the hop runs to the cap and reports no event.
+        assert!(!medium.advance_to_next_wakeup(cap));
+        assert_eq!(clock.now(), cap);
     }
 
     #[test]

@@ -1,0 +1,342 @@
+//! Event-driven virtual time: the discrete-event scheduler behind the
+//! simulated radio stack.
+//!
+//! The seed implementation *polled*: every layer stepped the shared
+//! [`SimClock`] forward and re-checked its deadlines on each call, so a
+//! mostly-idle campaign (a controller stuck in a 68 s outage, say) burned
+//! wall-clock time stepping through virtual seconds in which nothing could
+//! possibly happen. This module replaces that with a classic discrete-event
+//! kernel:
+//!
+//! - Pending work lives in a binary min-heap of [`Event`]s keyed on
+//!   `(at, seq, actor)`. The `seq` component is a monotonically increasing
+//!   scheduling counter, so two events at the same instant always pop in
+//!   the order they were scheduled — ties never depend on heap internals,
+//!   which keeps campaigns bit-identical across worker counts.
+//! - Virtual time only moves when events are dequeued (or a layer above
+//!   explicitly waits on the clock); idle gaps between events cost nothing.
+//! - Timers are cancellable by [`TimerToken`]. Cancellation is lazy: the
+//!   token goes into a tombstone set and the corresponding heap entry is
+//!   discarded when it surfaces, so `cancel` is O(1) and the heap never
+//!   needs a linear scan.
+//!
+//! The scheduler itself is policy-free: it orders and releases events. The
+//! [`crate::medium::Medium`] owns one per simulation and interprets the
+//! payloads (frame deliveries, wakeup timers, blackout window edges).
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::clock::{SimClock, SimInstant};
+
+/// Handle to one scheduled timer, used to cancel it before it fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TimerToken(u64);
+
+impl TimerToken {
+    /// The token's unique id (diagnostics only).
+    pub fn id(self) -> u64 {
+        self.0
+    }
+}
+
+/// One pre-computed frame delivery, carried by a
+/// [`EventKind::FrameArrival`] event from transmit time to arrival time.
+///
+/// Every random channel outcome (loss, corruption, duplication, reorder
+/// window) is already decided when the delivery is built — arrival merely
+/// enqueues the bytes at the receiver, so scheduling can never perturb the
+/// deterministic per-frame RNG streams.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Delivery {
+    /// Receiving station index on the medium.
+    pub station: usize,
+    /// Frame bytes as they will arrive (possibly corrupted/truncated).
+    pub bytes: Vec<u8>,
+    /// Received signal strength in centi-dBm.
+    pub rssi_cdbm: i32,
+    /// Whether an identical back-to-back duplicate accompanies the frame.
+    pub duplicated: bool,
+    /// How many already-queued frames this delivery may jump ahead of.
+    pub reorder_window: usize,
+}
+
+/// The payload of a scheduled event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EventKind {
+    /// A transmitted frame reaches its receivers.
+    FrameArrival(Vec<Delivery>),
+    /// A cancellable wakeup timer for one actor.
+    Timer(TimerToken),
+    /// A scripted blackout window opens. Stale generations (scheduled
+    /// before the latest impairment install) are ignored by the consumer.
+    BlackoutStart {
+        /// Impairment-install generation this event belongs to.
+        generation: u64,
+        /// Index of the blackout stage within the schedule.
+        stage: usize,
+    },
+    /// A scripted blackout window closes (and, for periodic windows, the
+    /// next window gets scheduled).
+    BlackoutEnd {
+        /// Impairment-install generation this event belongs to.
+        generation: u64,
+        /// Index of the blackout stage within the schedule.
+        stage: usize,
+    },
+}
+
+/// A dequeued event, ready to be applied.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// Virtual time at which the event fires.
+    pub at: SimInstant,
+    /// Scheduling sequence number (the deterministic tie-breaker).
+    pub seq: u64,
+    /// The actor the event belongs to (station index, or
+    /// [`SimScheduler::MEDIUM_ACTOR`] for channel-level events).
+    pub actor: usize,
+    /// The payload.
+    pub kind: EventKind,
+}
+
+/// Heap entry ordered as a min-heap on `(at, seq, actor)`.
+#[derive(Debug)]
+struct QueuedEvent {
+    at: SimInstant,
+    seq: u64,
+    actor: usize,
+    kind: EventKind,
+}
+
+impl QueuedEvent {
+    fn key(&self) -> (SimInstant, u64, usize) {
+        (self.at, self.seq, self.actor)
+    }
+}
+
+impl PartialEq for QueuedEvent {
+    fn eq(&self, other: &Self) -> bool {
+        self.key() == other.key()
+    }
+}
+
+impl Eq for QueuedEvent {}
+
+impl PartialOrd for QueuedEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for QueuedEvent {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed so `BinaryHeap` (a max-heap) pops the earliest event.
+        other.key().cmp(&self.key())
+    }
+}
+
+#[derive(Debug, Default)]
+struct SchedState {
+    heap: BinaryHeap<QueuedEvent>,
+    next_seq: u64,
+    next_token: u64,
+    /// Tombstones for cancelled timers, consumed lazily at pop time.
+    cancelled: HashSet<u64>,
+    processed: u64,
+}
+
+/// The discrete-event queue driving one simulation. Cloning yields another
+/// handle onto the same queue; each campaign trial owns exactly one.
+#[derive(Debug, Clone)]
+pub struct SimScheduler {
+    state: Arc<Mutex<SchedState>>,
+    clock: SimClock,
+}
+
+impl SimScheduler {
+    /// Actor id used for events that belong to the channel itself rather
+    /// than any station (blackout window edges).
+    pub const MEDIUM_ACTOR: usize = usize::MAX;
+
+    /// A fresh, empty scheduler owning (a handle to) `clock`.
+    pub fn new(clock: SimClock) -> Self {
+        SimScheduler { state: Arc::new(Mutex::new(SchedState::default())), clock }
+    }
+
+    /// The virtual clock this scheduler advances.
+    pub fn clock(&self) -> &SimClock {
+        &self.clock
+    }
+
+    /// Schedules `kind` to fire at `at` on behalf of `actor`; returns the
+    /// event's sequence number. `at` may lie in the past — the event then
+    /// fires at the next release.
+    pub fn schedule(&self, at: SimInstant, actor: usize, kind: EventKind) -> u64 {
+        let mut state = self.state.lock();
+        let seq = state.next_seq;
+        state.next_seq += 1;
+        state.heap.push(QueuedEvent { at, seq, actor, kind });
+        seq
+    }
+
+    /// Schedules a cancellable wakeup timer for `actor` at `at`.
+    pub fn schedule_timer(&self, at: SimInstant, actor: usize) -> TimerToken {
+        let mut state = self.state.lock();
+        let token = TimerToken(state.next_token);
+        state.next_token += 1;
+        let seq = state.next_seq;
+        state.next_seq += 1;
+        state.heap.push(QueuedEvent { at, seq, actor, kind: EventKind::Timer(token) });
+        token
+    }
+
+    /// Cancels a timer. O(1): the heap entry is discarded when it surfaces.
+    /// Cancelling an already-fired timer is a no-op.
+    pub fn cancel_timer(&self, token: TimerToken) {
+        self.state.lock().cancelled.insert(token.0);
+    }
+
+    /// The instant of the earliest live (non-cancelled) event, if any.
+    pub fn next_due(&self) -> Option<SimInstant> {
+        let mut state = self.state.lock();
+        loop {
+            match state.heap.peek() {
+                None => return None,
+                Some(top) => {
+                    if let EventKind::Timer(token) = top.kind {
+                        if state.cancelled.contains(&token.0) {
+                            state.heap.pop();
+                            state.cancelled.remove(&token.0);
+                            continue;
+                        }
+                    }
+                    return Some(top.at);
+                }
+            }
+        }
+    }
+
+    /// Pops the earliest live event with `at <= target`, skipping cancelled
+    /// timers. Events at equal instants release in scheduling order.
+    pub fn pop_due(&self, target: SimInstant) -> Option<Event> {
+        let mut state = self.state.lock();
+        loop {
+            match state.heap.peek() {
+                None => return None,
+                Some(top) if top.at > target => return None,
+                Some(_) => {}
+            }
+            let ev = state.heap.pop().expect("peeked entry");
+            if let EventKind::Timer(token) = ev.kind {
+                if state.cancelled.remove(&token.0) {
+                    continue;
+                }
+            }
+            state.processed += 1;
+            return Some(Event { at: ev.at, seq: ev.seq, actor: ev.actor, kind: ev.kind });
+        }
+    }
+
+    /// Total events released so far (the simulation's event throughput).
+    pub fn events_processed(&self) -> u64 {
+        self.state.lock().processed
+    }
+
+    /// Number of events currently queued (cancelled tombstones included
+    /// until they surface).
+    pub fn pending_events(&self) -> usize {
+        self.state.lock().heap.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn at(us: u64) -> SimInstant {
+        SimInstant::ZERO.plus(Duration::from_micros(us))
+    }
+
+    #[test]
+    fn events_release_in_time_order_regardless_of_insertion() {
+        let sched = SimScheduler::new(SimClock::new());
+        sched.schedule(at(300), 0, EventKind::FrameArrival(Vec::new()));
+        sched.schedule(at(100), 1, EventKind::FrameArrival(Vec::new()));
+        sched.schedule(at(200), 2, EventKind::FrameArrival(Vec::new()));
+        let order: Vec<u64> =
+            std::iter::from_fn(|| sched.pop_due(at(1_000))).map(|e| e.at.as_micros()).collect();
+        assert_eq!(order, vec![100, 200, 300]);
+    }
+
+    #[test]
+    fn same_instant_ties_break_by_scheduling_order() {
+        let sched = SimScheduler::new(SimClock::new());
+        // Three actors scheduled at the same instant, in actor order 2,0,1:
+        // release must follow scheduling order, not actor id or heap shape.
+        for actor in [2usize, 0, 1] {
+            sched.schedule(at(500), actor, EventKind::FrameArrival(Vec::new()));
+        }
+        let actors: Vec<usize> =
+            std::iter::from_fn(|| sched.pop_due(at(500))).map(|e| e.actor).collect();
+        assert_eq!(actors, vec![2, 0, 1]);
+    }
+
+    #[test]
+    fn pop_due_respects_the_target_horizon() {
+        let sched = SimScheduler::new(SimClock::new());
+        sched.schedule(at(100), 0, EventKind::FrameArrival(Vec::new()));
+        sched.schedule(at(900), 0, EventKind::FrameArrival(Vec::new()));
+        assert_eq!(sched.pop_due(at(500)).unwrap().at, at(100));
+        assert_eq!(sched.pop_due(at(500)), None, "later event stays queued");
+        assert_eq!(sched.next_due(), Some(at(900)));
+    }
+
+    #[test]
+    fn cancelled_timers_never_fire() {
+        let sched = SimScheduler::new(SimClock::new());
+        let keep = sched.schedule_timer(at(100), 7);
+        let drop = sched.schedule_timer(at(50), 7);
+        sched.cancel_timer(drop);
+        let fired: Vec<Event> = std::iter::from_fn(|| sched.pop_due(at(1_000))).collect();
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].kind, EventKind::Timer(keep));
+        assert_eq!(fired[0].at, at(100));
+        // Cancelling after the fact is a harmless no-op.
+        sched.cancel_timer(keep);
+        assert_eq!(sched.pop_due(at(2_000)), None);
+    }
+
+    #[test]
+    fn next_due_skips_cancelled_tombstones() {
+        let sched = SimScheduler::new(SimClock::new());
+        let t = sched.schedule_timer(at(10), 0);
+        sched.schedule(at(20), 1, EventKind::FrameArrival(Vec::new()));
+        sched.cancel_timer(t);
+        assert_eq!(sched.next_due(), Some(at(20)));
+        assert_eq!(sched.pending_events(), 1, "tombstone discarded during peek");
+    }
+
+    #[test]
+    fn processed_counter_counts_released_events_only() {
+        let sched = SimScheduler::new(SimClock::new());
+        let t = sched.schedule_timer(at(10), 0);
+        sched.schedule(at(20), 0, EventKind::FrameArrival(Vec::new()));
+        sched.cancel_timer(t);
+        while sched.pop_due(at(100)).is_some() {}
+        assert_eq!(sched.events_processed(), 1, "cancelled timer is not 'processed'");
+    }
+
+    #[test]
+    fn past_events_fire_immediately() {
+        let clock = SimClock::new();
+        clock.advance(Duration::from_secs(5));
+        let sched = SimScheduler::new(clock.clone());
+        sched.schedule(at(1), 0, EventKind::FrameArrival(Vec::new()));
+        assert!(sched.pop_due(clock.now()).is_some());
+    }
+}

@@ -87,8 +87,7 @@ mod tests {
         let medium = Medium::new(clock.clone(), 1);
         let a = medium.attach(0.0);
         let mut sniffer = Sniffer::attach(&medium, 10.0);
-        a.transmit(&[1]);
-        let mid = clock.now();
+        let mid = a.transmit(&[1]);
         a.transmit(&[2]);
         sniffer.poll();
         let early = sniffer
