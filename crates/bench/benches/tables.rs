@@ -30,7 +30,7 @@ fn bench_table3(c: &mut Criterion) {
 fn bench_table4(c: &mut Criterion) {
     let mut group = c.benchmark_group("table4");
     group.sample_size(10);
-    group.bench_function("fingerprint_all_devices", |b| b.iter(experiments::table4));
+    group.bench_function("fingerprint_all_devices", |b| b.iter(|| experiments::table4(77)));
     group.finish();
 }
 

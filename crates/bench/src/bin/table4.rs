@@ -1,7 +1,11 @@
 //! Regenerates Table IV: passive/active fingerprinting and
-//! unknown-property discovery for every controller.
+//! unknown-property discovery for every controller. Takes the shared
+//! campaign flags (`--seed N`; the budget/trial/worker knobs are accepted
+//! but fingerprinting is a single deterministic pass per device).
 
 fn main() {
-    let (_results, text) = zcover_bench::experiments::table4();
+    let args: Vec<String> = std::env::args().collect();
+    let spec = zcover_bench::CampaignSpec::from_args(&args, 77, 1);
+    let (_results, text) = zcover_bench::experiments::table4(spec.seed);
     println!("{text}");
 }

@@ -1,20 +1,19 @@
-//! Regenerates Table V: the VFuzz comparison on D1-D5. Defaults to the
-//! paper's 24-hour virtual budget (pass `--fast` for 2-hour runs; note the
-//! VFuzz generated-coverage needs the long run to reach 256/256).
-
-use std::time::Duration;
+//! Regenerates Table V: the VFuzz comparison on D1-D5, over the shared
+//! campaign flags (`--seed N --trials N --workers N --paper
+//! --impairment NAME`). The fast default is a 2-hour virtual budget; pass
+//! `--paper` for the paper's 24-hour runs (the VFuzz generated-coverage
+//! column needs the long run to reach 256/256).
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let budget = if args.iter().any(|a| a == "--fast") {
-        Duration::from_secs(2 * 3600)
-    } else {
-        Duration::from_secs(24 * 3600)
-    };
-    eprintln!(
-        "running VFuzz and ZCover for {:.0}h virtual on each of D1-D5 ...",
-        budget.as_secs_f64() / 3600.0
+    let spec = zcover_bench::CampaignSpec::from_args(&args, 99, 1);
+    eprintln!("{}", spec.banner("per fuzzer on each of D1-D5"));
+    let (_results, text) = zcover_bench::experiments::table5(
+        spec.budget,
+        spec.seed,
+        spec.trials,
+        spec.workers,
+        spec.profile,
     );
-    let (_results, text) = zcover_bench::experiments::table5(budget, 99);
     println!("{text}");
 }

@@ -6,15 +6,18 @@
 //! zcover discover    --device D4
 //! zcover fuzz        --device D1 --hours 1 --seed 42 --config full
 //! zcover fuzz        --device D1 --config beta --log bugs.txt
+//! zcover fuzz        --device D1 --hours 0.02 --record trace.jsonl
 //! zcover trials      --device D1 --trials 5 --workers 4 --hours 1
+//! zcover replay      trace.jsonl
 //! zcover export-spec --out zw_classes.xml
 //! ```
 
+use std::path::Path;
 use std::time::Duration;
 
 use zcover::{
-    ActiveScanner, BugLog, CampaignExecutor, FuzzConfig, ImpairmentProfile, UnknownDiscovery,
-    ZCover,
+    ActiveScanner, BugLog, CampaignExecutor, FuzzConfig, ImpairmentProfile, Trace, TraceSpec,
+    UnknownDiscovery, ZCover,
 };
 use zwave_controller::testbed::{DeviceModel, Testbed};
 
@@ -40,20 +43,20 @@ fn parse_impairment(args: &[String]) -> ImpairmentProfile {
     })
 }
 
+/// The canonical configuration name selected by `--config` (also recorded
+/// in trace headers so `zcover replay` can rebuild the configuration).
+fn config_name(args: &[String]) -> String {
+    flag(args, "--config").unwrap_or_else(|| "full".to_string())
+}
+
 /// Builds the fuzz configuration from `--config` and `--impairment` (the
 /// plumbing `fuzz` and `trials` share).
 fn parse_config(args: &[String], budget: Duration, seed: u64) -> FuzzConfig {
-    let config = match flag(args, "--config").as_deref() {
-        None | Some("full") => FuzzConfig::full(budget, seed),
-        Some("beta") => FuzzConfig::beta(budget, seed),
-        Some("gamma") => FuzzConfig::gamma(budget, seed),
-        Some("no-priority") => FuzzConfig::without_prioritization(budget, seed),
-        Some("no-plans") => FuzzConfig::without_semantic_plans(budget, seed),
-        Some(other) => {
-            eprintln!("unknown config {other}");
-            std::process::exit(2);
-        }
-    };
+    let name = config_name(args);
+    let config = FuzzConfig::named(&name, budget, seed).unwrap_or_else(|| {
+        eprintln!("unknown config {name}; expected full|beta|gamma|no-priority|no-plans");
+        std::process::exit(2);
+    });
     config.with_impairment(parse_impairment(args))
 }
 
@@ -129,13 +132,25 @@ fn main() {
             let config = parse_config(&args, budget, seed);
             let profile = config.impairment;
             let json = json_output(&args);
-            let mut tb = Testbed::new(model, seed);
-            let mut zc = ZCover::attach(&tb, 70.0);
             eprintln!(
                 "fuzzing {} for {hours}h virtual (seed {seed}, channel {profile}) ...",
                 model.idx()
             );
-            let report = zc.run_campaign(&mut tb, config).expect("fingerprinting failed");
+            let (report, mut tb) = match flag(&args, "--record") {
+                Some(path) => {
+                    let rec = zcover::record_campaign(model, &config_name(&args), config)
+                        .expect("fingerprinting failed");
+                    rec.trace.save(Path::new(&path)).expect("writing the trace file");
+                    eprintln!("trace recorded to {path} ({} events)", rec.trace.events.len());
+                    (rec.report, rec.testbed)
+                }
+                None => {
+                    let mut tb = Testbed::new(model, seed);
+                    let mut zc = ZCover::attach(&tb, 70.0);
+                    let report = zc.run_campaign(&mut tb, config).expect("fingerprinting failed");
+                    (report, tb)
+                }
+            };
             if let Some(path) = flag(&args, "--report") {
                 let label = format!(
                     "{} {} ({})",
@@ -203,9 +218,27 @@ fn main() {
                 model.idx(),
                 executor.workers()
             );
+            let trace_spec = flag(&args, "--record").map(|prefix| TraceSpec {
+                device: model.idx().to_string(),
+                config_name: config_name(&args),
+                prefix: prefix.into(),
+            });
             let summary = executor
-                .run(trials, seed, |trial_seed| Testbed::new(model, trial_seed), &config)
+                .run_with_trace(
+                    trials,
+                    seed,
+                    |trial_seed| Testbed::new(model, trial_seed),
+                    &config,
+                    trace_spec.as_ref(),
+                )
                 .expect("fingerprinting failed");
+            if let Some(spec) = &trace_spec {
+                eprintln!(
+                    "per-trial traces recorded to {} .. {}",
+                    spec.trial_path(0).display(),
+                    spec.trial_path(trials - 1).display()
+                );
+            }
             if json {
                 println!("{}", zcover::report::summary_to_json(&summary));
                 if let Some(path) = flag(&args, "--log") {
@@ -263,6 +296,39 @@ fn main() {
                 eprintln!("merged bug log written to {path}");
             }
         }
+        "replay" => {
+            let path = args
+                .get(1)
+                .filter(|a| !a.starts_with("--"))
+                .cloned()
+                .or_else(|| flag(&args, "--trace"))
+                .unwrap_or_else(|| {
+                    eprintln!("usage: zcover replay <trace.jsonl>");
+                    std::process::exit(2);
+                });
+            let trace = Trace::load(Path::new(&path)).unwrap_or_else(|e| {
+                eprintln!("{e}");
+                std::process::exit(2);
+            });
+            eprintln!(
+                "replaying {path}: device {}, seed {}, config {}, channel {}, \
+                 budget {:.0} s, {} recorded events ...",
+                trace.meta.device,
+                trace.meta.seed,
+                trace.meta.config,
+                trace.meta.impairment,
+                trace.meta.budget.as_secs_f64(),
+                trace.events.len()
+            );
+            let report = zcover::replay(&trace).unwrap_or_else(|e| {
+                eprintln!("{e}");
+                std::process::exit(2);
+            });
+            println!("{}", report.render());
+            if !report.is_clean() {
+                std::process::exit(1);
+            }
+        }
         "export-spec" => {
             let xml = zwave_protocol::registry::xml::to_xml(zwave_protocol::Registry::global());
             match flag(&args, "--out") {
@@ -278,11 +344,11 @@ fn main() {
         }
         _ => {
             eprintln!(
-                "usage: zcover <fingerprint|discover|fuzz|trials|export-spec> \
+                "usage: zcover <fingerprint|discover|fuzz|trials|replay|export-spec> \
                  [--device D1..D7] [--seed N] [--hours H] [--trials N] [--workers N] \
                  [--config full|beta|gamma|no-priority|no-plans] \
                  [--impairment clean|lossy|bursty|adversarial] \
-                 [--format text|json] [--log FILE] [--report FILE] [--out FILE]"
+                 [--format text|json] [--record FILE] [--log FILE] [--report FILE] [--out FILE]"
             );
             std::process::exit(if command == "help" { 0 } else { 2 });
         }

@@ -19,12 +19,14 @@
 //! [`TrialSummary`] for every `n`, which the determinism regression test
 //! in `tests/executor_determinism.rs` pins.
 
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use parking_lot::Mutex;
 
 use crate::fuzzer::{CampaignResult, FuzzConfig};
 use crate::target::FuzzTarget;
+use crate::trace::{TraceMeta, TraceRecorder};
 use crate::trials::TrialSummary;
 use crate::{ZCover, ZCoverError};
 
@@ -42,6 +44,34 @@ pub fn derive_trial_seed(campaign_seed: u64, trial: u64) -> u64 {
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)
+}
+
+/// Where (and how) a multi-trial run records its traces: each trial gets
+/// its own file, `{prefix}.trial{N}.jsonl`, written by whichever worker
+/// runs the trial. Because a trial's journal is a pure function of its
+/// derived seed, the files are identical for any worker count — trials
+/// recorded in parallel merge (or replay) exactly like sequential ones.
+#[derive(Debug, Clone)]
+pub struct TraceSpec {
+    /// Device model index recorded in each header (`D1`..`D7`).
+    pub device: String,
+    /// Canonical configuration name recorded in each header.
+    pub config_name: String,
+    /// Path prefix for the per-trial files (a `.jsonl` suffix, if present,
+    /// is stripped before the `.trial{N}.jsonl` suffix is appended).
+    pub prefix: PathBuf,
+}
+
+impl TraceSpec {
+    /// The trace file path for `trial`.
+    pub fn trial_path(&self, trial: u64) -> PathBuf {
+        let mut base = self.prefix.clone();
+        if base.extension().is_some_and(|e| e == "jsonl") {
+            base.set_extension("");
+        }
+        let stem = base.to_string_lossy().into_owned();
+        PathBuf::from(format!("{stem}.trial{trial}.jsonl"))
+    }
 }
 
 /// A worker pool running independent fuzzing trials and merging their
@@ -90,6 +120,30 @@ impl CampaignExecutor {
         T: FuzzTarget,
         F: Fn(u64) -> T + Sync,
     {
+        self.run_with_trace(trials, campaign_seed, make_target, base_config, None)
+    }
+
+    /// [`CampaignExecutor::run`], optionally recording every trial to its
+    /// own trace file per `trace` (see [`TraceSpec`]). Recording does not
+    /// perturb the campaigns: the merged summary is bit-identical with or
+    /// without it, for any worker count.
+    ///
+    /// # Errors
+    ///
+    /// As [`CampaignExecutor::run`], plus [`ZCoverError::TraceIo`] when a
+    /// trace file cannot be written.
+    pub fn run_with_trace<T, F>(
+        &self,
+        trials: u64,
+        campaign_seed: u64,
+        make_target: F,
+        base_config: &FuzzConfig,
+        trace: Option<&TraceSpec>,
+    ) -> Result<TrialSummary, ZCoverError>
+    where
+        T: FuzzTarget,
+        F: Fn(u64) -> T + Sync,
+    {
         let slots: Vec<Mutex<Option<Result<CampaignResult, ZCoverError>>>> =
             (0..trials).map(|_| Mutex::new(None)).collect();
 
@@ -97,7 +151,7 @@ impl CampaignExecutor {
         if pool_size <= 1 {
             for (trial, slot) in slots.iter().enumerate() {
                 *slot.lock() =
-                    Some(run_one(trial as u64, campaign_seed, &make_target, base_config));
+                    Some(run_one(trial as u64, campaign_seed, &make_target, base_config, trace));
             }
         } else {
             let next = AtomicU64::new(0);
@@ -108,7 +162,8 @@ impl CampaignExecutor {
                         if trial >= trials {
                             break;
                         }
-                        let outcome = run_one(trial, campaign_seed, &make_target, base_config);
+                        let outcome =
+                            run_one(trial, campaign_seed, &make_target, base_config, trace);
                         *slots[trial as usize].lock() = Some(outcome);
                     });
                 }
@@ -129,12 +184,16 @@ impl CampaignExecutor {
     }
 }
 
-/// One complete trial: fresh target, fingerprint, discovery, campaign.
+/// One complete trial: fresh target, fingerprint, discovery, campaign —
+/// optionally journaled to the trial's own trace file. The recorder is
+/// attached before the pipeline (matching [`crate::trace::record_campaign`]),
+/// so a recorded trial replays byte-identically.
 fn run_one<T, F>(
     trial: u64,
     campaign_seed: u64,
     make_target: &F,
     base_config: &FuzzConfig,
+    trace: Option<&TraceSpec>,
 ) -> Result<CampaignResult, ZCoverError>
 where
     T: FuzzTarget,
@@ -142,9 +201,33 @@ where
 {
     let seed = derive_trial_seed(campaign_seed, trial);
     let mut target = make_target(seed);
-    let mut zcover = ZCover::attach(&target, 70.0);
     let config = FuzzConfig { seed, ..base_config.clone() };
-    Ok(zcover.run_campaign(&mut target, config)?.campaign)
+    let recorder = trace.map(|spec| {
+        let meta = TraceMeta {
+            device: spec.device.clone(),
+            seed,
+            config: spec.config_name.clone(),
+            impairment: config.impairment,
+            budget: config.testing_duration,
+        };
+        TraceRecorder::attach(target.medium(), meta)
+    });
+    let mut zcover = ZCover::attach(&target, 70.0);
+    let campaign = match recorder {
+        None => zcover.run_campaign(&mut target, config)?.campaign,
+        Some(mut recorder) => {
+            let campaign =
+                zcover.run_campaign_with_sink(&mut target, config, &mut recorder)?.campaign;
+            let spec = trace.expect("recorder implies spec");
+            let path = spec.trial_path(trial);
+            recorder
+                .finish(&campaign)
+                .save(&path)
+                .map_err(|e| ZCoverError::TraceIo(e.to_string()))?;
+            campaign
+        }
+    };
+    Ok(campaign)
 }
 
 #[cfg(test)]

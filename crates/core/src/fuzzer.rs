@@ -90,6 +90,21 @@ impl FuzzConfig {
     pub fn gamma(testing_duration: Duration, seed: u64) -> Self {
         FuzzConfig { position_sensitive: false, ..FuzzConfig::full(testing_duration, seed) }
     }
+
+    /// Builds a configuration from its canonical name (the `--config`
+    /// vocabulary of the `zcover` CLI and the `config` field of recorded
+    /// traces): `full`, `beta`, `gamma`, `no-priority`, or `no-plans`.
+    /// Returns `None` for an unknown name.
+    pub fn named(name: &str, testing_duration: Duration, seed: u64) -> Option<Self> {
+        Some(match name {
+            "full" => FuzzConfig::full(testing_duration, seed),
+            "beta" => FuzzConfig::beta(testing_duration, seed),
+            "gamma" => FuzzConfig::gamma(testing_duration, seed),
+            "no-priority" => FuzzConfig::without_prioritization(testing_duration, seed),
+            "no-plans" => FuzzConfig::without_semantic_plans(testing_duration, seed),
+            _ => return None,
+        })
+    }
 }
 
 /// Structured observer of campaign progress, called synchronously from the

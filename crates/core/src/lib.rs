@@ -49,13 +49,14 @@ pub mod mutation;
 pub mod passive;
 pub mod report;
 pub mod target;
+pub mod trace;
 pub mod trials;
 
 pub use active::{ActiveScanReport, ActiveScanner};
 pub use buglog::{BugLog, VulnFinding};
 pub use discovery::{DiscoveryReport, UnknownDiscovery};
 pub use dongle::{Dongle, PingOutcome};
-pub use executor::{derive_trial_seed, CampaignExecutor};
+pub use executor::{derive_trial_seed, CampaignExecutor, TraceSpec};
 pub use fuzzer::{
     CampaignCounters, CampaignResult, FuzzConfig, Fuzzer, NullSink, TraceEvent, TraceSink,
 };
@@ -63,6 +64,10 @@ pub use minimize::minimize;
 pub use mutation::{MutationOp, Mutator};
 pub use passive::{PassiveScanner, ScanReport, TrafficStats};
 pub use target::FuzzTarget;
+pub use trace::{
+    diff_traces, record_campaign, replay, RecordedCampaign, ReplayReport, Trace, TraceError,
+    TraceMeta, TraceRecorder,
+};
 pub use trials::{run_trials, TrialSummary};
 pub use zwave_radio::{ImpairmentProfile, ImpairmentSchedule, ImpairmentStage};
 
@@ -74,6 +79,8 @@ pub enum ZCoverError {
     NoTraffic,
     /// The controller never answered the NIF request.
     NoNifResponse,
+    /// A trace file could not be written while recording a trial.
+    TraceIo(String),
 }
 
 impl std::fmt::Display for ZCoverError {
@@ -81,6 +88,7 @@ impl std::fmt::Display for ZCoverError {
         match self {
             ZCoverError::NoTraffic => f.write_str("passive scanning observed no z-wave traffic"),
             ZCoverError::NoNifResponse => f.write_str("controller did not answer the NIF request"),
+            ZCoverError::TraceIo(e) => write!(f, "trace recording failed: {e}"),
         }
     }
 }

@@ -1,0 +1,663 @@
+//! Campaign trace record/replay: the regression backbone that *pins* the
+//! determinism PR 1–3 established.
+//!
+//! A [`TraceRecorder`] journals one trial's full event stream — every
+//! scheduler dequeue (frame arrivals with a content hash, timers, blackout
+//! window edges, via [`zwave_radio::sched::EventObserver`]), every fuzzer
+//! event ([`TraceSink`] callbacks with virtual timestamps), and every
+//! oracle verdict — to a versioned JSONL [`Trace`]. Because the whole
+//! simulation is a pure function of `(device, seed, config, impairment)`,
+//! the trace header alone suffices to re-execute the trial: [`replay`]
+//! reruns it with a fresh recorder and diffs the two journals event by
+//! event, reporting the *first divergence* with surrounding context. A
+//! regression anywhere in the stack — scheduler ordering, impairment RNG
+//! streams, mutator draw order, oracle timing — therefore surfaces as a
+//! precise `(event index, virtual time)` instead of a silently different
+//! Table III.
+//!
+//! Golden traces for a small seed/profile matrix live under
+//! `tests/golden_traces/` and are pinned byte-for-byte by
+//! `tests/trace_replay.rs`.
+
+use std::path::Path;
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use zwave_controller::testbed::{DeviceModel, Testbed};
+use zwave_radio::sched::{Event, EventKind, EventObserver};
+use zwave_radio::{ImpairmentProfile, Medium, SimClock, SimInstant, SimScheduler};
+
+use crate::buglog::VulnFinding;
+use crate::fuzzer::{CampaignResult, FuzzConfig, TraceSink};
+use crate::{ZCover, ZCoverError, ZCoverReport};
+
+/// Trace format version emitted and accepted by this build.
+pub const TRACE_VERSION: u64 = 1;
+
+/// Errors loading or replaying a trace file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TraceError {
+    /// The file could not be read or written.
+    Io(String),
+    /// The first line is not a `zcover_trace` header or a field is broken.
+    Malformed(String),
+    /// The header declares a version this build does not understand.
+    UnsupportedVersion(u64),
+    /// The header names a device, config, or profile this build lacks.
+    UnknownMeta(String),
+    /// Re-executing the recorded trial failed (fingerprinting error).
+    Replay(ZCoverError),
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::Io(e) => write!(f, "trace io error: {e}"),
+            TraceError::Malformed(e) => write!(f, "malformed trace: {e}"),
+            TraceError::UnsupportedVersion(v) => write!(f, "unsupported trace version {v}"),
+            TraceError::UnknownMeta(e) => write!(f, "unknown trace metadata: {e}"),
+            TraceError::Replay(e) => write!(f, "replay failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+/// Everything needed to re-execute the recorded trial: the trace header.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceMeta {
+    /// Device model index (`D1`..`D7`).
+    pub device: String,
+    /// The trial's RNG seed (for executor-recorded trials, the *derived*
+    /// per-trial seed, so each trial trace replays independently).
+    pub seed: u64,
+    /// Canonical configuration name ([`FuzzConfig::named`] vocabulary).
+    pub config: String,
+    /// Channel impairment profile.
+    pub impairment: ImpairmentProfile,
+    /// Virtual fuzzing budget.
+    pub budget: Duration,
+}
+
+impl TraceMeta {
+    /// Serializes the header line.
+    fn header_line(&self) -> String {
+        format!(
+            "{{\"zcover_trace\":{TRACE_VERSION},\"device\":\"{}\",\"seed\":{},\
+             \"config\":\"{}\",\"impairment\":\"{}\",\"budget_s\":{:.3}}}",
+            self.device,
+            self.seed,
+            self.config,
+            self.impairment,
+            self.budget.as_secs_f64()
+        )
+    }
+
+    /// Parses a header line.
+    fn from_header_line(line: &str) -> Result<TraceMeta, TraceError> {
+        let version: u64 = field(line, "zcover_trace")
+            .ok_or_else(|| TraceError::Malformed("missing zcover_trace version".into()))?
+            .parse()
+            .map_err(|_| TraceError::Malformed("non-numeric trace version".into()))?;
+        if version != TRACE_VERSION {
+            return Err(TraceError::UnsupportedVersion(version));
+        }
+        let device =
+            field(line, "device").ok_or_else(|| TraceError::Malformed("missing device".into()))?;
+        let seed: u64 = field(line, "seed")
+            .ok_or_else(|| TraceError::Malformed("missing seed".into()))?
+            .parse()
+            .map_err(|_| TraceError::Malformed("non-numeric seed".into()))?;
+        let config =
+            field(line, "config").ok_or_else(|| TraceError::Malformed("missing config".into()))?;
+        let profile_name = field(line, "impairment")
+            .ok_or_else(|| TraceError::Malformed("missing impairment".into()))?;
+        let impairment = ImpairmentProfile::parse(&profile_name)
+            .ok_or_else(|| TraceError::UnknownMeta(format!("impairment {profile_name}")))?;
+        let budget_s: f64 = field(line, "budget_s")
+            .ok_or_else(|| TraceError::Malformed("missing budget_s".into()))?
+            .parse()
+            .map_err(|_| TraceError::Malformed("non-numeric budget_s".into()))?;
+        Ok(TraceMeta {
+            device,
+            seed,
+            config,
+            impairment,
+            budget: Duration::from_secs_f64(budget_s),
+        })
+    }
+
+    /// The device model named in the header.
+    fn model(&self) -> Result<DeviceModel, TraceError> {
+        DeviceModel::all()
+            .into_iter()
+            .find(|m| m.idx().eq_ignore_ascii_case(&self.device))
+            .ok_or_else(|| TraceError::UnknownMeta(format!("device {}", self.device)))
+    }
+
+    /// The fuzzing configuration the header describes.
+    fn fuzz_config(&self) -> Result<FuzzConfig, TraceError> {
+        FuzzConfig::named(&self.config, self.budget, self.seed)
+            .ok_or_else(|| TraceError::UnknownMeta(format!("config {}", self.config)))
+            .map(|c| c.with_impairment(self.impairment))
+    }
+}
+
+/// Extracts a top-level field from one flat JSON object line (quoted
+/// strings are unquoted; no nesting support — trace lines are flat by
+/// construction).
+fn field(line: &str, key: &str) -> Option<String> {
+    let marker = format!("\"{key}\":");
+    let start = line.find(&marker)? + marker.len();
+    let rest = &line[start..];
+    if let Some(quoted) = rest.strip_prefix('"') {
+        Some(quoted[..quoted.find('"')?].to_string())
+    } else {
+        let end = rest.find([',', '}']).unwrap_or(rest.len());
+        Some(rest[..end].trim().to_string())
+    }
+}
+
+/// A recorded trial: header metadata plus the canonical event lines, in
+/// execution order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trace {
+    /// Re-execution parameters (the header line).
+    pub meta: TraceMeta,
+    /// One serialized JSON object per journal event.
+    pub events: Vec<String>,
+}
+
+impl Trace {
+    /// Serializes the whole trace as JSONL (header first, one event per
+    /// line, trailing newline).
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::with_capacity(64 * (self.events.len() + 1));
+        out.push_str(&self.meta.header_line());
+        out.push('\n');
+        for line in &self.events {
+            out.push_str(line);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes the trace to `path`.
+    ///
+    /// # Errors
+    ///
+    /// [`TraceError::Io`] when the file cannot be written.
+    pub fn save(&self, path: &Path) -> Result<(), TraceError> {
+        if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            std::fs::create_dir_all(dir)
+                .map_err(|e| TraceError::Io(format!("{}: {e}", dir.display())))?;
+        }
+        std::fs::write(path, self.to_jsonl())
+            .map_err(|e| TraceError::Io(format!("{}: {e}", path.display())))
+    }
+
+    /// Reads a trace back from `path`.
+    ///
+    /// # Errors
+    ///
+    /// [`TraceError::Io`] on read failure, [`TraceError::Malformed`] /
+    /// [`TraceError::UnsupportedVersion`] / [`TraceError::UnknownMeta`] on
+    /// a broken header.
+    pub fn load(path: &Path) -> Result<Trace, TraceError> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| TraceError::Io(format!("{}: {e}", path.display())))?;
+        Trace::from_jsonl(&text)
+    }
+
+    /// Parses a trace from its JSONL serialization.
+    ///
+    /// # Errors
+    ///
+    /// Same header errors as [`Trace::load`].
+    pub fn from_jsonl(text: &str) -> Result<Trace, TraceError> {
+        let mut lines = text.lines();
+        let header = lines.next().ok_or_else(|| TraceError::Malformed("empty trace".into()))?;
+        let meta = TraceMeta::from_header_line(header)?;
+        let events: Vec<String> = lines.filter(|l| !l.is_empty()).map(|l| l.to_string()).collect();
+        Ok(Trace { meta, events })
+    }
+
+    /// The virtual timestamp recorded on event `index`, if present.
+    pub fn at_us(&self, index: usize) -> Option<u64> {
+        self.events.get(index).and_then(|l| field(l, "at_us")).and_then(|v| v.parse().ok())
+    }
+}
+
+// ───────────────────────── serialization ─────────────────────────
+
+/// FNV-1a over the full delivery contents (receiver, bytes, rssi,
+/// duplication, reorder window): frame arrivals are journaled as a short
+/// hash instead of a hex dump, which keeps golden traces small while still
+/// detecting any payload or impairment-outcome change.
+fn delivery_hash(event: &Event) -> u64 {
+    let EventKind::FrameArrival(deliveries) = &event.kind else { return 0 };
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |byte: u8| {
+        h ^= u64::from(byte);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    };
+    for d in deliveries {
+        for byte in (d.station as u64).to_le_bytes() {
+            eat(byte);
+        }
+        for byte in (d.bytes.len() as u64).to_le_bytes() {
+            eat(byte);
+        }
+        for &byte in &d.bytes {
+            eat(byte);
+        }
+        for byte in d.rssi_cdbm.to_le_bytes() {
+            eat(byte);
+        }
+        eat(u8::from(d.duplicated));
+        eat(d.reorder_window as u8);
+    }
+    h
+}
+
+/// Serializes the actor id (`SimScheduler::MEDIUM_ACTOR` prints as -1).
+fn actor_str(actor: usize) -> String {
+    if actor == SimScheduler::MEDIUM_ACTOR {
+        "-1".to_string()
+    } else {
+        actor.to_string()
+    }
+}
+
+/// Canonical journal line for one released scheduler event.
+fn sched_line(event: &Event) -> String {
+    let prefix = format!(
+        "{{\"t\":\"sched\",\"at_us\":{},\"seq\":{},\"actor\":{}",
+        event.at.as_micros(),
+        event.seq,
+        actor_str(event.actor)
+    );
+    match &event.kind {
+        EventKind::FrameArrival(deliveries) => format!(
+            "{prefix},\"ev\":\"frame\",\"n\":{},\"h\":\"{:016x}\"}}",
+            deliveries.len(),
+            delivery_hash(event)
+        ),
+        EventKind::Timer(token) => format!("{prefix},\"ev\":\"timer\",\"id\":{}}}", token.id()),
+        EventKind::BlackoutStart { generation, stage } => {
+            format!("{prefix},\"ev\":\"blackout_start\",\"gen\":{generation},\"stage\":{stage}}}")
+        }
+        EventKind::BlackoutEnd { generation, stage } => {
+            format!("{prefix},\"ev\":\"blackout_end\",\"gen\":{generation},\"stage\":{stage}}}")
+        }
+    }
+}
+
+/// Canonical journal line for one fuzzer-level event.
+fn fuzz_line(at: SimInstant, ev: &str) -> String {
+    format!("{{\"t\":\"fuzz\",\"at_us\":{},\"ev\":\"{ev}\"}}", at.as_micros())
+}
+
+/// Canonical journal line for one oracle verdict.
+fn oracle_line(finding: &VulnFinding) -> String {
+    format!(
+        "{{\"t\":\"oracle\",\"at_us\":{},\"ev\":\"finding\",\"bug\":{},\"cmdcl\":{},\"cmd\":{}}}",
+        finding.found_at.as_micros(),
+        finding.bug_id,
+        finding.cmdcl,
+        finding.cmd
+    )
+}
+
+// ───────────────────────── recording ─────────────────────────
+
+/// The shared journal both halves of the recorder append to: the scheduler
+/// observer (dequeue hook) and the [`TraceSink`] (fuzzer hook). One trial
+/// is single-threaded, so lines interleave in true execution order.
+struct Journal {
+    lines: Mutex<Vec<String>>,
+    clock: SimClock,
+}
+
+impl Journal {
+    fn push(&self, line: String) {
+        self.lines.lock().push(line);
+    }
+}
+
+impl EventObserver for Journal {
+    fn event_dequeued(&self, event: &Event) {
+        self.push(sched_line(event));
+    }
+}
+
+/// Records one trial's event journal. Create with [`TraceRecorder::attach`]
+/// *before* running the pipeline, pass as the campaign's [`TraceSink`],
+/// then call [`TraceRecorder::finish`].
+///
+/// The recorder is a pure observer: a campaign runs bit-identically with
+/// or without one attached.
+pub struct TraceRecorder {
+    meta: TraceMeta,
+    journal: Arc<Journal>,
+    medium: Medium,
+}
+
+impl TraceRecorder {
+    /// Hooks the recorder onto `medium`'s scheduler. Everything the
+    /// simulation dequeues from this point on — fingerprinting, discovery,
+    /// and the campaign itself — lands in the journal, so replaying from
+    /// the same header reproduces the identical stream.
+    pub fn attach(medium: &Medium, meta: TraceMeta) -> TraceRecorder {
+        let journal =
+            Arc::new(Journal { lines: Mutex::new(Vec::new()), clock: medium.clock().clone() });
+        medium.scheduler().set_observer(Some(journal.clone()));
+        TraceRecorder { meta, journal, medium: medium.clone() }
+    }
+
+    /// Detaches the scheduler hook, appends the summary footer, and
+    /// returns the finished trace.
+    pub fn finish(self, result: &CampaignResult) -> Trace {
+        self.medium.scheduler().set_observer(None);
+        let mut events = std::mem::take(&mut *self.journal.lines.lock());
+        events.push(format!(
+            "{{\"t\":\"end\",\"at_us\":{},\"packets\":{},\"findings\":{},\"sched_events\":{}}}",
+            result.ended.as_micros(),
+            result.packets_sent,
+            result.unique_vulns(),
+            self.medium.scheduler().events_processed()
+        ));
+        Trace { meta: self.meta, events }
+    }
+}
+
+impl TraceSink for TraceRecorder {
+    fn packet_sent(&mut self) {
+        self.journal.push(fuzz_line(self.journal.clock.now(), "packet"));
+    }
+
+    fn plan_executed(&mut self) {
+        self.journal.push(fuzz_line(self.journal.clock.now(), "plan"));
+    }
+
+    fn outage_observed(&mut self) {
+        self.journal.push(fuzz_line(self.journal.clock.now(), "outage"));
+    }
+
+    fn finding(&mut self, finding: &VulnFinding) {
+        self.journal.push(oracle_line(finding));
+    }
+
+    fn retransmission(&mut self) {
+        self.journal.push(fuzz_line(self.journal.clock.now(), "retransmission"));
+    }
+
+    fn ack_timeout(&mut self) {
+        self.journal.push(fuzz_line(self.journal.clock.now(), "ack_timeout"));
+    }
+}
+
+/// A recorded trial: the trace plus the pipeline report it journaled.
+pub struct RecordedCampaign {
+    /// The finished event journal.
+    pub trace: Trace,
+    /// The three-phase pipeline report of the recorded run.
+    pub report: ZCoverReport,
+    /// The testbed the trial ran against (for oracle inspection).
+    pub testbed: Testbed,
+}
+
+/// Runs the full three-phase pipeline on a fresh testbed with a recorder
+/// attached. This is the single code path used by `zcover fuzz --record`
+/// *and* by [`replay`], so a recorded trace and its replay journal the
+/// exact same execution.
+///
+/// # Errors
+///
+/// Propagates pipeline [`ZCoverError`]s.
+pub fn record_campaign(
+    model: DeviceModel,
+    config_name: &str,
+    config: FuzzConfig,
+) -> Result<RecordedCampaign, ZCoverError> {
+    let meta = TraceMeta {
+        device: model.idx().to_string(),
+        seed: config.seed,
+        config: config_name.to_string(),
+        impairment: config.impairment,
+        budget: config.testing_duration,
+    };
+    let mut testbed = Testbed::new(model, config.seed);
+    let mut recorder = TraceRecorder::attach(crate::FuzzTarget::medium(&testbed), meta);
+    let mut zcover = ZCover::attach(&testbed, 70.0);
+    let report = zcover.run_campaign_with_sink(&mut testbed, config, &mut recorder)?;
+    let trace = recorder.finish(&report.campaign);
+    Ok(RecordedCampaign { trace, report, testbed })
+}
+
+// ───────────────────────── replay & diffing ─────────────────────────
+
+/// The first point where a replayed journal departs from the recorded one.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Divergence {
+    /// 0-based index into the event stream (header excluded).
+    pub index: usize,
+    /// Virtual timestamp of the divergent event (from the recorded line
+    /// when present, else from the replayed one).
+    pub at_us: Option<u64>,
+    /// The recorded line (`None`: the replay produced *extra* events).
+    pub expected: Option<String>,
+    /// The replayed line (`None`: the replay ended *early*).
+    pub actual: Option<String>,
+    /// Up to three recorded lines immediately before the divergence.
+    pub context: Vec<String>,
+}
+
+/// Outcome of diffing a recorded trace against its replay.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplayReport {
+    /// Events in the recorded trace.
+    pub recorded_events: usize,
+    /// Events the replay produced.
+    pub replayed_events: usize,
+    /// The first divergence, or `None` when the journals are identical.
+    pub divergence: Option<Divergence>,
+}
+
+impl ReplayReport {
+    /// Whether the replay matched the recording event-for-event.
+    pub fn is_clean(&self) -> bool {
+        self.divergence.is_none()
+    }
+
+    /// Human-readable verdict for the `zcover replay` subcommand.
+    pub fn render(&self) -> String {
+        match &self.divergence {
+            None => format!("replay OK: {} events, zero divergence", self.recorded_events),
+            Some(d) => {
+                let mut out = String::new();
+                let when = d
+                    .at_us
+                    .map(|us| format!("{:.6} s", us as f64 / 1e6))
+                    .unwrap_or_else(|| "?".to_string());
+                out.push_str(&format!(
+                    "DIVERGENCE at event {} (virtual t = {when}); \
+                     recorded {} events, replayed {}\n",
+                    d.index, self.recorded_events, self.replayed_events
+                ));
+                let context_start = d.index.saturating_sub(d.context.len());
+                for (offset, line) in d.context.iter().enumerate() {
+                    out.push_str(&format!("  {:>8} | {line}\n", context_start + offset));
+                }
+                match &d.expected {
+                    Some(line) => out.push_str(&format!("  expected | {line}\n")),
+                    None => out.push_str("  expected | <end of recorded trace>\n"),
+                }
+                match &d.actual {
+                    Some(line) => out.push_str(&format!("  actual   | {line}\n")),
+                    None => out.push_str("  actual   | <replay ended early>\n"),
+                }
+                out
+            }
+        }
+    }
+}
+
+/// Diffs two event streams, reporting the first differing index.
+pub fn diff_traces(recorded: &Trace, replayed: &Trace) -> ReplayReport {
+    let n = recorded.events.len().max(replayed.events.len());
+    for index in 0..n {
+        let expected = recorded.events.get(index);
+        let actual = replayed.events.get(index);
+        if expected == actual {
+            continue;
+        }
+        let context_from = index.saturating_sub(3);
+        let at_us = recorded.at_us(index).or_else(|| replayed.at_us(index));
+        return ReplayReport {
+            recorded_events: recorded.events.len(),
+            replayed_events: replayed.events.len(),
+            divergence: Some(Divergence {
+                index,
+                at_us,
+                expected: expected.cloned(),
+                actual: actual.cloned(),
+                context: recorded.events[context_from..index].to_vec(),
+            }),
+        };
+    }
+    ReplayReport {
+        recorded_events: recorded.events.len(),
+        replayed_events: replayed.events.len(),
+        divergence: None,
+    }
+}
+
+/// Re-executes the trial described by `recorded`'s header and diffs the
+/// fresh journal against the recorded one.
+///
+/// # Errors
+///
+/// [`TraceError::UnknownMeta`] when the header names an unknown device,
+/// config, or profile; [`TraceError::Replay`] when the re-executed
+/// pipeline fails outright.
+pub fn replay(recorded: &Trace) -> Result<ReplayReport, TraceError> {
+    let model = recorded.meta.model()?;
+    let config = recorded.meta.fuzz_config()?;
+    let rerun =
+        record_campaign(model, &recorded.meta.config, config).map_err(TraceError::Replay)?;
+    Ok(diff_traces(recorded, &rerun.trace))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn short_meta() -> TraceMeta {
+        TraceMeta {
+            device: "D1".to_string(),
+            seed: 5,
+            config: "full".to_string(),
+            impairment: ImpairmentProfile::Lossy,
+            budget: Duration::from_secs(60),
+        }
+    }
+
+    #[test]
+    fn header_roundtrips_through_serialization() {
+        let meta = short_meta();
+        let parsed = TraceMeta::from_header_line(&meta.header_line()).unwrap();
+        assert_eq!(parsed, meta);
+    }
+
+    #[test]
+    fn header_version_gate() {
+        let line = short_meta().header_line().replace("\"zcover_trace\":1", "\"zcover_trace\":9");
+        assert_eq!(TraceMeta::from_header_line(&line), Err(TraceError::UnsupportedVersion(9)));
+        assert!(matches!(
+            TraceMeta::from_header_line("{\"not\":\"a trace\"}"),
+            Err(TraceError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn field_extractor_handles_strings_and_numbers() {
+        let line = "{\"t\":\"sched\",\"at_us\":1234,\"ev\":\"frame\",\"h\":\"00ff\"}";
+        assert_eq!(field(line, "at_us").as_deref(), Some("1234"));
+        assert_eq!(field(line, "ev").as_deref(), Some("frame"));
+        assert_eq!(field(line, "h").as_deref(), Some("00ff"));
+        assert_eq!(field(line, "missing"), None);
+    }
+
+    #[test]
+    fn jsonl_roundtrip_preserves_events() {
+        let trace = Trace {
+            meta: short_meta(),
+            events: vec![
+                fuzz_line(SimInstant::ZERO, "packet"),
+                fuzz_line(SimInstant::ZERO, "plan"),
+            ],
+        };
+        let back = Trace::from_jsonl(&trace.to_jsonl()).unwrap();
+        assert_eq!(back, trace);
+    }
+
+    #[test]
+    fn recording_does_not_perturb_the_campaign() {
+        // The same trial with and without a recorder attached must produce
+        // identical campaign results — the recorder is a pure observer.
+        let model = DeviceModel::D1;
+        let config =
+            FuzzConfig::full(Duration::from_secs(120), 9).with_impairment(ImpairmentProfile::Lossy);
+        let recorded = record_campaign(model, "full", config.clone()).unwrap();
+        let mut tb = Testbed::new(model, 9);
+        let mut zc = ZCover::attach(&tb, 70.0);
+        let bare = zc.run_campaign(&mut tb, config).unwrap();
+        assert_eq!(recorded.report.campaign, bare.campaign);
+    }
+
+    #[test]
+    fn recording_twice_is_bit_identical_and_replays_clean() {
+        let config = FuzzConfig::full(Duration::from_secs(90), 3);
+        let a = record_campaign(DeviceModel::D1, "full", config.clone()).unwrap();
+        let b = record_campaign(DeviceModel::D1, "full", config).unwrap();
+        assert_eq!(a.trace.to_jsonl(), b.trace.to_jsonl());
+        assert!(!a.trace.events.is_empty());
+        let report = replay(&a.trace).unwrap();
+        assert!(report.is_clean(), "{}", report.render());
+        assert!(report.render().contains("zero divergence"));
+    }
+
+    #[test]
+    fn diff_pinpoints_first_divergent_event() {
+        let meta = short_meta();
+        let mk = |lines: &[&str]| Trace {
+            meta: meta.clone(),
+            events: lines.iter().map(|s| s.to_string()).collect(),
+        };
+        let recorded = mk(&[
+            "{\"t\":\"fuzz\",\"at_us\":10,\"ev\":\"packet\"}",
+            "{\"t\":\"fuzz\",\"at_us\":20,\"ev\":\"packet\"}",
+            "{\"t\":\"fuzz\",\"at_us\":30,\"ev\":\"plan\"}",
+        ]);
+        let replayed = mk(&[
+            "{\"t\":\"fuzz\",\"at_us\":10,\"ev\":\"packet\"}",
+            "{\"t\":\"fuzz\",\"at_us\":20,\"ev\":\"packet\"}",
+            "{\"t\":\"fuzz\",\"at_us\":31,\"ev\":\"plan\"}",
+        ]);
+        let report = diff_traces(&recorded, &replayed);
+        assert!(report.render().contains("DIVERGENCE at event 2"));
+        let d = report.divergence.expect("must diverge");
+        assert_eq!(d.index, 2);
+        assert_eq!(d.at_us, Some(30));
+        assert_eq!(d.context.len(), 2);
+        // Length mismatch: replay ended early.
+        let short = mk(&["{\"t\":\"fuzz\",\"at_us\":10,\"ev\":\"packet\"}"]);
+        let d = diff_traces(&recorded, &short).divergence.unwrap();
+        assert_eq!(d.index, 1);
+        assert_eq!(d.actual, None);
+    }
+}

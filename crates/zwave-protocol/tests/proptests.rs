@@ -4,12 +4,32 @@ use proptest::prelude::*;
 
 use zwave_protocol::apl::{ApplicationPayload, FieldPosition};
 use zwave_protocol::checksum::{crc16_ccitt, cs8};
+use zwave_protocol::dissect::{to_bits, to_hex, Dissection};
 use zwave_protocol::frame::{FrameControl, HeaderType, MacFrame};
 use zwave_protocol::nif::{BasicDeviceType, NodeInfoFrame};
 use zwave_protocol::{ChecksumKind, CommandClassId, HomeId, NodeId};
 
 fn arb_payload() -> impl Strategy<Value = Vec<u8>> {
     proptest::collection::vec(any::<u8>(), 0..=53)
+}
+
+/// A well-formed CS-8 frame — the trailer kind [`Dissection::from_wire`]
+/// validates against, mirroring the passive scanner's capture path.
+fn arb_cs8_frame() -> impl Strategy<Value = MacFrame> {
+    (any::<u32>(), any::<u8>(), any::<u8>(), 0u8..16, arb_payload()).prop_map(
+        |(home, src, dst, seq, mut payload)| {
+            payload.truncate(zwave_protocol::MAX_MAC_FRAME_LEN - 9 - ChecksumKind::Cs8.len());
+            MacFrame::try_new(
+                HomeId(home),
+                NodeId(src),
+                FrameControl::singlecast(seq),
+                NodeId(dst),
+                payload,
+                ChecksumKind::Cs8,
+            )
+            .expect("payload bounded above")
+        },
+    )
 }
 
 fn arb_frame() -> impl Strategy<Value = MacFrame> {
@@ -123,6 +143,35 @@ proptest! {
             supported: classes.into_iter().map(CommandClassId).collect(),
         };
         prop_assert_eq!(NodeInfoFrame::decode(&nif.encode()).unwrap(), nif);
+    }
+
+    /// The dissector is total on arbitrary byte soup and idempotent on
+    /// whatever it accepts: a successful dissection remembers the exact
+    /// wire image, and re-dissecting that image reproduces it.
+    #[test]
+    fn dissect_total_and_stable_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..=80)) {
+        let _ = to_hex(&bytes);
+        let _ = to_bits(&bytes);
+        if let Ok(d) = Dissection::from_wire(&bytes) {
+            prop_assert_eq!(&d.raw, &bytes);
+            prop_assert_eq!(Dissection::from_wire(&d.raw).unwrap(), d);
+        }
+    }
+
+    /// Every well-formed CS-8 frame dissects: the MAC addressing fields
+    /// come back exactly, and an accepted APL re-encodes into the frame
+    /// payload (round-trips what it accepts).
+    #[test]
+    fn dissect_roundtrips_well_formed_frames(frame in arb_cs8_frame()) {
+        let wire = frame.encode();
+        let d = Dissection::from_wire(&wire).unwrap();
+        prop_assert_eq!(d.home_id, frame.home_id());
+        prop_assert_eq!(d.src, frame.src());
+        prop_assert_eq!(d.dst, frame.dst());
+        match &d.apl {
+            Some(apl) => prop_assert_eq!(apl.encode(), frame.payload().to_vec()),
+            None => prop_assert!(frame.payload().is_empty()),
+        }
     }
 
     /// Frame-control bytes roundtrip for every valid header type.

@@ -41,5 +41,5 @@ pub use impairment::{GilbertElliott, ImpairmentProfile, ImpairmentSchedule, Impa
 pub use medium::{Medium, MediumStats, RxFrame, Transceiver};
 pub use noise::NoiseModel;
 pub use region::Region;
-pub use sched::{Delivery, Event, EventKind, SimScheduler, TimerToken};
+pub use sched::{Delivery, Event, EventKind, EventObserver, SimScheduler, TimerToken};
 pub use sniffer::Sniffer;

@@ -26,11 +26,36 @@
 
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashSet};
+use std::fmt;
 use std::sync::Arc;
 
 use parking_lot::Mutex;
 
 use crate::clock::{SimClock, SimInstant};
+
+/// Journal hook: observes every event the scheduler releases, in release
+/// order, immediately after the dequeue. Implementations must be pure
+/// observers — they see events but cannot reschedule, cancel, or otherwise
+/// perturb the simulation, so a scheduler with an observer attached runs
+/// the exact same event sequence as one without (the property the trace
+/// record/replay machinery in `zcover` relies on).
+pub trait EventObserver: Send + Sync {
+    /// Called once per released event, after it is popped from the heap
+    /// (cancelled timer tombstones are never reported).
+    fn event_dequeued(&self, event: &Event);
+}
+
+/// Shared slot holding the (optional) journal observer; all clones of a
+/// [`SimScheduler`] see the same slot.
+#[derive(Clone, Default)]
+struct ObserverSlot(Arc<Mutex<Option<Arc<dyn EventObserver>>>>);
+
+impl fmt::Debug for ObserverSlot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let state = if self.0.lock().is_some() { "attached" } else { "none" };
+        write!(f, "ObserverSlot({state})")
+    }
+}
 
 /// Handle to one scheduled timer, used to cancel it before it fires.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -154,6 +179,7 @@ struct SchedState {
 #[derive(Debug, Clone)]
 pub struct SimScheduler {
     state: Arc<Mutex<SchedState>>,
+    observer: ObserverSlot,
     clock: SimClock,
 }
 
@@ -164,7 +190,18 @@ impl SimScheduler {
 
     /// A fresh, empty scheduler owning (a handle to) `clock`.
     pub fn new(clock: SimClock) -> Self {
-        SimScheduler { state: Arc::new(Mutex::new(SchedState::default())), clock }
+        SimScheduler {
+            state: Arc::new(Mutex::new(SchedState::default())),
+            observer: ObserverSlot::default(),
+            clock,
+        }
+    }
+
+    /// Attaches (or, with `None`, detaches) the journal observer notified
+    /// of every released event. At most one observer is active at a time;
+    /// every clone of this scheduler shares the slot.
+    pub fn set_observer(&self, observer: Option<Arc<dyn EventObserver>>) {
+        *self.observer.0.lock() = observer;
     }
 
     /// The virtual clock this scheduler advances.
@@ -221,24 +258,35 @@ impl SimScheduler {
     }
 
     /// Pops the earliest live event with `at <= target`, skipping cancelled
-    /// timers. Events at equal instants release in scheduling order.
+    /// timers. Events at equal instants release in scheduling order. An
+    /// attached [`EventObserver`] is notified of the released event (after
+    /// the internal lock is dropped, so observers may query the scheduler).
     pub fn pop_due(&self, target: SimInstant) -> Option<Event> {
-        let mut state = self.state.lock();
-        loop {
-            match state.heap.peek() {
-                None => return None,
-                Some(top) if top.at > target => return None,
-                Some(_) => {}
-            }
-            let ev = state.heap.pop().expect("peeked entry");
-            if let EventKind::Timer(token) = ev.kind {
-                if state.cancelled.remove(&token.0) {
-                    continue;
+        let event = {
+            let mut state = self.state.lock();
+            loop {
+                match state.heap.peek() {
+                    None => break None,
+                    Some(top) if top.at > target => break None,
+                    Some(_) => {}
                 }
+                let ev = state.heap.pop().expect("peeked entry");
+                if let EventKind::Timer(token) = ev.kind {
+                    if state.cancelled.remove(&token.0) {
+                        continue;
+                    }
+                }
+                state.processed += 1;
+                break Some(Event { at: ev.at, seq: ev.seq, actor: ev.actor, kind: ev.kind });
             }
-            state.processed += 1;
-            return Some(Event { at: ev.at, seq: ev.seq, actor: ev.actor, kind: ev.kind });
+        };
+        if let Some(ev) = &event {
+            let observer = self.observer.0.lock().clone();
+            if let Some(observer) = observer {
+                observer.event_dequeued(ev);
+            }
         }
+        event
     }
 
     /// Total events released so far (the simulation's event throughput).
@@ -329,6 +377,29 @@ mod tests {
         sched.cancel_timer(t);
         while sched.pop_due(at(100)).is_some() {}
         assert_eq!(sched.events_processed(), 1, "cancelled timer is not 'processed'");
+    }
+
+    #[test]
+    fn observer_sees_released_events_in_order_and_skips_cancelled() {
+        struct Log(Mutex<Vec<(u64, usize)>>);
+        impl EventObserver for Log {
+            fn event_dequeued(&self, event: &Event) {
+                self.0.lock().push((event.at.as_micros(), event.actor));
+            }
+        }
+        let sched = SimScheduler::new(SimClock::new());
+        let log = Arc::new(Log(Mutex::new(Vec::new())));
+        sched.set_observer(Some(log.clone()));
+        sched.schedule(at(200), 1, EventKind::FrameArrival(Vec::new()));
+        let dead = sched.schedule_timer(at(100), 2);
+        sched.schedule(at(300), 3, EventKind::FrameArrival(Vec::new()));
+        sched.cancel_timer(dead);
+        while sched.pop_due(at(250)).is_some() {}
+        assert_eq!(*log.0.lock(), vec![(200, 1)], "tombstone reported or order wrong");
+        // Detaching stops the journal; the simulation continues untouched.
+        sched.set_observer(None);
+        assert!(sched.pop_due(at(1_000)).is_some());
+        assert_eq!(log.0.lock().len(), 1);
     }
 
     #[test]

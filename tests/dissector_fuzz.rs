@@ -1,0 +1,122 @@
+//! Fuzz-the-dissector over the *impaired channel*: valid frames are
+//! transmitted through every named impairment profile, and whatever the
+//! medium delivers — corrupted, truncated, duplicated, reordered — is fed
+//! to `zwave_protocol::dissect`. The dissector must be total (never
+//! panic), remember the exact wire image of anything it accepts, and
+//! re-dissect its own output stably. Complements the pure byte-soup
+//! proptests in `crates/zwave-protocol/tests/proptests.rs` with mangled
+//! inputs that are *almost* well-formed — the corruptions a real capture
+//! pipeline actually sees.
+
+use zcover_suite::zwave_protocol::dissect::{to_bits, to_hex, Dissection};
+use zcover_suite::zwave_protocol::{HomeId, MacFrame, NodeId};
+use zcover_suite::zwave_radio::{ImpairmentProfile, Medium, SimClock, Sniffer};
+
+/// Deterministic splitmix64 stream for payload generation.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn byte(&mut self) -> u8 {
+        (self.next() >> 56) as u8
+    }
+}
+
+/// Transmits `frames` valid singlecast frames through `profile` and
+/// returns every byte string a promiscuous sniffer captured.
+fn mangled_captures(profile: ImpairmentProfile, seed: u64, frames: usize) -> Vec<Vec<u8>> {
+    let medium = Medium::new(SimClock::new(), seed);
+    medium.set_impairment(profile.schedule());
+    let tx = medium.attach(0.0);
+    let _rx = medium.attach(8.0);
+    let mut sniffer = Sniffer::attach(&medium, 40.0);
+    let mut rng = Rng(seed);
+    for i in 0..frames {
+        let len = (rng.next() % 24) as usize;
+        let payload: Vec<u8> = (0..len).map(|_| rng.byte()).collect();
+        let frame = MacFrame::singlecast(
+            HomeId(0xCB95_A34A),
+            NodeId(0x0F),
+            NodeId((i % 7) as u8 + 1),
+            payload,
+        );
+        tx.transmit(&frame.encode());
+        sniffer.poll();
+    }
+    sniffer.poll();
+    sniffer.captures().iter().map(|f| f.bytes.clone()).collect()
+}
+
+#[test]
+fn dissector_is_total_on_impairment_mangled_frames() {
+    let mut total = 0usize;
+    let mut accepted = 0usize;
+    for profile in [
+        ImpairmentProfile::Clean,
+        ImpairmentProfile::Lossy,
+        ImpairmentProfile::Bursty,
+        ImpairmentProfile::Adversarial,
+    ] {
+        for seed in 0..4u64 {
+            for bytes in mangled_captures(profile, seed, 200) {
+                total += 1;
+                // Totality: rendering and dissection must not panic on
+                // any delivered byte string.
+                let _ = to_hex(&bytes);
+                let _ = to_bits(&bytes);
+                if let Ok(d) = Dissection::from_wire(&bytes) {
+                    accepted += 1;
+                    // Round-trips what it accepts: the raw image is kept
+                    // verbatim and re-dissecting it is stable.
+                    assert_eq!(d.raw, bytes, "{profile} seed {seed}");
+                    assert_eq!(Dissection::from_wire(&d.raw).unwrap(), d);
+                    if let Some(apl) = &d.apl {
+                        let reencoded = apl.encode();
+                        assert_eq!(
+                            MacFrame::decode(&bytes).unwrap().payload(),
+                            reencoded.as_slice()
+                        );
+                    }
+                }
+            }
+        }
+    }
+    // The harness exercised a meaningful corpus on both sides of the
+    // accept/reject boundary (the clean channel delivers everything; the
+    // adversarial one corrupts and truncates).
+    assert!(total > 1500, "only {total} captures");
+    assert!(accepted > 500, "only {accepted}/{total} accepted");
+    assert!(accepted < total, "impairment never produced a rejected frame");
+}
+
+#[test]
+fn truncation_and_corruption_never_panic_the_renderers() {
+    // Drive the raw mangle operators directly: every prefix and every
+    // single-byte corruption of a valid wire image.
+    let frame = MacFrame::singlecast(
+        HomeId(0xE7DE_3F3D),
+        NodeId(0x01),
+        NodeId(0x02),
+        vec![0x20, 0x01, 0xFF],
+    );
+    let wire = frame.encode();
+    for cut in 0..=wire.len() {
+        let _ = Dissection::from_wire(&wire[..cut]);
+    }
+    for idx in 0..wire.len() {
+        for bit in 0..8u8 {
+            let mut mangled = wire.clone();
+            mangled[idx] ^= 1 << bit;
+            if let Ok(d) = Dissection::from_wire(&mangled) {
+                assert_eq!(d.raw, mangled);
+            }
+        }
+    }
+}

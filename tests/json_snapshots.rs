@@ -1,0 +1,80 @@
+//! Golden snapshots of the `--format json` output schema: the exact bytes
+//! `zcover fuzz` and `zcover trials` print for a fixed seed are pinned
+//! under `tests/golden_json/`, so any schema drift — a renamed key, a
+//! reordered field, a changed number format — fails here instead of
+//! silently breaking downstream consumers.
+//!
+//! Regenerate after an *intentional* schema change with:
+//!
+//! ```text
+//! cargo run --release --bin zcover -- fuzz --device D1 --hours 0.25 \
+//!     --seed 3 --format json > tests/golden_json/fuzz_d1_seed3.json
+//! cargo run --release --bin zcover -- trials --device D1 --trials 2 \
+//!     --seed 7 --hours 0.25 --format json > tests/golden_json/trials_d1_seed7.json
+//! ```
+
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+use zcover_suite::zcover::report::{campaign_to_json, summary_to_json};
+use zcover_suite::zcover::{CampaignExecutor, FuzzConfig, ZCover};
+use zcover_suite::zwave_controller::testbed::{DeviceModel, Testbed};
+
+fn golden(name: &str) -> (PathBuf, String) {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden_json").join(name);
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{name}: {e}"));
+    (path, text)
+}
+
+#[test]
+fn fuzz_json_matches_the_golden_snapshot() {
+    // The library call the CLI's `fuzz --format json` path boils down to,
+    // with identical parameters (D1, seed 3, 0.25 h = 900 s).
+    let (_, want) = golden("fuzz_d1_seed3.json");
+    let mut tb = Testbed::new(DeviceModel::D1, 3);
+    let mut zc = ZCover::attach(&tb, 70.0);
+    let report =
+        zc.run_campaign(&mut tb, FuzzConfig::full(Duration::from_secs(900), 3)).expect("pipeline");
+    let got = format!("{}\n", campaign_to_json(&report.campaign));
+    assert_eq!(got, want, "fuzz --format json schema drifted; regenerate if intentional");
+}
+
+#[test]
+fn trials_json_matches_the_golden_snapshot() {
+    let (_, want) = golden("trials_d1_seed7.json");
+    let config = FuzzConfig::full(Duration::from_secs(900), 7);
+    let summary = CampaignExecutor::new(1)
+        .run(2, 7, |seed| Testbed::new(DeviceModel::D1, seed), &config)
+        .expect("trials run");
+    let got = format!("{}\n", summary_to_json(&summary));
+    assert_eq!(got, want, "trials --format json schema drifted; regenerate if intentional");
+}
+
+#[test]
+fn golden_snapshots_announce_their_schema() {
+    // Key-presence guard independent of the byte comparison: if a golden
+    // is regenerated, these are the fields downstream consumers rely on.
+    let (_, fuzz) = golden("fuzz_d1_seed3.json");
+    for key in [
+        "\"packets_sent\":",
+        "\"virtual_duration_s\":",
+        "\"cmdcl_coverage\":",
+        "\"cmd_coverage\":",
+        "\"unique_vulns\":",
+        "\"counters\":",
+        "\"findings\":",
+        "\"bug_id\":",
+        "\"root_cause\":",
+        "\"found_at_s\":",
+        "\"trigger\":",
+    ] {
+        assert!(fuzz.contains(key), "fuzz golden lost {key}");
+    }
+    let (_, trials) = golden("trials_d1_seed7.json");
+    for key in ["\"trials\":", "\"merged\":", "\"union_bug_ids\":", "\"mean_packets\":"] {
+        assert!(trials.contains(key), "trials golden lost {key}");
+    }
+    // Snapshots are single-line JSON objects plus the trailing newline.
+    assert_eq!(fuzz.lines().count(), 1);
+    assert_eq!(trials.lines().count(), 1);
+}

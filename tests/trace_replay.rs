@@ -1,0 +1,129 @@
+//! Trace record/replay regression tests: golden traces under
+//! `tests/golden_traces/` pin the exact event journal of a small
+//! seed/profile matrix, and the divergence diff is exercised with a
+//! deliberately perturbed header.
+//!
+//! Regenerate a golden after an *intentional* behaviour change with:
+//!
+//! ```text
+//! cargo run --release --bin zcover -- fuzz --device D1 --hours 0.01 \
+//!     --seed 11 --impairment lossy --record tests/golden_traces/d1_seed11_lossy.jsonl
+//! ```
+
+use std::path::{Path, PathBuf};
+
+use zcover_suite::zcover::{
+    diff_traces, record_campaign, replay, CampaignExecutor, FuzzConfig, Trace, TraceSpec,
+};
+use zcover_suite::zwave_controller::testbed::Testbed;
+
+fn golden_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden_traces")
+}
+
+const GOLDENS: [&str; 4] = [
+    "d1_seed11_lossy.jsonl",
+    "d1_seed5_clean.jsonl",
+    "d2_seed7_beta_bursty.jsonl",
+    "d3_seed9_gamma_adversarial.jsonl",
+];
+
+#[test]
+fn every_golden_trace_replays_with_zero_divergence() {
+    for name in GOLDENS {
+        let trace = Trace::load(&golden_dir().join(name)).expect(name);
+        assert!(!trace.events.is_empty(), "{name}: empty journal");
+        let report = replay(&trace).expect(name);
+        assert!(report.is_clean(), "{name}:\n{}", report.render());
+        assert_eq!(report.recorded_events, report.replayed_events, "{name}");
+    }
+}
+
+#[test]
+fn golden_traces_are_byte_identical_to_a_fresh_recording() {
+    // Stronger than replay-clean: re-recording from the golden's header
+    // must reproduce the committed file byte for byte (header included).
+    for name in GOLDENS {
+        let path = golden_dir().join(name);
+        let golden_text = std::fs::read_to_string(&path).expect(name);
+        let golden = Trace::from_jsonl(&golden_text).expect(name);
+        let model = zcover_suite::zwave_controller::testbed::DeviceModel::all()
+            .into_iter()
+            .find(|m| m.idx() == golden.meta.device)
+            .expect("golden names a known device");
+        let config = FuzzConfig::named(&golden.meta.config, golden.meta.budget, golden.meta.seed)
+            .expect("golden names a known config")
+            .with_impairment(golden.meta.impairment);
+        let fresh = record_campaign(model, &golden.meta.config, config).expect(name);
+        assert_eq!(fresh.trace.to_jsonl(), golden_text, "{name}: journal drifted");
+    }
+}
+
+#[test]
+fn perturbed_seed_reports_first_divergence_with_index_and_time() {
+    // The acceptance-criteria scenario: flip the recorded seed and the
+    // replay must pinpoint the first divergent event, not just fail.
+    let path = golden_dir().join("d1_seed11_lossy.jsonl");
+    let text = std::fs::read_to_string(&path).expect("golden exists");
+    let perturbed_text = text.replacen("\"seed\":11", "\"seed\":12", 1);
+    assert_ne!(perturbed_text, text, "perturbation applied");
+    let perturbed = Trace::from_jsonl(&perturbed_text).expect("still well-formed");
+    let report = replay(&perturbed).expect("replay executes");
+    let d = report.divergence.as_ref().expect("seed flip must diverge");
+    // The very first frame on air depends on the seed, so the divergence
+    // lands at event 0, with the recorded virtual timestamp attached.
+    assert_eq!(d.index, 0);
+    assert_eq!(d.at_us, perturbed.at_us(0));
+    assert!(d.at_us.is_some(), "divergent event carries a virtual time");
+    assert!(d.expected.is_some() && d.actual.is_some());
+    assert_ne!(d.expected, d.actual);
+    let rendered = report.render();
+    assert!(rendered.contains("DIVERGENCE at event 0"), "{rendered}");
+    assert!(rendered.contains("virtual t = "), "{rendered}");
+}
+
+#[test]
+fn mid_stream_divergence_carries_context_lines() {
+    // Corrupt one event deep in the stream (rather than the header): the
+    // diff must report that exact index and surface the preceding lines.
+    let golden = Trace::load(&golden_dir().join("d1_seed5_clean.jsonl")).expect("golden");
+    let mut mutated = golden.clone();
+    let victim = mutated.events.len() / 2;
+    mutated.events[victim] = mutated.events[victim].replace("\"t\":", "\"T\":");
+    let report = diff_traces(&golden, &mutated);
+    let d = report.divergence.expect("mutation must surface");
+    assert_eq!(d.index, victim);
+    assert_eq!(d.context.len(), 3.min(victim));
+    assert_eq!(d.context.last(), golden.events.get(victim - 1));
+}
+
+#[test]
+fn executor_recorded_trials_are_worker_count_independent() {
+    // Each worker records its claimed trials into per-trial files; the
+    // files must be byte-identical whether one worker or four ran them.
+    let tmp = std::env::temp_dir().join(format!("zcover_trace_wc_{}", std::process::id()));
+    std::fs::create_dir_all(&tmp).expect("temp dir");
+    let config = FuzzConfig::full(std::time::Duration::from_secs(30), 5);
+    let record = |workers: usize, tag: &str| -> Vec<String> {
+        let spec = TraceSpec {
+            device: "D1".to_string(),
+            config_name: "full".to_string(),
+            prefix: tmp.join(tag),
+        };
+        let model = zcover_suite::zwave_controller::testbed::DeviceModel::D1;
+        CampaignExecutor::new(workers)
+            .run_with_trace(3, 5, |seed| Testbed::new(model, seed), &config, Some(&spec))
+            .expect("trials run");
+        (0..3)
+            .map(|t| std::fs::read_to_string(spec.trial_path(t)).expect("trace written"))
+            .collect()
+    };
+    let sequential = record(1, "seq");
+    let parallel = record(4, "par");
+    assert_eq!(sequential, parallel, "worker scheduling leaked into a recorded trace");
+    for (trial, text) in sequential.iter().enumerate() {
+        let trace = Trace::from_jsonl(text).expect("well-formed per-trial trace");
+        assert!(replay(&trace).expect("replays").is_clean(), "trial {trial} not replayable");
+    }
+    std::fs::remove_dir_all(&tmp).ok();
+}
