@@ -6,7 +6,7 @@ use std::time::Duration;
 
 use zwave_protocol::frame::FrameControl;
 use zwave_protocol::{ChecksumKind, HomeId, MacFrame, NodeId};
-use zwave_radio::{Medium, RxFrame, SimClock, Transceiver};
+use zwave_radio::{FrameBuf, FrameBufPool, Medium, RxFrame, SimClock, Transceiver};
 
 /// Default time the dongle waits for a device response after injecting.
 /// Chosen so the paper's observed campaign rate (~800 packets in ~600 s,
@@ -22,7 +22,11 @@ pub struct Dongle {
     response_wait: Duration,
     frames_injected: u64,
     retransmissions: u64,
-    last_frame: Option<Vec<u8>>,
+    last_frame: Option<FrameBuf>,
+    /// Scratch buffers for frame encoding: each injection reuses a retired
+    /// allocation once the receivers have dropped their clones, so the
+    /// fuzzing hot loop stops allocating a fresh `Vec` per trial packet.
+    pool: FrameBufPool,
 }
 
 /// Outcome of a liveness ping.
@@ -48,6 +52,7 @@ impl Dongle {
             frames_injected: 0,
             retransmissions: 0,
             last_frame: None,
+            pool: FrameBufPool::new(),
         }
     }
 
@@ -81,17 +86,26 @@ impl Dongle {
         let Ok(frame) = MacFrame::try_new(home_id, src, fc, dst, payload, ChecksumKind::Cs8) else {
             return; // oversized mutants are silently clamped by the caller
         };
-        let bytes = frame.encode();
-        self.radio.transmit(&bytes);
-        self.last_frame = Some(bytes);
-        self.frames_injected += 1;
+        let mut buf = self.pool.acquire();
+        frame.encode_into(buf.make_mut());
+        self.send_buf(buf);
     }
 
     /// Injects raw bytes verbatim (the VFuzz-style MAC-mutation path and
     /// replay attacks use this).
     pub fn inject_raw(&mut self, bytes: &[u8]) {
-        self.radio.transmit(bytes);
-        self.last_frame = Some(bytes.to_vec());
+        let mut buf = self.pool.acquire();
+        buf.make_mut().extend_from_slice(bytes);
+        self.send_buf(buf);
+    }
+
+    /// Transmits `buf`, retires the previously held frame's allocation to
+    /// the scratch pool, and keeps `buf` for byte-identical retransmission.
+    fn send_buf(&mut self, buf: FrameBuf) {
+        self.radio.transmit_buf(&buf);
+        if let Some(old) = self.last_frame.replace(buf) {
+            self.pool.retire(old);
+        }
         self.frames_injected += 1;
     }
 
@@ -100,10 +114,11 @@ impl Dongle {
     /// was lost recognises the copy as a duplicate instead of reprocessing
     /// it. Returns `false` when nothing has been injected yet.
     pub fn retransmit_last(&mut self) -> bool {
-        let Some(bytes) = self.last_frame.clone() else {
+        let Some(frame) = &self.last_frame else {
             return false;
         };
-        self.radio.transmit(&bytes);
+        // A resend is a ref-count bump per receiver, never a copy.
+        self.radio.transmit_buf(frame);
         self.retransmissions += 1;
         true
     }

@@ -83,7 +83,7 @@ impl PassiveScanner {
             .sniffer
             .captures()
             .iter()
-            .filter_map(|f| Dissection::from_wire(&f.bytes).ok())
+            .filter_map(|f| Dissection::from_buf(&f.bytes).ok())
             .collect();
         if dissections.is_empty() {
             return None;

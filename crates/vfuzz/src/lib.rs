@@ -235,7 +235,7 @@ pub fn capture_corpus<T: FuzzTarget>(target: &mut T, rounds: usize) -> Vec<Vec<u
     let mut corpus = Vec::new();
     for _ in 0..rounds {
         target.generate_normal_traffic();
-        corpus.extend(sniffer.drain().into_iter().map(|f| f.bytes));
+        corpus.extend(sniffer.drain().into_iter().map(|f| f.bytes.to_vec()));
     }
     corpus
 }

@@ -14,7 +14,7 @@ use zwave_protocol::apl::ApplicationPayload;
 use zwave_protocol::nif::{self, NodeInfoFrame};
 use zwave_protocol::registry::{proprietary, Registry};
 use zwave_protocol::{CommandClassId, HomeId, MacFrame, NodeId};
-use zwave_radio::{Medium, SimInstant, Transceiver};
+use zwave_radio::{FrameBuf, Medium, SimInstant, Transceiver};
 
 use zwave_crypto::s2::S2Session;
 
@@ -82,13 +82,18 @@ pub struct SimController {
     link: LinkPolicy,
     link_stats: LinkStats,
     pending_tx: Option<PendingTx>,
-    recent_rx: std::collections::VecDeque<Vec<u8>>,
+    recent_rx: std::collections::VecDeque<FrameBuf>,
     seq: u8,
     s2_sessions: Vec<(NodeId, S2Session)>,
     patched_bugs: BTreeSet<u8>,
     associations: std::collections::BTreeMap<u8, Vec<u8>>,
     config_params: std::collections::BTreeMap<u8, u8>,
     s0_key: zwave_crypto::NetworkKey,
+    /// Working keys derived from `s0_key` once per key change, not per
+    /// MESSAGE_ENCAP frame. Invalidated by [`SimController::set_s0_key`].
+    s0_cache: zwave_crypto::s0::S0Keys,
+    /// Expanded schedule of `s0_key` for internal nonce generation.
+    s0_nonce_cipher: zwave_crypto::aes::Aes128,
     s0_nonce_counter: u64,
     last_s0_nonce: Option<[u8; 8]>,
 }
@@ -123,6 +128,7 @@ impl SimController {
         let radio = medium.attach(position_m);
         let host = config.usb_host.then(HostProgram::new);
         let app = config.smart_hub.then(AppLink::new);
+        let s0_key = zwave_crypto::NetworkKey::from_seed(0x5050_5050);
         SimController {
             factory_nvm: nvm.snapshot(),
             nvm,
@@ -145,15 +151,20 @@ impl SimController {
             patched_bugs: BTreeSet::new(),
             associations: std::collections::BTreeMap::new(),
             config_params: std::collections::BTreeMap::new(),
-            s0_key: zwave_crypto::NetworkKey::from_seed(0x5050_5050),
+            s0_cache: zwave_crypto::s0::S0Keys::derive(&s0_key),
+            s0_nonce_cipher: zwave_crypto::aes::Aes128::new(s0_key.bytes()),
+            s0_key,
             s0_nonce_counter: 0,
             last_s0_nonce: None,
         }
     }
 
     /// Grants the legacy S0 network key this controller answers S0
-    /// encapsulation with (testbed pairing).
+    /// encapsulation with (testbed pairing). Re-derives the cached working
+    /// keys and nonce cipher so no hot-path key expansion is needed later.
     pub fn set_s0_key(&mut self, key: zwave_crypto::NetworkKey) {
+        self.s0_cache = zwave_crypto::s0::S0Keys::derive(&key);
+        self.s0_nonce_cipher = zwave_crypto::aes::Aes128::new(key.bytes());
         self.s0_key = key;
     }
 
@@ -168,7 +179,7 @@ impl SimController {
         // counter so values are unpredictable to the simulation user too.
         let mut block = [0u8; 16];
         block[..8].copy_from_slice(&self.s0_nonce_counter.to_be_bytes());
-        let out = zwave_crypto::aes::Aes128::new(self.s0_key.bytes()).encrypt(block);
+        let out = self.s0_nonce_cipher.encrypt(block);
         let mut nonce = [0u8; 8];
         nonce.copy_from_slice(&out[..8]);
         self.last_s0_nonce = Some(nonce);
@@ -352,10 +363,10 @@ impl SimController {
             zwave_protocol::ChecksumKind::Cs8,
         )
         .expect("controller payloads are bounded");
-        let bytes = frame.encode();
+        let bytes = FrameBuf::from(frame.encode());
         // The arrival instant (transmit time plus queued airtime) anchors
         // the ack wait: the receiver cannot ack before the frame lands.
-        let arrival = self.radio.transmit(&bytes);
+        let arrival = self.radio.transmit_buf(&bytes);
         self.stats.responses_sent += 1;
         // A newer transmission supersedes any still-unacked predecessor
         // (single in-flight frame, like the real single-buffer MAC).
@@ -419,10 +430,11 @@ impl SimController {
             return;
         }
         // Identical bytes on air: same sequence number, so the receiver's
-        // duplicate filter absorbs the copy if only the ack was lost.
+        // duplicate filter absorbs the copy if only the ack was lost. The
+        // clone is a ref-count bump on the shared frame buffer.
         let bytes = pending.bytes.clone();
         let attempts = pending.attempts + 1;
-        let arrival = self.radio.transmit(&bytes);
+        let arrival = self.radio.transmit_buf(&bytes);
         self.link_stats.retransmissions += 1;
         // The expired wakeup already fired (that is what got us polled), so
         // only the fresh one needs arming.
@@ -437,19 +449,21 @@ impl SimController {
 
     /// Duplicate filter: returns `true` (and counts it) when `raw` matches
     /// a recently dispatched frame byte-for-byte; otherwise remembers it.
-    fn is_duplicate(&mut self, raw: &[u8]) -> bool {
-        if self.recent_rx.iter().any(|seen| seen[..] == *raw) {
+    /// Remembering is a ref-count bump: the window shares the receive
+    /// buffer instead of copying it.
+    fn is_duplicate(&mut self, raw: &FrameBuf) -> bool {
+        if self.recent_rx.iter().any(|seen| seen == raw) {
             self.link_stats.duplicates_suppressed += 1;
             return true;
         }
         if self.recent_rx.len() == DUP_WINDOW {
             self.recent_rx.pop_front();
         }
-        self.recent_rx.push_back(raw.to_vec());
+        self.recent_rx.push_back(raw.clone());
         false
     }
 
-    fn handle_raw(&mut self, raw: &[u8]) {
+    fn handle_raw(&mut self, raw: &FrameBuf) {
         // 1. Hardware home-id filter.
         if raw.len() < 4 || raw[..4] != self.config.home_id.to_bytes() {
             return;
@@ -599,10 +613,9 @@ impl SimController {
                 }
                 Some(zwave_crypto::s0::cmd::MESSAGE_ENCAP) => {
                     let Some(receiver_nonce) = self.last_s0_nonce else { return };
-                    let keys = zwave_crypto::s0::S0Keys::derive(&self.s0_key);
                     let bytes = payload.encode();
                     if let Ok(inner) = zwave_crypto::s0::decapsulate(
-                        &keys,
+                        &self.s0_cache,
                         src.0,
                         self.node_id.0,
                         &receiver_nonce,

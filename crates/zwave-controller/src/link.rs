@@ -11,7 +11,7 @@
 use std::time::Duration;
 
 use zwave_protocol::NodeId;
-use zwave_radio::{SimInstant, TimerToken};
+use zwave_radio::{FrameBuf, SimInstant, TimerToken};
 
 /// How many recently-dispatched frames the duplicate filter remembers.
 /// Must stay below the 16-value sequence-number space so a legitimately
@@ -68,8 +68,9 @@ pub struct LinkStats {
 /// One in-flight acknowledged transmission awaiting its MAC ack.
 #[derive(Debug, Clone)]
 pub(crate) struct PendingTx {
-    /// The exact bytes on air; retransmissions resend these verbatim.
-    pub bytes: Vec<u8>,
+    /// The exact bytes on air; retransmissions resend these verbatim —
+    /// a shared buffer, so each resend is a ref-count bump, not a copy.
+    pub bytes: FrameBuf,
     /// Destination expected to ack.
     pub dst: NodeId,
     /// Sequence number the ack must echo.

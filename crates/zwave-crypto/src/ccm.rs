@@ -112,14 +112,18 @@ fn ctr_block(nonce: &[u8], q: usize, counter: u64) -> [u8; 16] {
     a
 }
 
-/// Encrypts and authenticates: returns `ciphertext || tag`.
+/// Encrypts and authenticates with a prebuilt cipher: returns
+/// `ciphertext || tag`. This is the hot-path entry point — callers that
+/// seal many frames under one key (the S2 session) expand the key schedule
+/// once and pass it here, instead of paying the expansion per frame as the
+/// byte-key wrapper [`seal`] does.
 ///
 /// # Errors
 ///
 /// Returns [`CcmError`] for out-of-range nonce/tag lengths or an oversized
 /// message.
-pub fn seal(
-    key: &[u8; 16],
+pub fn seal_with(
+    aes: &Aes128,
     nonce: &[u8],
     aad: &[u8],
     plaintext: &[u8],
@@ -129,8 +133,7 @@ pub fn seal(
     if q < 8 && plaintext.len() as u128 >= 1u128 << (8 * q) {
         return Err(CcmError::MessageTooLong);
     }
-    let aes = Aes128::new(key);
-    let mac = cbc_mac(&aes, nonce, aad, plaintext, tag_len, q);
+    let mac = cbc_mac(aes, nonce, aad, plaintext, tag_len, q);
 
     let mut out = Vec::with_capacity(plaintext.len() + tag_len);
     out.extend_from_slice(plaintext);
@@ -145,14 +148,32 @@ pub fn seal(
     Ok(out)
 }
 
-/// Verifies and decrypts `ciphertext || tag`; returns the plaintext.
+/// Encrypts and authenticates, expanding `key` for this one call. Cold
+/// convenience wrapper over [`seal_with`].
+///
+/// # Errors
+///
+/// Same as [`seal_with`].
+pub fn seal(
+    key: &[u8; 16],
+    nonce: &[u8],
+    aad: &[u8],
+    plaintext: &[u8],
+    tag_len: usize,
+) -> Result<Vec<u8>, CcmError> {
+    seal_with(&Aes128::new(key), nonce, aad, plaintext, tag_len)
+}
+
+/// Verifies and decrypts `ciphertext || tag` with a prebuilt cipher;
+/// returns the plaintext. Hot-path counterpart of [`open`], as
+/// [`seal_with`] is to [`seal`].
 ///
 /// # Errors
 ///
 /// Returns [`CcmError::AuthFailed`] when the tag does not verify, plus the
-/// same parameter errors as [`seal`].
-pub fn open(
-    key: &[u8; 16],
+/// same parameter errors as [`seal_with`].
+pub fn open_with(
+    aes: &Aes128,
     nonce: &[u8],
     aad: &[u8],
     sealed: &[u8],
@@ -163,7 +184,6 @@ pub fn open(
         return Err(CcmError::AuthFailed);
     }
     let (ct, tag) = sealed.split_at(sealed.len() - tag_len);
-    let aes = Aes128::new(key);
 
     let mut pt = ct.to_vec();
     for (i, chunk) in pt.chunks_mut(16).enumerate() {
@@ -173,13 +193,29 @@ pub fn open(
         }
     }
 
-    let mac = cbc_mac(&aes, nonce, aad, &pt, tag_len, q);
+    let mac = cbc_mac(aes, nonce, aad, &pt, tag_len, q);
     let s0 = aes.encrypt(ctr_block(nonce, q, 0));
     let diff = (0..tag_len).fold(0u8, |acc, i| acc | (tag[i] ^ mac[i] ^ s0[i]));
     if diff != 0 {
         return Err(CcmError::AuthFailed);
     }
     Ok(pt)
+}
+
+/// Verifies and decrypts, expanding `key` for this one call. Cold
+/// convenience wrapper over [`open_with`].
+///
+/// # Errors
+///
+/// Same as [`open_with`].
+pub fn open(
+    key: &[u8; 16],
+    nonce: &[u8],
+    aad: &[u8],
+    sealed: &[u8],
+    tag_len: usize,
+) -> Result<Vec<u8>, CcmError> {
+    open_with(&Aes128::new(key), nonce, aad, sealed, tag_len)
 }
 
 #[cfg(test)]

@@ -19,53 +19,104 @@ fn dbl(block: &[u8; 16]) -> [u8; 16] {
     out
 }
 
-/// Computes AES-128-CMAC over `msg`.
-pub fn cmac(key: &[u8; 16], msg: &[u8]) -> [u8; 16] {
-    let aes = Aes128::new(key);
-    let k1 = dbl(&aes.encrypt([0u8; 16]));
-    let k2 = dbl(&k1);
-
-    let n_blocks = msg.len().div_ceil(16).max(1);
-    let complete_last = !msg.is_empty() && msg.len().is_multiple_of(16);
-
-    let mut x = [0u8; 16];
-    for i in 0..n_blocks - 1 {
-        let mut block = [0u8; 16];
-        block.copy_from_slice(&msg[16 * i..16 * i + 16]);
-        for j in 0..16 {
-            x[j] ^= block[j];
-        }
-        x = aes.encrypt(x);
-    }
-
-    let mut last = [0u8; 16];
-    let tail = &msg[16 * (n_blocks - 1)..];
-    if complete_last {
-        last.copy_from_slice(tail);
-        for j in 0..16 {
-            last[j] ^= k1[j];
-        }
-    } else {
-        last[..tail.len()].copy_from_slice(tail);
-        last[tail.len()] = 0x80;
-        for j in 0..16 {
-            last[j] ^= k2[j];
-        }
-    }
-    for j in 0..16 {
-        x[j] ^= last[j];
-    }
-    aes.encrypt(x)
+/// A CMAC key with its AES round-key schedule and K1/K2 subkeys expanded
+/// once at construction. The per-message cost of [`CmacKey::mac`] is then
+/// just the CBC chain — no key expansion, no subkey doubling. Hot paths
+/// (the S2 SPAN nonce generator ticks one CMAC per frame) hold one of
+/// these; the free functions below re-expand per call and are only meant
+/// for cold one-shot uses such as key derivation.
+#[derive(Clone)]
+pub struct CmacKey {
+    key: [u8; 16],
+    aes: Aes128,
+    k1: [u8; 16],
+    k2: [u8; 16],
 }
 
-/// Verifies a (possibly truncated) CMAC tag.
-pub fn cmac_verify(key: &[u8; 16], msg: &[u8], tag: &[u8]) -> bool {
-    if tag.is_empty() || tag.len() > 16 {
-        return false;
+impl std::fmt::Debug for CmacKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("CmacKey { .. }")
     }
-    let full = cmac(key, msg);
-    // Constant-time-ish comparison: fold differences instead of early exit.
-    full[..tag.len()].iter().zip(tag).fold(0u8, |acc, (a, b)| acc | (a ^ b)) == 0
+}
+
+impl PartialEq for CmacKey {
+    fn eq(&self, other: &Self) -> bool {
+        // k1/k2 and the schedule are functions of the key bytes.
+        self.key == other.key
+    }
+}
+
+impl Eq for CmacKey {}
+
+impl CmacKey {
+    /// Expands `key` into the cached schedule and CMAC subkeys.
+    pub fn new(key: &[u8; 16]) -> Self {
+        let aes = Aes128::new(key);
+        let k1 = dbl(&aes.encrypt([0u8; 16]));
+        let k2 = dbl(&k1);
+        CmacKey { key: *key, aes, k1, k2 }
+    }
+
+    /// The raw key bytes this schedule was expanded from.
+    pub fn key_bytes(&self) -> &[u8; 16] {
+        &self.key
+    }
+
+    /// Computes AES-128-CMAC over `msg`.
+    pub fn mac(&self, msg: &[u8]) -> [u8; 16] {
+        let n_blocks = msg.len().div_ceil(16).max(1);
+        let complete_last = !msg.is_empty() && msg.len().is_multiple_of(16);
+
+        let mut x = [0u8; 16];
+        for i in 0..n_blocks - 1 {
+            let mut block = [0u8; 16];
+            block.copy_from_slice(&msg[16 * i..16 * i + 16]);
+            for j in 0..16 {
+                x[j] ^= block[j];
+            }
+            x = self.aes.encrypt(x);
+        }
+
+        let mut last = [0u8; 16];
+        let tail = &msg[16 * (n_blocks - 1)..];
+        if complete_last {
+            last.copy_from_slice(tail);
+            for (b, k) in last.iter_mut().zip(&self.k1) {
+                *b ^= k;
+            }
+        } else {
+            last[..tail.len()].copy_from_slice(tail);
+            last[tail.len()] = 0x80;
+            for (b, k) in last.iter_mut().zip(&self.k2) {
+                *b ^= k;
+            }
+        }
+        for j in 0..16 {
+            x[j] ^= last[j];
+        }
+        self.aes.encrypt(x)
+    }
+
+    /// Verifies a (possibly truncated) CMAC tag.
+    pub fn verify(&self, msg: &[u8], tag: &[u8]) -> bool {
+        if tag.is_empty() || tag.len() > 16 {
+            return false;
+        }
+        let full = self.mac(msg);
+        // Constant-time-ish comparison: fold differences, no early exit.
+        full[..tag.len()].iter().zip(tag).fold(0u8, |acc, (a, b)| acc | (a ^ b)) == 0
+    }
+}
+
+/// Computes AES-128-CMAC over `msg`, expanding `key` for this one call.
+pub fn cmac(key: &[u8; 16], msg: &[u8]) -> [u8; 16] {
+    CmacKey::new(key).mac(msg)
+}
+
+/// Verifies a (possibly truncated) CMAC tag, expanding `key` for this one
+/// call.
+pub fn cmac_verify(key: &[u8; 16], msg: &[u8], tag: &[u8]) -> bool {
+    CmacKey::new(key).verify(msg, tag)
 }
 
 #[cfg(test)]

@@ -44,11 +44,13 @@ impl std::fmt::Display for S0Error {
 
 impl std::error::Error for S0Error {}
 
-/// Working keys derived from an S0 network key.
+/// Working keys derived from an S0 network key. Both the encryption and
+/// authentication ciphers are stored with their round-key schedules
+/// expanded, so per-frame encapsulation never re-runs AES key expansion.
 #[derive(Clone)]
 pub struct S0Keys {
     enc: Aes128,
-    auth: [u8; 16],
+    auth: Aes128,
 }
 
 impl std::fmt::Debug for S0Keys {
@@ -64,7 +66,7 @@ impl S0Keys {
         let kn = Aes128::new(network_key.bytes());
         let ke = kn.encrypt([0xAA; 16]);
         let km = kn.encrypt([0x55; 16]);
-        S0Keys { enc: Aes128::new(&ke), auth: km }
+        S0Keys { enc: Aes128::new(&ke), auth: Aes128::new(&km) }
     }
 
     /// Derives the working keys for the fixed all-zero inclusion temp key.
@@ -86,7 +88,6 @@ fn ofb_xor(keys: &S0Keys, iv: &[u8; 16], data: &mut [u8]) {
 
 /// 8-byte CBC-MAC over the S0 authenticated data.
 fn auth_tag(keys: &S0Keys, iv: &[u8; 16], header: u8, src: u8, dst: u8, ct: &[u8]) -> [u8; 8] {
-    let mac_key = Aes128::new(&keys.auth);
     let mut auth_data = Vec::with_capacity(20 + ct.len());
     auth_data.extend_from_slice(iv);
     auth_data.push(header);
@@ -100,7 +101,7 @@ fn auth_tag(keys: &S0Keys, iv: &[u8; 16], header: u8, src: u8, dst: u8, ct: &[u8
         for (s, b) in state.iter_mut().zip(chunk) {
             *s ^= b;
         }
-        state = mac_key.encrypt(state);
+        state = keys.auth.encrypt(state);
     }
     let mut tag = [0u8; 8];
     tag.copy_from_slice(&state[..8]);

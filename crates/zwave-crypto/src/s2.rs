@@ -9,8 +9,9 @@
 //! that acceptance meaningful: normal traffic between the hub and the door
 //! lock is genuinely encrypted; ZCover's injected frames are not.
 
+use crate::aes::Aes128;
 use crate::ccm::{self, CcmError};
-use crate::cmac::cmac;
+use crate::cmac::{cmac, CmacKey};
 use crate::curve25519::{diffie_hellman, public_key, PublicKey, SecretKey};
 use crate::kdf::{network_key_expand, temp_extract, temp_key_expand, DerivedKeys};
 use crate::keys::NetworkKey;
@@ -70,9 +71,13 @@ impl From<CcmError> for S2Error {
 
 /// The SPAN (singlecast pre-agreed nonce) generator: a CMAC-based DRBG
 /// personalised with CKDF material and both sides' entropy inputs.
+///
+/// The DRBG key's CMAC schedule is expanded once at instantiation and
+/// cached, so each ratchet step ([`Span::next_nonce`]) is one CMAC over a
+/// single block with no key expansion.
 #[derive(Clone, PartialEq, Eq)]
 pub struct Span {
-    key: [u8; 16],
+    prf: CmacKey,
     state: [u8; 16],
 }
 
@@ -91,41 +96,28 @@ impl Span {
         seed_msg.extend_from_slice(receiver_ei);
         seed_msg.extend_from_slice(&keys.personalization);
         let key = cmac(&keys.ccm_key, &seed_msg);
-        let state = cmac(&key, b"span-instantiate");
-        Span { key, state }
+        let prf = CmacKey::new(&key);
+        let state = prf.mac(b"span-instantiate");
+        Span { prf, state }
     }
 
     /// Generates the next 13-byte CCM nonce, ratcheting the state.
     pub fn next_nonce(&mut self) -> [u8; NONCE_LEN] {
-        self.state = cmac(&self.key, &self.state);
+        self.state = self.prf.mac(&self.state);
         let mut nonce = [0u8; NONCE_LEN];
         nonce.copy_from_slice(&self.state[..NONCE_LEN]);
         nonce
     }
-
-    /// Peeks at the nonce `k` steps ahead without ratcheting.
-    fn peek(&self, k: usize) -> [u8; NONCE_LEN] {
-        let mut state = self.state;
-        for _ in 0..=k {
-            state = cmac(&self.key, &state);
-        }
-        let mut nonce = [0u8; NONCE_LEN];
-        nonce.copy_from_slice(&state[..NONCE_LEN]);
-        nonce
-    }
-
-    /// Ratchets the state forward `n` times.
-    fn advance(&mut self, n: usize) {
-        for _ in 0..n {
-            self.state = cmac(&self.key, &self.state);
-        }
-    }
 }
 
 /// One side's established S2 session: derived keys plus the shared SPAN.
+///
+/// The CCM cipher is expanded from `keys.ccm_key` once at session
+/// establishment; every encapsulated/decapsulated frame reuses the cached
+/// schedule via [`ccm::seal_with`] / [`ccm::open_with`].
 #[derive(Debug, Clone)]
 pub struct S2Session {
-    keys: DerivedKeys,
+    ccm: Aes128,
     span_tx: Span,
     span_rx: Span,
     seq: u8,
@@ -137,14 +129,16 @@ impl S2Session {
     pub fn initiator(keys: DerivedKeys, sender_ei: &[u8; 16], receiver_ei: &[u8; 16]) -> Self {
         let span_tx = Span::instantiate(&keys, sender_ei, receiver_ei);
         let span_rx = Span::instantiate(&keys, receiver_ei, sender_ei);
-        S2Session { keys, span_tx, span_rx, seq: 0 }
+        let ccm = Aes128::new(&keys.ccm_key);
+        S2Session { ccm, span_tx, span_rx, seq: 0 }
     }
 
     /// Builds the mirrored session for the responding node.
     pub fn responder(keys: DerivedKeys, sender_ei: &[u8; 16], receiver_ei: &[u8; 16]) -> Self {
         let span_tx = Span::instantiate(&keys, receiver_ei, sender_ei);
         let span_rx = Span::instantiate(&keys, sender_ei, receiver_ei);
-        S2Session { keys, span_tx, span_rx, seq: 0 }
+        let ccm = Aes128::new(&keys.ccm_key);
+        S2Session { ccm, span_tx, span_rx, seq: 0 }
     }
 
     /// Encapsulates `plaintext` into an S2 MESSAGE_ENCAP payload:
@@ -155,7 +149,7 @@ impl S2Session {
         self.seq = self.seq.wrapping_add(1);
         let nonce = self.span_tx.next_nonce();
         let aad = Self::aad(home_id, src, dst, seq, plaintext.len());
-        let sealed = ccm::seal(&self.keys.ccm_key, &nonce, &aad, plaintext, TAG_LEN)
+        let sealed = ccm::seal_with(&self.ccm, &nonce, &aad, plaintext, TAG_LEN)
             .expect("fixed 13-byte nonce and 8-byte tag are valid ccm parameters");
         let mut out = Vec::with_capacity(4 + sealed.len());
         out.push(0x9F);
@@ -187,11 +181,17 @@ impl S2Session {
         let sealed = &payload[4..];
         let pt_len = sealed.len() - TAG_LEN;
         let aad = Self::aad(home_id, src, dst, seq, pt_len);
-        for k in 0..RESYNC_WINDOW {
-            let nonce = self.span_rx.peek(k);
-            match ccm::open(&self.keys.ccm_key, &nonce, &aad, sealed, TAG_LEN) {
+        // Walk the resync window *incrementally*: each candidate state is
+        // one ratchet step past the previous one, so trying k nonces costs
+        // k CMACs total instead of the 1+2+…+k a peek-per-offset scan
+        // pays. On success the walked state is committed directly.
+        let mut state = self.span_rx.state;
+        for _ in 0..RESYNC_WINDOW {
+            state = self.span_rx.prf.mac(&state);
+            let nonce: &[u8] = &state[..NONCE_LEN];
+            match ccm::open_with(&self.ccm, nonce, &aad, sealed, TAG_LEN) {
                 Ok(pt) => {
-                    self.span_rx.advance(k + 1);
+                    self.span_rx.state = state;
                     return Ok(pt);
                 }
                 Err(CcmError::AuthFailed) => continue,

@@ -6,6 +6,8 @@ use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
+use zwave_radio::FrameBuf;
+
 use crate::apl::ApplicationPayload;
 use crate::error::ProtocolError;
 use crate::frame::MacFrame;
@@ -34,12 +36,17 @@ pub struct Dissection {
     pub dst: NodeId,
     /// Parsed application payload, absent for empty (ack) frames.
     pub apl: Option<ApplicationPayload>,
-    /// The raw wire bytes the dissection was produced from.
-    pub raw: Vec<u8>,
+    /// The raw wire bytes the dissection was produced from — a shared
+    /// frame buffer, so dissecting a captured frame keeps a reference to
+    /// the capture instead of copying it.
+    pub raw: FrameBuf,
 }
 
 impl Dissection {
-    /// Dissects raw wire bytes through MAC validation into fields.
+    /// Dissects raw wire bytes through MAC validation into fields. The
+    /// bytes are copied once into the dissection; sniffer paths that
+    /// already hold a [`FrameBuf`] should prefer the zero-copy
+    /// [`Dissection::from_buf`].
     ///
     /// # Errors
     ///
@@ -47,17 +54,28 @@ impl Dissection {
     /// transceiver would drop is not dissected.
     pub fn from_wire(bytes: &[u8]) -> Result<Self, ProtocolError> {
         let frame = MacFrame::decode(bytes)?;
-        Ok(Dissection::from_frame(&frame, bytes.to_vec()))
+        Ok(Dissection::from_frame(&frame, bytes))
+    }
+
+    /// Dissects a captured frame buffer without copying it: the resulting
+    /// dissection shares `buf` (a ref-count bump).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Dissection::from_wire`].
+    pub fn from_buf(buf: &FrameBuf) -> Result<Self, ProtocolError> {
+        let frame = MacFrame::decode(buf)?;
+        Ok(Dissection::from_frame(&frame, buf.clone()))
     }
 
     /// Dissects an already-decoded frame.
-    pub fn from_frame(frame: &MacFrame, raw: Vec<u8>) -> Self {
+    pub fn from_frame(frame: &MacFrame, raw: impl Into<FrameBuf>) -> Self {
         Dissection {
             home_id: frame.home_id(),
             src: frame.src(),
             dst: frame.dst(),
             apl: ApplicationPayload::parse(frame.payload()).ok(),
-            raw,
+            raw: raw.into(),
         }
     }
 

@@ -252,15 +252,25 @@ impl MacFrame {
 
     /// Serializes the frame, computing a *correct* checksum.
     pub fn encode(&self) -> Vec<u8> {
-        let mut out = self.encode_without_checksum();
+        let mut out = Vec::new();
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Serializes the frame (correct checksum) into `out`, clearing it
+    /// first. Lets hot paths reuse one allocation across frames instead of
+    /// building a fresh vector per [`MacFrame::encode`] call.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        out.clear();
+        out.reserve(self.encoded_len());
+        self.encode_without_checksum_into(out);
         match self.checksum_kind {
-            ChecksumKind::Cs8 => out.push(cs8(&out)),
+            ChecksumKind::Cs8 => out.push(cs8(out)),
             ChecksumKind::Crc16 => {
-                let crc = crc16_ccitt(&out);
+                let crc = crc16_ccitt(out);
                 out.extend_from_slice(&crc.to_be_bytes());
             }
         }
-        out
     }
 
     /// Serializes the frame with a caller-supplied checksum value, letting
@@ -276,6 +286,11 @@ impl MacFrame {
 
     fn encode_without_checksum(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(self.encoded_len());
+        self.encode_without_checksum_into(&mut out);
+        out
+    }
+
+    fn encode_without_checksum_into(&self, out: &mut Vec<u8>) {
         out.extend_from_slice(&self.home_id.to_bytes());
         out.push(self.src.0);
         let (p1, p2) = self.frame_control.encode();
@@ -284,7 +299,6 @@ impl MacFrame {
         out.push(self.encoded_len() as u8);
         out.push(self.dst.0);
         out.extend_from_slice(&self.payload);
-        out
     }
 
     /// Parses and validates a frame from raw wire bytes (CS-8 trailer).

@@ -1,0 +1,296 @@
+//! Shared, copy-on-write frame buffers for the zero-copy delivery path.
+//!
+//! `Medium::transmit` used to clone the raw frame bytes once per receiver;
+//! with [`FrameBuf`] an uncorrupted broadcast to N receivers is one
+//! allocation plus N reference-count bumps, and link-layer retransmissions
+//! of byte-identical frames are pure ref-count bumps. The impairment and
+//! noise layers call [`FrameBuf::make_mut`] only when they actually flip,
+//! truncate, or otherwise rewrite bytes, so the copy happens exactly on the
+//! (rare) mutating paths and every other holder keeps the pristine frame.
+
+use std::sync::Arc;
+
+/// A cheaply-cloneable, copy-on-write frame buffer.
+///
+/// Dereferences to `[u8]`, so read paths treat it exactly like a byte
+/// slice; equality is over the bytes, not the allocation. Cloning bumps a
+/// reference count; [`FrameBuf::make_mut`] gives `&mut Vec<u8>` access,
+/// copying the bytes first only if another clone is still alive.
+#[derive(Clone, Default)]
+pub struct FrameBuf {
+    inner: Arc<Vec<u8>>,
+}
+
+impl FrameBuf {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        FrameBuf::default()
+    }
+
+    /// Copies `bytes` into a fresh buffer (one allocation).
+    pub fn from_slice(bytes: &[u8]) -> Self {
+        FrameBuf { inner: Arc::new(bytes.to_vec()) }
+    }
+
+    /// The frame bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.inner
+    }
+
+    /// Mutable access to the bytes, copy-on-write: if other clones share
+    /// the allocation the bytes are copied first, otherwise this is free.
+    /// Sharers keep the pre-mutation bytes either way.
+    pub fn make_mut(&mut self) -> &mut Vec<u8> {
+        Arc::make_mut(&mut self.inner)
+    }
+
+    /// Whether this is the only live handle to the allocation (in which
+    /// case [`FrameBuf::make_mut`] will not copy). Used by
+    /// [`FrameBufPool`] to decide when a retired buffer may be recycled.
+    pub fn is_unique(&self) -> bool {
+        Arc::strong_count(&self.inner) == 1
+    }
+}
+
+impl std::ops::Deref for FrameBuf {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+impl AsRef<[u8]> for FrameBuf {
+    fn as_ref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+impl From<Vec<u8>> for FrameBuf {
+    /// Wraps an owned vector without copying the bytes.
+    fn from(bytes: Vec<u8>) -> Self {
+        FrameBuf { inner: Arc::new(bytes) }
+    }
+}
+
+impl From<&[u8]> for FrameBuf {
+    fn from(bytes: &[u8]) -> Self {
+        FrameBuf::from_slice(bytes)
+    }
+}
+
+impl<const N: usize> From<[u8; N]> for FrameBuf {
+    fn from(bytes: [u8; N]) -> Self {
+        FrameBuf::from_slice(&bytes)
+    }
+}
+
+impl std::fmt::Debug for FrameBuf {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        std::fmt::Debug::fmt(self.as_slice(), f)
+    }
+}
+
+impl PartialEq for FrameBuf {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for FrameBuf {}
+
+impl std::hash::Hash for FrameBuf {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
+    }
+}
+
+impl PartialEq<[u8]> for FrameBuf {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl PartialEq<&[u8]> for FrameBuf {
+    fn eq(&self, other: &&[u8]) -> bool {
+        self.as_slice() == *other
+    }
+}
+
+impl PartialEq<Vec<u8>> for FrameBuf {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl PartialEq<FrameBuf> for Vec<u8> {
+    fn eq(&self, other: &FrameBuf) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<const N: usize> PartialEq<[u8; N]> for FrameBuf {
+    fn eq(&self, other: &[u8; N]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl<const N: usize> PartialEq<FrameBuf> for [u8; N] {
+    fn eq(&self, other: &FrameBuf) -> bool {
+        self == other.as_slice()
+    }
+}
+
+impl<'a> IntoIterator for &'a FrameBuf {
+    type Item = &'a u8;
+    type IntoIter = std::slice::Iter<'a, u8>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+/// A bounded free-list of retired [`FrameBuf`]s.
+///
+/// The fuzzing hot loop injects one frame per trial iteration; once every
+/// receiver has dropped its clones the retired buffer's allocation can be
+/// reused for the next frame instead of hitting the allocator. Buffers
+/// still shared when [`FrameBufPool::acquire`] scans the list are left in
+/// place until their refcount drains.
+#[derive(Debug, Default)]
+pub struct FrameBufPool {
+    retired: Vec<FrameBuf>,
+}
+
+/// Retired buffers kept around per pool; beyond this the oldest is dropped.
+const POOL_CAP: usize = 8;
+
+impl FrameBufPool {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        FrameBufPool::default()
+    }
+
+    /// Returns an empty buffer with exclusive ownership, reusing a retired
+    /// allocation when one has fully drained.
+    pub fn acquire(&mut self) -> FrameBuf {
+        if let Some(idx) = self.retired.iter().position(FrameBuf::is_unique) {
+            let mut buf = self.retired.swap_remove(idx);
+            buf.make_mut().clear();
+            buf
+        } else {
+            FrameBuf::new()
+        }
+    }
+
+    /// Hands a no-longer-needed buffer back for later reuse. The buffer may
+    /// still be shared; it becomes reusable once the other clones drop.
+    pub fn retire(&mut self, buf: FrameBuf) {
+        if self.retired.len() >= POOL_CAP {
+            self.retired.remove(0);
+        }
+        self.retired.push(buf);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clone_shares_the_allocation() {
+        let a = FrameBuf::from_slice(&[1, 2, 3]);
+        let b = a.clone();
+        assert!(std::ptr::eq(a.as_slice(), b.as_slice()));
+        assert!(!a.is_unique());
+        drop(b);
+        assert!(a.is_unique());
+    }
+
+    #[test]
+    fn make_mut_copies_only_when_shared() {
+        let mut a = FrameBuf::from_slice(&[1, 2, 3]);
+        let before = a.as_slice().as_ptr();
+        a.make_mut()[0] = 9;
+        assert_eq!(a.as_slice().as_ptr(), before, "unique buffer mutates in place");
+
+        let b = a.clone();
+        a.make_mut()[1] = 8;
+        assert_eq!(a, vec![9, 8, 3]);
+        assert_eq!(b, vec![9, 2, 3], "sharer keeps the pre-mutation bytes");
+    }
+
+    #[test]
+    fn equality_is_over_bytes_not_allocations() {
+        let a = FrameBuf::from_slice(&[0xDE, 0xAD]);
+        let b = FrameBuf::from_slice(&[0xDE, 0xAD]);
+        assert_eq!(a, b);
+        assert_eq!(a, vec![0xDE, 0xAD]);
+        assert_eq!(vec![0xDE, 0xAD], a);
+        assert_eq!(a, [0xDE, 0xAD]);
+        assert_eq!(a, &[0xDE, 0xAD][..]);
+        assert_ne!(a, FrameBuf::from_slice(&[0xDE]));
+    }
+
+    #[test]
+    fn from_vec_does_not_copy() {
+        let v = vec![7u8; 32];
+        let ptr = v.as_ptr();
+        let buf = FrameBuf::from(v);
+        assert_eq!(buf.as_slice().as_ptr(), ptr);
+    }
+
+    #[test]
+    fn deref_gives_slice_ops() {
+        let buf = FrameBuf::from_slice(&[5, 6, 7, 8]);
+        assert_eq!(buf.len(), 4);
+        assert!(!buf.is_empty());
+        assert_eq!(buf[1], 6);
+        assert_eq!(&buf[..2], &[5, 6]);
+        assert_eq!(buf.iter().copied().sum::<u8>(), 26);
+    }
+
+    #[test]
+    fn pool_reuses_drained_allocations() {
+        let mut pool = FrameBufPool::new();
+        let mut first = pool.acquire();
+        first.make_mut().extend_from_slice(&[1, 2, 3, 4]);
+        let data_ptr = first.as_slice().as_ptr();
+        pool.retire(first);
+        let mut again = pool.acquire();
+        assert!(again.is_empty());
+        // Capacity (and thus the data pointer) survives the recycle.
+        assert!(again.inner.capacity() >= 4);
+        again.make_mut().extend_from_slice(&[9]);
+        assert_eq!(again.as_slice().as_ptr(), data_ptr);
+    }
+
+    #[test]
+    fn pool_skips_buffers_still_shared() {
+        let mut pool = FrameBufPool::new();
+        let mut buf = pool.acquire();
+        buf.make_mut().push(1);
+        let holder = buf.clone();
+        pool.retire(buf);
+        // The receiver-side clone is still alive: acquire must not hand the
+        // same allocation out again.
+        let fresh = pool.acquire();
+        assert!(fresh.is_unique());
+        assert_eq!(holder, vec![1]);
+        drop(holder);
+        // Now it has drained and gets recycled.
+        let recycled = pool.acquire();
+        assert!(recycled.inner.capacity() >= 1);
+    }
+
+    #[test]
+    fn pool_is_bounded() {
+        let mut pool = FrameBufPool::new();
+        for i in 0..2 * POOL_CAP {
+            let mut buf = FrameBuf::new();
+            buf.make_mut().push(i as u8);
+            pool.retire(buf);
+        }
+        assert_eq!(pool.retired.len(), POOL_CAP);
+    }
+}

@@ -29,6 +29,7 @@
 #![warn(missing_docs)]
 
 pub mod clock;
+pub mod framebuf;
 pub mod impairment;
 pub mod medium;
 pub mod noise;
@@ -37,8 +38,9 @@ pub mod sched;
 pub mod sniffer;
 
 pub use clock::{SimClock, SimInstant};
+pub use framebuf::{FrameBuf, FrameBufPool};
 pub use impairment::{GilbertElliott, ImpairmentProfile, ImpairmentSchedule, ImpairmentStage};
-pub use medium::{Medium, MediumStats, RxFrame, Transceiver};
+pub use medium::{Medium, MediumStats, RxFrame, Transceiver, RX_QUEUE_CAP};
 pub use noise::NoiseModel;
 pub use region::Region;
 pub use sched::{Delivery, Event, EventKind, EventObserver, SimScheduler, TimerToken};

@@ -31,6 +31,7 @@ use parking_lot::Mutex;
 use rand::Rng;
 
 use crate::clock::{SimClock, SimInstant};
+use crate::framebuf::FrameBuf;
 use crate::impairment::{delivery_rng, frame_rng, ImpairmentSchedule, ImpairmentStage};
 use crate::noise::{rssi_dbm, NoiseModel};
 use crate::region::Region;
@@ -39,11 +40,21 @@ use crate::sched::{Delivery, Event, EventKind, SimScheduler, TimerToken};
 /// Default on-air data rate: Z-Wave R2, 40 kbit/s.
 pub const DEFAULT_BITRATE: u32 = 40_000;
 
+/// Frames a station's receive queue holds before the oldest is dropped,
+/// modelling a transceiver's finite rx ring. Actively-serviced radios
+/// never come close (they drain every poll); the cap matters for stations
+/// nobody services — a passive sniffer left attached through a fuzzing
+/// campaign would otherwise pin every frame the campaign ever broadcast,
+/// and with shared [`FrameBuf`] deliveries that keeps each frame's
+/// allocation alive (and the allocator cold) for the whole run.
+pub const RX_QUEUE_CAP: usize = 512;
+
 /// A frame as received by one station.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RxFrame {
-    /// Raw frame bytes as they arrived (possibly corrupted).
-    pub bytes: Vec<u8>,
+    /// Raw frame bytes as they arrived (possibly corrupted). Shared with
+    /// every other receiver of the same uncorrupted transmission.
+    pub bytes: FrameBuf,
     /// Simulated arrival time.
     pub at: SimInstant,
     /// Received signal strength in centi-dBm (scaled to keep `Eq`).
@@ -76,6 +87,9 @@ pub struct MediumStats {
     pub truncations: u64,
     /// Per-receiver deliveries suppressed by a blackout window.
     pub blackout_drops: u64,
+    /// Delivered frames evicted unread from a full receive queue
+    /// (the station's rx ring overflowed; see [`RX_QUEUE_CAP`]).
+    pub rx_overflows: u64,
 }
 
 impl MediumStats {
@@ -91,6 +105,7 @@ impl MediumStats {
             reorders: self.reorders.saturating_sub(earlier.reorders),
             truncations: self.truncations.saturating_sub(earlier.truncations),
             blackout_drops: self.blackout_drops.saturating_sub(earlier.blackout_drops),
+            rx_overflows: self.rx_overflows.saturating_sub(earlier.rx_overflows),
         }
     }
 }
@@ -317,6 +332,13 @@ impl Medium {
                     } else {
                         station.queue.insert(at, frame);
                     }
+                    // Finite rx ring: an unserviced station sheds its
+                    // oldest frames rather than pinning every broadcast
+                    // for the lifetime of the run.
+                    while station.queue.len() > RX_QUEUE_CAP {
+                        station.queue.pop_front();
+                        stats.rx_overflows += 1;
+                    }
                 }
             }
             EventKind::Timer(_) => self.inner.lock().fired.push(event.actor),
@@ -389,8 +411,12 @@ impl Medium {
     /// Serializes the frame onto the channel and schedules its arrival;
     /// returns the arrival instant. Every random outcome is decided here,
     /// from RNGs keyed on `(seed, frame index, receiver)`.
-    fn transmit(&self, from: usize, bytes: &[u8]) -> SimInstant {
-        let bits = (bytes.len() as u64) * 8;
+    ///
+    /// Receivers share `frame`'s allocation: on a clean channel an
+    /// N-receiver broadcast is N reference-count bumps, and only an
+    /// impairment that actually rewrites bytes pays for a private copy.
+    fn transmit(&self, from: usize, frame: &FrameBuf) -> SimInstant {
+        let bits = (frame.len() as u64) * 8;
         let mut inner = self.inner.lock();
         let airtime = Duration::from_micros(bits * 1_000_000 / inner.bitrate as u64);
         // The channel is half-duplex: frames serialize in transmit order
@@ -436,8 +462,12 @@ impl Medium {
                 stats.losses += 1;
                 continue;
             }
-            let mut delivered = bytes.to_vec();
-            let mut corrupted = noise.roll_corruption(&mut rng, &mut delivered);
+            let mut delivered = frame.clone();
+            let mut corrupted = false;
+            if let Some((idx, flip)) = noise.corruption_plan(&mut rng, delivered.len()) {
+                delivered.make_mut()[idx] ^= flip;
+                corrupted = true;
+            }
             let mut lost = false;
             let mut duplicated = false;
             let mut reorder_window = 0usize;
@@ -463,7 +493,7 @@ impl Medium {
                             && delivered.len() > 1
                         {
                             let keep = rng.gen_range(1..delivered.len());
-                            delivered.truncate(keep);
+                            delivered.make_mut().truncate(keep);
                             stats.truncations += 1;
                         }
                     }
@@ -474,7 +504,7 @@ impl Medium {
                         {
                             let idx = rng.gen_range(0..delivered.len());
                             let bit = rng.gen_range(0..8u8);
-                            delivered[idx] ^= 1 << bit;
+                            delivered.make_mut()[idx] ^= 1 << bit;
                             corrupted = true;
                         }
                     }
@@ -515,8 +545,19 @@ impl Transceiver {
     /// Broadcasts `bytes` onto the air. The frame serializes behind any
     /// in-flight transmission; the returned instant is when it arrives at
     /// the receivers (`now` plus queued airtime).
+    ///
+    /// Copies `bytes` into a shared [`FrameBuf`] once; callers that
+    /// already hold a `FrameBuf` (retransmission paths, frame pools)
+    /// should use [`Transceiver::transmit_buf`] to skip even that copy.
     pub fn transmit(&self, bytes: &[u8]) -> SimInstant {
-        self.medium.transmit(self.index, bytes)
+        self.medium.transmit(self.index, &FrameBuf::from_slice(bytes))
+    }
+
+    /// Broadcasts an already-shared frame buffer onto the air without
+    /// copying it: receivers get reference-counted clones, so resending a
+    /// held frame allocates nothing.
+    pub fn transmit_buf(&self, frame: &FrameBuf) -> SimInstant {
+        self.medium.transmit(self.index, frame)
     }
 
     /// Pops the next received frame, if any (releasing due deliveries
@@ -994,5 +1035,30 @@ mod tests {
         }
         let far_received = near.drain().len();
         assert!(near_received > far_received, "{near_received} vs {far_received}");
+    }
+
+    #[test]
+    fn unserviced_station_sheds_oldest_frames_at_rx_queue_cap() {
+        let medium = Medium::new(SimClock::new(), 7);
+        let tx = medium.attach(0.0);
+        let rx = medium.attach(1.0);
+        let extra = 37usize;
+        for i in 0..RX_QUEUE_CAP + extra {
+            tx.transmit(&(i as u32).to_be_bytes());
+        }
+        let held = rx.drain();
+        assert_eq!(held.len(), RX_QUEUE_CAP, "queue is capped");
+        // The *newest* frames are retained; the oldest were evicted.
+        let first = u32::from_be_bytes(held[0].bytes.as_slice().try_into().unwrap());
+        assert_eq!(first as usize, extra);
+        let last = u32::from_be_bytes(held.last().unwrap().bytes.as_slice().try_into().unwrap());
+        assert_eq!(last as usize, RX_QUEUE_CAP + extra - 1);
+        assert_eq!(medium.stats().rx_overflows, extra as u64);
+        // A serviced station never overflows.
+        for i in 0..RX_QUEUE_CAP + extra {
+            tx.transmit(&(i as u32).to_be_bytes());
+            assert_eq!(rx.drain().len(), 1);
+        }
+        assert_eq!(medium.stats().rx_overflows, extra as u64, "no further evictions");
     }
 }

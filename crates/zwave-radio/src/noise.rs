@@ -46,15 +46,29 @@ impl NoiseModel {
         p > 0.0 && rng.gen_bool(p)
     }
 
+    /// Rolls whether a frame of `len` bytes gets one byte corrupted,
+    /// returning the byte index and XOR mask to apply if so. Splitting the
+    /// decision from the write lets the zero-copy delivery path keep the
+    /// shared buffer intact unless a corruption actually lands; the RNG
+    /// draw sequence is identical to [`NoiseModel::roll_corruption`].
+    pub fn corruption_plan<R: Rng>(&self, rng: &mut R, len: usize) -> Option<(usize, u8)> {
+        if len == 0 || self.corruption <= 0.0 || !rng.gen_bool(self.corruption.min(1.0)) {
+            return None;
+        }
+        let idx = rng.gen_range(0..len);
+        let flip = rng.gen_range(1..=255u8);
+        Some((idx, flip))
+    }
+
     /// Possibly corrupts one byte of `frame`; returns `true` if it did.
     pub fn roll_corruption<R: Rng>(&self, rng: &mut R, frame: &mut [u8]) -> bool {
-        if frame.is_empty() || self.corruption <= 0.0 || !rng.gen_bool(self.corruption.min(1.0)) {
-            return false;
+        match self.corruption_plan(rng, frame.len()) {
+            Some((idx, flip)) => {
+                frame[idx] ^= flip;
+                true
+            }
+            None => false,
         }
-        let idx = rng.gen_range(0..frame.len());
-        let flip = rng.gen_range(1..=255u8);
-        frame[idx] ^= flip;
-        true
     }
 }
 

@@ -32,6 +32,7 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 
 use crate::clock::{SimClock, SimInstant};
+use crate::framebuf::FrameBuf;
 
 /// Journal hook: observes every event the scheduler releases, in release
 /// order, immediately after the dequeue. Implementations must be pure
@@ -80,7 +81,9 @@ pub struct Delivery {
     /// Receiving station index on the medium.
     pub station: usize,
     /// Frame bytes as they will arrive (possibly corrupted/truncated).
-    pub bytes: Vec<u8>,
+    /// Uncorrupted deliveries share the transmitted buffer; an impairment
+    /// that rewrites bytes triggers the copy-on-write.
+    pub bytes: FrameBuf,
     /// Received signal strength in centi-dBm.
     pub rssi_cdbm: i32,
     /// Whether an identical back-to-back duplicate accompanies the frame.

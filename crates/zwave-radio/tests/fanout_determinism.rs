@@ -1,0 +1,94 @@
+//! Pinned regression: the zero-copy broadcast fan-out must reproduce the
+//! per-receiver impairment decisions of the original clone-per-receiver
+//! transmit path bit for bit.
+//!
+//! The constants below are FNV-1a digests of every byte delivered to two
+//! receivers across a lossy/adversarial seed sweep, captured on the
+//! pre-refactor medium (each receiver got its own `Vec<u8>` copy before
+//! impairment rolls). The shared-`FrameBuf` path draws from the same
+//! per-receiver RNG stream in the same order — loss, corruption plan,
+//! stage rolls, truncation, bit flips — so the delivered bytes, and hence
+//! these digests, must never change. A divergence here means the refactor
+//! perturbed `(seed, frame index, receiver)` determinism.
+
+use zwave_radio::{ImpairmentProfile, Medium, SimClock};
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Digest of one (profile, seed) run: three stations, thirty frames from
+/// the first, digests folded over both receivers' delivered bytes in
+/// drain order.
+fn sweep_hash(profile: ImpairmentProfile, seed: u64) -> u64 {
+    let medium = Medium::new(SimClock::new(), seed);
+    medium.set_impairment(profile.schedule());
+    let a = medium.attach(0.0);
+    let b = medium.attach(1.0);
+    let c = medium.attach(12.0);
+    for n in 0..30u8 {
+        a.transmit(&[n, n ^ 0x5A, n.wrapping_mul(7), 0xC5, n]);
+    }
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for rx in b.drain().into_iter().chain(c.drain()) {
+        h ^= fnv1a(&rx.bytes);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+const LOSSY_BASELINE: [u64; 8] = [
+    0x15f7b414d0e0eabf,
+    0xffa80ff43a42d69a,
+    0xd7e5d16cfe629ca5,
+    0xb694c63d7c0d821f,
+    0x49d491e6fc0812df,
+    0xedb6bef95ea2f788,
+    0xa28f53d0e1ed96fd,
+    0xcef037024f0f887d,
+];
+
+const ADVERSARIAL_BASELINE: [u64; 8] = [
+    0x1dab81f627ca696f,
+    0xef2e6311c3a2d3ec,
+    0x00c3e49c45b14607,
+    0xdd36902829e3ed83,
+    0x4cee3c7e7e92a9bc,
+    0xee2c7ef54c4cd51c,
+    0xa07d6971b1a6ca53,
+    0x825108921f712226,
+];
+
+#[test]
+fn lossy_sweep_matches_pre_refactor_deliveries() {
+    for (seed, &expected) in LOSSY_BASELINE.iter().enumerate() {
+        let got = sweep_hash(ImpairmentProfile::Lossy, seed as u64);
+        assert_eq!(
+            got, expected,
+            "lossy seed {seed}: delivered bytes diverged from the clone-per-receiver baseline"
+        );
+    }
+}
+
+#[test]
+fn adversarial_sweep_matches_pre_refactor_deliveries() {
+    for (seed, &expected) in ADVERSARIAL_BASELINE.iter().enumerate() {
+        let got = sweep_hash(ImpairmentProfile::Adversarial, seed as u64);
+        assert_eq!(
+            got, expected,
+            "adversarial seed {seed}: delivered bytes diverged from the baseline"
+        );
+    }
+}
+
+#[test]
+fn repeated_runs_are_identical() {
+    for profile in [ImpairmentProfile::Lossy, ImpairmentProfile::Adversarial] {
+        assert_eq!(sweep_hash(profile, 3), sweep_hash(profile, 3));
+    }
+}

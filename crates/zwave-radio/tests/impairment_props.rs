@@ -114,10 +114,15 @@ proptest! {
             ImpairmentSchedule::clean().with(ImpairmentStage::BurstyLoss(ge)),
         );
         let trials: u64 = 6000;
+        // Service the receiver as frames arrive: its rx ring is finite
+        // (`RX_QUEUE_CAP`), so letting 6000 frames pile up undrained would
+        // shed the oldest ones and inflate the apparent loss rate.
+        let mut delivered = 0u64;
         for i in 0..trials {
             tx.transmit(&tagged_frame((i % u64::from(u16::MAX)) as u16, (i >> 16) as u8));
+            delivered += rx.drain().len() as u64;
         }
-        let delivered = rx.drain().len() as u64;
+        delivered += rx.drain().len() as u64;
         let observed = (trials - delivered) as f64 / trials as f64;
         let expected = ge.long_run_loss();
         // Chain mixing is slow for small transition probabilities; 6000

@@ -18,7 +18,7 @@ fn at(us: u64) -> SimInstant {
 fn frame_for(station: usize) -> EventKind {
     EventKind::FrameArrival(vec![Delivery {
         station,
-        bytes: vec![station as u8],
+        bytes: vec![station as u8].into(),
         rssi_cdbm: -4200,
         duplicated: false,
         reorder_window: 0,

@@ -6,7 +6,7 @@ use zcover_suite::zwave_controller::testbed::{DeviceModel, Testbed, LOCK_NODE, S
 use zcover_suite::zwave_controller::{AppState, HostState};
 use zcover_suite::zwave_protocol::nif::BasicDeviceType;
 use zcover_suite::zwave_protocol::{MacFrame, NodeId};
-use zcover_suite::zwave_radio::Transceiver;
+use zcover_suite::zwave_radio::{FrameBuf, Transceiver};
 
 fn inject(tb: &mut Testbed, attacker: &Transceiver, payload: Vec<u8>) {
     let frame = MacFrame::singlecast(
@@ -119,8 +119,8 @@ fn replayed_sniffed_s2_frames_do_not_unlock() {
     let mut tb = Testbed::new(DeviceModel::D6, 9);
     let sniffer = tb.attach_attacker(70.0);
     tb.exchange_normal_traffic();
-    let captured: Vec<Vec<u8>> = sniffer.drain().into_iter().map(|f| f.bytes).collect();
-    let s2_frames: Vec<&Vec<u8>> =
+    let captured: Vec<FrameBuf> = sniffer.drain().into_iter().map(|f| f.bytes).collect();
+    let s2_frames: Vec<&FrameBuf> =
         captured.iter().filter(|b| b.len() > 11 && b[9] == 0x9F && b[10] == 0x03).collect();
     assert!(!s2_frames.is_empty(), "the exchange used S2 encapsulation");
     tb.exchange_normal_traffic(); // advance the SPAN

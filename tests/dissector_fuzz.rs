@@ -10,7 +10,7 @@
 
 use zcover_suite::zwave_protocol::dissect::{to_bits, to_hex, Dissection};
 use zcover_suite::zwave_protocol::{HomeId, MacFrame, NodeId};
-use zcover_suite::zwave_radio::{ImpairmentProfile, Medium, SimClock, Sniffer};
+use zcover_suite::zwave_radio::{FrameBuf, ImpairmentProfile, Medium, SimClock, Sniffer};
 
 /// Deterministic splitmix64 stream for payload generation.
 struct Rng(u64);
@@ -31,7 +31,7 @@ impl Rng {
 
 /// Transmits `frames` valid singlecast frames through `profile` and
 /// returns every byte string a promiscuous sniffer captured.
-fn mangled_captures(profile: ImpairmentProfile, seed: u64, frames: usize) -> Vec<Vec<u8>> {
+fn mangled_captures(profile: ImpairmentProfile, seed: u64, frames: usize) -> Vec<FrameBuf> {
     let medium = Medium::new(SimClock::new(), seed);
     medium.set_impairment(profile.schedule());
     let tx = medium.attach(0.0);

@@ -3,6 +3,7 @@
 
 use zcover_suite::zwave_controller::testbed::{DeviceModel, Testbed, SENSOR_NODE, SWITCH_NODE};
 use zcover_suite::zwave_protocol::{MacFrame, NodeId};
+use zcover_suite::zwave_radio::FrameBuf;
 
 #[test]
 fn sensor_wake_cycle_delivers_an_encrypted_report() {
@@ -28,8 +29,8 @@ fn sensor_report_is_s0_encapsulated_on_air() {
     tb.pump();
     tb.pump();
 
-    let frames: Vec<Vec<u8>> = sniffer.drain().into_iter().map(|f| f.bytes).collect();
-    let sensor_frames: Vec<&Vec<u8>> =
+    let frames: Vec<FrameBuf> = sniffer.drain().into_iter().map(|f| f.bytes).collect();
+    let sensor_frames: Vec<&FrameBuf> =
         frames.iter().filter(|b| b.len() > 10 && b[4] == SENSOR_NODE.0).collect();
     assert!(!sensor_frames.is_empty());
     // The motion value never appears as a plain SENSOR_BINARY report.
