@@ -7,7 +7,9 @@
 //! zcover fuzz        --device D1 --hours 1 --seed 42 --config full
 //! zcover fuzz        --device D1 --config beta --log bugs.txt
 //! zcover fuzz        --device D1 --hours 0.02 --record trace.jsonl
+//! zcover fuzz        --device D1 --mode coverage --hours 1
 //! zcover trials      --device D1 --trials 5 --workers 4 --hours 1
+//! zcover trials      --device D1 --mode vfuzz --trials 5 --hours 1
 //! zcover replay      trace.jsonl
 //! zcover export-spec --out zw_classes.xml
 //! ```
@@ -43,14 +45,29 @@ fn parse_impairment(args: &[String]) -> ImpairmentProfile {
     })
 }
 
-/// The canonical configuration name selected by `--config` (also recorded
-/// in trace headers so `zcover replay` can rebuild the configuration).
+/// The canonical configuration name selected by `--mode` / `--config`
+/// (also recorded in trace headers so `zcover replay` can rebuild the
+/// configuration). `--mode zcover` (the default) defers to `--config`;
+/// the coverage and vfuzz engines are whole configurations of their own.
 fn config_name(args: &[String]) -> String {
-    flag(args, "--config").unwrap_or_else(|| "full".to_string())
+    match flag(args, "--mode").as_deref() {
+        None | Some("zcover") => flag(args, "--config").unwrap_or_else(|| "full".to_string()),
+        Some(mode @ ("coverage" | "vfuzz")) => {
+            if flag(args, "--config").is_some() {
+                eprintln!("--config only applies to --mode zcover");
+                std::process::exit(2);
+            }
+            mode.to_string()
+        }
+        Some(other) => {
+            eprintln!("unknown mode {other}; expected zcover|vfuzz|coverage");
+            std::process::exit(2);
+        }
+    }
 }
 
-/// Builds the fuzz configuration from `--config` and `--impairment` (the
-/// plumbing `fuzz` and `trials` share).
+/// Builds the fuzz configuration from `--mode`, `--config`, and
+/// `--impairment` (the plumbing `fuzz` and `trials` share).
 fn parse_config(args: &[String], budget: Duration, seed: u64) -> FuzzConfig {
     let name = config_name(args);
     let config = FuzzConfig::named(&name, budget, seed).unwrap_or_else(|| {
@@ -346,6 +363,7 @@ fn main() {
             eprintln!(
                 "usage: zcover <fingerprint|discover|fuzz|trials|replay|export-spec> \
                  [--device D1..D7] [--seed N] [--hours H] [--trials N] [--workers N] \
+                 [--mode zcover|vfuzz|coverage] \
                  [--config full|beta|gamma|no-priority|no-plans] \
                  [--impairment clean|lossy|bursty|adversarial] \
                  [--format text|json] [--record FILE] [--log FILE] [--report FILE] [--out FILE]"

@@ -11,11 +11,56 @@ use zwave_protocol::CommandClassId;
 use zwave_radio::{ImpairmentProfile, MediumStats, SimInstant};
 
 use crate::buglog::{BugLog, VulnFinding};
+use crate::corpus::{Corpus, CorpusEntry, PowerSchedule};
 use crate::discovery::DiscoveryReport;
 use crate::dongle::{Dongle, PingOutcome};
 use crate::mutation::Mutator;
 use crate::passive::ScanReport;
 use crate::target::FuzzTarget;
+
+/// Which fuzzing engine drives the campaign — the axis of the three-way
+/// comparison (`zcover trials --mode`, `bench_coverage`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum FuzzMode {
+    /// The paper's positional fuzzer (Algorithm 1), possibly ablated by
+    /// the other [`FuzzConfig`] toggles.
+    #[default]
+    Zcover,
+    /// Blind uniform-random APL payloads — the in-suite stand-in for the
+    /// VFuzz baseline, fenced behind the same injection/oracle machinery
+    /// so discovery times are comparable.
+    Vfuzz,
+    /// Coverage-guided: deterministic plan bootstrap, then mutation of a
+    /// corpus of edge-discovering inputs under a power schedule.
+    Coverage,
+}
+
+impl FuzzMode {
+    /// Canonical CLI/JSON name.
+    pub fn name(self) -> &'static str {
+        match self {
+            FuzzMode::Zcover => "zcover",
+            FuzzMode::Vfuzz => "vfuzz",
+            FuzzMode::Coverage => "coverage",
+        }
+    }
+
+    /// Parses a canonical name; `None` for an unknown one.
+    pub fn parse(name: &str) -> Option<FuzzMode> {
+        Some(match name {
+            "zcover" => FuzzMode::Zcover,
+            "vfuzz" => FuzzMode::Vfuzz,
+            "coverage" => FuzzMode::Coverage,
+            _ => return None,
+        })
+    }
+}
+
+impl std::fmt::Display for FuzzMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
 
 /// Fuzzing configuration, including the ablation toggles of Table VI.
 #[derive(Debug, Clone)]
@@ -44,6 +89,8 @@ pub struct FuzzConfig {
     /// Named channel-impairment profile applied to the simulated medium
     /// for the whole campaign (Section IV's noisy-environment runs).
     pub impairment: ImpairmentProfile,
+    /// Which engine drives the campaign (zcover / vfuzz / coverage).
+    pub mode: FuzzMode,
 }
 
 impl FuzzConfig {
@@ -59,6 +106,7 @@ impl FuzzConfig {
             semantic_plans: true,
             seed,
             impairment: ImpairmentProfile::Clean,
+            mode: FuzzMode::Zcover,
         }
     }
 
@@ -91,10 +139,21 @@ impl FuzzConfig {
         FuzzConfig { position_sensitive: false, ..FuzzConfig::full(testing_duration, seed) }
     }
 
+    /// The coverage-guided mode: plan bootstrap plus corpus-biased
+    /// mutation under a power schedule (ROADMAP item 2).
+    pub fn coverage(testing_duration: Duration, seed: u64) -> Self {
+        FuzzConfig { mode: FuzzMode::Coverage, ..FuzzConfig::full(testing_duration, seed) }
+    }
+
+    /// The in-suite VFuzz baseline: blind uniform-random APL payloads.
+    pub fn vfuzz(testing_duration: Duration, seed: u64) -> Self {
+        FuzzConfig { mode: FuzzMode::Vfuzz, ..FuzzConfig::full(testing_duration, seed) }
+    }
+
     /// Builds a configuration from its canonical name (the `--config`
     /// vocabulary of the `zcover` CLI and the `config` field of recorded
-    /// traces): `full`, `beta`, `gamma`, `no-priority`, or `no-plans`.
-    /// Returns `None` for an unknown name.
+    /// traces): `full`, `beta`, `gamma`, `no-priority`, `no-plans`,
+    /// `coverage`, or `vfuzz`. Returns `None` for an unknown name.
     pub fn named(name: &str, testing_duration: Duration, seed: u64) -> Option<Self> {
         Some(match name {
             "full" => FuzzConfig::full(testing_duration, seed),
@@ -102,6 +161,8 @@ impl FuzzConfig {
             "gamma" => FuzzConfig::gamma(testing_duration, seed),
             "no-priority" => FuzzConfig::without_prioritization(testing_duration, seed),
             "no-plans" => FuzzConfig::without_semantic_plans(testing_duration, seed),
+            "coverage" => FuzzConfig::coverage(testing_duration, seed),
+            "vfuzz" => FuzzConfig::vfuzz(testing_duration, seed),
             _ => return None,
         })
     }
@@ -124,6 +185,9 @@ pub trait TraceSink {
     fn retransmission(&mut self) {}
     /// A fuzz packet exhausted its retransmission budget without an ack.
     fn ack_timeout(&mut self) {}
+    /// A payload discovered new coverage edges and entered the corpus
+    /// (coverage mode only).
+    fn corpus_retained(&mut self, _new_edges: u64, _corpus_size: usize) {}
 }
 
 /// A sink that discards every event.
@@ -159,6 +223,13 @@ pub struct CampaignCounters {
     pub retransmissions: u64,
     /// Fuzz packets that exhausted the retransmission budget unacked.
     pub ack_timeouts: u64,
+    /// Distinct APL dispatch edges lit on the target by campaign end
+    /// (recorded in every mode; only coverage mode *uses* the feedback).
+    pub edges_seen: u64,
+    /// Corpus entries held at campaign end (coverage mode).
+    pub corpus_size: u64,
+    /// Inputs retained into the corpus over the campaign (coverage mode).
+    pub retained_inputs: u64,
 }
 
 impl CampaignCounters {
@@ -175,6 +246,9 @@ impl CampaignCounters {
         self.blackout_drops += other.blackout_drops;
         self.retransmissions += other.retransmissions;
         self.ack_timeouts += other.ack_timeouts;
+        self.edges_seen += other.edges_seen;
+        self.corpus_size += other.corpus_size;
+        self.retained_inputs += other.retained_inputs;
     }
 
     /// Copies the channel-side tallies out of a [`MediumStats`] delta.
@@ -211,6 +285,10 @@ impl TraceSink for CampaignCounters {
     fn ack_timeout(&mut self) {
         self.ack_timeouts += 1;
     }
+
+    fn corpus_retained(&mut self, _new_edges: u64, _corpus_size: usize) {
+        self.retained_inputs += 1;
+    }
 }
 
 /// One point of the Figure 12 detection-over-time series.
@@ -222,6 +300,9 @@ pub struct TraceEvent {
     pub packets: u64,
     /// A unique bug discovered at this point, if any (the red crosses).
     pub bug_id: Option<u8>,
+    /// Distinct APL dispatch edges lit so far (the edges-over-time curve
+    /// `bench_coverage` plots; zero on targets without instrumentation).
+    pub edges: u64,
 }
 
 /// The outcome of one campaign.
@@ -239,6 +320,12 @@ pub struct CampaignResult {
     pub cmd_coverage: BTreeSet<u8>,
     /// Structured event counters for the campaign.
     pub counters: CampaignCounters,
+    /// The engine that produced this result.
+    pub mode: FuzzMode,
+    /// The retained corpus (empty outside coverage mode). Part of the
+    /// result so determinism tests can compare corpus contents bit for
+    /// bit across worker counts.
+    pub corpus: Vec<CorpusEntry>,
     /// Campaign start (virtual).
     pub started: SimInstant,
     /// Campaign end (virtual).
@@ -335,46 +422,62 @@ impl Fuzzer {
             deadline: started.plus(self.config.testing_duration),
         };
 
-        if self.config.position_sensitive {
-            let mut queue: Vec<CommandClassId> = if self.config.use_unknown_cmdcls {
-                discovery.prioritized_targets()
-            } else {
-                // β: only the NIF-listed classes, by command count.
-                let mut listed = discovery.listed.clone();
-                let reg = Registry::global();
-                listed.sort_by_key(|id| {
-                    (std::cmp::Reverse(reg.get(*id).map_or(0, |s| s.command_count())), id.0)
-                });
-                listed
-            };
-            if !self.config.prioritize {
-                queue.sort_by_key(|id| id.0);
+        let mut corpus = Vec::new();
+        match self.config.mode {
+            FuzzMode::Coverage => {
+                corpus = self.run_coverage(&mut state, discovery);
+                state.counters.corpus_size = corpus.len() as u64;
             }
-            // First pass: deterministic plans per class.
-            'outer: loop {
-                for &cc in &queue {
-                    if clock.now() >= state.deadline {
-                        break 'outer;
-                    }
-                    self.fuzz_cmdcl_window(&mut state, cc);
-                }
-                // Subsequent passes: keep mutating randomly until the
-                // budget is exhausted (24-hour trials re-cover the queue).
-                if clock.now() >= state.deadline {
-                    break;
-                }
-                for &cc in &queue {
-                    if clock.now() >= state.deadline {
-                        break 'outer;
-                    }
-                    self.refuzz_random(&mut state, cc, 50);
+            FuzzMode::Vfuzz => {
+                // The VFuzz baseline through the same injection/oracle
+                // machinery: blind uniform APL payloads, no feedback.
+                while clock.now() < state.deadline {
+                    let payload = state.mutator.random_payload();
+                    Self::send_and_observe(&mut state, &payload);
                 }
             }
-        } else {
-            // γ: uniform random CMDCL/CMD/PARAM packets.
-            while clock.now() < state.deadline {
-                let payload = state.mutator.random_payload();
-                Self::send_and_observe(&mut state, &payload);
+            FuzzMode::Zcover if self.config.position_sensitive => {
+                let mut queue: Vec<CommandClassId> = if self.config.use_unknown_cmdcls {
+                    discovery.prioritized_targets()
+                } else {
+                    // β: only the NIF-listed classes, by command count.
+                    let mut listed = discovery.listed.clone();
+                    let reg = Registry::global();
+                    listed.sort_by_key(|id| {
+                        (std::cmp::Reverse(reg.get(*id).map_or(0, |s| s.command_count())), id.0)
+                    });
+                    listed
+                };
+                if !self.config.prioritize {
+                    queue.sort_by_key(|id| id.0);
+                }
+                // First pass: deterministic plans per class.
+                'outer: loop {
+                    for &cc in &queue {
+                        if clock.now() >= state.deadline {
+                            break 'outer;
+                        }
+                        self.fuzz_cmdcl_window(&mut state, cc);
+                    }
+                    // Subsequent passes: keep mutating randomly until the
+                    // budget is exhausted (24-hour trials re-cover the queue).
+                    if clock.now() >= state.deadline {
+                        break;
+                    }
+                    for &cc in &queue {
+                        if clock.now() >= state.deadline {
+                            break 'outer;
+                        }
+                        self.refuzz_random(&mut state, cc, 50);
+                    }
+                }
+            }
+            FuzzMode::Zcover => {
+                // γ: uniform random CMDCL/CMD/PARAM packets.
+                while clock.now() < state.deadline {
+                    let payload = state.mutator.random_payload();
+                    Self::send_and_observe(&mut state, &payload);
+                }
             }
         }
 
@@ -388,9 +491,100 @@ impl Fuzzer {
             cmdcl_coverage: state.cmdcl_coverage,
             cmd_coverage: state.cmd_coverage,
             counters: state.counters,
+            mode: self.config.mode,
+            corpus,
             started,
             ended: clock.now(),
         }
+    }
+
+    /// The coverage-guided campaign (ROADMAP item 2).
+    ///
+    /// Phase 1 bootstraps with the deterministic exploration plans over the
+    /// prioritized queue — no random bursts or window tails, so the sweep
+    /// reaches late-queue classes far sooner than Algorithm 1's 400-packet
+    /// windows. Phase 2 mutates corpus entries picked by the energy-
+    /// weighted power schedule until the budget runs out. Every injected
+    /// payload that lights a new dispatch edge is retained; an entry whose
+    /// mutation discovers more gets an energy boost.
+    fn run_coverage<T: FuzzTarget>(
+        &self,
+        state: &mut CampaignState<'_, T>,
+        discovery: &DiscoveryReport,
+    ) -> Vec<CorpusEntry> {
+        let clock = state.target.medium().clock().clone();
+        let mut corpus = Corpus::new();
+        let mut schedule = PowerSchedule::new(self.config.seed);
+
+        let observe_retention = |state: &mut CampaignState<'_, T>,
+                                 corpus: &mut Corpus,
+                                 payload: &ApplicationPayload,
+                                 before: u64| {
+            let gained = state.target.coverage_edges().saturating_sub(before);
+            if gained > 0 {
+                corpus.retain(payload.encode(), gained, state.packets);
+                state.counters.retained_inputs += 1;
+                state.sink.corpus_retained(gained, corpus.len());
+            }
+            gained
+        };
+
+        // Phase 1: deterministic plan bootstrap over the prioritized queue.
+        let queue = discovery.prioritized_targets();
+        'boot: for &cc in &queue {
+            let spec = Registry::global().get(cc);
+            for cmd in Self::command_candidates(spec) {
+                if clock.now() >= state.deadline {
+                    break 'boot;
+                }
+                for params in state.mutator.exploration_plans(cc, cmd) {
+                    if clock.now() >= state.deadline {
+                        break 'boot;
+                    }
+                    let payload = ApplicationPayload::new(cc, cmd, params);
+                    state.counters.plans_executed += 1;
+                    state.sink.plan_executed();
+                    let before = state.target.coverage_edges();
+                    let hung = Self::send_and_observe(state, &payload);
+                    observe_retention(state, &mut corpus, &payload, before);
+                    if hung {
+                        // Same starvation guard as Algorithm 1: a hanging
+                        // command is conclusively vulnerable already.
+                        break;
+                    }
+                }
+            }
+        }
+
+        // Phase 2: corpus-biased mutation under the power schedule.
+        while clock.now() < state.deadline {
+            let Some(index) = schedule.choose(&corpus) else {
+                // Nothing retained yet (fully patched target): fall back
+                // to blind payloads until something lights an edge.
+                let payload = state.mutator.random_payload();
+                let before = state.target.coverage_edges();
+                Self::send_and_observe(state, &payload);
+                observe_retention(state, &mut corpus, &payload, before);
+                continue;
+            };
+            let base = corpus.entries()[index].payload.clone();
+            let Ok(parsed) = ApplicationPayload::parse(&base) else { continue };
+            let cc = parsed.command_class();
+            let spec = Registry::global().get(cc);
+            let mut payload = parsed;
+            let rounds = 1 + schedule.next_u64() % 4;
+            for _ in 0..rounds {
+                state.mutator.mutate(&mut payload, spec);
+            }
+            let before = state.target.coverage_edges();
+            Self::send_and_observe(state, &payload);
+            if observe_retention(state, &mut corpus, &payload, before) > 0 {
+                // The parent keeps paying off: schedule it more often.
+                corpus.boost(index, 1);
+            }
+        }
+
+        corpus.into_entries()
     }
 
     /// One Algorithm 1 window: for each command candidate of `cc`, send
@@ -406,22 +600,7 @@ impl Fuzzer {
         let budget = u64::from(self.config.per_cmdcl_packets);
         let clock = state.target.medium().clock().clone();
 
-        let cmds: Vec<u8> = match spec {
-            Some(s) if !s.commands.is_empty() => {
-                let mut v: Vec<u8> = s.commands.iter().map(|c| c.id).collect();
-                // Undefined-command probes around the defined set.
-                let max = v.iter().copied().max().unwrap_or(0);
-                for probe in [0x00, max.wrapping_add(1), 0x7F] {
-                    if !v.contains(&probe) {
-                        v.push(probe);
-                    }
-                }
-                v
-            }
-            // Unknown (or command-less) class: sweep from 0x00 upward, as
-            // Section III-C2 prescribes.
-            _ => (0x00..=0x17).collect(),
-        };
+        let cmds = Self::command_candidates(spec);
 
         let plans_for = |state: &mut CampaignState<'_, T>, cmd: u8| -> Vec<Vec<u8>> {
             if self.config.semantic_plans {
@@ -472,6 +651,26 @@ impl Fuzzer {
             }
             state.mutator.mutate(&mut payload, spec);
             Self::send_and_observe(state, &payload);
+        }
+    }
+
+    /// The command candidates for one class: the specified commands plus
+    /// undefined-command probes, or a 0x00..0x17 sweep for unknown
+    /// classes (Section III-C2).
+    fn command_candidates(spec: Option<&zwave_protocol::CommandClassSpec>) -> Vec<u8> {
+        match spec {
+            Some(s) if !s.commands.is_empty() => {
+                let mut v: Vec<u8> = s.commands.iter().map(|c| c.id).collect();
+                // Undefined-command probes around the defined set.
+                let max = v.iter().copied().max().unwrap_or(0);
+                for probe in [0x00, max.wrapping_add(1), 0x7F] {
+                    if !v.contains(&probe) {
+                        v.push(probe);
+                    }
+                }
+                v
+            }
+            _ => (0x00..=0x17).collect(),
         }
     }
 
@@ -550,6 +749,8 @@ impl Fuzzer {
         if let Some(cmd) = payload.command() {
             state.cmd_coverage.insert(cmd);
         }
+        // Absolute (not additive): the target's map is already cumulative.
+        state.counters.edges_seen = state.target.coverage_edges();
 
         // Verification oracle: record any fault this packet caused.
         let mut new_bug = false;
@@ -563,6 +764,7 @@ impl Fuzzer {
                     at: fault.at,
                     packets: state.packets,
                     bug_id: Some(fault.bug_id),
+                    edges: state.counters.edges_seen,
                 });
                 new_bug = true;
                 state.counters.findings += 1;
@@ -624,6 +826,7 @@ impl Fuzzer {
                 at: state.target.medium().clock().now(),
                 packets: state.packets,
                 bug_id: None,
+                edges: state.counters.edges_seen,
             });
         }
         outage_fired

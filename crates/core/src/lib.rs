@@ -40,6 +40,7 @@
 
 pub mod active;
 pub mod buglog;
+pub mod corpus;
 pub mod discovery;
 pub mod dongle;
 pub mod executor;
@@ -54,11 +55,12 @@ pub mod trials;
 
 pub use active::{ActiveScanReport, ActiveScanner};
 pub use buglog::{BugLog, VulnFinding};
+pub use corpus::{Corpus, CorpusEntry, PowerSchedule};
 pub use discovery::{DiscoveryReport, UnknownDiscovery};
 pub use dongle::{Dongle, PingOutcome};
 pub use executor::{derive_trial_seed, CampaignExecutor, TraceSpec};
 pub use fuzzer::{
-    CampaignCounters, CampaignResult, FuzzConfig, Fuzzer, NullSink, TraceEvent, TraceSink,
+    CampaignCounters, CampaignResult, FuzzConfig, FuzzMode, Fuzzer, NullSink, TraceEvent, TraceSink,
 };
 pub use minimize::minimize;
 pub use mutation::{MutationOp, Mutator};

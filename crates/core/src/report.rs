@@ -100,7 +100,8 @@ fn counters_json(c: &CampaignCounters) -> String {
     format!(
         "{{\"packets_sent\":{},\"plans_executed\":{},\"outages_observed\":{},\"findings\":{},\
          \"losses\":{},\"duplicates\":{},\"reorders\":{},\"truncations\":{},\
-         \"blackout_drops\":{},\"retransmissions\":{},\"ack_timeouts\":{}}}",
+         \"blackout_drops\":{},\"retransmissions\":{},\"ack_timeouts\":{},\
+         \"edges_seen\":{},\"corpus_size\":{},\"retained_inputs\":{}}}",
         c.packets_sent,
         c.plans_executed,
         c.outages_observed,
@@ -111,7 +112,10 @@ fn counters_json(c: &CampaignCounters) -> String {
         c.truncations,
         c.blackout_drops,
         c.retransmissions,
-        c.ack_timeouts
+        c.ack_timeouts,
+        c.edges_seen,
+        c.corpus_size,
+        c.retained_inputs
     )
 }
 
@@ -140,12 +144,14 @@ pub fn campaign_to_json(result: &CampaignResult) -> String {
         result.findings.iter().map(|f| finding_json(f, result.started)).collect();
     format!(
         "{{\"packets_sent\":{},\"virtual_duration_s\":{:.3},\"cmdcl_coverage\":{},\
-         \"cmd_coverage\":{},\"unique_vulns\":{},\"counters\":{},\"findings\":[{}]}}",
+         \"cmd_coverage\":{},\"unique_vulns\":{},\"mode\":\"{}\",\"counters\":{},\
+         \"findings\":[{}]}}",
         result.packets_sent,
         result.duration().as_secs_f64(),
         result.cmdcl_coverage.len(),
         result.cmd_coverage.len(),
         result.unique_vulns(),
+        result.mode,
         counters_json(&result.counters),
         findings.join(",")
     )

@@ -37,6 +37,14 @@ pub trait FuzzTarget {
 
     /// Causes one round of benign network traffic for passive scanning.
     fn generate_normal_traffic(&mut self);
+
+    /// Monotonic count of distinct APL dispatch edges lit on the target —
+    /// the per-packet feedback read of the coverage-guided mode. Targets
+    /// without instrumentation report zero (coverage mode then degrades
+    /// to blind mutation; nothing is ever retained).
+    fn coverage_edges(&self) -> u64 {
+        0
+    }
 }
 
 impl FuzzTarget for Testbed {
@@ -58,6 +66,10 @@ impl FuzzTarget for Testbed {
 
     fn generate_normal_traffic(&mut self) {
         self.exchange_normal_traffic();
+    }
+
+    fn coverage_edges(&self) -> u64 {
+        Testbed::coverage_edges(self)
     }
 }
 

@@ -398,6 +398,14 @@ impl TraceSink for TraceRecorder {
     fn ack_timeout(&mut self) {
         self.journal.push(fuzz_line(self.journal.clock.now(), "ack_timeout"));
     }
+
+    fn corpus_retained(&mut self, new_edges: u64, corpus_size: usize) {
+        self.journal.push(format!(
+            "{{\"t\":\"corpus\",\"at_us\":{},\"ev\":\"retain\",\"edges\":{new_edges},\
+             \"size\":{corpus_size}}}",
+            self.journal.clock.now().as_micros()
+        ));
+    }
 }
 
 /// A recorded trial: the trace plus the pipeline report it journaled.

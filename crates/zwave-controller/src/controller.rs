@@ -18,6 +18,7 @@ use zwave_radio::{FrameBuf, Medium, SimInstant, Transceiver};
 
 use zwave_crypto::s2::S2Session;
 
+use crate::coverage::{state as cov, CoverageMap};
 use crate::health::{EffectKind, FaultLog, FaultRecord, Health, RootCause};
 use crate::host::{AppLink, HostProgram};
 use crate::link::{LinkPolicy, LinkStats, PendingTx, DUP_WINDOW};
@@ -96,6 +97,9 @@ pub struct SimController {
     s0_nonce_cipher: zwave_crypto::aes::Aes128,
     s0_nonce_counter: u64,
     last_s0_nonce: Option<[u8; 8]>,
+    /// APL dispatch-edge coverage — a pure observation of dispatched
+    /// payloads; recording never influences behaviour, RNG, or timing.
+    coverage: CoverageMap,
 }
 
 /// Association groups the controller advertises.
@@ -156,6 +160,7 @@ impl SimController {
             s0_key,
             s0_nonce_counter: 0,
             last_s0_nonce: None,
+            coverage: CoverageMap::new(),
         }
     }
 
@@ -267,6 +272,11 @@ impl SimController {
     /// Receive-path statistics.
     pub fn stats(&self) -> ControllerStats {
         self.stats
+    }
+
+    /// APL dispatch-edge coverage recorded so far.
+    pub fn coverage(&self) -> &CoverageMap {
+        &self.coverage
     }
 
     /// The link-layer retry/timeout policy in force.
@@ -574,14 +584,17 @@ impl SimController {
 
     fn dispatch(&mut self, src: NodeId, payload: &ApplicationPayload, encrypted: bool) {
         let cc = payload.command_class();
+        let cmd = payload.command().unwrap_or(0);
 
         // NOP ping: the MAC ack already answered it.
         if cc == CommandClassId::NO_OPERATION {
+            self.coverage.record(cc.0, cmd, cov::PLAIN);
             self.stats.apl_processed += 1;
             return;
         }
 
         if !self.implemented.contains(&cc.0) {
+            self.coverage.record(cc.0, cmd, cov::IGNORED);
             self.stats.apl_ignored += 1;
             return;
         }
@@ -589,6 +602,7 @@ impl SimController {
 
         // S2 message encapsulation: unwrap and re-dispatch as encrypted.
         if cc == CommandClassId::SECURITY_2 && payload.command() == Some(0x03) {
+            self.coverage.record(cc.0, cmd, cov::ENCAP);
             let home = self.config.home_id.0;
             let (s, d) = (src.0, self.node_id.0);
             let bytes = payload.encode();
@@ -604,6 +618,7 @@ impl SimController {
 
         // S0: nonce requests and message encapsulation.
         if cc == CommandClassId::SECURITY_0 {
+            self.coverage.record(cc.0, cmd, cov::ENCAP);
             match payload.command() {
                 Some(zwave_crypto::s0::cmd::NONCE_GET) => {
                     let nonce = self.next_s0_nonce();
@@ -635,6 +650,7 @@ impl SimController {
         // CRC-16 encapsulation: verify the trailer and re-dispatch the
         // inner command (still *unencrypted* — a checksum is not a MAC).
         if cc == CommandClassId::CRC16_ENCAP && payload.command() == Some(0x01) {
+            self.coverage.record(cc.0, cmd, cov::ENCAP);
             let bytes = payload.encode();
             if bytes.len() > 4 {
                 let (body, trailer) = bytes.split_at(bytes.len() - 2);
@@ -650,6 +666,7 @@ impl SimController {
 
         // Supervision: unwrap, dispatch the inner command, confirm.
         if cc == CommandClassId::SUPERVISION && payload.command() == Some(0x01) {
+            self.coverage.record(cc.0, cmd, cov::ENCAP);
             let params = payload.params();
             if params.len() >= 3 {
                 let session_id = params[0];
@@ -681,13 +698,16 @@ impl SimController {
         if let Some(t) = triggered {
             if self.patched_bugs.contains(&t.bug_id) {
                 // Patched firmware validates and rejects the payload.
+                self.coverage.record(cc.0, cmd, cov::PATCHED);
                 self.send_apl(src, vec![0x22, 0x02, 0x00]);
                 return;
             }
+            self.coverage.record(cc.0, cmd, cov::VULN);
             self.apply_vuln_effect(&t, payload);
             return;
         }
 
+        self.coverage.record(cc.0, cmd, if encrypted { cov::ENCRYPTED } else { cov::PLAIN });
         self.handle_legit(src, payload);
     }
 

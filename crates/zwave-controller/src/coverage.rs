@@ -1,0 +1,177 @@
+//! APL dispatch-edge coverage for coverage-guided fuzzing.
+//!
+//! Real controllers are black boxes, but the simulated ones can be
+//! instrumented for free: every time a payload crosses an APL dispatch
+//! point — in [`crate::SimController::dispatch`] or in a slave device's
+//! handler — the `(command class, command, dispatch state)` triple is
+//! recorded as one bit in a fixed-size [`CoverageMap`]. The fuzzer reads
+//! the monotonic edge count after each injected packet; a packet that
+//! lights a new bit is "interesting" and worth keeping in the corpus.
+//!
+//! Edge IDs are a pure function of the triple (no hashing, no collisions,
+//! no process-dependent state), so maps from independent trials merge
+//! order-independently and campaigns stay bit-identical across worker
+//! counts — the same invariant the PR 1 executor pins for counters.
+
+/// Dispatch states distinguishing *where* in the APL a payload landed.
+/// Two packets with the same class/command bytes exercise different code
+/// when one is rejected as unimplemented and the other reaches a handler.
+pub mod state {
+    /// Command class not in the controller's implemented set.
+    pub const IGNORED: u8 = 0;
+    /// Handled by a legitimate plaintext handler.
+    pub const PLAIN: u8 = 1;
+    /// Handled after S0/S2 decapsulation (the `encrypted` dispatch flag).
+    pub const ENCRYPTED: u8 = 2;
+    /// Matched a seeded Table III vulnerability check.
+    pub const VULN: u8 = 3;
+    /// Matched a vulnerability check on patched firmware (rejected).
+    pub const PATCHED: u8 = 4;
+    /// Handled by a slave device model rather than the controller.
+    pub const DEVICE: u8 = 5;
+    /// Outer frame of an encapsulation (S0/S2/CRC-16/Supervision) that
+    /// was unwrapped and re-dispatched.
+    pub const ENCAP: u8 = 6;
+    /// Capacity (power of two so the bitmap stays word-aligned).
+    pub const COUNT: u8 = 8;
+}
+
+/// Bits per dispatch state: 256 classes × 256 commands.
+const PLANE: usize = 1 << 16;
+/// Total bitmap words: 8 states × 65536 bits / 64 bits per word.
+const WORDS: usize = (state::COUNT as usize) * PLANE / 64;
+
+/// A compact bitmap of APL dispatch edges with deterministic edge IDs.
+///
+/// `merge` is bitwise OR, which makes it commutative, associative, and
+/// idempotent by construction — the properties `coverage_props.rs` pins.
+#[derive(Clone, PartialEq, Eq)]
+pub struct CoverageMap {
+    bits: Vec<u64>,
+    edges: u64,
+}
+
+impl Default for CoverageMap {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CoverageMap {
+    /// An empty map (64 KiB of zeroed bitmap).
+    pub fn new() -> Self {
+        Self { bits: vec![0u64; WORDS], edges: 0 }
+    }
+
+    /// The stable ID of a dispatch edge: `state << 16 | class << 8 | cmd`.
+    pub fn edge_id(cc: u8, cmd: u8, state: u8) -> u32 {
+        debug_assert!(state < state::COUNT);
+        ((state as u32) << 16) | ((cc as u32) << 8) | (cmd as u32)
+    }
+
+    /// Records one dispatch edge; returns `true` iff the bit was new.
+    pub fn record(&mut self, cc: u8, cmd: u8, state: u8) -> bool {
+        self.insert(Self::edge_id(cc, cmd, state))
+    }
+
+    /// Inserts an edge by ID; returns `true` iff the bit was new.
+    pub fn insert(&mut self, edge: u32) -> bool {
+        let bit = edge as usize;
+        debug_assert!(bit < WORDS * 64, "edge id out of range: {edge:#x}");
+        let (word, mask) = (bit / 64, 1u64 << (bit % 64));
+        let new = self.bits[word] & mask == 0;
+        if new {
+            self.bits[word] |= mask;
+            self.edges += 1;
+        }
+        new
+    }
+
+    /// Whether an edge has been recorded.
+    pub fn contains(&self, edge: u32) -> bool {
+        let bit = edge as usize;
+        bit < WORDS * 64 && self.bits[bit / 64] & (1u64 << (bit % 64)) != 0
+    }
+
+    /// Monotonic count of distinct edges seen (O(1) — the fuzzer reads
+    /// this after every injected packet).
+    pub fn edges(&self) -> u64 {
+        self.edges
+    }
+
+    /// ORs another map into this one.
+    pub fn merge(&mut self, other: &CoverageMap) {
+        let mut edges = 0u64;
+        for (w, o) in self.bits.iter_mut().zip(&other.bits) {
+            *w |= o;
+            edges += w.count_ones() as u64;
+        }
+        self.edges = edges;
+    }
+
+    /// All recorded edge IDs in ascending order — the serialized form.
+    pub fn edge_ids(&self) -> Vec<u32> {
+        let mut ids = Vec::with_capacity(self.edges as usize);
+        for (w, word) in self.bits.iter().enumerate() {
+            let mut bits = *word;
+            while bits != 0 {
+                let b = bits.trailing_zeros();
+                ids.push((w as u32) * 64 + b);
+                bits &= bits - 1;
+            }
+        }
+        ids
+    }
+
+    /// Reconstructs a map from a serialized edge-ID list.
+    pub fn from_edge_ids(ids: &[u32]) -> Self {
+        let mut map = Self::new();
+        for &id in ids {
+            map.insert(id);
+        }
+        map
+    }
+}
+
+impl std::fmt::Debug for CoverageMap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CoverageMap").field("edges", &self.edges).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_counts_distinct_edges_once() {
+        let mut m = CoverageMap::new();
+        assert!(m.record(0x25, 0x01, state::PLAIN));
+        assert!(!m.record(0x25, 0x01, state::PLAIN));
+        assert!(m.record(0x25, 0x01, state::ENCRYPTED));
+        assert_eq!(m.edges(), 2);
+    }
+
+    #[test]
+    fn edge_ids_round_trip() {
+        let mut m = CoverageMap::new();
+        for (cc, cmd, st) in [(0x62, 0x01, state::DEVICE), (0x00, 0x00, state::IGNORED)] {
+            m.record(cc, cmd, st);
+        }
+        let ids = m.edge_ids();
+        assert_eq!(ids.len(), 2);
+        assert_eq!(CoverageMap::from_edge_ids(&ids), m);
+    }
+
+    #[test]
+    fn merge_is_a_bitwise_union() {
+        let mut a = CoverageMap::new();
+        a.record(0x20, 0x01, state::PLAIN);
+        let mut b = CoverageMap::new();
+        b.record(0x20, 0x01, state::PLAIN);
+        b.record(0x20, 0x02, state::PLAIN);
+        a.merge(&b);
+        assert_eq!(a.edges(), 2);
+        assert_eq!(a, b);
+    }
+}

@@ -7,6 +7,8 @@ use zwave_protocol::apl::ApplicationPayload;
 use zwave_protocol::{CommandClassId, HomeId, MacFrame, NodeId};
 use zwave_radio::{Medium, Transceiver};
 
+use crate::coverage::{state as cov, CoverageMap};
+
 /// Simulated Schlage BE469ZP door lock, paired with its controller via S2.
 #[derive(Debug)]
 pub struct SimDoorLock {
@@ -18,6 +20,7 @@ pub struct SimDoorLock {
     locked: bool,
     seq: u8,
     report_every: Option<Duration>,
+    coverage: CoverageMap,
 }
 
 impl SimDoorLock {
@@ -39,7 +42,13 @@ impl SimDoorLock {
             locked: true,
             seq: 0,
             report_every: None,
+            coverage: CoverageMap::new(),
         }
+    }
+
+    /// APL dispatch-edge coverage of the lock's secure handler.
+    pub fn coverage(&self) -> &CoverageMap {
+        &self.coverage
     }
 
     /// Opt-in periodic state reports: every `every` of virtual time the
@@ -131,6 +140,11 @@ impl SimDoorLock {
     }
 
     fn handle_secure(&mut self, src: NodeId, payload: &ApplicationPayload) {
+        self.coverage.record(
+            payload.command_class().0,
+            payload.command().unwrap_or(0),
+            cov::DEVICE,
+        );
         match (payload.command_class().0, payload.command()) {
             // Door Lock Operation Set.
             (0x62, Some(0x01)) => {

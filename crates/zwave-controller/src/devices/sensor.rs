@@ -11,6 +11,8 @@ use zwave_protocol::apl::ApplicationPayload;
 use zwave_protocol::{HomeId, MacFrame, NodeId};
 use zwave_radio::{Medium, Transceiver};
 
+use crate::coverage::{state as cov, CoverageMap};
+
 /// Sensor wake-cycle state.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum SensorState {
@@ -34,6 +36,7 @@ pub struct SimSensor {
     seq: u8,
     nonce_counter: u64,
     wake_every: Option<Duration>,
+    coverage: CoverageMap,
 }
 
 impl SimSensor {
@@ -58,7 +61,13 @@ impl SimSensor {
             seq: 0,
             nonce_counter: 0,
             wake_every: None,
+            coverage: CoverageMap::new(),
         }
+    }
+
+    /// APL dispatch-edge coverage of the sensor's awake-state handler.
+    pub fn coverage(&self) -> &CoverageMap {
+        &self.coverage
     }
 
     /// Opt-in periodic wake cycle: every `every` of virtual time the
@@ -142,6 +151,11 @@ impl SimSensor {
                 continue;
             }
             let Ok(payload) = ApplicationPayload::parse(frame.payload()) else { continue };
+            self.coverage.record(
+                payload.command_class().0,
+                payload.command().unwrap_or(0),
+                cov::DEVICE,
+            );
             if payload.command_class().0 == 0x98
                 && payload.command() == Some(s0::cmd::NONCE_REPORT)
                 && payload.params().len() >= 8

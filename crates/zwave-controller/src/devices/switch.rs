@@ -6,6 +6,8 @@ use zwave_protocol::apl::ApplicationPayload;
 use zwave_protocol::{HomeId, MacFrame, NodeId};
 use zwave_radio::{Medium, Transceiver};
 
+use crate::coverage::{state as cov, CoverageMap};
+
 /// Simulated GE Jasco ZW4201 switch: plain-text Basic / Switch Binary.
 #[derive(Debug)]
 pub struct SimSwitch {
@@ -16,6 +18,7 @@ pub struct SimSwitch {
     on: bool,
     seq: u8,
     report_every: Option<Duration>,
+    coverage: CoverageMap,
 }
 
 impl SimSwitch {
@@ -35,7 +38,13 @@ impl SimSwitch {
             on: false,
             seq: 0,
             report_every: None,
+            coverage: CoverageMap::new(),
         }
+    }
+
+    /// APL dispatch-edge coverage of the switch's command handler.
+    pub fn coverage(&self) -> &CoverageMap {
+        &self.coverage
     }
 
     /// Opt-in periodic status reports: every `every` of virtual time the
@@ -139,6 +148,11 @@ impl SimSwitch {
                 self.radio.transmit(&ack.encode());
             }
             let Ok(payload) = ApplicationPayload::parse(frame.payload()) else { continue };
+            self.coverage.record(
+                payload.command_class().0,
+                payload.command().unwrap_or(0),
+                cov::DEVICE,
+            );
             match (payload.command_class().0, payload.command()) {
                 (0x20 | 0x25, Some(0x01)) => {
                     self.on = payload.params().first() == Some(&0xFF);

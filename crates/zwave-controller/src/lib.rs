@@ -34,6 +34,7 @@
 #![warn(missing_docs)]
 
 pub mod controller;
+pub mod coverage;
 pub mod devices;
 pub mod health;
 pub mod host;
@@ -44,6 +45,7 @@ pub mod testbed;
 pub mod vulns;
 
 pub use controller::{ControllerConfig, ControllerStats, SimController};
+pub use coverage::CoverageMap;
 pub use health::{EffectKind, FaultLog, FaultRecord, Health, RootCause};
 pub use host::{AppLink, AppState, HostProgram, HostState};
 pub use ids::{Alert, AlertReason, Ids};

@@ -299,6 +299,28 @@ impl Testbed {
         self.medium.attach(position_m)
     }
 
+    /// Total distinct APL dispatch edges seen across the controller and
+    /// every slave. Per-device edge IDs are disjoint only within a device,
+    /// so this sum can overcount shared edges — but it is monotonic and
+    /// O(1), which is all the fuzzer's per-packet feedback read needs.
+    pub fn coverage_edges(&self) -> u64 {
+        self.controller.coverage().edges()
+            + self.lock.coverage().edges()
+            + self.switch.coverage().edges()
+            + self.sensor.as_ref().map_or(0, |s| s.coverage().edges())
+    }
+
+    /// The union of all devices' coverage maps (a fresh merged copy).
+    pub fn coverage(&self) -> crate::coverage::CoverageMap {
+        let mut map = self.controller.coverage().clone();
+        map.merge(self.lock.coverage());
+        map.merge(self.switch.coverage());
+        if let Some(sensor) = &self.sensor {
+            map.merge(sensor.coverage());
+        }
+        map
+    }
+
     /// Sets the controller's link-layer retry/timeout policy.
     pub fn set_link_policy(&mut self, policy: crate::link::LinkPolicy) {
         self.controller.set_link_policy(policy);

@@ -1,6 +1,8 @@
 //! Integration tests for the ZCover-vs-VFuzz comparison property the paper
 //! highlights: "there were no vulnerabilities found in common between both
-//! tools" (Section IV-C).
+//! tools" (Section IV-C) — plus the three-way regression gate for the
+//! coverage-guided mode: within the same virtual budget, coverage mode
+//! must discover every Table III bug the positional zcover mode does.
 
 use std::collections::BTreeSet;
 use std::time::Duration;
@@ -9,12 +11,15 @@ use zcover_suite::vfuzz::{capture_corpus, VFuzz, VFuzzConfig};
 use zcover_suite::zcover::{Dongle, FuzzConfig, PassiveScanner, ZCover};
 use zcover_suite::zwave_controller::testbed::{DeviceModel, Testbed};
 
-fn zcover_findings(model: DeviceModel, seed: u64) -> BTreeSet<u8> {
+fn campaign_findings(model: DeviceModel, seed: u64, config: FuzzConfig) -> BTreeSet<u8> {
     let mut tb = Testbed::new(model, seed);
     let mut zc = ZCover::attach(&tb, 70.0);
-    let report =
-        zc.run_campaign(&mut tb, FuzzConfig::full(Duration::from_secs(2 * 3600), seed)).unwrap();
+    let report = zc.run_campaign(&mut tb, config).unwrap();
     report.campaign.findings.iter().map(|f| f.bug_id).collect()
+}
+
+fn zcover_findings(model: DeviceModel, seed: u64) -> BTreeSet<u8> {
+    campaign_findings(model, seed, FuzzConfig::full(Duration::from_secs(2 * 3600), seed))
 }
 
 fn vfuzz_findings(model: DeviceModel, seed: u64) -> BTreeSet<u8> {
@@ -54,4 +59,46 @@ fn vfuzz_never_reaches_the_application_layer_bugs() {
     // Even a long VFuzz run on the bug-rich D1 finds no Table III ids.
     let v = vfuzz_findings(DeviceModel::D1, 15);
     assert!(v.iter().all(|&id| id > 100), "vfuzz found zero-days: {v:?}");
+}
+
+#[test]
+fn coverage_mode_subsumes_zcover_findings_on_every_device() {
+    // The three-way regression gate: on D1-D7 within the same 2 h virtual
+    // budget, the coverage-guided engine discovers every Table III bug
+    // the positional engine does. Coverage guidance may only add reach,
+    // never lose it.
+    let budget = Duration::from_secs(2 * 3600);
+    for model in DeviceModel::all() {
+        let z: BTreeSet<u8> = campaign_findings(model, 6, FuzzConfig::full(budget, 6))
+            .into_iter()
+            .filter(|&id| id <= 15)
+            .collect();
+        let c: BTreeSet<u8> = campaign_findings(model, 6, FuzzConfig::coverage(budget, 6))
+            .into_iter()
+            .filter(|&id| id <= 15)
+            .collect();
+        assert!(!z.is_empty(), "{model:?}: zcover mode found nothing to compare against");
+        assert!(
+            c.is_superset(&z),
+            "{model:?}: coverage mode missed {:?}",
+            z.difference(&c).collect::<Vec<_>>()
+        );
+    }
+}
+
+#[test]
+fn in_suite_vfuzz_mode_matches_the_blind_baseline_profile() {
+    // The in-suite `--mode vfuzz` engine reproduces the comparison
+    // profile of the standalone VFuzz tool: blind random APL injection
+    // through the same oracle finds at most shallow bugs, never the
+    // deep Table III set the guided engines reach.
+    let budget = Duration::from_secs(2 * 3600);
+    let v = campaign_findings(DeviceModel::D1, 6, FuzzConfig::vfuzz(budget, 6));
+    let z = campaign_findings(DeviceModel::D1, 6, FuzzConfig::full(budget, 6));
+    assert!(
+        v.len() < z.len(),
+        "blind mode found {} bugs vs zcover's {} — it should trail the guided engines",
+        v.len(),
+        z.len()
+    );
 }

@@ -61,7 +61,11 @@ fn golden_snapshots_announce_their_schema() {
         "\"cmdcl_coverage\":",
         "\"cmd_coverage\":",
         "\"unique_vulns\":",
+        "\"mode\":",
         "\"counters\":",
+        "\"edges_seen\":",
+        "\"corpus_size\":",
+        "\"retained_inputs\":",
         "\"findings\":",
         "\"bug_id\":",
         "\"root_cause\":",

@@ -21,8 +21,9 @@ fn golden_dir() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden_traces")
 }
 
-const GOLDENS: [&str; 4] = [
+const GOLDENS: [&str; 5] = [
     "d1_seed11_lossy.jsonl",
+    "d1_seed13_coverage_clean.jsonl",
     "d1_seed5_clean.jsonl",
     "d2_seed7_beta_bursty.jsonl",
     "d3_seed9_gamma_adversarial.jsonl",
