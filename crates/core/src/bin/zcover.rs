@@ -8,6 +8,7 @@
 //! zcover fuzz        --device D1 --config beta --log bugs.txt
 //! zcover fuzz        --device D1 --hours 0.02 --record trace.jsonl
 //! zcover fuzz        --device D1 --mode coverage --hours 1
+//! zcover fuzz        --device D1 --scenario s0-no-more --hours 0.02
 //! zcover trials      --device D1 --trials 5 --workers 4 --hours 1
 //! zcover trials      --device D1 --mode vfuzz --trials 5 --hours 1
 //! zcover replay      trace.jsonl
@@ -18,8 +19,8 @@ use std::path::Path;
 use std::time::Duration;
 
 use zcover::{
-    ActiveScanner, BugLog, CampaignExecutor, FuzzConfig, ImpairmentProfile, Trace, TraceSpec,
-    UnknownDiscovery, ZCover,
+    ActiveScanner, BugLog, CampaignExecutor, FuzzConfig, ImpairmentProfile, Scenario, Trace,
+    TraceSpec, UnknownDiscovery, ZCover,
 };
 use zwave_controller::testbed::{DeviceModel, Testbed};
 
@@ -41,6 +42,14 @@ fn parse_impairment(args: &[String]) -> ImpairmentProfile {
     let name = flag(args, "--impairment").unwrap_or_else(|| "clean".to_string());
     ImpairmentProfile::parse(&name).unwrap_or_else(|| {
         eprintln!("unknown impairment profile {name}; expected clean|lossy|bursty|adversarial");
+        std::process::exit(2);
+    })
+}
+
+fn parse_scenario(args: &[String]) -> Scenario {
+    let name = flag(args, "--scenario").unwrap_or_else(|| "none".to_string());
+    Scenario::parse(&name).unwrap_or_else(|| {
+        eprintln!("unknown scenario {name}; expected none|s0-no-more|crushing-the-wave");
         std::process::exit(2);
     })
 }
@@ -74,7 +83,7 @@ fn parse_config(args: &[String], budget: Duration, seed: u64) -> FuzzConfig {
         eprintln!("unknown config {name}; expected full|beta|gamma|no-priority|no-plans");
         std::process::exit(2);
     });
-    config.with_impairment(parse_impairment(args))
+    config.with_impairment(parse_impairment(args)).with_scenario(parse_scenario(args))
 }
 
 /// Whether `--format json` selects machine-readable output (default:
@@ -366,6 +375,7 @@ fn main() {
                  [--mode zcover|vfuzz|coverage] \
                  [--config full|beta|gamma|no-priority|no-plans] \
                  [--impairment clean|lossy|bursty|adversarial] \
+                 [--scenario none|s0-no-more|crushing-the-wave] \
                  [--format text|json] [--record FILE] [--log FILE] [--report FILE] [--out FILE]"
             );
             std::process::exit(if command == "help" { 0 } else { 2 });

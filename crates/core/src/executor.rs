@@ -209,6 +209,7 @@ where
             config: spec.config_name.clone(),
             impairment: config.impairment,
             budget: config.testing_duration,
+            scenario: config.scenario,
         };
         TraceRecorder::attach(target.medium(), meta)
     });

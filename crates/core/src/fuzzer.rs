@@ -16,6 +16,7 @@ use crate::discovery::DiscoveryReport;
 use crate::dongle::{Dongle, PingOutcome};
 use crate::mutation::Mutator;
 use crate::passive::ScanReport;
+use crate::scenarios::{Scenario, ScenarioDriver};
 use crate::target::FuzzTarget;
 
 /// Which fuzzing engine drives the campaign — the axis of the three-way
@@ -91,6 +92,9 @@ pub struct FuzzConfig {
     pub impairment: ImpairmentProfile,
     /// Which engine drives the campaign (zcover / vfuzz / coverage).
     pub mode: FuzzMode,
+    /// Scripted adversary sharing the medium with the campaign
+    /// ([`Scenario::None`] for plain fuzzing).
+    pub scenario: Scenario,
 }
 
 impl FuzzConfig {
@@ -107,6 +111,7 @@ impl FuzzConfig {
             seed,
             impairment: ImpairmentProfile::Clean,
             mode: FuzzMode::Zcover,
+            scenario: Scenario::None,
         }
     }
 
@@ -114,6 +119,12 @@ impl FuzzConfig {
     /// simulated channel.
     pub fn with_impairment(self, profile: ImpairmentProfile) -> Self {
         FuzzConfig { impairment: profile, ..self }
+    }
+
+    /// Returns the same configuration with a scripted adversary running
+    /// `scenario` alongside the campaign.
+    pub fn with_scenario(self, scenario: Scenario) -> Self {
+        FuzzConfig { scenario, ..self }
     }
 
     /// Extended ablation: no command-count prioritisation (queue scanned
@@ -188,6 +199,9 @@ pub trait TraceSink {
     /// A payload discovered new coverage edges and entered the corpus
     /// (coverage mode only).
     fn corpus_retained(&mut self, _new_edges: u64, _corpus_size: usize) {}
+    /// The scripted adversary transmitted attack frame `index` of its
+    /// scenario schedule.
+    fn attack_frame(&mut self, _index: u64) {}
 }
 
 /// A sink that discards every event.
@@ -230,6 +244,10 @@ pub struct CampaignCounters {
     pub corpus_size: u64,
     /// Inputs retained into the corpus over the campaign (coverage mode).
     pub retained_inputs: u64,
+    /// Frames transmitted by the scripted adversary station.
+    pub attack_frames: u64,
+    /// Findings attributable to an attack scenario (bugs #16-#18).
+    pub attack_verdicts: u64,
 }
 
 impl CampaignCounters {
@@ -249,6 +267,8 @@ impl CampaignCounters {
         self.edges_seen += other.edges_seen;
         self.corpus_size += other.corpus_size;
         self.retained_inputs += other.retained_inputs;
+        self.attack_frames += other.attack_frames;
+        self.attack_verdicts += other.attack_verdicts;
     }
 
     /// Copies the channel-side tallies out of a [`MediumStats`] delta.
@@ -289,6 +309,10 @@ impl TraceSink for CampaignCounters {
     fn corpus_retained(&mut self, _new_edges: u64, _corpus_size: usize) {
         self.retained_inputs += 1;
     }
+
+    fn attack_frame(&mut self, _index: u64) {
+        self.attack_frames += 1;
+    }
 }
 
 /// One point of the Figure 12 detection-over-time series.
@@ -322,6 +346,8 @@ pub struct CampaignResult {
     pub counters: CampaignCounters,
     /// The engine that produced this result.
     pub mode: FuzzMode,
+    /// The scripted adversary that shared the medium (if any).
+    pub scenario: Scenario,
     /// The retained corpus (empty outside coverage mode). Part of the
     /// result so determinism tests can compare corpus contents bit for
     /// bit across worker counts.
@@ -363,6 +389,7 @@ struct CampaignState<'a, T: FuzzTarget> {
     cmdcl_coverage: BTreeSet<u8>,
     cmd_coverage: BTreeSet<u8>,
     deadline: SimInstant,
+    driver: Option<ScenarioDriver>,
 }
 
 impl Fuzzer {
@@ -407,6 +434,17 @@ impl Fuzzer {
         let started = clock.now();
         let channel_before = target.medium().stats();
         let semantic = Mutator::semantic_pool(scan.controller, &scan.slaves);
+        // The scripted adversary joins the medium anchored at campaign
+        // start; its whole schedule is a pure function of (scenario,
+        // seed), so it cannot perturb non-scenario campaigns.
+        let driver = ScenarioDriver::new(
+            self.config.scenario,
+            target.medium(),
+            started,
+            self.config.seed,
+            scan.home_id,
+            scan.controller,
+        );
         let mut state = CampaignState {
             target,
             dongle,
@@ -420,6 +458,7 @@ impl Fuzzer {
             cmdcl_coverage: BTreeSet::new(),
             cmd_coverage: BTreeSet::new(),
             deadline: started.plus(self.config.testing_duration),
+            driver,
         };
 
         let mut corpus = Vec::new();
@@ -492,6 +531,7 @@ impl Fuzzer {
             cmd_coverage: state.cmd_coverage,
             counters: state.counters,
             mode: self.config.mode,
+            scenario: self.config.scenario,
             corpus,
             started,
             ended: clock.now(),
@@ -709,6 +749,21 @@ impl Fuzzer {
         let dst = state.scan.controller;
         let home = state.scan.home_id;
 
+        // Service the scripted adversary first: every attack frame whose
+        // fire time has passed goes on the air (in index order) before
+        // this test case, and the attacker's wakeup keeps outage-recovery
+        // event hops landing on attack instants.
+        if let Some(driver) = state.driver.as_mut() {
+            let fired = driver.step();
+            if !fired.is_empty() {
+                state.counters.attack_frames += fired.len() as u64;
+                for index in fired {
+                    state.sink.attack_frame(index);
+                }
+                state.target.pump();
+            }
+        }
+
         // Transmit with G.9959 MAC retransmission: the frame is injected
         // once and, when no acknowledgement arrives, resent *byte-
         // identically* up to twice, so a receiver whose ack was lost
@@ -768,6 +823,9 @@ impl Fuzzer {
                 });
                 new_bug = true;
                 state.counters.findings += 1;
+                if fault.bug_id >= 16 {
+                    state.counters.attack_verdicts += 1;
+                }
                 if let Some(finding) = state.log.findings().last() {
                     state.sink.finding(finding);
                 }

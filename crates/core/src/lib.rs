@@ -49,6 +49,7 @@ pub mod minimize;
 pub mod mutation;
 pub mod passive;
 pub mod report;
+pub mod scenarios;
 pub mod target;
 pub mod trace;
 pub mod trials;
@@ -65,6 +66,7 @@ pub use fuzzer::{
 pub use minimize::minimize;
 pub use mutation::{MutationOp, Mutator};
 pub use passive::{PassiveScanner, ScanReport, TrafficStats};
+pub use scenarios::{Scenario, ScenarioDriver, ATTACKER_KEY, GHOST_NODE};
 pub use target::FuzzTarget;
 pub use trace::{
     diff_traces, record_campaign, replay, RecordedCampaign, ReplayReport, Trace, TraceError,
@@ -173,6 +175,9 @@ impl ZCover {
         // fingerprinting, discovery and the fuzzing campaign all face the
         // same (deterministically) hostile medium.
         target.medium().set_impairment(config.impairment.schedule());
+        // Scenario preconditions (an offline node record, an armed
+        // re-inclusion window) exist before the attacker ever listens.
+        target.prepare_scenario(config.scenario);
         let scan = self.fingerprint(target)?;
         let active = ActiveScanner::scan(target, &mut self.dongle, &scan)
             .ok_or(ZCoverError::NoNifResponse)?;

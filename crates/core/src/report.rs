@@ -101,7 +101,8 @@ fn counters_json(c: &CampaignCounters) -> String {
         "{{\"packets_sent\":{},\"plans_executed\":{},\"outages_observed\":{},\"findings\":{},\
          \"losses\":{},\"duplicates\":{},\"reorders\":{},\"truncations\":{},\
          \"blackout_drops\":{},\"retransmissions\":{},\"ack_timeouts\":{},\
-         \"edges_seen\":{},\"corpus_size\":{},\"retained_inputs\":{}}}",
+         \"edges_seen\":{},\"corpus_size\":{},\"retained_inputs\":{},\
+         \"attack_frames\":{},\"attack_verdicts\":{}}}",
         c.packets_sent,
         c.plans_executed,
         c.outages_observed,
@@ -115,7 +116,9 @@ fn counters_json(c: &CampaignCounters) -> String {
         c.ack_timeouts,
         c.edges_seen,
         c.corpus_size,
-        c.retained_inputs
+        c.retained_inputs,
+        c.attack_frames,
+        c.attack_verdicts
     )
 }
 
@@ -144,14 +147,15 @@ pub fn campaign_to_json(result: &CampaignResult) -> String {
         result.findings.iter().map(|f| finding_json(f, result.started)).collect();
     format!(
         "{{\"packets_sent\":{},\"virtual_duration_s\":{:.3},\"cmdcl_coverage\":{},\
-         \"cmd_coverage\":{},\"unique_vulns\":{},\"mode\":\"{}\",\"counters\":{},\
-         \"findings\":[{}]}}",
+         \"cmd_coverage\":{},\"unique_vulns\":{},\"mode\":\"{}\",\"scenario\":\"{}\",\
+         \"counters\":{},\"findings\":[{}]}}",
         result.packets_sent,
         result.duration().as_secs_f64(),
         result.cmdcl_coverage.len(),
         result.cmd_coverage.len(),
         result.unique_vulns(),
         result.mode,
+        result.scenario,
         counters_json(&result.counters),
         findings.join(",")
     )

@@ -8,8 +8,12 @@
 //! factory reset.
 
 use zwave_controller::testbed::Testbed;
-use zwave_controller::FaultRecord;
+use zwave_controller::{FaultRecord, NodeRecord, LOCK_NODE};
+use zwave_protocol::nif::BasicDeviceType;
+use zwave_protocol::CommandClassId;
 use zwave_radio::{Medium, SimInstant};
+
+use crate::scenarios::{Scenario, GHOST_NODE};
 
 /// A fuzzable Z-Wave network.
 pub trait FuzzTarget {
@@ -45,6 +49,13 @@ pub trait FuzzTarget {
     fn coverage_edges(&self) -> u64 {
         0
     }
+
+    /// Puts the network into the state an attack scenario presumes —
+    /// e.g. an included-but-offline battery node for S0-No-More, or an
+    /// armed re-inclusion window for Crushing-the-Wave. Called once per
+    /// campaign, before fingerprinting; a no-op for [`Scenario::None`]
+    /// and for targets without scenario support.
+    fn prepare_scenario(&mut self, _scenario: Scenario) {}
 }
 
 impl FuzzTarget for Testbed {
@@ -70,6 +81,38 @@ impl FuzzTarget for Testbed {
 
     fn coverage_edges(&self) -> u64 {
         Testbed::coverage_edges(self)
+    }
+
+    fn prepare_scenario(&mut self, scenario: Scenario) {
+        match scenario {
+            Scenario::None => {}
+            // S0-No-More presumes a battery device that is *included* in
+            // the controller's NVM but currently offline (radio off
+            // between wakeups) — the identity the attacker spoofs.
+            Scenario::S0NoMore => {
+                let mut ghost = NodeRecord::new(GHOST_NODE, BasicDeviceType::Slave);
+                ghost.generic = 0x20; // binary sensor
+                ghost.listening = false;
+                ghost.offline = true;
+                ghost.wakeup_interval_s = Some(4000);
+                ghost.supported = vec![
+                    CommandClassId(0x30),
+                    CommandClassId::BATTERY,
+                    CommandClassId::WAKE_UP,
+                    CommandClassId::SECURITY_0,
+                ];
+                self.controller_mut().nvm_mut().insert(ghost);
+                // Committed so mid-campaign factory restores (bug
+                // recovery) keep the record: the premise of the attack,
+                // not state the attack created.
+                self.controller_mut().commit_factory_state();
+            }
+            // Crushing-the-Wave presumes a re-inclusion of the S2 lock
+            // is in progress (the window the attacker races).
+            Scenario::CrushingTheWave => {
+                self.controller_mut().arm_reinclusion(LOCK_NODE);
+            }
+        }
     }
 }
 

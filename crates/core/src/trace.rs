@@ -31,6 +31,7 @@ use zwave_radio::{ImpairmentProfile, Medium, SimClock, SimInstant, SimScheduler}
 
 use crate::buglog::VulnFinding;
 use crate::fuzzer::{CampaignResult, FuzzConfig, TraceSink};
+use crate::scenarios::Scenario;
 use crate::{ZCover, ZCoverError, ZCoverReport};
 
 /// Trace format version emitted and accepted by this build.
@@ -80,20 +81,29 @@ pub struct TraceMeta {
     pub impairment: ImpairmentProfile,
     /// Virtual fuzzing budget.
     pub budget: Duration,
+    /// Scripted adversary scenario sharing the medium with the trial.
+    pub scenario: Scenario,
 }
 
 impl TraceMeta {
-    /// Serializes the header line.
+    /// Serializes the header line. The `scenario` field is emitted only
+    /// when one is set, so traces of plain campaigns — including every
+    /// golden recorded before scenarios existed — keep their exact bytes.
     fn header_line(&self) -> String {
-        format!(
+        let mut line = format!(
             "{{\"zcover_trace\":{TRACE_VERSION},\"device\":\"{}\",\"seed\":{},\
-             \"config\":\"{}\",\"impairment\":\"{}\",\"budget_s\":{:.3}}}",
+             \"config\":\"{}\",\"impairment\":\"{}\",\"budget_s\":{:.3}",
             self.device,
             self.seed,
             self.config,
             self.impairment,
             self.budget.as_secs_f64()
-        )
+        );
+        if self.scenario != Scenario::None {
+            line.push_str(&format!(",\"scenario\":\"{}\"", self.scenario));
+        }
+        line.push('}');
+        line
     }
 
     /// Parses a header line.
@@ -121,12 +131,20 @@ impl TraceMeta {
             .ok_or_else(|| TraceError::Malformed("missing budget_s".into()))?
             .parse()
             .map_err(|_| TraceError::Malformed("non-numeric budget_s".into()))?;
+        // Absent on pre-scenario traces: those trials ran without an
+        // adversary station.
+        let scenario = match field(line, "scenario") {
+            Some(name) => Scenario::parse(&name)
+                .ok_or_else(|| TraceError::UnknownMeta(format!("scenario {name}")))?,
+            None => Scenario::None,
+        };
         Ok(TraceMeta {
             device,
             seed,
             config,
             impairment,
             budget: Duration::from_secs_f64(budget_s),
+            scenario,
         })
     }
 
@@ -142,7 +160,7 @@ impl TraceMeta {
     fn fuzz_config(&self) -> Result<FuzzConfig, TraceError> {
         FuzzConfig::named(&self.config, self.budget, self.seed)
             .ok_or_else(|| TraceError::UnknownMeta(format!("config {}", self.config)))
-            .map(|c| c.with_impairment(self.impairment))
+            .map(|c| c.with_impairment(self.impairment).with_scenario(self.scenario))
     }
 }
 
@@ -406,6 +424,13 @@ impl TraceSink for TraceRecorder {
             self.journal.clock.now().as_micros()
         ));
     }
+
+    fn attack_frame(&mut self, index: u64) {
+        self.journal.push(format!(
+            "{{\"t\":\"attack\",\"at_us\":{},\"ev\":\"frame\",\"index\":{index}}}",
+            self.journal.clock.now().as_micros()
+        ));
+    }
 }
 
 /// A recorded trial: the trace plus the pipeline report it journaled.
@@ -437,6 +462,7 @@ pub fn record_campaign(
         config: config_name.to_string(),
         impairment: config.impairment,
         budget: config.testing_duration,
+        scenario: config.scenario,
     };
     let mut testbed = Testbed::new(model, config.seed);
     let mut recorder = TraceRecorder::attach(crate::FuzzTarget::medium(&testbed), meta);
@@ -571,6 +597,7 @@ mod tests {
             config: "full".to_string(),
             impairment: ImpairmentProfile::Lossy,
             budget: Duration::from_secs(60),
+            scenario: Scenario::None,
         }
     }
 
@@ -579,6 +606,24 @@ mod tests {
         let meta = short_meta();
         let parsed = TraceMeta::from_header_line(&meta.header_line()).unwrap();
         assert_eq!(parsed, meta);
+    }
+
+    #[test]
+    fn scenario_header_field_is_conditional() {
+        // No scenario → no field: pre-scenario golden traces keep their
+        // exact header bytes.
+        let plain = short_meta();
+        assert!(!plain.header_line().contains("scenario"));
+        // With a scenario the field round-trips.
+        let meta = TraceMeta { scenario: Scenario::S0NoMore, ..short_meta() };
+        let line = meta.header_line();
+        assert!(line.contains("\"scenario\":\"s0-no-more\""));
+        let parsed = TraceMeta::from_header_line(&line).unwrap();
+        assert_eq!(parsed, meta);
+        assert_eq!(parsed.fuzz_config().unwrap().scenario, Scenario::S0NoMore);
+        // An unknown scenario name is rejected, not silently dropped.
+        let bad = line.replace("s0-no-more", "s9-no-more");
+        assert!(matches!(TraceMeta::from_header_line(&bad), Err(TraceError::UnknownMeta(_))));
     }
 
     #[test]

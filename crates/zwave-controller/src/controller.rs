@@ -19,11 +19,31 @@ use zwave_radio::{FrameBuf, Medium, SimInstant, Transceiver};
 use zwave_crypto::s2::S2Session;
 
 use crate::coverage::{state as cov, CoverageMap};
+use crate::energy::{self, EnergyMeter};
 use crate::health::{EffectKind, FaultLog, FaultRecord, Health, RootCause};
 use crate::host::{AppLink, HostProgram};
 use crate::link::{LinkPolicy, LinkStats, PendingTx, DUP_WINDOW};
 use crate::nvm::{NodeDatabase, NodeRecord};
 use crate::vulns::{self, MacQuirk, VulnContext, VulnEffect};
+
+/// S0 NETWORK_KEY_SET command id (the frame bug #18 accepts in
+/// plaintext during a downgraded re-inclusion).
+const S0_KEY_SET: u8 = 0x06;
+
+/// Where the controller stands in a node (re-)inclusion exchange. The
+/// Crushing-the-Wave scenario arms this window; bugs #17 and #18 only
+/// fire inside it, so ordinary fuzzing traffic cannot reach them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReinclusionState {
+    /// No inclusion in progress.
+    Idle,
+    /// The given node is being re-included and the key-exchange window
+    /// is open.
+    Armed(NodeId),
+    /// An S2→S0 downgrade was accepted for the node (bug #17 fired);
+    /// the key exchange continues under S0 rules.
+    Downgraded(NodeId),
+}
 
 /// Static description of a controller model (one row of Table II).
 #[derive(Debug, Clone)]
@@ -100,6 +120,15 @@ pub struct SimController {
     /// APL dispatch-edge coverage — a pure observation of dispatched
     /// payloads; recording never influences behaviour, RNG, or timing.
     coverage: CoverageMap,
+    /// Inclusion-exchange window state (bugs #17/#18 fire inside it).
+    reinclusion: ReinclusionState,
+    /// Wake/TX energy attributable to bug #16's offline-node nonce
+    /// answers; exhaustion is the `BatteryDrain` verdict.
+    attack_energy: EnergyMeter,
+    /// Nonce reports sent on behalf of offline nodes (bug #16 counter).
+    offline_nonce_answers: u64,
+    /// Whether the one-shot `BatteryDrain` fault was already pushed.
+    battery_drain_reported: bool,
 }
 
 /// Association groups the controller advertises.
@@ -127,6 +156,7 @@ impl SimController {
             listening: true,
             secure: true,
             wakeup_interval_s: None,
+            offline: false,
             supported: config.listed.clone(),
         });
         let radio = medium.attach(position_m);
@@ -161,7 +191,34 @@ impl SimController {
             s0_nonce_counter: 0,
             last_s0_nonce: None,
             coverage: CoverageMap::new(),
+            reinclusion: ReinclusionState::Idle,
+            attack_energy: EnergyMeter::new(energy::BATTERY_DRAIN_BUDGET_UJ),
+            offline_nonce_answers: 0,
+            battery_drain_reported: false,
         }
+    }
+
+    /// Opens a re-inclusion window for `node` — the testbed's stand-in
+    /// for the user pressing the inclusion button to re-pair a device
+    /// that fell off the network. Bugs #17/#18 are only reachable while
+    /// the window is open.
+    pub fn arm_reinclusion(&mut self, node: NodeId) {
+        self.reinclusion = ReinclusionState::Armed(node);
+    }
+
+    /// The current inclusion-exchange window state.
+    pub fn reinclusion(&self) -> ReinclusionState {
+        self.reinclusion
+    }
+
+    /// The attack-attributable energy meter (bug #16 oracle).
+    pub fn attack_energy(&self) -> &EnergyMeter {
+        &self.attack_energy
+    }
+
+    /// Nonce reports answered on behalf of offline nodes (bug #16).
+    pub fn offline_nonce_answers(&self) -> u64 {
+        self.offline_nonce_answers
     }
 
     /// Grants the legacy S0 network key this controller answers S0
@@ -337,6 +394,10 @@ impl SimController {
         if let Some(app) = &mut self.app {
             app.recover();
         }
+        self.reinclusion = ReinclusionState::Idle;
+        self.attack_energy.reset();
+        self.offline_nonce_answers = 0;
+        self.battery_drain_reported = false;
     }
 
     /// Clears the fault log and its cursor.
@@ -616,15 +677,86 @@ impl SimController {
             return;
         }
 
-        // S0: nonce requests and message encapsulation.
+        // S0: nonce requests, message encapsulation, and key exchange.
         if cc == CommandClassId::SECURITY_0 {
             self.coverage.record(cc.0, cmd, cov::ENCAP);
             match payload.command() {
                 Some(zwave_crypto::s0::cmd::NONCE_GET) => {
+                    // Bug #16 (S0-No-More): the firmware answers every
+                    // NONCE_GET — even one claiming to come from a node
+                    // the controller itself has marked offline, which a
+                    // healthy peer never sends. Each such answer spends
+                    // a radio wake plus the report's airtime.
+                    let flawed = vulns::offline_nonce_flaw(src.0, &self.vuln_ctx(encrypted));
+                    if flawed {
+                        if self.patched_bugs.contains(&16) {
+                            // Patched firmware checks node liveness
+                            // before spending energy on an answer.
+                            self.coverage.record(cc.0, cmd, cov::PATCHED);
+                            return;
+                        }
+                        self.coverage.record(cc.0, cmd, cov::ATTACK);
+                    }
                     let nonce = self.next_s0_nonce();
                     let mut report = vec![0x98, zwave_crypto::s0::cmd::NONCE_REPORT];
                     report.extend_from_slice(&nonce);
+                    if flawed {
+                        self.offline_nonce_answers += 1;
+                        // MAC framing wraps the 10-byte payload in a
+                        // 9-byte header plus the checksum: 20 on air.
+                        let cost = energy::tx_cost_default_uj(report.len() + 10);
+                        self.attack_energy.charge(cost);
+                        if self.attack_energy.exhausted() && !self.battery_drain_reported {
+                            self.battery_drain_reported = true;
+                            self.faults.push(FaultRecord {
+                                at: self.now(),
+                                bug_id: 16,
+                                cmdcl: cc.0,
+                                cmd,
+                                effect: EffectKind::BatteryDrain,
+                                root_cause: RootCause::Specification,
+                                outage: None,
+                                trigger: payload.encode(),
+                            });
+                        }
+                    }
                     self.send_apl(src, report);
+                }
+                Some(S0_KEY_SET) => {
+                    // Bug #18 (Crushing the Wave): a plaintext
+                    // NETWORK_KEY_SET is accepted while a downgraded
+                    // re-inclusion is in flight, resetting the S0 key
+                    // without user confirmation and locking every
+                    // previously paired device out.
+                    let flawed =
+                        vulns::key_reset_flaw(payload.params().len(), &self.vuln_ctx(encrypted));
+                    if flawed && self.patched_bugs.contains(&18) {
+                        self.coverage.record(cc.0, cmd, cov::PATCHED);
+                        self.send_apl(src, vec![0x22, 0x02, 0x00]);
+                        return;
+                    }
+                    if flawed {
+                        self.coverage.record(cc.0, cmd, cov::ATTACK);
+                        let mut key = [0u8; 16];
+                        key.copy_from_slice(&payload.params()[..16]);
+                        self.set_s0_key(zwave_crypto::NetworkKey::new(key));
+                        // The exchange concludes; the window closes.
+                        self.reinclusion = ReinclusionState::Idle;
+                        self.faults.push(FaultRecord {
+                            at: self.now(),
+                            bug_id: 18,
+                            cmdcl: cc.0,
+                            cmd,
+                            effect: EffectKind::Lockout,
+                            root_cause: RootCause::Specification,
+                            outage: None,
+                            trigger: payload.encode(),
+                        });
+                        // KEY_VERIFY, as if the exchange were legal.
+                        self.send_apl(src, vec![0x98, 0x07]);
+                    } else {
+                        self.send_apl(src, vec![0x22, 0x02, 0x00]);
+                    }
                 }
                 Some(zwave_crypto::s0::cmd::MESSAGE_ENCAP) => {
                     let Some(receiver_nonce) = self.last_s0_nonce else { return };
@@ -684,17 +816,7 @@ impl SimController {
         }
 
         // The seeded vulnerability gate.
-        let triggered = {
-            let ctx = VulnContext {
-                nvm: &self.nvm,
-                implemented: &self.implemented,
-                encrypted,
-                usb_host: self.config.usb_host,
-                smart_hub: self.config.smart_hub,
-                self_node: self.node_id.0,
-            };
-            vulns::check(payload, &ctx)
-        };
+        let triggered = vulns::check(payload, &self.vuln_ctx(encrypted));
         if let Some(t) = triggered {
             if self.patched_bugs.contains(&t.bug_id) {
                 // Patched firmware validates and rejects the payload.
@@ -702,13 +824,30 @@ impl SimController {
                 self.send_apl(src, vec![0x22, 0x02, 0x00]);
                 return;
             }
-            self.coverage.record(cc.0, cmd, cov::VULN);
+            // Attack-scenario bugs (#16+) get their own dispatch state
+            // so coverage-guided mode can tell them from Table III hits.
+            let state = if t.bug_id >= 16 { cov::ATTACK } else { cov::VULN };
+            self.coverage.record(cc.0, cmd, state);
             self.apply_vuln_effect(&t, payload);
             return;
         }
 
         self.coverage.record(cc.0, cmd, if encrypted { cov::ENCRYPTED } else { cov::PLAIN });
         self.handle_legit(src, payload);
+    }
+
+    /// The device context the vulnerability predicates consult.
+    fn vuln_ctx(&self, encrypted: bool) -> VulnContext<'_> {
+        VulnContext {
+            nvm: &self.nvm,
+            implemented: &self.implemented,
+            encrypted,
+            usb_host: self.config.usb_host,
+            smart_hub: self.config.smart_hub,
+            self_node: self.node_id.0,
+            reinclusion_armed: matches!(self.reinclusion, ReinclusionState::Armed(_)),
+            downgrade_active: matches!(self.reinclusion, ReinclusionState::Downgraded(_)),
+        }
     }
 
     fn apply_vuln_effect(&mut self, t: &vulns::Triggered, payload: &ApplicationPayload) {
@@ -767,6 +906,15 @@ impl SimController {
             VulnEffect::HostDos => {
                 if let Some(host) = &mut self.host {
                     host.deny_service();
+                }
+            }
+            VulnEffect::AcceptDowngrade => {
+                if let ReinclusionState::Armed(node) = self.reinclusion {
+                    self.reinclusion = ReinclusionState::Downgraded(node);
+                    // The re-included node loses its S2 pairing.
+                    if let Some(rec) = self.nvm.get_mut(node) {
+                        rec.secure = false;
+                    }
                 }
             }
         }
@@ -1162,6 +1310,160 @@ mod tests {
         c.poll();
         assert_eq!(c.link_stats().retransmissions, 0);
         assert_eq!(c.link_stats().ack_timeouts, 0);
+    }
+
+    /// An S0 NONCE_GET spoofed as coming from `src`.
+    fn nonce_get(src: u8) -> Vec<u8> {
+        frame(0xE7DE3F3D, src, 0x01, vec![0x98, zwave_crypto::s0::cmd::NONCE_GET])
+    }
+
+    /// Like `frame` but with an explicit sequence number, to repeat a
+    /// payload without tripping the duplicate filter.
+    fn frame_seq(src: u8, seq: u8, payload: Vec<u8>) -> Vec<u8> {
+        let mut fc = zwave_protocol::frame::FrameControl::singlecast(seq);
+        fc.sequence = seq;
+        MacFrame::try_new(
+            HomeId(0xE7DE3F3D),
+            NodeId(src),
+            fc,
+            NodeId(0x01),
+            payload,
+            zwave_protocol::ChecksumKind::Cs8,
+        )
+        .unwrap()
+        .encode()
+    }
+
+    fn mark_offline(c: &mut SimController, node: u8) {
+        let mut rec = NodeRecord::new(NodeId(node), zwave_protocol::nif::BasicDeviceType::Slave);
+        rec.listening = false;
+        rec.offline = true;
+        rec.wakeup_interval_s = Some(4000);
+        c.nvm_mut().insert(rec);
+    }
+
+    #[test]
+    fn bug16_offline_nonce_answers_exhaust_the_energy_budget() {
+        let (_m, mut c, attacker) = setup();
+        mark_offline(&mut c, 0x05);
+        assert_eq!(c.attack_energy().spent_uj(), 0);
+        // Each flood frame needs a fresh sequence number to clear the
+        // duplicate filter, like the real attacker schedule produces.
+        for i in 0..40u8 {
+            let mut fc = zwave_protocol::frame::FrameControl::singlecast(i & 0x0F);
+            fc.sequence = i & 0x0F;
+            let f = MacFrame::try_new(
+                HomeId(0xE7DE3F3D),
+                NodeId(0x05),
+                fc,
+                NodeId(0x01),
+                vec![0x98, zwave_crypto::s0::cmd::NONCE_GET],
+                zwave_protocol::ChecksumKind::Cs8,
+            )
+            .unwrap();
+            attacker.transmit(&f.encode());
+            c.poll();
+        }
+        assert_eq!(c.offline_nonce_answers(), 40);
+        assert!(c.attack_energy().exhausted());
+        let faults = c.take_new_faults();
+        assert_eq!(faults.len(), 1, "the BatteryDrain verdict is one-shot");
+        assert_eq!(faults[0].bug_id, 16);
+        assert_eq!(faults[0].effect, EffectKind::BatteryDrain);
+        // Factory restore refills the budget.
+        c.restore_factory();
+        assert_eq!(c.attack_energy().spent_uj(), 0);
+        assert_eq!(c.offline_nonce_answers(), 0);
+    }
+
+    #[test]
+    fn bug16_online_nodes_charge_nothing() {
+        let (_m, mut c, attacker) = setup();
+        // Node 0x05 exists but is online: normal S0 service.
+        let rec = NodeRecord::new(NodeId(0x05), zwave_protocol::nif::BasicDeviceType::Slave);
+        c.nvm_mut().insert(rec);
+        attacker.transmit(&nonce_get(0x05));
+        c.poll();
+        assert_eq!(c.offline_nonce_answers(), 0);
+        assert_eq!(c.attack_energy().spent_uj(), 0);
+        assert!(c.take_new_faults().is_empty());
+        // The nonce itself is still answered (ack + report on air).
+        assert!(attacker.pending() >= 2);
+    }
+
+    #[test]
+    fn bug16_patched_firmware_stays_silent_and_spends_nothing() {
+        let (_m, mut c, attacker) = setup();
+        mark_offline(&mut c, 0x05);
+        c.apply_patches(&[16]);
+        attacker.transmit(&nonce_get(0x05));
+        c.poll();
+        let frames = attacker.drain();
+        // The MAC ack still goes out, but no nonce report follows.
+        assert!(frames.iter().all(|f| MacFrame::decode(&f.bytes).is_ok_and(|d| d.is_ack())));
+        assert_eq!(c.offline_nonce_answers(), 0);
+        assert_eq!(c.attack_energy().spent_uj(), 0);
+    }
+
+    #[test]
+    fn bug17_downgrade_needs_the_armed_window() {
+        let (_m, mut c, attacker) = setup();
+        let rec = {
+            let mut r = NodeRecord::new(NodeId(0x02), zwave_protocol::nif::BasicDeviceType::Slave);
+            r.secure = true;
+            r
+        };
+        c.nvm_mut().insert(rec);
+        let kex_set = frame(0xE7DE3F3D, 0x02, 0x01, vec![0x9F, 0x06, 0x80]);
+        attacker.transmit(&kex_set);
+        c.poll();
+        assert!(c.take_new_faults().is_empty(), "inert outside re-inclusion");
+        assert_eq!(c.reinclusion(), ReinclusionState::Idle);
+
+        c.arm_reinclusion(NodeId(0x02));
+        attacker.drain();
+        attacker.transmit(&frame_seq(0x02, 0x09, vec![0x9F, 0x06, 0x80]));
+        c.poll();
+        let faults = c.take_new_faults();
+        assert_eq!(faults.len(), 1);
+        assert_eq!(faults[0].bug_id, 17);
+        assert_eq!(faults[0].effect, EffectKind::SecurityDowngrade);
+        assert_eq!(c.reinclusion(), ReinclusionState::Downgraded(NodeId(0x02)));
+        assert!(!c.nvm().get(NodeId(0x02)).unwrap().secure, "S2 pairing lost");
+    }
+
+    #[test]
+    fn bug18_key_reset_lands_only_after_the_downgrade() {
+        let (_m, mut c, attacker) = setup();
+        let original_key = *c.s0_key().bytes();
+        let mut key_set = vec![0x98, 0x06];
+        key_set.extend_from_slice(&[0xA5; 16]);
+        let key_frame = frame(0xE7DE3F3D, 0x02, 0x01, key_set);
+        attacker.transmit(&key_frame);
+        c.poll();
+        assert!(c.take_new_faults().is_empty(), "no downgrade, no reset");
+        assert_eq!(c.s0_key().bytes(), &original_key);
+
+        c.arm_reinclusion(NodeId(0x02));
+        attacker.drain();
+        attacker.transmit(&frame(0xE7DE3F3D, 0x02, 0x01, vec![0x9F, 0x06, 0x80]));
+        c.poll();
+        assert_eq!(c.take_new_faults().len(), 1); // the downgrade
+                                                  // A fresh sequence number keeps the repeat clear of the
+                                                  // duplicate filter (the first copy is still in its window).
+        let mut key_set = vec![0x98, 0x06];
+        key_set.extend_from_slice(&[0xA5; 16]);
+        attacker.transmit(&frame_seq(0x02, 0x07, key_set));
+        c.poll();
+        let faults = c.take_new_faults();
+        assert_eq!(faults.len(), 1);
+        assert_eq!(faults[0].bug_id, 18);
+        assert_eq!(faults[0].effect, EffectKind::Lockout);
+        assert_eq!(c.s0_key().bytes(), &[0xA5; 16], "attacker key installed");
+        assert_eq!(c.reinclusion(), ReinclusionState::Idle, "window closed");
+        // Restore undoes the armed state (the key is testbed-managed).
+        c.restore_factory();
+        assert_eq!(c.reinclusion(), ReinclusionState::Idle);
     }
 
     #[test]

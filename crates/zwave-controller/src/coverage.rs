@@ -32,6 +32,9 @@ pub mod state {
     /// Outer frame of an encapsulation (S0/S2/CRC-16/Supervision) that
     /// was unwrapped and re-dispatched.
     pub const ENCAP: u8 = 6;
+    /// Matched an attack-scenario predicate (bugs #16-#18: offline-node
+    /// nonce answers, inclusion downgrade, unauthorized key reset).
+    pub const ATTACK: u8 = 7;
     /// Capacity (power of two so the bitmap stays word-aligned).
     pub const COUNT: u8 = 8;
 }

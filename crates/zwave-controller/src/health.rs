@@ -73,6 +73,17 @@ pub enum EffectKind {
     /// A shallow MAC-parsing robustness fault (the one-day class VFuzz
     /// finds; disjoint from ZCover's fifteen).
     MacParsingGlitch,
+    /// Bug #16 (S0-No-More): the attack-attributable wake/TX energy
+    /// budget was exhausted answering nonces for offline nodes. This
+    /// verdict is strictly energy-derived — an unresponsive controller
+    /// (channel blackout, timed outage) never produces it.
+    BatteryDrain,
+    /// Bug #17 (Crushing the Wave): an S2→S0 inclusion downgrade was
+    /// accepted during re-inclusion.
+    SecurityDowngrade,
+    /// Bug #18 (Crushing the Wave): the S0 network key was reset without
+    /// user confirmation, locking paired devices out of the network.
+    Lockout,
 }
 
 impl std::fmt::Display for EffectKind {
@@ -89,6 +100,9 @@ impl std::fmt::Display for EffectKind {
             EffectKind::HostDos => "DoS on the Z-Wave PC controller program",
             EffectKind::BusySearch => "Z-Wave controller service disruption",
             EffectKind::MacParsingGlitch => "MAC frame parsing glitch",
+            EffectKind::BatteryDrain => "battery drain through forced nonce transmissions",
+            EffectKind::SecurityDowngrade => "security class downgrade during re-inclusion",
+            EffectKind::Lockout => "device lockout through unauthorized key reset",
         };
         f.write_str(s)
     }

@@ -36,6 +36,7 @@
 pub mod controller;
 pub mod coverage;
 pub mod devices;
+pub mod energy;
 pub mod health;
 pub mod host;
 pub mod ids;
@@ -44,8 +45,9 @@ pub mod nvm;
 pub mod testbed;
 pub mod vulns;
 
-pub use controller::{ControllerConfig, ControllerStats, SimController};
+pub use controller::{ControllerConfig, ControllerStats, ReinclusionState, SimController};
 pub use coverage::CoverageMap;
+pub use energy::EnergyMeter;
 pub use health::{EffectKind, FaultLog, FaultRecord, Health, RootCause};
 pub use host::{AppLink, AppState, HostProgram, HostState};
 pub use ids::{Alert, AlertReason, Ids};

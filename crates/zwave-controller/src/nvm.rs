@@ -25,6 +25,11 @@ pub struct NodeRecord {
     pub secure: bool,
     /// Wake-up interval in seconds for sleeping nodes (bug #12 clears it).
     pub wakeup_interval_s: Option<u32>,
+    /// Whether the controller has marked this included node as offline —
+    /// a sleeping battery node that missed its wake-up windows, or a
+    /// failed node awaiting removal. Bug #16's flaw is answering S0
+    /// nonce requests on behalf of such nodes anyway.
+    pub offline: bool,
     /// Command classes the node advertised at inclusion.
     pub supported: Vec<CommandClassId>,
 }
@@ -40,6 +45,7 @@ impl NodeRecord {
             listening: true,
             secure: false,
             wakeup_interval_s: None,
+            offline: false,
             supported: Vec::new(),
         }
     }
@@ -175,6 +181,7 @@ mod tests {
             listening: false,
             secure: true,
             wakeup_interval_s: Some(3600),
+            offline: false,
             supported: vec![CommandClassId::DOOR_LOCK, CommandClassId::BATTERY],
         }
     }

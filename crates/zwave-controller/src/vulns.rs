@@ -63,6 +63,10 @@ pub enum VulnEffect {
     },
     /// Persistent DoS of the PC controller program (bug #13).
     HostDos,
+    /// Accept an S2→S0 downgrade during an armed re-inclusion (bug #17,
+    /// Crushing the Wave). The controller resolves which node was being
+    /// re-included from its own inclusion state.
+    AcceptDowngrade,
 }
 
 /// A fired vulnerability, ready to be applied and logged.
@@ -95,6 +99,13 @@ pub struct VulnContext<'a> {
     pub smart_hub: bool,
     /// The controller's own node id (its entry is protected from removal).
     pub self_node: u8,
+    /// Whether a re-inclusion window is armed (a previously S2-paired
+    /// node is being re-included; bug #17's predicate requires it so a
+    /// stray KEX_SET outside re-inclusion never fires).
+    pub reinclusion_armed: bool,
+    /// Whether a downgrade was already accepted this re-inclusion (bug
+    /// #18's key reset only lands after the S2→S0 downgrade).
+    pub downgrade_active: bool,
 }
 
 /// Table III outage durations.
@@ -224,8 +235,24 @@ pub fn check(payload: &ApplicationPayload, ctx: &VulnContext<'_>) -> Option<Trig
             _ => None,
         },
 
-        // ── Security 2: host nonce parser (bug #06, USB hosts only) ────
-        0x9F if ctx.usb_host => {
+        // ── Security 2: host nonce parser (bug #06) and the Crushing-
+        // the-Wave downgrade acceptance (bug #17) ──────────────────────
+        0x9F => {
+            // Bug #17: during an armed re-inclusion an unencrypted
+            // KEX_SET whose requested-keys byte asks for S0 only
+            // (bit 7) and no S2 class (bits 0-2) is accepted instead of
+            // failing the inclusion — the S2→S0 downgrade.
+            if cmd == 0x06 {
+                let keys = p.first().copied()?;
+                return if ctx.reinclusion_armed && keys & 0x80 != 0 && keys & 0x07 == 0 {
+                    hit(17, VulnEffect::AcceptDowngrade, E::SecurityDowngrade, Specification, None)
+                } else {
+                    None
+                };
+            }
+            if !ctx.usb_host {
+                return None;
+            }
             let canonical = cmd == 0x01 && n >= 2;
             let sloppy = (0x10..=0x1F).contains(&cmd) && n >= 2;
             if canonical || sloppy {
@@ -330,6 +357,22 @@ pub fn check(payload: &ApplicationPayload, ctx: &VulnContext<'_>) -> Option<Trig
     }
 }
 
+/// Bug #16 (S0-No-More) predicate, consulted inline where the controller
+/// answers `NONCE_GET` unconditionally: the answer is attributable to the
+/// battery-drain flaw when the unencrypted request claims to come from an
+/// included node the controller itself has marked offline — a healthy S0
+/// peer would be awake and requesting on its own behalf.
+pub fn offline_nonce_flaw(src: u8, ctx: &VulnContext<'_>) -> bool {
+    !ctx.encrypted && ctx.nvm.get(zwave_protocol::NodeId(src)).is_some_and(|rec| rec.offline)
+}
+
+/// Bug #18 (Crushing the Wave) predicate: an unencrypted S0 `KEY_SET`
+/// carrying a full 16-byte key, arriving after the downgrade was
+/// accepted, resets the network key without user confirmation.
+pub fn key_reset_flaw(params_len: usize, ctx: &VulnContext<'_>) -> bool {
+    !ctx.encrypted && ctx.downgrade_active && params_len >= 16
+}
+
 /// A shallow MAC-layer parsing quirk: the one-day robustness faults VFuzz
 /// finds by random MAC mutation (checked on raw bytes *before* checksum
 /// validation, as real pre-parse firmware bugs are).
@@ -396,6 +439,8 @@ mod tests {
             usb_host: true,
             smart_hub: false,
             self_node: 1,
+            reinclusion_armed: false,
+            downgrade_active: false,
         }
     }
 
@@ -560,6 +605,69 @@ mod tests {
         assert!(check(&pld(0x20, 0x01, &[0xFF]), &c).is_none());
         assert!(check(&pld(0x25, 0x01, &[0xFF]), &c).is_none());
         assert!(check(&ApplicationPayload::bare(CommandClassId(0x00)), &c).is_none());
+    }
+
+    #[test]
+    fn bug17_requires_armed_reinclusion_and_s0_only_keys() {
+        let nvm = nvm_with_lock();
+        let imp = implemented();
+        let mut c = ctx(&nvm, &imp);
+        let downgrade = pld(0x9F, 0x06, &[0x80]);
+        // Outside a re-inclusion window the KEX_SET is inert.
+        assert!(check(&downgrade, &c).is_none());
+        c.reinclusion_armed = true;
+        let t = check(&downgrade, &c).unwrap();
+        assert_eq!(t.bug_id, 17);
+        assert_eq!(t.effect, VulnEffect::AcceptDowngrade);
+        assert_eq!(t.effect_kind, EffectKind::SecurityDowngrade);
+        // Requesting any S2 class is a legitimate (re-)grant, not a
+        // downgrade; so is an S0-only request inside an encapsulation.
+        assert!(check(&pld(0x9F, 0x06, &[0x81]), &c).is_none());
+        assert!(check(&pld(0x9F, 0x06, &[0x01]), &c).is_none());
+        c.encrypted = true;
+        assert!(check(&downgrade, &c).is_none());
+    }
+
+    #[test]
+    fn bug17_does_not_disturb_bug06() {
+        let nvm = nvm_with_lock();
+        let imp = implemented();
+        let mut c = ctx(&nvm, &imp);
+        c.reinclusion_armed = true;
+        // The host nonce parser bug still fires with the window armed…
+        assert_eq!(check(&pld(0x9F, 0x01, &[0x00, 0x00]), &c).unwrap().bug_id, 6);
+        // …and the downgrade fires without a USB host attached.
+        c.usb_host = false;
+        assert_eq!(check(&pld(0x9F, 0x06, &[0x80]), &c).unwrap().bug_id, 17);
+        assert!(check(&pld(0x9F, 0x01, &[0x00, 0x00]), &c).is_none());
+    }
+
+    #[test]
+    fn offline_nonce_flaw_needs_an_offline_record() {
+        let mut nvm = nvm_with_lock();
+        let imp = implemented();
+        // The lock is online → answering its nonce requests is normal S0.
+        assert!(!offline_nonce_flaw(2, &ctx(&nvm, &imp)));
+        // Unknown sources are handled by the generic S0 path, not bug #16.
+        assert!(!offline_nonce_flaw(9, &ctx(&nvm, &imp)));
+        nvm.get_mut(NodeId(2)).unwrap().offline = true;
+        assert!(offline_nonce_flaw(2, &ctx(&nvm, &imp)));
+        let mut c = ctx(&nvm, &imp);
+        c.encrypted = true;
+        assert!(!offline_nonce_flaw(2, &c));
+    }
+
+    #[test]
+    fn key_reset_flaw_needs_downgrade_and_full_key() {
+        let nvm = nvm_with_lock();
+        let imp = implemented();
+        let mut c = ctx(&nvm, &imp);
+        assert!(!key_reset_flaw(16, &c), "no downgrade accepted yet");
+        c.downgrade_active = true;
+        assert!(key_reset_flaw(16, &c));
+        assert!(!key_reset_flaw(15, &c), "truncated key");
+        c.encrypted = true;
+        assert!(!key_reset_flaw(16, &c));
     }
 
     #[test]

@@ -1,0 +1,87 @@
+//! Property-based tests for the victim energy model backing the
+//! battery-drain oracle: the meter is monotone and saturating, its final
+//! reading is independent of charge order, and the TX cost model is
+//! monotone in frame length.
+
+use proptest::prelude::*;
+
+use zwave_controller::energy::tx_cost_uj;
+use zwave_controller::EnergyMeter;
+
+proptest! {
+    /// Spend never decreases, never exceeds capacity, and always equals
+    /// `capacity - remaining` — whatever sequence of charges arrives.
+    #[test]
+    fn meter_is_monotone_and_saturating(
+        capacity in 1u64..1_000_000,
+        charges in prop::collection::vec(0u64..50_000, 0..64),
+    ) {
+        let mut meter = EnergyMeter::new(capacity);
+        let mut previous = 0u64;
+        for cost in charges {
+            meter.charge(cost);
+            prop_assert!(meter.spent_uj() >= previous, "spend decreased");
+            prop_assert!(meter.spent_uj() <= meter.capacity_uj(), "spend exceeded capacity");
+            prop_assert_eq!(
+                meter.spent_uj() + meter.remaining_uj(),
+                meter.capacity_uj(),
+                "spent/remaining out of balance"
+            );
+            previous = meter.spent_uj();
+        }
+        prop_assert_eq!(meter.exhausted(), meter.spent_uj() >= meter.capacity_uj());
+    }
+
+    /// The final reading is a pure function of the charge multiset: any
+    /// permutation of the same costs lands on the same spend (saturation
+    /// clamps at capacity, so ordering cannot leak through).
+    #[test]
+    fn final_spend_is_charge_order_independent(
+        capacity in 1u64..500_000,
+        charges in prop::collection::vec(0u64..50_000, 0..48),
+    ) {
+        let spend = |costs: &[u64]| {
+            let mut meter = EnergyMeter::new(capacity);
+            for &c in costs {
+                meter.charge(c);
+            }
+            meter.spent_uj()
+        };
+        let mut reversed = charges.clone();
+        reversed.reverse();
+        let mut sorted = charges.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(spend(&charges), spend(&reversed));
+        prop_assert_eq!(spend(&charges), spend(&sorted));
+        let total: u64 = charges.iter().sum();
+        prop_assert_eq!(spend(&charges), total.min(capacity));
+    }
+
+    /// Reset returns the meter to a full battery regardless of history.
+    #[test]
+    fn reset_restores_full_capacity(
+        capacity in 1u64..500_000,
+        charges in prop::collection::vec(0u64..50_000, 0..32),
+    ) {
+        let mut meter = EnergyMeter::new(capacity);
+        for c in charges {
+            meter.charge(c);
+        }
+        meter.reset();
+        prop_assert_eq!(meter.spent_uj(), 0);
+        prop_assert_eq!(meter.remaining_uj(), capacity);
+        prop_assert!(!meter.exhausted() || capacity == 0);
+    }
+
+    /// A longer frame never costs less to transmit, at any bitrate the
+    /// radio supports.
+    #[test]
+    fn tx_cost_is_monotone_in_frame_length(
+        len in 0usize..256,
+        rate_idx in 0usize..3,
+    ) {
+        let bitrate = [9_600u32, 40_000, 100_000][rate_idx];
+        prop_assert!(tx_cost_uj(len, bitrate) <= tx_cost_uj(len + 1, bitrate));
+        prop_assert!(tx_cost_uj(len, bitrate) <= tx_cost_uj(len + 16, bitrate));
+    }
+}

@@ -76,6 +76,8 @@ proptest! {
             usb_host: true,
             smart_hub: false,
             self_node: 1,
+            reinclusion_armed: true,
+            downgrade_active: false,
         };
         prop_assert_eq!(check(&apl, &ctx), check(&apl, &ctx));
     }
@@ -93,6 +95,8 @@ proptest! {
             usb_host: true,
             smart_hub: true,
             self_node: 1,
+            reinclusion_armed: true,
+            downgrade_active: true,
         };
         prop_assert_eq!(check(&apl, &ctx), None);
     }

@@ -28,6 +28,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod attacker;
 pub mod clock;
 pub mod framebuf;
 pub mod impairment;
@@ -37,6 +38,7 @@ pub mod region;
 pub mod sched;
 pub mod sniffer;
 
+pub use attacker::{AttackerSchedule, AttackerStation};
 pub use clock::{SimClock, SimInstant};
 pub use framebuf::{FrameBuf, FrameBufPool};
 pub use impairment::{GilbertElliott, ImpairmentProfile, ImpairmentSchedule, ImpairmentStage};

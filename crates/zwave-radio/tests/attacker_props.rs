@@ -1,0 +1,90 @@
+//! Property-based tests for the scripted adversary: the schedule is a
+//! pure function of `(seed, index)` — independent of service order, chunk
+//! size, or how far the clock hopped between service calls — which is
+//! what keeps attack campaigns bit-identical across executor worker
+//! counts.
+
+use std::time::Duration;
+
+use proptest::prelude::*;
+
+use zwave_radio::{AttackerSchedule, AttackerStation, Medium, SimClock, SimInstant};
+
+fn schedule(seed: u64, start_ms: u64, period_ms: u64, count: Option<u64>) -> AttackerSchedule {
+    AttackerSchedule {
+        anchor: SimInstant::ZERO,
+        start: Duration::from_millis(start_ms),
+        period: Duration::from_millis(period_ms),
+        seed,
+        count,
+    }
+}
+
+proptest! {
+    /// `fire_at` is pure in `(seed, index)`: recomputing any index (in any
+    /// order, from a freshly built schedule) yields the identical instant.
+    #[test]
+    fn fire_times_are_pure_in_seed_and_index(
+        seed in any::<u64>(),
+        start_ms in 0u64..5_000,
+        period_ms in 1u64..5_000,
+    ) {
+        let a = schedule(seed, start_ms, period_ms, None);
+        let b = schedule(seed, start_ms, period_ms, None);
+        let forward: Vec<SimInstant> = (0..64).map(|i| a.fire_at(i)).collect();
+        let backward: Vec<SimInstant> = (0..64).rev().map(|i| b.fire_at(i)).rev().collect();
+        prop_assert_eq!(forward, backward);
+    }
+
+    /// Jitter stays strictly below a quarter period, so consecutive fire
+    /// times are strictly monotone for every seed and period.
+    #[test]
+    fn fire_times_are_strictly_monotone(
+        seed in any::<u64>(),
+        start_ms in 0u64..5_000,
+        period_ms in 1u64..5_000,
+    ) {
+        let s = schedule(seed, start_ms, period_ms, None);
+        for i in 0..128u64 {
+            prop_assert!(s.jitter(i) < s.period / 4 + Duration::from_micros(1));
+            prop_assert!(s.fire_at(i) < s.fire_at(i + 1), "not monotone at {}", i);
+        }
+    }
+
+    /// Servicing cadence does not change what goes on air: however the
+    /// total time span is chopped into service calls, the station sends
+    /// the same indices in the same order and arrives at the same
+    /// `frames_sent` — a service call is a pure catch-up to `now`.
+    #[test]
+    fn service_chunking_never_changes_the_transmitted_schedule(
+        seed in any::<u64>(),
+        period_ms in 10u64..2_000,
+        count in 1u64..40,
+        chunks in prop::collection::vec(1u64..20_000, 1..12),
+    ) {
+        let run = |hops: &[u64]| -> (Vec<u64>, u64) {
+            let clock = SimClock::new();
+            let medium = Medium::new(clock.clone(), seed);
+            let mut station = AttackerStation::attach(
+                &medium,
+                30.0,
+                schedule(seed, 1_000, period_ms, Some(count)),
+            );
+            let mut sent = Vec::new();
+            for &hop_ms in hops {
+                clock.advance(Duration::from_millis(hop_ms));
+                sent.extend(station.service(|i| Some(vec![i as u8])));
+            }
+            // A final catch-up far past the script's end.
+            clock.advance(Duration::from_secs(86_400));
+            sent.extend(station.service(|i| Some(vec![i as u8])));
+            (sent, station.frames_sent())
+        };
+        let total: u64 = chunks.iter().sum();
+        let (chunked, chunked_count) = run(&chunks);
+        let (single, single_count) = run(&[total]);
+        prop_assert_eq!(&chunked, &single, "chunked service diverged");
+        prop_assert_eq!(chunked_count, single_count);
+        prop_assert_eq!(chunked, (0..count).collect::<Vec<u64>>(), "script incomplete");
+    }
+}

@@ -40,6 +40,26 @@ fn fuzz_json_matches_the_golden_snapshot() {
 }
 
 #[test]
+fn attack_campaign_json_matches_the_golden_snapshot() {
+    // `fuzz --scenario s0-no-more --format json`: pins the scenario name,
+    // the battery-drain verdict row, and the attacker counters.
+    let (_, want) = golden("fuzz_d1_s0nomore_seed3.json");
+    let mut tb = Testbed::new(DeviceModel::D1, 3);
+    let mut zc = ZCover::attach(&tb, 70.0);
+    let config = FuzzConfig::full(Duration::from_secs(72), 3)
+        .with_scenario(zcover_suite::zcover::Scenario::S0NoMore);
+    let report = zc.run_campaign(&mut tb, config).expect("pipeline");
+    let got = format!("{}\n", campaign_to_json(&report.campaign));
+    assert_eq!(got, want, "attack-campaign json schema drifted; regenerate if intentional");
+    assert!(want.contains("\"scenario\":\"s0-no-more\""));
+    assert!(want.contains("\"bug_id\":16"), "drain verdict pinned in the golden");
+    for key in ["\"attack_frames\":", "\"attack_verdicts\":"] {
+        let value = want.split(key).nth(1).and_then(|t| t.split(&[',', '}'][..]).next());
+        assert_ne!(value, Some("0"), "golden lost its nonzero {key} counter");
+    }
+}
+
+#[test]
 fn trials_json_matches_the_golden_snapshot() {
     let (_, want) = golden("trials_d1_seed7.json");
     let config = FuzzConfig::full(Duration::from_secs(900), 7);
@@ -62,10 +82,13 @@ fn golden_snapshots_announce_their_schema() {
         "\"cmd_coverage\":",
         "\"unique_vulns\":",
         "\"mode\":",
+        "\"scenario\":",
         "\"counters\":",
         "\"edges_seen\":",
         "\"corpus_size\":",
         "\"retained_inputs\":",
+        "\"attack_frames\":",
+        "\"attack_verdicts\":",
         "\"findings\":",
         "\"bug_id\":",
         "\"root_cause\":",

@@ -21,9 +21,11 @@ fn golden_dir() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden_traces")
 }
 
-const GOLDENS: [&str; 5] = [
+const GOLDENS: [&str; 7] = [
     "d1_seed11_lossy.jsonl",
     "d1_seed13_coverage_clean.jsonl",
+    "d1_seed21_s0nomore_clean.jsonl",
+    "d1_seed23_crushing_clean.jsonl",
     "d1_seed5_clean.jsonl",
     "d2_seed7_beta_bursty.jsonl",
     "d3_seed9_gamma_adversarial.jsonl",
@@ -54,9 +56,45 @@ fn golden_traces_are_byte_identical_to_a_fresh_recording() {
             .expect("golden names a known device");
         let config = FuzzConfig::named(&golden.meta.config, golden.meta.budget, golden.meta.seed)
             .expect("golden names a known config")
-            .with_impairment(golden.meta.impairment);
+            .with_impairment(golden.meta.impairment)
+            .with_scenario(golden.meta.scenario);
         let fresh = record_campaign(model, &golden.meta.config, config).expect(name);
         assert_eq!(fresh.trace.to_jsonl(), golden_text, "{name}: journal drifted");
+    }
+}
+
+#[test]
+fn attack_goldens_journal_attacker_frames_and_verdicts() {
+    // The two attack-campaign goldens must carry the adversary alongside
+    // the fuzzer: scripted frames as `"t":"attack"` events (in strictly
+    // increasing index order) and the seeded attack bugs among the
+    // recorded verdicts.
+    for (name, scenario, bug_ids) in [
+        ("d1_seed21_s0nomore_clean.jsonl", "s0-no-more", vec![16u8]),
+        ("d1_seed23_crushing_clean.jsonl", "crushing-the-wave", vec![17, 18]),
+    ] {
+        let path = golden_dir().join(name);
+        let text = std::fs::read_to_string(&path).expect(name);
+        let trace = Trace::from_jsonl(&text).expect(name);
+        assert_eq!(trace.meta.scenario.name(), scenario, "{name}");
+        let indices: Vec<u64> = trace
+            .events
+            .iter()
+            .filter(|e| e.contains("\"t\":\"attack\""))
+            .map(|e| {
+                let tail = e.split("\"index\":").nth(1).expect("attack event has an index");
+                tail.trim_end_matches('}').parse().expect("index is a number")
+            })
+            .collect();
+        assert!(!indices.is_empty(), "{name}: no attacker frames journaled");
+        assert!(indices.windows(2).all(|w| w[0] < w[1]), "{name}: indices out of order");
+        for bug in bug_ids {
+            let needle = format!("\"ev\":\"finding\",\"bug\":{bug},");
+            assert!(
+                trace.events.iter().any(|e| e.contains(&needle)),
+                "{name}: bug {bug} verdict missing from the journal"
+            );
+        }
     }
 }
 
