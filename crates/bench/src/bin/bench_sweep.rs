@@ -1,0 +1,123 @@
+//! City-scale sweep throughput benchmark.
+//!
+//! Runs the same sharded sweep — N independent mesh homes, each fuzzed by
+//! a complete ZCover campaign — on worker pools of 1, 2 and 4, and
+//! records homes-per-second per shard and aggregate, plus the scaling
+//! curve across pool sizes. Before anything is written, the three merged
+//! summaries are asserted bit-identical: the worker count may only ever
+//! buy wall-clock time, never change a result.
+//!
+//! Results land in `BENCH_sweep.json`; `--out PATH` overrides. `--smoke`
+//! shrinks to 64 homes for CI. Other flags: `--homes`, `--topology`,
+//! `--hours` (per-home virtual budget), `--seed`, `--shard-size`.
+
+use std::time::Duration;
+
+use zcover::{run_sweep, CampaignExecutor, FuzzConfig, SweepConfig, SweepSummary, SweepTiming};
+use zwave_controller::Topology;
+
+const WORKER_COUNTS: [usize; 3] = [1, 2, 4];
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).cloned()
+}
+
+fn run_at(workers: usize, config: &SweepConfig) -> (SweepSummary, SweepTiming) {
+    run_sweep(&CampaignExecutor::new(workers), config).expect("sweep homes fingerprint cleanly")
+}
+
+fn workers_json(workers: usize, timing: &SweepTiming, homes_per_shard: &[u64]) -> String {
+    let per_shard: Vec<String> = timing
+        .per_shard_s
+        .iter()
+        .zip(homes_per_shard)
+        .map(|(secs, homes)| format!("{:.1}", *homes as f64 / secs.max(f64::EPSILON)))
+        .collect();
+    format!(
+        "    \"{workers}\": {{\"wall_s\": {:.2}, \"homes_per_sec\": {:.1}, \
+         \"per_shard_homes_per_sec\": [{}]}}",
+        timing.total_s,
+        timing.homes_per_sec(),
+        per_shard.join(", ")
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let homes: u64 =
+        flag(&args, "--homes").and_then(|s| s.parse().ok()).unwrap_or(if smoke { 64 } else { 512 });
+    let topology = flag(&args, "--topology")
+        .map(|name| Topology::parse(&name).expect("star|line|mesh"))
+        .unwrap_or(Topology::Mesh);
+    let hours: f64 = flag(&args, "--hours").and_then(|s| s.parse().ok()).unwrap_or(0.05);
+    let seed: u64 = flag(&args, "--seed").and_then(|s| s.parse().ok()).unwrap_or(42);
+    let shard_size: u64 = flag(&args, "--shard-size")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(zcover::DEFAULT_SHARD_SIZE);
+    let out = flag(&args, "--out").unwrap_or_else(|| "BENCH_sweep.json".to_string());
+
+    let budget = Duration::from_secs_f64(hours * 3600.0);
+    let base = FuzzConfig::full(budget, seed);
+    let config = SweepConfig::new(homes, topology, base).with_shard_size(shard_size);
+    eprintln!(
+        "bench_sweep: {homes} {topology} homes, {:.0} s budget each, {} shard(s), \
+         workers {WORKER_COUNTS:?}",
+        budget.as_secs_f64(),
+        config.shard_count()
+    );
+
+    let mut runs = Vec::new();
+    for workers in WORKER_COUNTS {
+        let (summary, timing) = run_at(workers, &config);
+        eprintln!(
+            "  {workers} worker(s): {:.2} s wall, {:.1} homes/s",
+            timing.total_s,
+            timing.homes_per_sec()
+        );
+        runs.push((workers, summary, timing));
+    }
+
+    // The worker count must never leak into the merged summary.
+    let reference = &runs[0].1;
+    for (workers, summary, _) in &runs[1..] {
+        assert_eq!(
+            reference, summary,
+            "sweep summary differs between 1 and {workers} workers — determinism broken"
+        );
+    }
+
+    let homes_per_shard: Vec<u64> = reference.shards.iter().map(|s| s.homes).collect();
+    let union: Vec<String> = reference.union_bug_ids().iter().map(u8::to_string).collect();
+    let workers_block: Vec<String> = runs
+        .iter()
+        .map(|(workers, _, timing)| workers_json(*workers, timing, &homes_per_shard))
+        .collect();
+    let scaling: Vec<String> = runs
+        .iter()
+        .map(|(workers, _, timing)| format!("[{workers}, {:.1}]", timing.homes_per_sec()))
+        .collect();
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"sweep_throughput\",\n  \"topology\": \"{}\",\n  \
+         \"homes\": {},\n  \"shard_size\": {},\n  \"per_home_budget_s\": {:.0},\n  \
+         \"seed\": {},\n  \"union_bug_ids\": [{}],\n  \"multi_hop_bug_homes\": {},\n  \
+         \"coverage_edges\": {},\n  \"packets_sent\": {},\n  \
+         \"determinism\": \"summary bit-identical across workers 1/2/4\",\n  \
+         \"workers\": {{\n{}\n  }},\n  \"scaling_homes_per_sec\": [{}]\n}}\n",
+        reference.topology,
+        reference.homes,
+        reference.shard_size,
+        budget.as_secs_f64(),
+        seed,
+        union.join(", "),
+        reference.hit_counts.get(&19).copied().unwrap_or(0),
+        reference.coverage_edges,
+        reference.counters.packets_sent,
+        workers_block.join(",\n"),
+        scaling.join(", ")
+    );
+    std::fs::write(&out, &json).expect("writing the benchmark record");
+    eprintln!("record written to {out}");
+    println!("{json}");
+}

@@ -11,6 +11,8 @@
 //! zcover fuzz        --device D1 --scenario s0-no-more --hours 0.02
 //! zcover trials      --device D1 --trials 5 --workers 4 --hours 1
 //! zcover trials      --device D1 --mode vfuzz --trials 5 --hours 1
+//! zcover sweep       --homes 10000 --topology mesh --workers 4
+//! zcover sweep       --homes 256 --topology line --mode coverage --format json
 //! zcover replay      trace.jsonl
 //! zcover export-spec --out zw_classes.xml
 //! ```
@@ -19,10 +21,11 @@ use std::path::Path;
 use std::time::Duration;
 
 use zcover::{
-    ActiveScanner, BugLog, CampaignExecutor, FuzzConfig, ImpairmentProfile, Scenario, Trace,
-    TraceSpec, UnknownDiscovery, ZCover,
+    run_sweep, ActiveScanner, BugLog, CampaignExecutor, FuzzConfig, ImpairmentProfile, Scenario,
+    SweepConfig, Trace, TraceSpec, UnknownDiscovery, ZCover, DEFAULT_SHARD_SIZE,
 };
 use zwave_controller::testbed::{DeviceModel, Testbed};
+use zwave_controller::Topology;
 
 fn parse_device(args: &[String]) -> DeviceModel {
     let idx = flag(args, "--device").unwrap_or_else(|| "D1".to_string());
@@ -36,6 +39,14 @@ fn parse_device(args: &[String]) -> DeviceModel {
 
 fn flag(args: &[String], name: &str) -> Option<String> {
     args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).cloned()
+}
+
+fn parse_topology(args: &[String]) -> Topology {
+    let name = flag(args, "--topology").unwrap_or_else(|| "mesh".to_string());
+    Topology::parse(&name).unwrap_or_else(|| {
+        eprintln!("unknown topology {name}; expected star|line|mesh");
+        std::process::exit(2);
+    })
 }
 
 fn parse_impairment(args: &[String]) -> ImpairmentProfile {
@@ -322,6 +333,82 @@ fn main() {
                 eprintln!("merged bug log written to {path}");
             }
         }
+        "sweep" => {
+            let homes: u64 = flag(&args, "--homes").and_then(|s| s.parse().ok()).unwrap_or(64);
+            let topology = parse_topology(&args);
+            // A short per-home budget is the whole point of a sweep:
+            // breadth over depth. 180 virtual seconds survives discovery,
+            // the high-priority classes, and a couple of outage recoveries
+            // on every Table II model — enough for several bug classes
+            // per home while 10 000 homes still sweep in about a minute.
+            let hours: f64 = flag(&args, "--hours").and_then(|s| s.parse().ok()).unwrap_or(0.05);
+            let workers: usize = flag(&args, "--workers").and_then(|s| s.parse().ok()).unwrap_or(1);
+            let shard_size: u64 = flag(&args, "--shard-size")
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(DEFAULT_SHARD_SIZE);
+            let budget = Duration::from_secs_f64(hours * 3600.0);
+            let base = parse_config(&args, budget, seed);
+            let profile = base.impairment;
+            let json = json_output(&args);
+            let config = SweepConfig::new(homes, topology, base).with_shard_size(shard_size);
+            let executor = CampaignExecutor::new(workers);
+            eprintln!(
+                "sweeping {homes} {topology} homes ({}h each, sweep seed {seed}, channel \
+                 {profile}) in {} shard(s) across {} worker(s) ...",
+                hours,
+                config.shard_count(),
+                executor.workers()
+            );
+            let (summary, timing) = run_sweep(&executor, &config).expect("sweep failed");
+            // Throughput is real wall-clock and goes to stderr; stdout
+            // stays bit-identical for any worker count.
+            for (shard, secs) in summary.shards.iter().zip(&timing.per_shard_s) {
+                eprintln!(
+                    "shard {:>4}: {:>5} homes in {:>7.2} s ({:.1} homes/s)",
+                    shard.shard,
+                    shard.homes,
+                    secs,
+                    shard.homes as f64 / secs.max(f64::EPSILON)
+                );
+            }
+            eprintln!(
+                "aggregate: {} homes in {:.2} s ({:.1} homes/s)",
+                timing.homes,
+                timing.total_s,
+                timing.homes_per_sec()
+            );
+            if json {
+                println!("{}", zcover::report::sweep_to_json(&summary));
+                return;
+            }
+            println!(
+                "{} {} homes swept in {} shard(s): union of {} unique vulnerabilities {:?}",
+                summary.homes,
+                summary.topology,
+                summary.shards.len(),
+                summary.union_bug_ids().len(),
+                summary.union_bug_ids()
+            );
+            println!("city-wide coverage: {} distinct dispatch edges", summary.coverage_edges);
+            let c = &summary.counters;
+            println!(
+                "counters: {} packets, {} plans, {} outages, {} findings",
+                c.packets_sent, c.plans_executed, c.outages_observed, c.findings
+            );
+            let ch = &summary.channel;
+            println!(
+                "channel:  {} frames, {} deliveries, {} losses, {} dups, {} reorders",
+                ch.frames_sent, ch.deliveries, ch.losses, ch.duplicates, ch.reorders
+            );
+            println!("per-bug hit counts (bug id: homes that found it):");
+            for (bug, hit_homes) in &summary.hit_counts {
+                println!(
+                    "  {bug:02}: {hit_homes}/{} ({:.1} %)",
+                    summary.homes,
+                    summary.hit_rate(*bug) * 100.0
+                );
+            }
+        }
         "replay" => {
             let path = args
                 .get(1)
@@ -370,8 +457,9 @@ fn main() {
         }
         _ => {
             eprintln!(
-                "usage: zcover <fingerprint|discover|fuzz|trials|replay|export-spec> \
+                "usage: zcover <fingerprint|discover|fuzz|trials|sweep|replay|export-spec> \
                  [--device D1..D7] [--seed N] [--hours H] [--trials N] [--workers N] \
+                 [--homes N] [--topology star|line|mesh] [--shard-size N] \
                  [--mode zcover|vfuzz|coverage] \
                  [--config full|beta|gamma|no-priority|no-plans] \
                  [--impairment clean|lossy|bursty|adversarial] \

@@ -4,8 +4,8 @@
 
 use std::time::Duration;
 
-use zwave_protocol::frame::FrameControl;
-use zwave_protocol::{ChecksumKind, HomeId, MacFrame, NodeId};
+use zwave_protocol::frame::{FrameControl, HeaderType};
+use zwave_protocol::{ChecksumKind, HomeId, MacFrame, NodeId, RoutingHeader};
 use zwave_radio::{FrameBuf, FrameBufPool, Medium, RxFrame, SimClock, Transceiver};
 
 /// Default time the dongle waits for a device response after injecting.
@@ -22,6 +22,9 @@ pub struct Dongle {
     response_wait: Duration,
     frames_injected: u64,
     retransmissions: u64,
+    /// Repeater chain (forwarding order) prepended to every injected APL
+    /// frame as a source-routing header. `None` = direct range.
+    route: Option<Vec<NodeId>>,
     last_frame: Option<FrameBuf>,
     /// Scratch buffers for frame encoding: each injection reuses a retired
     /// allocation once the receivers have dropped their clones, so the
@@ -51,6 +54,7 @@ impl Dongle {
             response_wait: DEFAULT_RESPONSE_WAIT,
             frames_injected: 0,
             retransmissions: 0,
+            route: None,
             last_frame: None,
             pool: FrameBufPool::new(),
         }
@@ -76,6 +80,21 @@ impl Dongle {
         self.retransmissions
     }
 
+    /// Sets the repeater chain injected APL frames ride to the target
+    /// (forwarding order), or clears it. On a multi-hop topology the
+    /// controller is out of the attacker's direct range, so every crafted
+    /// frame must carry a source-routing header naming live repeaters —
+    /// exactly what a real attacker learns by sniffing routed traffic.
+    /// An empty chain is normalised to `None`.
+    pub fn set_route(&mut self, route: Option<Vec<NodeId>>) {
+        self.route = route.filter(|r| !r.is_empty());
+    }
+
+    /// The currently configured injection route, if any.
+    pub fn route(&self) -> Option<&[NodeId]> {
+        self.route.as_deref()
+    }
+
     /// Crafts and injects an application payload as `src` → `dst` with a
     /// valid checksum (ZCover always sends MAC-valid frames; only the APL
     /// content is fuzzed, per Table I).
@@ -83,6 +102,16 @@ impl Dongle {
         self.seq = (self.seq + 1) & 0x0F;
         let mut fc = FrameControl::singlecast(self.seq);
         fc.sequence = self.seq;
+        let payload = match &self.route {
+            None => payload,
+            Some(route) => {
+                // Ride the mesh: routing header first, fuzzed APL after.
+                fc.header_type = HeaderType::Routed;
+                let mut routed = RoutingHeader::outbound(route.clone()).encode();
+                routed.extend_from_slice(&payload);
+                routed
+            }
+        };
         let Ok(frame) = MacFrame::try_new(home_id, src, fc, dst, payload, ChecksumKind::Cs8) else {
             return; // oversized mutants are silently clamped by the caller
         };

@@ -144,43 +144,57 @@ impl CampaignExecutor {
         T: FuzzTarget,
         F: Fn(u64) -> T + Sync,
     {
-        let slots: Vec<Mutex<Option<Result<CampaignResult, ZCoverError>>>> =
-            (0..trials).map(|_| Mutex::new(None)).collect();
+        let results = self.map_indexed(trials, |trial| {
+            run_one(trial, campaign_seed, &make_target, base_config, trace)
+        });
+        // Merge in trial-index order; the first failing trial's error wins
+        // independent of which worker finished when.
+        let mut per_trial = Vec::with_capacity(results.len());
+        for outcome in results {
+            per_trial.push(outcome?);
+        }
+        Ok(TrialSummary::from_trials(per_trial))
+    }
 
-        let pool_size = self.workers.min(trials.max(1) as usize);
+    /// The claim/slot discipline underneath [`CampaignExecutor::run`],
+    /// generalized: runs `job(0..count)` across the worker pool and
+    /// returns the results in index order. Workers claim indices from an
+    /// atomic counter and write into per-index slots, so scheduling
+    /// decides only *when* a job runs, never what it computes or where
+    /// its result lands — the output is identical for any worker count
+    /// (provided `job` itself depends only on its index). The sharded
+    /// sweep runs its shards through this same pool.
+    pub fn map_indexed<R, J>(&self, count: u64, job: J) -> Vec<R>
+    where
+        R: Send,
+        J: Fn(u64) -> R + Sync,
+    {
+        let slots: Vec<Mutex<Option<R>>> = (0..count).map(|_| Mutex::new(None)).collect();
+        let pool_size = self.workers.min(count.max(1) as usize);
         if pool_size <= 1 {
-            for (trial, slot) in slots.iter().enumerate() {
-                *slot.lock() =
-                    Some(run_one(trial as u64, campaign_seed, &make_target, base_config, trace));
+            for (index, slot) in slots.iter().enumerate() {
+                *slot.lock() = Some(job(index as u64));
             }
         } else {
             let next = AtomicU64::new(0);
             crossbeam::thread::scope(|scope| {
                 for _ in 0..pool_size {
                     scope.spawn(|_| loop {
-                        let trial = next.fetch_add(1, Ordering::Relaxed);
-                        if trial >= trials {
+                        let index = next.fetch_add(1, Ordering::Relaxed);
+                        if index >= count {
                             break;
                         }
-                        let outcome =
-                            run_one(trial, campaign_seed, &make_target, base_config, trace);
-                        *slots[trial as usize].lock() = Some(outcome);
+                        let outcome = job(index);
+                        *slots[index as usize].lock() = Some(outcome);
                     });
                 }
             })
-            .expect("campaign worker pool");
+            .expect("worker pool");
         }
-
-        // Merge in trial-index order; the slot array makes this
-        // independent of which worker finished when.
-        let mut per_trial = Vec::with_capacity(trials as usize);
-        for slot in slots {
-            match slot.into_inner().expect("every claimed trial stores a result") {
-                Ok(result) => per_trial.push(result),
-                Err(e) => return Err(e),
-            }
-        }
-        Ok(TrialSummary::from_trials(per_trial))
+        slots
+            .into_iter()
+            .map(|slot| slot.into_inner().expect("every claimed index stores a result"))
+            .collect()
     }
 }
 
@@ -256,6 +270,15 @@ mod tests {
                 "aliasing at campaign seed {base}"
             );
         }
+    }
+
+    #[test]
+    fn map_indexed_returns_results_in_index_order() {
+        for workers in [1usize, 2, 4] {
+            let got = CampaignExecutor::new(workers).map_indexed(17, |i| i * i);
+            assert_eq!(got, (0..17).map(|i| i * i).collect::<Vec<u64>>(), "{workers} workers");
+        }
+        assert!(CampaignExecutor::new(4).map_indexed(0, |i| i).is_empty());
     }
 
     #[test]

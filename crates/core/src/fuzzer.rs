@@ -823,7 +823,10 @@ impl Fuzzer {
                 });
                 new_bug = true;
                 state.counters.findings += 1;
-                if fault.bug_id >= 16 {
+                // Only the scripted-adversary bugs are attack verdicts;
+                // later implementation bugs (#19's routed-path corruption)
+                // are ordinary fuzzing findings.
+                if (16..=18).contains(&fault.bug_id) {
                     state.counters.attack_verdicts += 1;
                 }
                 if let Some(finding) = state.log.findings().last() {

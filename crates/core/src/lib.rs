@@ -50,6 +50,7 @@ pub mod mutation;
 pub mod passive;
 pub mod report;
 pub mod scenarios;
+pub mod sweep;
 pub mod target;
 pub mod trace;
 pub mod trials;
@@ -67,6 +68,9 @@ pub use minimize::minimize;
 pub use mutation::{MutationOp, Mutator};
 pub use passive::{PassiveScanner, ScanReport, TrafficStats};
 pub use scenarios::{Scenario, ScenarioDriver, ATTACKER_KEY, GHOST_NODE};
+pub use sweep::{
+    run_sweep, ShardSummary, SweepConfig, SweepSummary, SweepTiming, DEFAULT_SHARD_SIZE,
+};
 pub use target::FuzzTarget;
 pub use trace::{
     diff_traces, record_campaign, replay, RecordedCampaign, ReplayReport, Trace, TraceError,
@@ -183,6 +187,10 @@ impl ZCover {
             .ok_or(ZCoverError::NoNifResponse)?;
         let discovery =
             UnknownDiscovery::run(target, &mut self.dongle, &scan, active.listed.clone());
+        // Reconnaissance probes go direct; once the target's mesh shape is
+        // known, the campaign's crafted frames ride the repeater chain the
+        // topology demands (a no-op on flat, direct-range testbeds).
+        self.dongle.set_route(target.injection_route());
         let fuzzer = Fuzzer::new(config);
         let campaign = fuzzer.run_with_sink(target, &mut self.dongle, &scan, &discovery, sink);
         Ok(ZCoverReport { scan, active, discovery, campaign })

@@ -7,9 +7,10 @@ use std::fmt::Write as _;
 
 use crate::buglog::VulnFinding;
 use crate::fuzzer::{CampaignCounters, CampaignResult};
+use crate::sweep::{ShardSummary, SweepSummary};
 use crate::trials::TrialSummary;
 use crate::ZCoverReport;
-use zwave_radio::SimInstant;
+use zwave_radio::{MediumStats, SimInstant};
 
 /// Renders a complete markdown assessment report.
 pub fn to_markdown(report: &ZCoverReport, target_label: &str) -> String {
@@ -192,6 +193,68 @@ pub fn summary_to_json(summary: &TrialSummary) -> String {
     )
 }
 
+fn channel_json(s: &MediumStats) -> String {
+    format!(
+        "{{\"frames_sent\":{},\"deliveries\":{},\"losses\":{},\"corruptions\":{},\
+         \"duplicates\":{},\"reorders\":{},\"truncations\":{},\"blackout_drops\":{},\
+         \"rx_overflows\":{}}}",
+        s.frames_sent,
+        s.deliveries,
+        s.losses,
+        s.corruptions,
+        s.duplicates,
+        s.reorders,
+        s.truncations,
+        s.blackout_drops,
+        s.rx_overflows
+    )
+}
+
+fn shard_json(shard: &ShardSummary) -> String {
+    let bugs: Vec<String> = shard.bug_ids().iter().map(u8::to_string).collect();
+    format!(
+        "{{\"shard\":{},\"first_home\":{},\"homes\":{},\"bug_ids\":[{}],\
+         \"coverage_edges\":{},\"counters\":{},\"channel\":{}}}",
+        shard.shard,
+        shard.first_home,
+        shard.homes,
+        bugs.join(","),
+        shard.coverage.edges(),
+        counters_json(&shard.counters),
+        channel_json(&shard.channel)
+    )
+}
+
+/// Renders a sweep summary as JSON (`zcover sweep --format json`): the
+/// city-wide aggregate plus one object per shard. Every key is emitted in
+/// a fixed order and nothing here depends on wall-clock time or worker
+/// count, so the output is byte-stable for a given sweep configuration
+/// (throughput goes to stderr, not into this document).
+pub fn sweep_to_json(summary: &SweepSummary) -> String {
+    let union: Vec<String> = summary.union_bug_ids().iter().map(u8::to_string).collect();
+    let hits: Vec<String> =
+        summary.hit_counts.iter().map(|(bug, homes)| format!("\"{bug}\":{homes}")).collect();
+    let shards: Vec<String> = summary.shards.iter().map(shard_json).collect();
+    format!(
+        "{{\"homes\":{},\"topology\":\"{}\",\"shard_size\":{},\"mode\":\"{}\",\
+         \"scenario\":\"{}\",\"impairment\":\"{}\",\"union_bug_ids\":[{}],\
+         \"hit_counts\":{{{}}},\"coverage_edges\":{},\"counters\":{},\"channel\":{},\
+         \"shards\":[{}]}}",
+        summary.homes,
+        summary.topology,
+        summary.shard_size,
+        summary.mode,
+        summary.scenario,
+        summary.impairment,
+        union.join(","),
+        hits.join(","),
+        summary.coverage_edges,
+        counters_json(&summary.counters),
+        channel_json(&summary.channel),
+        shards.join(",")
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -263,6 +326,25 @@ mod tests {
         assert!(json.contains("\"merged\":{\"union_bug_ids\":["));
         assert!(json.contains("\"stable_core\":["));
         assert!(json.contains("\"mean_time_to_find_s\":{"));
+    }
+
+    #[test]
+    fn sweep_json_is_balanced_and_lists_every_shard() {
+        let config = crate::sweep::SweepConfig::new(
+            3,
+            zwave_controller::Topology::Line,
+            FuzzConfig::full(Duration::from_secs(45), 5),
+        )
+        .with_shard_size(2);
+        let (summary, _) =
+            crate::sweep::run_sweep(&crate::executor::CampaignExecutor::new(1), &config).unwrap();
+        let json = sweep_to_json(&summary);
+        assert_balanced_json(&json);
+        assert!(json.starts_with("{\"homes\":3,\"topology\":\"line\","));
+        assert_eq!(json.matches("\"shard\":").count(), 2, "one object per shard");
+        assert!(json.contains("\"channel\":{\"frames_sent\":"));
+        // The routed-path bug is visible in the hit counts on a line mesh.
+        assert!(json.contains("\"19\":3"));
     }
 
     #[test]

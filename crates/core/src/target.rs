@@ -8,9 +8,9 @@
 //! factory reset.
 
 use zwave_controller::testbed::Testbed;
-use zwave_controller::{FaultRecord, NodeRecord, LOCK_NODE};
+use zwave_controller::{FaultRecord, HomeNetwork, NodeRecord, LOCK_NODE};
 use zwave_protocol::nif::BasicDeviceType;
-use zwave_protocol::CommandClassId;
+use zwave_protocol::{CommandClassId, NodeId};
 use zwave_radio::{Medium, SimInstant};
 
 use crate::scenarios::{Scenario, GHOST_NODE};
@@ -56,6 +56,49 @@ pub trait FuzzTarget {
     /// campaign, before fingerprinting; a no-op for [`Scenario::None`]
     /// and for targets without scenario support.
     fn prepare_scenario(&mut self, _scenario: Scenario) {}
+
+    /// The repeater chain injected frames must traverse to reach the
+    /// controller, in forwarding order — `None` when the controller is in
+    /// direct range (the flat-testbed default). The fuzzer configures its
+    /// dongle with this once per campaign, after discovery: probes go
+    /// direct, fuzz frames ride the mesh.
+    fn injection_route(&self) -> Option<Vec<NodeId>> {
+        None
+    }
+}
+
+/// The scenario preconditions, shared by every target with a
+/// [`SimController`](zwave_controller::SimController) inside.
+fn prepare_scenario_on(controller: &mut zwave_controller::SimController, scenario: Scenario) {
+    match scenario {
+        Scenario::None => {}
+        // S0-No-More presumes a battery device that is *included* in
+        // the controller's NVM but currently offline (radio off
+        // between wakeups) — the identity the attacker spoofs.
+        Scenario::S0NoMore => {
+            let mut ghost = NodeRecord::new(GHOST_NODE, BasicDeviceType::Slave);
+            ghost.generic = 0x20; // binary sensor
+            ghost.listening = false;
+            ghost.offline = true;
+            ghost.wakeup_interval_s = Some(4000);
+            ghost.supported = vec![
+                CommandClassId(0x30),
+                CommandClassId::BATTERY,
+                CommandClassId::WAKE_UP,
+                CommandClassId::SECURITY_0,
+            ];
+            controller.nvm_mut().insert(ghost);
+            // Committed so mid-campaign factory restores (bug
+            // recovery) keep the record: the premise of the attack,
+            // not state the attack created.
+            controller.commit_factory_state();
+        }
+        // Crushing-the-Wave presumes a re-inclusion of the S2 lock
+        // is in progress (the window the attacker races).
+        Scenario::CrushingTheWave => {
+            controller.arm_reinclusion(LOCK_NODE);
+        }
+    }
 }
 
 impl FuzzTarget for Testbed {
@@ -84,35 +127,41 @@ impl FuzzTarget for Testbed {
     }
 
     fn prepare_scenario(&mut self, scenario: Scenario) {
-        match scenario {
-            Scenario::None => {}
-            // S0-No-More presumes a battery device that is *included* in
-            // the controller's NVM but currently offline (radio off
-            // between wakeups) — the identity the attacker spoofs.
-            Scenario::S0NoMore => {
-                let mut ghost = NodeRecord::new(GHOST_NODE, BasicDeviceType::Slave);
-                ghost.generic = 0x20; // binary sensor
-                ghost.listening = false;
-                ghost.offline = true;
-                ghost.wakeup_interval_s = Some(4000);
-                ghost.supported = vec![
-                    CommandClassId(0x30),
-                    CommandClassId::BATTERY,
-                    CommandClassId::WAKE_UP,
-                    CommandClassId::SECURITY_0,
-                ];
-                self.controller_mut().nvm_mut().insert(ghost);
-                // Committed so mid-campaign factory restores (bug
-                // recovery) keep the record: the premise of the attack,
-                // not state the attack created.
-                self.controller_mut().commit_factory_state();
-            }
-            // Crushing-the-Wave presumes a re-inclusion of the S2 lock
-            // is in progress (the window the attacker races).
-            Scenario::CrushingTheWave => {
-                self.controller_mut().arm_reinclusion(LOCK_NODE);
-            }
-        }
+        prepare_scenario_on(self.controller_mut(), scenario);
+    }
+}
+
+impl FuzzTarget for HomeNetwork {
+    fn medium(&self) -> &Medium {
+        HomeNetwork::medium(self)
+    }
+
+    fn pump(&mut self) {
+        HomeNetwork::pump(self);
+    }
+
+    fn take_faults(&mut self) -> Vec<FaultRecord> {
+        self.controller_mut().take_new_faults()
+    }
+
+    fn restore(&mut self) {
+        self.controller_mut().restore_factory();
+    }
+
+    fn generate_normal_traffic(&mut self) {
+        self.exchange_normal_traffic();
+    }
+
+    fn coverage_edges(&self) -> u64 {
+        HomeNetwork::coverage_edges(self)
+    }
+
+    fn prepare_scenario(&mut self, scenario: Scenario) {
+        prepare_scenario_on(self.controller_mut(), scenario);
+    }
+
+    fn injection_route(&self) -> Option<Vec<NodeId>> {
+        HomeNetwork::injection_route(self)
     }
 }
 

@@ -129,6 +129,11 @@ pub struct SimController {
     offline_nonce_answers: u64,
     /// Whether the one-shot `BatteryDrain` fault was already pushed.
     battery_drain_reported: bool,
+    /// Whether the payload currently being dispatched arrived on the
+    /// final leg of a source-routed frame (bug #19's predicate). Set
+    /// around the routed dispatch call only, so encapsulated inner
+    /// payloads of a routed frame inherit it.
+    rx_via_route: bool,
 }
 
 /// Association groups the controller advertises.
@@ -195,6 +200,7 @@ impl SimController {
             attack_energy: EnergyMeter::new(energy::BATTERY_DRAIN_BUDGET_UJ),
             offline_nonce_answers: 0,
             battery_drain_reported: false,
+            rx_via_route: false,
         }
     }
 
@@ -398,6 +404,7 @@ impl SimController {
         self.attack_energy.reset();
         self.offline_nonce_answers = 0;
         self.battery_drain_reported = false;
+        self.rx_via_route = false;
     }
 
     /// Clears the fault log and its cursor.
@@ -453,6 +460,32 @@ impl SimController {
             deadline,
             timer: Some(self.radio.schedule_wakeup(deadline)),
         });
+    }
+
+    /// Sends the routed acknowledgement for a source-routed frame that
+    /// just completed its final leg: same repeaters reversed, direction
+    /// bit cleared, empty APL. Repeaters relay it back with the ordinary
+    /// hop machinery. The MAC-level ack of the last-leg copy was already
+    /// sent by the addressing step; this is the end-to-end confirmation
+    /// the route originator waits for.
+    fn send_routed_ack(&mut self, origin: NodeId, inbound: &zwave_protocol::RoutingHeader) {
+        let mut fc = zwave_protocol::frame::FrameControl::singlecast(self.seq);
+        self.seq = (self.seq + 1) & 0x0F;
+        fc.sequence = self.seq;
+        fc.header_type = zwave_protocol::frame::HeaderType::Routed;
+        fc.ack_requested = false;
+        let Ok(frame) = MacFrame::try_new(
+            self.config.home_id,
+            self.node_id,
+            fc,
+            origin,
+            inbound.routed_ack().encode(),
+            zwave_protocol::ChecksumKind::Cs8,
+        ) else {
+            return;
+        };
+        self.radio.transmit(&frame.encode());
+        self.stats.responses_sent += 1;
     }
 
     /// Polls the door lock's state through the paired S2 session — the
@@ -632,8 +665,13 @@ impl SimController {
             if !header.on_final_leg() {
                 return; // a repeater, not us, must handle this copy
             }
+            if header.outbound {
+                self.send_routed_ack(frame.src(), &header);
+            }
             if let Ok(payload) = ApplicationPayload::parse(apl) {
+                self.rx_via_route = true;
                 self.dispatch(frame.src(), &payload, false);
+                self.rx_via_route = false;
             }
             return;
         }
@@ -847,6 +885,7 @@ impl SimController {
             self_node: self.node_id.0,
             reinclusion_armed: matches!(self.reinclusion, ReinclusionState::Armed(_)),
             downgrade_active: matches!(self.reinclusion, ReinclusionState::Downgraded(_)),
+            via_route: self.rx_via_route,
         }
     }
 

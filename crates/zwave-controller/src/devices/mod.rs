@@ -1,12 +1,15 @@
 //! Slave devices completing the realistic smart home of Table II:
 //! the Schlage BE469ZP door lock (D8, S2-secured) and the GE Jasco ZW4201
 //! smart switch (D9, legacy no-security), plus an optional battery-powered
-//! S0 motion sensor for sleeping-node experiments.
+//! S0 motion sensor for sleeping-node experiments and the mains-powered
+//! repeaters that form the mesh backbone of multi-hop topologies.
 
 mod door_lock;
+mod repeater;
 mod sensor;
 mod switch;
 
 pub use door_lock::SimDoorLock;
+pub use repeater::SimRepeater;
 pub use sensor::SimSensor;
 pub use switch::SimSwitch;

@@ -1,0 +1,86 @@
+//! A mains-powered routing slave whose only job is relaying source-routed
+//! frames — the mesh backbone of line and mesh topologies. Repeaters are
+//! the live counterpart of the `zwave-protocol::routing` hop machinery:
+//! each one picks up routed frames naming it as the current repeater,
+//! advances the hop index and retransmits, in both the outbound and the
+//! routed-acknowledgement direction.
+
+use zwave_protocol::{HomeId, MacFrame, NodeId, RoutingHeader};
+use zwave_radio::{Medium, Transceiver};
+
+/// Simulated always-listening repeater node.
+#[derive(Debug)]
+pub struct SimRepeater {
+    radio: Transceiver,
+    home_id: HomeId,
+    node_id: NodeId,
+    seq: u8,
+    frames_forwarded: u64,
+}
+
+impl SimRepeater {
+    /// Attaches the repeater to `medium`.
+    pub fn new(medium: &Medium, position_m: f64, home_id: HomeId, node_id: NodeId) -> Self {
+        SimRepeater {
+            radio: medium.attach(position_m),
+            home_id,
+            node_id,
+            seq: 0,
+            frames_forwarded: 0,
+        }
+    }
+
+    /// The repeater's node id.
+    pub fn node_id(&self) -> NodeId {
+        self.node_id
+    }
+
+    /// Frames relayed so far (outbound and routed-ack legs both count).
+    pub fn frames_forwarded(&self) -> u64 {
+        self.frames_forwarded
+    }
+
+    pub(crate) fn station_index(&self) -> usize {
+        self.radio.station_index()
+    }
+
+    pub(crate) fn has_pending(&self) -> bool {
+        self.radio.pending() > 0
+    }
+
+    /// Relays every pending routed frame that names us as the current
+    /// repeater. The forwarded copy keeps the original source and
+    /// destination but carries our rolled sequence number, so duplicate
+    /// filters see each hop as a distinct transmission.
+    pub fn poll(&mut self) {
+        while let Some(rx) = self.radio.try_recv() {
+            let Ok(frame) = MacFrame::decode(&rx.bytes) else { continue };
+            if frame.home_id() != self.home_id
+                || frame.frame_control().header_type != zwave_protocol::frame::HeaderType::Routed
+            {
+                continue;
+            }
+            let Ok((mut header, apl)) = RoutingHeader::decode(frame.payload()) else { continue };
+            if header.current_repeater() != Some(self.node_id) {
+                continue;
+            }
+            header.advance();
+            let mut payload = header.encode();
+            payload.extend_from_slice(apl);
+            let mut fc = frame.frame_control();
+            fc.sequence = self.seq;
+            self.seq = (self.seq + 1) & 0x0F;
+            if let Ok(forwarded) = MacFrame::try_new(
+                self.home_id,
+                frame.src(),
+                fc,
+                frame.dst(),
+                payload,
+                zwave_protocol::ChecksumKind::Cs8,
+            ) {
+                self.radio.transmit(&forwarded.encode());
+                self.frames_forwarded += 1;
+            }
+        }
+    }
+}

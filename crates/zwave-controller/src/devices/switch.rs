@@ -3,7 +3,7 @@
 use std::time::Duration;
 
 use zwave_protocol::apl::ApplicationPayload;
-use zwave_protocol::{HomeId, MacFrame, NodeId};
+use zwave_protocol::{HomeId, MacFrame, NodeId, RoutingHeader};
 use zwave_radio::{Medium, Transceiver};
 
 use crate::coverage::{state as cov, CoverageMap};
@@ -19,6 +19,12 @@ pub struct SimSwitch {
     seq: u8,
     report_every: Option<Duration>,
     coverage: CoverageMap,
+    /// Repeater chain for reports to the controller (`None` = direct RF).
+    /// Set by the network builder when the switch sits beyond the
+    /// controller's direct range on a meshed topology.
+    report_route: Option<Vec<NodeId>>,
+    /// End-to-end routed acknowledgements received for our routed reports.
+    routed_acks_received: u64,
 }
 
 impl SimSwitch {
@@ -39,7 +45,22 @@ impl SimSwitch {
             seq: 0,
             report_every: None,
             coverage: CoverageMap::new(),
+            report_route: None,
+            routed_acks_received: 0,
         }
+    }
+
+    /// Routes status reports through `route` (1–4 repeaters, forwarding
+    /// order) instead of transmitting directly to the controller. `None`
+    /// or an empty route restores direct transmission.
+    pub fn set_report_route(&mut self, route: Option<Vec<NodeId>>) {
+        self.report_route = route.filter(|r| !r.is_empty());
+    }
+
+    /// End-to-end routed acknowledgements received so far — the network
+    /// builder's signal that a report actually traversed its route.
+    pub fn routed_acks_received(&self) -> u64 {
+        self.routed_acks_received
     }
 
     /// APL dispatch-edge coverage of the switch's command handler.
@@ -109,7 +130,8 @@ impl SimSwitch {
                 continue;
             }
             // Routing-slave duty: forward routed frames whose current
-            // repeater is us, advancing the hop index.
+            // repeater is us, advancing the hop index; accept routed
+            // frames that completed their final leg addressed to us.
             if frame.frame_control().header_type == zwave_protocol::frame::HeaderType::Routed {
                 if let Ok((mut header, apl)) =
                     zwave_protocol::RoutingHeader::decode(frame.payload())
@@ -131,6 +153,26 @@ impl SimSwitch {
                         ) {
                             self.radio.transmit(&forwarded.encode());
                         }
+                    } else if header.on_final_leg() && frame.dst() == self.node_id {
+                        if frame.frame_control().ack_requested {
+                            let ack = MacFrame::ack(
+                                self.home_id,
+                                self.node_id,
+                                frame.src(),
+                                frame.frame_control().sequence,
+                            );
+                            self.radio.transmit(&ack.encode());
+                        }
+                        if header.outbound {
+                            self.send_routed_ack(frame.src(), &header);
+                            if let Ok(payload) = ApplicationPayload::parse(apl) {
+                                self.handle_apl(frame.src(), &payload);
+                            }
+                        } else {
+                            // The routed acknowledgement for one of our
+                            // own routed reports made it back.
+                            self.routed_acks_received += 1;
+                        }
                     }
                 }
                 continue;
@@ -148,23 +190,45 @@ impl SimSwitch {
                 self.radio.transmit(&ack.encode());
             }
             let Ok(payload) = ApplicationPayload::parse(frame.payload()) else { continue };
-            self.coverage.record(
-                payload.command_class().0,
-                payload.command().unwrap_or(0),
-                cov::DEVICE,
-            );
-            match (payload.command_class().0, payload.command()) {
-                (0x20 | 0x25, Some(0x01)) => {
-                    self.on = payload.params().first() == Some(&0xFF);
-                    let src = frame.src();
-                    self.report_state(src);
-                }
-                (0x20 | 0x25, Some(0x02)) => {
-                    let src = frame.src();
-                    self.report_state(src);
-                }
-                _ => {}
+            self.handle_apl(frame.src(), &payload);
+        }
+    }
+
+    fn handle_apl(&mut self, src: NodeId, payload: &ApplicationPayload) {
+        self.coverage.record(
+            payload.command_class().0,
+            payload.command().unwrap_or(0),
+            cov::DEVICE,
+        );
+        match (payload.command_class().0, payload.command()) {
+            (0x20 | 0x25, Some(0x01)) => {
+                self.on = payload.params().first() == Some(&0xFF);
+                self.report_state(src);
             }
+            (0x20 | 0x25, Some(0x02)) => {
+                self.report_state(src);
+            }
+            _ => {}
+        }
+    }
+
+    /// Confirms a routed delivery end-to-end: same repeaters reversed,
+    /// direction bit cleared, hop reset, empty APL.
+    fn send_routed_ack(&mut self, origin: NodeId, inbound: &RoutingHeader) {
+        let mut fc = zwave_protocol::frame::FrameControl::singlecast(self.seq);
+        self.seq = (self.seq + 1) & 0x0F;
+        fc.sequence = self.seq;
+        fc.header_type = zwave_protocol::frame::HeaderType::Routed;
+        fc.ack_requested = false;
+        if let Ok(frame) = MacFrame::try_new(
+            self.home_id,
+            self.node_id,
+            fc,
+            origin,
+            inbound.routed_ack().encode(),
+            zwave_protocol::ChecksumKind::Cs8,
+        ) {
+            self.radio.transmit(&frame.encode());
         }
     }
 
@@ -173,9 +237,32 @@ impl SimSwitch {
         self.send(dst, vec![0x25, 0x03, level]);
     }
 
-    /// Proactively reports status to the controller.
+    /// Proactively reports status to the controller — through the
+    /// configured repeater route when one is set, directly otherwise.
     pub fn report_to_controller(&mut self) {
-        let dst = self.controller;
-        self.report_state(dst);
+        let level = if self.on { 0xFF } else { 0x00 };
+        match self.report_route.clone() {
+            Some(route) => self.send_routed(self.controller, route, &[0x25, 0x03, level]),
+            None => self.report_state(self.controller),
+        }
+    }
+
+    fn send_routed(&mut self, dst: NodeId, route: Vec<NodeId>, apl: &[u8]) {
+        let mut payload = RoutingHeader::outbound(route).encode();
+        payload.extend_from_slice(apl);
+        let mut fc = zwave_protocol::frame::FrameControl::singlecast(self.seq);
+        self.seq = (self.seq + 1) & 0x0F;
+        fc.sequence = self.seq;
+        fc.header_type = zwave_protocol::frame::HeaderType::Routed;
+        if let Ok(frame) = MacFrame::try_new(
+            self.home_id,
+            self.node_id,
+            fc,
+            dst,
+            payload,
+            zwave_protocol::ChecksumKind::Cs8,
+        ) {
+            self.radio.transmit(&frame.encode());
+        }
     }
 }

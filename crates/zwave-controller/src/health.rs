@@ -84,6 +84,11 @@ pub enum EffectKind {
     /// Bug #18 (Crushing the Wave): the S0 network key was reset without
     /// user confirmation, locking paired devices out of the network.
     Lockout,
+    /// Bug #19: a malformed protocol command arriving over a source-routed
+    /// (multi-hop) path corrupts the return-route cache; the controller
+    /// stalls re-resolving routes. Only reachable on meshed topologies —
+    /// a flat single-home testbed never exercises the routed dispatch arm.
+    RouteCorruption,
 }
 
 impl std::fmt::Display for EffectKind {
@@ -103,6 +108,7 @@ impl std::fmt::Display for EffectKind {
             EffectKind::BatteryDrain => "battery drain through forced nonce transmissions",
             EffectKind::SecurityDowngrade => "security class downgrade during re-inclusion",
             EffectKind::Lockout => "device lockout through unauthorized key reset",
+            EffectKind::RouteCorruption => "return-route cache corruption via routed frame",
         };
         f.write_str(s)
     }

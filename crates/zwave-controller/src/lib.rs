@@ -41,16 +41,23 @@ pub mod health;
 pub mod host;
 pub mod ids;
 pub mod link;
+pub mod neighbors;
+pub mod network;
 pub mod nvm;
 pub mod testbed;
+pub mod topology;
 pub mod vulns;
 
 pub use controller::{ControllerConfig, ControllerStats, ReinclusionState, SimController};
 pub use coverage::CoverageMap;
+pub use devices::SimRepeater;
 pub use energy::EnergyMeter;
 pub use health::{EffectKind, FaultLog, FaultRecord, Health, RootCause};
 pub use host::{AppLink, AppState, HostProgram, HostState};
 pub use ids::{Alert, AlertReason, Ids};
 pub use link::{LinkPolicy, LinkStats};
+pub use neighbors::NeighborTable;
+pub use network::HomeNetwork;
 pub use nvm::{NodeDatabase, NodeRecord};
-pub use testbed::{DeviceModel, Testbed, LOCK_NODE, SWITCH_NODE};
+pub use testbed::{DeviceModel, Testbed, LOCK_NODE, SENSOR_NODE, SWITCH_NODE};
+pub use topology::Topology;

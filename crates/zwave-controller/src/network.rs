@@ -1,0 +1,381 @@
+//! One simulated home of the sharded world: a controller under test plus
+//! a seed-derived device population wired by a [`Topology`].
+//!
+//! `HomeNetwork` generalizes [`Testbed`](crate::testbed::Testbed) — same
+//! controller construction, same S2 pairing, same pump discipline — but
+//! adds the mesh machinery a flat testbed cannot express: repeaters that
+//! relay source-routed frames, a [`NeighborTable`] the controller's
+//! routes resolve against, route decay on every use, and a switch that
+//! reports through its repeater chain when it sits beyond direct range.
+
+use zwave_crypto::s2::{network_keys, S2Session};
+use zwave_crypto::NetworkKey;
+use zwave_protocol::{CommandClassId, HomeId, NodeId};
+use zwave_radio::{Medium, SimClock, Transceiver};
+
+use crate::controller::SimController;
+use crate::devices::{SimDoorLock, SimRepeater, SimSensor, SimSwitch};
+use crate::neighbors::NeighborTable;
+use crate::nvm::NodeRecord;
+use crate::testbed::{DeviceModel, LOCK_NODE, SENSOR_NODE, SWITCH_NODE};
+use crate::topology::Topology;
+
+/// One assembled home: controller, slaves, repeaters, neighbor table.
+#[derive(Debug)]
+pub struct HomeNetwork {
+    clock: SimClock,
+    medium: Medium,
+    controller: SimController,
+    lock: SimDoorLock,
+    switch: SimSwitch,
+    sensor: Option<SimSensor>,
+    repeaters: Vec<SimRepeater>,
+    neighbors: NeighborTable,
+    topology: Topology,
+}
+
+impl HomeNetwork {
+    /// Builds the home for `model` wired as `topology`, with keys, home
+    /// id, population mix and wiring all derived from `seed`. Identical
+    /// inputs produce byte-identical homes on any worker.
+    pub fn new(model: DeviceModel, topology: Topology, seed: u64) -> Self {
+        let clock = SimClock::new();
+        let medium = Medium::new(clock.clone(), seed);
+        let mut config = model.config();
+        // Per-home id: the model's factory id perturbed by the home seed,
+        // so a city of homes doesn't share seven ids. Kept nonzero.
+        let derived = config.home_id.0 ^ (seed as u32);
+        config.home_id = HomeId(if derived == 0 { config.home_id.0 } else { derived });
+        let home_id = config.home_id;
+        let mut controller = SimController::new(config, &medium, 0.0);
+
+        // S2 pairing between hub and lock, as in `Testbed::new`.
+        let network_key = NetworkKey::from_seed(seed ^ u64::from(home_id.0));
+        let keys = network_keys(&network_key);
+        let mut sei = [0u8; 16];
+        sei[..8].copy_from_slice(&seed.to_be_bytes());
+        let mut rei = [0u8; 16];
+        rei[..8].copy_from_slice(&(seed ^ 0xFFFF_FFFF).to_be_bytes());
+        let hub_session = S2Session::initiator(keys.clone(), &sei, &rei);
+        let lock_session = S2Session::responder(keys, &sei, &rei);
+        controller.pair_s2(LOCK_NODE, hub_session);
+
+        let mut lock_rec = NodeRecord::new(LOCK_NODE, zwave_protocol::nif::BasicDeviceType::Slave);
+        lock_rec.generic = 0x40;
+        lock_rec.specific = 0x03;
+        lock_rec.listening = false;
+        lock_rec.secure = true;
+        lock_rec.wakeup_interval_s = Some(3600);
+        lock_rec.supported =
+            vec![CommandClassId::DOOR_LOCK, CommandClassId::BATTERY, CommandClassId::SECURITY_2];
+        controller.nvm_mut().insert(lock_rec);
+
+        let mut switch_rec =
+            NodeRecord::new(SWITCH_NODE, zwave_protocol::nif::BasicDeviceType::RoutingSlave);
+        switch_rec.generic = 0x10;
+        switch_rec.specific = 0x01;
+        switch_rec.supported = vec![CommandClassId::SWITCH_BINARY, CommandClassId::BASIC];
+        controller.nvm_mut().insert(switch_rec);
+
+        let plan = topology.plan(seed);
+        for &rep in &plan.repeaters {
+            let mut rec = NodeRecord::new(rep, zwave_protocol::nif::BasicDeviceType::RoutingSlave);
+            rec.generic = 0x0F; // repeater slave
+            rec.listening = true;
+            rec.supported = vec![CommandClassId::BASIC];
+            controller.nvm_mut().insert(rec);
+        }
+        let neighbors = plan.neighbor_table();
+
+        // Mixed populations: roughly half the homes also run the
+        // battery-powered S0 motion sensor.
+        let with_sensor = mix(seed ^ 0x7365_6E73) & 1 == 0;
+
+        let lock =
+            SimDoorLock::new(&medium, 8.0, home_id, LOCK_NODE, NodeId::CONTROLLER, lock_session);
+        // The switch sits far on routed topologies — past the repeater
+        // positions — and near on the flat star.
+        let switch_pos = if plan.repeaters.is_empty() { 12.0 } else { 30.0 };
+        let mut switch =
+            SimSwitch::new(&medium, switch_pos, home_id, SWITCH_NODE, NodeId::CONTROLLER);
+        let repeaters: Vec<SimRepeater> = plan
+            .repeaters
+            .iter()
+            .enumerate()
+            .map(|(i, &node)| SimRepeater::new(&medium, 16.0 + 4.0 * i as f64, home_id, node))
+            .collect();
+        if let Some(route) = neighbors.best_route(SWITCH_NODE, NodeId::CONTROLLER) {
+            if !route.is_empty() {
+                switch.set_report_route(Some(route));
+            }
+        }
+
+        let sensor = with_sensor.then(|| {
+            let mut rec = NodeRecord::new(SENSOR_NODE, zwave_protocol::nif::BasicDeviceType::Slave);
+            rec.generic = 0x20;
+            rec.listening = false;
+            rec.secure = false;
+            rec.wakeup_interval_s = Some(600);
+            rec.supported = vec![
+                CommandClassId(0x30),
+                CommandClassId::BATTERY,
+                CommandClassId::WAKE_UP,
+                CommandClassId::SECURITY_0,
+            ];
+            controller.nvm_mut().insert(rec);
+            SimSensor::new(
+                &medium,
+                15.0,
+                home_id,
+                SENSOR_NODE,
+                NodeId::CONTROLLER,
+                controller.s0_key(),
+            )
+        });
+        controller.commit_factory_state();
+
+        HomeNetwork {
+            clock,
+            medium,
+            controller,
+            lock,
+            switch,
+            sensor,
+            repeaters,
+            neighbors,
+            topology,
+        }
+    }
+
+    /// The shared virtual clock.
+    pub fn clock(&self) -> &SimClock {
+        &self.clock
+    }
+
+    /// The shared radio medium.
+    pub fn medium(&self) -> &Medium {
+        &self.medium
+    }
+
+    /// The controller under test.
+    pub fn controller(&self) -> &SimController {
+        &self.controller
+    }
+
+    /// Mutable access to the controller under test.
+    pub fn controller_mut(&mut self) -> &mut SimController {
+        &mut self.controller
+    }
+
+    /// The smart switch slave.
+    pub fn switch(&self) -> &SimSwitch {
+        &self.switch
+    }
+
+    /// The home's topology.
+    pub fn topology(&self) -> Topology {
+        self.topology
+    }
+
+    /// The home's neighbor table (current freshness state).
+    pub fn neighbors(&self) -> &NeighborTable {
+        &self.neighbors
+    }
+
+    /// The repeater population.
+    pub fn repeaters(&self) -> &[SimRepeater] {
+        &self.repeaters
+    }
+
+    /// Whether this home runs the optional S0 sensor.
+    pub fn has_sensor(&self) -> bool {
+        self.sensor.is_some()
+    }
+
+    /// The repeater chain an injected frame must traverse to reach the
+    /// controller, resolved against the current neighbor table from the
+    /// switch's side of the mesh. `None` on flat topologies — which is
+    /// exactly why routed-dispatch bugs stay invisible there.
+    pub fn injection_route(&self) -> Option<Vec<NodeId>> {
+        self.neighbors.best_route(SWITCH_NODE, NodeId::CONTROLLER).filter(|route| !route.is_empty())
+    }
+
+    /// Attaches an attacker radio at `position_m` metres.
+    pub fn attach_attacker(&self, position_m: f64) -> Transceiver {
+        self.medium.attach(position_m)
+    }
+
+    /// Total distinct APL dispatch edges across controller and devices.
+    pub fn coverage_edges(&self) -> u64 {
+        self.controller.coverage().edges()
+            + self.lock.coverage().edges()
+            + self.switch.coverage().edges()
+            + self.sensor.as_ref().map_or(0, |s| s.coverage().edges())
+    }
+
+    /// The union of all devices' coverage maps (a fresh merged copy).
+    pub fn coverage(&self) -> crate::coverage::CoverageMap {
+        let mut map = self.controller.coverage().clone();
+        map.merge(self.lock.coverage());
+        map.merge(self.switch.coverage());
+        if let Some(sensor) = &self.sensor {
+            map.merge(sensor.coverage());
+        }
+        map
+    }
+
+    /// Lets every station process pending traffic, event-driven — the
+    /// `Testbed::pump` discipline extended with the repeater population.
+    pub fn pump(&mut self) {
+        let ctrl_idx = self.controller.station_index();
+        let lock_idx = self.lock.station_index();
+        let switch_idx = self.switch.station_index();
+        let sensor_idx = self.sensor.as_ref().map(|s| s.station_index());
+        let repeater_idx: Vec<usize> = self.repeaters.iter().map(|r| r.station_index()).collect();
+        for _ in 0..16 {
+            let fired = self.medium.take_fired_actors();
+            for &actor in &fired {
+                if actor == lock_idx {
+                    self.lock.on_wakeup();
+                } else if actor == switch_idx {
+                    self.switch.on_wakeup();
+                } else if Some(actor) == sensor_idx {
+                    if let Some(sensor) = &mut self.sensor {
+                        sensor.on_wakeup();
+                    }
+                }
+            }
+            let mut progressed = false;
+            if fired.contains(&ctrl_idx) || self.controller.has_pending() {
+                self.controller.poll();
+                progressed = true;
+            }
+            if fired.contains(&lock_idx) || self.lock.has_pending() {
+                self.lock.poll();
+                progressed = true;
+            }
+            if fired.contains(&switch_idx) || self.switch.has_pending() {
+                self.switch.poll();
+                progressed = true;
+            }
+            for (repeater, &idx) in self.repeaters.iter_mut().zip(&repeater_idx) {
+                if fired.contains(&idx) || repeater.has_pending() {
+                    repeater.poll();
+                    progressed = true;
+                }
+            }
+            if let Some(sensor) = &mut self.sensor {
+                if !sensor.is_sleeping()
+                    && (sensor_idx.is_some_and(|idx| fired.contains(&idx)) || sensor.has_pending())
+                {
+                    sensor.poll();
+                    progressed = true;
+                }
+            }
+            if !progressed {
+                break;
+            }
+        }
+    }
+
+    /// One round of normal network traffic: the hub polls the lock over
+    /// S2, the switch reports — through a freshly-resolved route when it
+    /// sits behind repeaters, aging the links it uses — and the sensor
+    /// (when present) completes a wake cycle.
+    pub fn exchange_normal_traffic(&mut self) {
+        self.controller.query_door_lock(LOCK_NODE);
+        self.pump();
+        let route = self.neighbors.best_route(SWITCH_NODE, NodeId::CONTROLLER);
+        match &route {
+            Some(r) if !r.is_empty() => {
+                self.switch.set_report_route(Some(r.clone()));
+                self.neighbors.note_use(SWITCH_NODE, r, NodeId::CONTROLLER);
+            }
+            _ => self.switch.set_report_route(None),
+        }
+        self.switch.report_to_controller();
+        self.pump();
+        if let Some(sensor) = &mut self.sensor {
+            sensor.wake();
+            self.pump();
+            self.pump();
+        }
+    }
+}
+
+/// splitmix64 finalizer (population-mix bits).
+fn mix(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn star_homes_have_no_repeaters_or_injection_route() {
+        let home = HomeNetwork::new(DeviceModel::D1, Topology::Star, 5);
+        assert!(home.repeaters().is_empty());
+        assert_eq!(home.injection_route(), None);
+    }
+
+    #[test]
+    fn routed_topologies_expose_an_injection_route() {
+        for topology in [Topology::Line, Topology::Mesh] {
+            for seed in 0..8u64 {
+                let home = HomeNetwork::new(DeviceModel::D1, topology, seed);
+                let route = home
+                    .injection_route()
+                    .unwrap_or_else(|| panic!("{topology} seed {seed}: no injection route"));
+                assert!((1..=4).contains(&route.len()), "{topology} seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn normal_traffic_traverses_the_mesh_end_to_end() {
+        let mut home = HomeNetwork::new(DeviceModel::D1, Topology::Line, 3);
+        let before: u64 = home.repeaters().iter().map(|r| r.frames_forwarded()).sum();
+        home.exchange_normal_traffic();
+        let after: u64 = home.repeaters().iter().map(|r| r.frames_forwarded()).sum();
+        assert!(after > before, "repeaters relayed the routed switch report");
+        assert!(
+            home.switch().routed_acks_received() > 0,
+            "the routed ack made it back to the switch"
+        );
+    }
+
+    #[test]
+    fn route_use_ages_the_links_it_crossed() {
+        let mut home = HomeNetwork::new(DeviceModel::D1, Topology::Line, 3);
+        // The switch-side first hop of the route is the link normal
+        // traffic must age.
+        let first = home.injection_route().unwrap()[0];
+        let fresh_before = home.neighbors().freshness(SWITCH_NODE, first);
+        home.exchange_normal_traffic();
+        let fresh_after = home.neighbors().freshness(SWITCH_NODE, first);
+        assert!(fresh_after < fresh_before, "link to {first:?} did not age");
+    }
+
+    #[test]
+    fn homes_are_deterministic_per_seed() {
+        let a = HomeNetwork::new(DeviceModel::D3, Topology::Mesh, 11);
+        let b = HomeNetwork::new(DeviceModel::D3, Topology::Mesh, 11);
+        assert_eq!(a.controller().home_id(), b.controller().home_id());
+        assert_eq!(a.has_sensor(), b.has_sensor());
+        assert_eq!(a.injection_route(), b.injection_route());
+        assert_eq!(a.repeaters().len(), b.repeaters().len());
+    }
+
+    #[test]
+    fn population_mix_varies_with_the_seed() {
+        let populations: Vec<bool> = (0..16u64)
+            .map(|seed| HomeNetwork::new(DeviceModel::D1, Topology::Star, seed).has_sensor())
+            .collect();
+        assert!(populations.iter().any(|&p| p));
+        assert!(populations.iter().any(|&p| !p));
+    }
+}

@@ -106,6 +106,11 @@ pub struct VulnContext<'a> {
     /// Whether a downgrade was already accepted this re-inclusion (bug
     /// #18's key reset only lands after the S2→S0 downgrade).
     pub downgrade_active: bool,
+    /// Whether the payload arrived over a source-routed (multi-hop) path.
+    /// Bug #19's predicate requires it: the vulnerable branch only runs
+    /// when the dispatcher also has a return route to cache, so flat
+    /// single-hop testbeds can never reach it.
+    pub via_route: bool,
 }
 
 /// Table III outage durations.
@@ -125,6 +130,8 @@ pub mod outage {
     pub const BUG14: Duration = Duration::from_secs(240);
     /// Bug #15.
     pub const BUG15: Duration = Duration::from_secs(59);
+    /// Bug #19 (routed dispatch only).
+    pub const BUG19: Duration = Duration::from_secs(45);
 }
 
 fn hit(
@@ -154,6 +161,22 @@ pub fn check(payload: &ApplicationPayload, ctx: &VulnContext<'_>) -> Option<Trig
     match cc {
         // ── The proprietary network-management class (7 bugs) ──────────
         0x01 => match cmd {
+            0x00 if ctx.via_route => {
+                // Bug #19: the undefined protocol command 0x00 falls into
+                // the return-route bookkeeping branch, which only executes
+                // for frames that arrived over a source route. The cache
+                // update dereferences route state the command never
+                // supplied, corrupting the return-route table and stalling
+                // the controller while routes re-resolve. Invisible on any
+                // single-hop (flat) topology.
+                hit(
+                    19,
+                    VulnEffect::Busy(outage::BUG19),
+                    E::RouteCorruption,
+                    Implementation,
+                    Some(outage::BUG19),
+                )
+            }
             0x0D => {
                 let target = *p.first()?;
                 if target == 0xFF {
@@ -441,6 +464,7 @@ mod tests {
             self_node: 1,
             reinclusion_armed: false,
             downgrade_active: false,
+            via_route: false,
         }
     }
 
@@ -640,6 +664,38 @@ mod tests {
         c.usb_host = false;
         assert_eq!(check(&pld(0x9F, 0x06, &[0x80]), &c).unwrap().bug_id, 17);
         assert!(check(&pld(0x9F, 0x01, &[0x00, 0x00]), &c).is_none());
+    }
+
+    #[test]
+    fn bug19_requires_a_routed_arrival() {
+        let nvm = nvm_with_lock();
+        let imp = implemented();
+        let mut c = ctx(&nvm, &imp);
+        let probe = pld(0x01, 0x00, &[0x00]);
+        // Direct (single-hop) delivery never reaches the vulnerable branch.
+        assert!(check(&probe, &c).is_none());
+        c.via_route = true;
+        let t = check(&probe, &c).unwrap();
+        assert_eq!(t.bug_id, 19);
+        assert_eq!(t.effect, VulnEffect::Busy(outage::BUG19));
+        assert_eq!(t.effect_kind, EffectKind::RouteCorruption);
+        assert_eq!(t.outage, Some(outage::BUG19));
+        // Encapsulated payloads stay immune, as for every seeded bug.
+        c.encrypted = true;
+        assert!(check(&probe, &c).is_none());
+    }
+
+    #[test]
+    fn bug19_does_not_disturb_the_other_proprietary_bugs() {
+        let nvm = nvm_with_lock();
+        let imp = implemented();
+        let mut c = ctx(&nvm, &imp);
+        c.via_route = true;
+        // The established cmd 0x0D / 0x02 / 0x04 predicates are untouched
+        // by a routed arrival — routed campaigns find them too.
+        assert_eq!(check(&pld(0x01, 0x0D, &[0xFF]), &c).unwrap().bug_id, 4);
+        assert_eq!(check(&pld(0x01, 0x02, &[0xAA]), &c).unwrap().bug_id, 5);
+        assert_eq!(check(&pld(0x01, 0x04, &[0x1D]), &c).unwrap().bug_id, 14);
     }
 
     #[test]

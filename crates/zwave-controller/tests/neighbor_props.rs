@@ -1,0 +1,132 @@
+//! Property-based pins for the neighbor table: route resolution must be a
+//! deterministic pure function of the table contents (the sweep's
+//! bit-identical-across-workers guarantee leans on it), every resolved
+//! route must be walkable over live links within the G.9959 hop budget,
+//! and decay must be order-independent so that any scheduling of routed
+//! traffic ages a home's mesh identically.
+
+use proptest::prelude::*;
+
+use zwave_controller::neighbors::DEFAULT_LINK_FRESHNESS;
+use zwave_controller::NeighborTable;
+use zwave_protocol::NodeId;
+
+/// Node universe: ids 1..=10 keeps the graphs dense enough for routes to
+/// exist without making exhaustive pair checks expensive.
+const UNIVERSE: u8 = 10;
+
+fn arb_links() -> impl Strategy<Value = Vec<(u8, u8)>> {
+    prop::collection::vec((1u8..=UNIVERSE, 1u8..=UNIVERSE), 1..30)
+}
+
+fn table_from(links: &[(u8, u8)]) -> NeighborTable {
+    let mut table = NeighborTable::new();
+    for &(a, b) in links {
+        if a != b {
+            table.add_link(NodeId(a), NodeId(b));
+        }
+    }
+    table
+}
+
+/// Every consecutive pair along `src → route → dst` must be a live link.
+fn assert_walkable(table: &NeighborTable, src: NodeId, dst: NodeId, route: &[NodeId]) {
+    let mut prev = src;
+    for &hop in route.iter().chain(std::iter::once(&dst)) {
+        assert!(
+            table.link_alive(prev, hop),
+            "route {route:?} from {src} to {dst} crosses dead link {prev}-{hop}"
+        );
+        prev = hop;
+    }
+}
+
+proptest! {
+    /// Resolved routes are walkable over live links and respect the
+    /// four-intermediate hop budget of the routing header.
+    #[test]
+    fn routes_are_walkable_and_within_the_hop_budget(
+        links in arb_links(),
+        src in 1u8..=UNIVERSE,
+        dst in 1u8..=UNIVERSE,
+    ) {
+        let table = table_from(&links);
+        let (src, dst) = (NodeId(src), NodeId(dst));
+        if let Some(route) = table.best_route(src, dst) {
+            prop_assert!(route.len() <= 4, "route {route:?} exceeds MAX_REPEATERS");
+            if src != dst {
+                assert_walkable(&table, src, dst, &route);
+            }
+        }
+    }
+
+    /// Route resolution is a pure function of the table: resolving twice —
+    /// or resolving on an identically-built clone — yields the same route.
+    #[test]
+    fn best_route_is_deterministic(
+        links in arb_links(),
+        src in 1u8..=UNIVERSE,
+        dst in 1u8..=UNIVERSE,
+    ) {
+        let table = table_from(&links);
+        let rebuilt = table_from(&links);
+        let (src, dst) = (NodeId(src), NodeId(dst));
+        prop_assert_eq!(table.best_route(src, dst), table.best_route(src, dst));
+        prop_assert_eq!(table.best_route(src, dst), rebuilt.best_route(src, dst));
+    }
+
+    /// Aging is commutative: replaying the same multiset of routed uses in
+    /// reverse order leaves every link at the same freshness. This is what
+    /// lets shards pump their homes in any wall-clock interleaving.
+    #[test]
+    fn route_decay_is_order_independent(
+        links in arb_links(),
+        uses in prop::collection::vec(
+            ((1u8..=UNIVERSE, 1u8..=UNIVERSE), prop::collection::vec(1u8..=UNIVERSE, 0..4)),
+            0..20,
+        ),
+    ) {
+        let mut forward = table_from(&links);
+        let mut backward = table_from(&links);
+        for ((src, dst), route) in &uses {
+            let route: Vec<NodeId> = route.iter().map(|&n| NodeId(n)).collect();
+            forward.note_use(NodeId(*src), &route, NodeId(*dst));
+        }
+        for ((src, dst), route) in uses.iter().rev() {
+            let route: Vec<NodeId> = route.iter().map(|&n| NodeId(n)).collect();
+            backward.note_use(NodeId(*src), &route, NodeId(*dst));
+        }
+        for a in 1..=UNIVERSE {
+            for b in a..=UNIVERSE {
+                prop_assert_eq!(
+                    forward.freshness(NodeId(a), NodeId(b)),
+                    backward.freshness(NodeId(a), NodeId(b)),
+                    "link {}-{} aged differently under reordering", a, b
+                );
+            }
+        }
+    }
+
+    /// A fully-decayed table routes nothing: once every link is dead, no
+    /// pair of distinct nodes resolves, and rediscovery (re-adding a
+    /// link) revives exactly the direct routes over it.
+    #[test]
+    fn dead_tables_route_nothing_until_rediscovery(links in arb_links()) {
+        let mut table = table_from(&links);
+        for &(a, b) in &links {
+            table.decay(NodeId(a), NodeId(b), u32::MAX);
+        }
+        for a in 1..=UNIVERSE {
+            for b in 1..=UNIVERSE {
+                if a != b {
+                    prop_assert_eq!(table.best_route(NodeId(a), NodeId(b)), None);
+                }
+            }
+        }
+        if let Some(&(a, b)) = links.iter().find(|(a, b)| a != b) {
+            table.add_link(NodeId(a), NodeId(b));
+            prop_assert_eq!(table.freshness(NodeId(a), NodeId(b)), DEFAULT_LINK_FRESHNESS);
+            prop_assert_eq!(table.best_route(NodeId(a), NodeId(b)), Some(vec![]));
+        }
+    }
+}

@@ -78,6 +78,7 @@ proptest! {
             self_node: 1,
             reinclusion_armed: true,
             downgrade_active: false,
+            via_route: false,
         };
         prop_assert_eq!(check(&apl, &ctx), check(&apl, &ctx));
     }
@@ -97,6 +98,7 @@ proptest! {
             self_node: 1,
             reinclusion_armed: true,
             downgrade_active: true,
+            via_route: true,
         };
         prop_assert_eq!(check(&apl, &ctx), None);
     }

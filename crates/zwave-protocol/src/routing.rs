@@ -54,6 +54,16 @@ impl RoutingHeader {
         self.hop as usize >= self.repeaters.len()
     }
 
+    /// The routed-acknowledgement header the destination sends back: same
+    /// repeaters in reverse order, hop reset, direction bit cleared. Each
+    /// repeater forwards it with the ordinary [`advance`](Self::advance)
+    /// machinery until it reaches the original sender.
+    pub fn routed_ack(&self) -> RoutingHeader {
+        let mut repeaters = self.repeaters.clone();
+        repeaters.reverse();
+        RoutingHeader { outbound: false, hop: 0, repeaters }
+    }
+
     /// Serializes as `[flags, hop, count, repeaters...]`.
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(3 + self.repeaters.len());
@@ -131,6 +141,20 @@ mod tests {
         assert!(RoutingHeader::decode(&[0x01, 0x00, 0x00]).is_err());
         assert!(RoutingHeader::decode(&[0x01, 0x00, 0x05, 1, 2, 3, 4, 5]).is_err());
         assert!(RoutingHeader::decode(&[0x01, 0x00, 0x02, 0x03]).is_err());
+    }
+
+    #[test]
+    fn routed_ack_reverses_the_repeater_list() {
+        let mut outbound = RoutingHeader::outbound(vec![NodeId(3), NodeId(7), NodeId(9)]);
+        outbound.advance();
+        outbound.advance();
+        outbound.advance();
+        assert!(outbound.on_final_leg());
+        let ack = outbound.routed_ack();
+        assert!(!ack.outbound);
+        assert_eq!(ack.hop, 0);
+        assert_eq!(ack.repeaters, vec![NodeId(9), NodeId(7), NodeId(3)]);
+        assert_eq!(ack.current_repeater(), Some(NodeId(9)));
     }
 
     #[test]

@@ -93,6 +93,24 @@ pub struct MediumStats {
 }
 
 impl MediumStats {
+    /// Absorbs another medium's counters into this one, component-wise and
+    /// saturating. Addition over `u64` is commutative and associative, so
+    /// absorbing N per-shard snapshots yields the same aggregate for any
+    /// absorption order — the invariant that keeps a sharded sweep's
+    /// channel accounting bit-identical across worker counts (pinned by
+    /// `tests/stats_props.rs`).
+    pub fn merge(&mut self, other: &MediumStats) {
+        self.frames_sent = self.frames_sent.saturating_add(other.frames_sent);
+        self.deliveries = self.deliveries.saturating_add(other.deliveries);
+        self.losses = self.losses.saturating_add(other.losses);
+        self.corruptions = self.corruptions.saturating_add(other.corruptions);
+        self.duplicates = self.duplicates.saturating_add(other.duplicates);
+        self.reorders = self.reorders.saturating_add(other.reorders);
+        self.truncations = self.truncations.saturating_add(other.truncations);
+        self.blackout_drops = self.blackout_drops.saturating_add(other.blackout_drops);
+        self.rx_overflows = self.rx_overflows.saturating_add(other.rx_overflows);
+    }
+
     /// Component-wise difference vs an earlier snapshot (saturating, so a
     /// medium reset between snapshots yields zeros rather than wrapping).
     pub fn since(&self, earlier: &MediumStats) -> MediumStats {

@@ -1,0 +1,88 @@
+//! Property-based pins for `MediumStats::merge`: a sharded sweep absorbs
+//! one stats snapshot per home into shard aggregates and then absorbs the
+//! shard aggregates into a city-wide total, and none of those absorption
+//! orders may leak into the result. Merge must therefore be commutative,
+//! associative, and permutation-invariant — the same discipline the PR 1
+//! `TrialSummary` merge established for trial results.
+
+use proptest::prelude::*;
+
+use zwave_radio::MediumStats;
+
+/// An arbitrary stats snapshot. Values are kept below 2^48 so that even a
+/// few hundred merges stay far from the saturation ceiling and the
+/// "merge = component-wise sum" model holds exactly.
+fn arb_stats() -> impl Strategy<Value = MediumStats> {
+    prop::collection::vec(0u64..(1 << 48), 9).prop_map(|v| MediumStats {
+        frames_sent: v[0],
+        deliveries: v[1],
+        losses: v[2],
+        corruptions: v[3],
+        duplicates: v[4],
+        reorders: v[5],
+        truncations: v[6],
+        blackout_drops: v[7],
+        rx_overflows: v[8],
+    })
+}
+
+fn absorb_all(parts: &[MediumStats]) -> MediumStats {
+    let mut total = MediumStats::default();
+    for part in parts {
+        total.merge(part);
+    }
+    total
+}
+
+proptest! {
+    /// a ⊕ b == b ⊕ a, component for component.
+    #[test]
+    fn merge_is_commutative(a in arb_stats(), b in arb_stats()) {
+        let mut ab = a;
+        ab.merge(&b);
+        let mut ba = b;
+        ba.merge(&a);
+        prop_assert_eq!(ab, ba);
+    }
+
+    /// (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c): shard boundaries can fall anywhere.
+    #[test]
+    fn merge_is_associative(a in arb_stats(), b in arb_stats(), c in arb_stats()) {
+        let mut left = a;
+        left.merge(&b);
+        left.merge(&c);
+        let mut bc = b;
+        bc.merge(&c);
+        let mut right = a;
+        right.merge(&bc);
+        prop_assert_eq!(left, right);
+    }
+
+    /// Absorbing per-home snapshots in any scheduling order yields the
+    /// same aggregate: reverse order, and a two-level grouping that mimics
+    /// "homes → shard subtotals → sweep total" with an arbitrary split.
+    #[test]
+    fn absorption_order_and_sharding_never_leak(
+        parts in prop::collection::vec(arb_stats(), 1..24),
+        split in any::<prop::sample::Index>(),
+    ) {
+        let forward = absorb_all(&parts);
+
+        let reversed: Vec<MediumStats> = parts.iter().rev().cloned().collect();
+        prop_assert_eq!(&forward, &absorb_all(&reversed));
+
+        let cut = split.index(parts.len());
+        let mut sharded = absorb_all(&parts[..cut]);
+        sharded.merge(&absorb_all(&parts[cut..]));
+        prop_assert_eq!(&forward, &sharded);
+    }
+
+    /// The identity element is the default snapshot: merging zeros in at
+    /// any point is a no-op.
+    #[test]
+    fn default_is_the_merge_identity(a in arb_stats()) {
+        let mut merged = a;
+        merged.merge(&MediumStats::default());
+        prop_assert_eq!(merged, a);
+    }
+}

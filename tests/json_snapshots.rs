@@ -11,14 +11,18 @@
 //!     --seed 3 --format json > tests/golden_json/fuzz_d1_seed3.json
 //! cargo run --release --bin zcover -- trials --device D1 --trials 2 \
 //!     --seed 7 --hours 0.25 --format json > tests/golden_json/trials_d1_seed7.json
+//! cargo run --release --bin zcover -- sweep --homes 6 --topology line \
+//!     --hours 0.05 --seed 5 --shard-size 4 --workers 2 --format json \
+//!     > tests/golden_json/sweep_line6_seed5.json
 //! ```
 
 use std::path::{Path, PathBuf};
 use std::time::Duration;
 
-use zcover_suite::zcover::report::{campaign_to_json, summary_to_json};
-use zcover_suite::zcover::{CampaignExecutor, FuzzConfig, ZCover};
+use zcover_suite::zcover::report::{campaign_to_json, summary_to_json, sweep_to_json};
+use zcover_suite::zcover::{run_sweep, CampaignExecutor, FuzzConfig, SweepConfig, ZCover};
 use zcover_suite::zwave_controller::testbed::{DeviceModel, Testbed};
+use zcover_suite::zwave_controller::Topology;
 
 fn golden(name: &str) -> (PathBuf, String) {
     let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden_json").join(name);
@@ -71,6 +75,22 @@ fn trials_json_matches_the_golden_snapshot() {
 }
 
 #[test]
+fn sweep_json_matches_the_golden_snapshot() {
+    // The library call the CLI's `sweep --format json` path boils down
+    // to, with identical parameters (6 line homes, seed 5, 0.05 h each,
+    // 4-home shards). The worker count is part of the CLI line that
+    // generated the golden but must not matter — that is the schema's
+    // central promise, so the reconstruction deliberately uses a
+    // different pool size than the generating command.
+    let (_, want) = golden("sweep_line6_seed5.json");
+    let base = FuzzConfig::full(Duration::from_secs_f64(0.05 * 3600.0), 5);
+    let config = SweepConfig::new(6, Topology::Line, base).with_shard_size(4);
+    let (summary, _) = run_sweep(&CampaignExecutor::new(1), &config).expect("sweep runs");
+    let got = format!("{}\n", sweep_to_json(&summary));
+    assert_eq!(got, want, "sweep --format json schema drifted; regenerate if intentional");
+}
+
+#[test]
 fn golden_snapshots_announce_their_schema() {
     // Key-presence guard independent of the byte comparison: if a golden
     // is regenerated, these are the fields downstream consumers rely on.
@@ -101,7 +121,33 @@ fn golden_snapshots_announce_their_schema() {
     for key in ["\"trials\":", "\"merged\":", "\"union_bug_ids\":", "\"mean_packets\":"] {
         assert!(trials.contains(key), "trials golden lost {key}");
     }
+    let (_, sweep) = golden("sweep_line6_seed5.json");
+    for key in [
+        "\"homes\":",
+        "\"topology\":",
+        "\"shard_size\":",
+        "\"mode\":",
+        "\"scenario\":",
+        "\"impairment\":",
+        "\"union_bug_ids\":",
+        "\"hit_counts\":",
+        "\"coverage_edges\":",
+        "\"counters\":",
+        "\"channel\":",
+        "\"frames_sent\":",
+        "\"deliveries\":",
+        "\"shards\":",
+        "\"shard\":",
+        "\"first_home\":",
+        "\"bug_ids\":",
+    ] {
+        assert!(sweep.contains(key), "sweep golden lost {key}");
+    }
+    // The sweep golden pins the topology-dependent finding: the routed-
+    // path bug is present on a line mesh and counted per home.
+    assert!(sweep.contains("\"19\":6"), "sweep golden lost the multi-hop-only bug");
     // Snapshots are single-line JSON objects plus the trailing newline.
     assert_eq!(fuzz.lines().count(), 1);
     assert_eq!(trials.lines().count(), 1);
+    assert_eq!(sweep.lines().count(), 1);
 }

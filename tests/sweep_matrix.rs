@@ -1,0 +1,115 @@
+//! The sharded-sweep determinism matrix.
+//!
+//! A sweep fans thousands of independent home networks across the
+//! `CampaignExecutor` worker pool; the promise is that the merged
+//! [`SweepSummary`] is a pure function of the sweep configuration — the
+//! worker count decides only wall-clock time. This file pins that promise
+//! over a (homes × topology × mode) grid for worker counts 1, 2 and 4,
+//! and pins the flagship topology result: bug #19 lives *only* on the
+//! routed path, so a mesh sweep finds it while the flat single-home
+//! testbed — the paper's original setting — cannot.
+
+use std::time::Duration;
+
+use zcover_suite::zcover::{run_sweep, CampaignExecutor, FuzzConfig, SweepConfig, ZCover};
+use zcover_suite::zwave_controller::testbed::{DeviceModel, Testbed};
+use zcover_suite::zwave_controller::Topology;
+
+/// A short campaign is enough: the proprietary class is fuzzed first and
+/// the unknown-class exploration plan opens with command 0x00, so the
+/// routed-path bug falls inside any budget that survives discovery.
+fn base_config(seed: u64) -> FuzzConfig {
+    FuzzConfig::full(Duration::from_secs(60), seed)
+}
+
+#[test]
+fn sweep_grid_is_bit_identical_across_worker_counts() {
+    for topology in Topology::all() {
+        for (mode_name, homes) in [("full", 5u64), ("vfuzz", 3u64)] {
+            let base = FuzzConfig::named(mode_name, Duration::from_secs(45), 9)
+                .expect("known configuration name");
+            let config = SweepConfig::new(homes, topology, base).with_shard_size(2);
+            let reference = run_sweep(&CampaignExecutor::new(1), &config).expect("sweep runs").0;
+            assert_eq!(
+                reference.shards.iter().map(|s| s.homes).sum::<u64>(),
+                homes,
+                "{topology} {mode_name}: every home is swept exactly once"
+            );
+            for workers in [2usize, 4] {
+                let other =
+                    run_sweep(&CampaignExecutor::new(workers), &config).expect("sweep runs").0;
+                assert_eq!(
+                    reference, other,
+                    "{topology} {mode_name}: summary must not depend on {workers} workers"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn rerunning_the_same_sweep_reproduces_the_summary() {
+    let config = SweepConfig::new(4, Topology::Mesh, base_config(21)).with_shard_size(3);
+    let executor = CampaignExecutor::new(2);
+    let first = run_sweep(&executor, &config).expect("sweep runs").0;
+    let second = run_sweep(&executor, &config).expect("sweep runs").0;
+    assert_eq!(first, second);
+}
+
+#[test]
+fn routed_path_bug_needs_a_multi_hop_topology() {
+    // On star homes the controller is in direct range: no injection
+    // route, no routed frames, no bug #19 — same for the flat testbed.
+    let star = SweepConfig::new(4, Topology::Star, base_config(5)).with_shard_size(2);
+    let star_summary = run_sweep(&CampaignExecutor::new(2), &star).expect("sweep runs").0;
+    assert!(
+        !star_summary.hit_counts.contains_key(&19),
+        "star homes have no routed path for bug #19 to live on"
+    );
+
+    // Line and mesh homes put repeaters between attacker and controller;
+    // the campaign's crafted frames ride that chain and the routed-path
+    // bug surfaces in every home.
+    for topology in [Topology::Line, Topology::Mesh] {
+        let config = SweepConfig::new(4, topology, base_config(5)).with_shard_size(2);
+        let summary = run_sweep(&CampaignExecutor::new(2), &config).expect("sweep runs").0;
+        assert_eq!(
+            summary.hit_counts.get(&19),
+            Some(&4),
+            "{topology}: every multi-hop home exposes the routed-path bug"
+        );
+    }
+}
+
+#[test]
+fn flat_single_home_campaign_cannot_see_the_routed_path_bug() {
+    // The paper's original setting: one controller, direct range. Same
+    // engine, same budget, same seeds as the sweep homes — bug #19 is
+    // structurally out of reach without a mesh.
+    for seed in [3u64, 5, 21] {
+        let mut tb = Testbed::new(DeviceModel::D1, seed);
+        let mut zc = ZCover::attach(&tb, 70.0);
+        let campaign = zc.run_campaign(&mut tb, base_config(seed)).expect("campaign runs").campaign;
+        assert!(
+            campaign.findings.iter().all(|f| f.bug_id != 19),
+            "seed {seed}: the flat testbed found the multi-hop-only bug"
+        );
+    }
+}
+
+#[test]
+fn mixed_city_outproduces_any_single_model_in_coverage() {
+    // The rotated D1..D7 population lights more distinct dispatch edges
+    // than the number any one home can reach, because different firmware
+    // implements different command-class sets.
+    let config = SweepConfig::new(7, Topology::Line, base_config(2)).with_shard_size(7);
+    let summary = run_sweep(&CampaignExecutor::new(1), &config).expect("sweep runs").0;
+    assert_eq!(summary.shards.len(), 1);
+    let per_home_max = summary.counters.edges_seen / 7;
+    assert!(
+        summary.coverage_edges > per_home_max,
+        "city-wide union {} should beat the mean per-home count {}",
+        summary.coverage_edges,
+        per_home_max
+    );
+}
