@@ -1,0 +1,186 @@
+//! Trace-format benchmark: JSONL vs the compact binary `.zct` format.
+//!
+//! Accumulates a million-event campaign journal by recording real ZCover
+//! campaigns across seeds and channel profiles (so the stream carries the
+//! full record mix: frames, timers, blackouts, fuzz lifecycle, oracle
+//! verdicts, corpus retentions), then measures both serializations on the
+//! *same* event stream:
+//!
+//! - **record**: serialize the journal (JSONL render vs binary encode);
+//! - **replay**: deserialize it back (JSONL parse vs block decode);
+//! - **size**: bytes on disk, bytes per event;
+//! - **seek**: fetch one late event via the footer index vs a full scan.
+//!
+//! Before anything is written, determinism is asserted in-bin: encoding
+//! twice is byte-identical and decode(encode(events)) == events, in both
+//! formats. The run then enforces the repo's acceptance floor — the
+//! binary format must be at least 4x smaller and at least 3x faster on
+//! record+replay — so a codec regression fails the benchmark itself.
+//!
+//! Results land in `BENCH_trace.json`; `--out PATH` overrides. `--smoke`
+//! shrinks the stream to ~50k events for CI. Other flags: `--events N`
+//! (minimum stream length), `--budget-hours H` (per-campaign virtual
+//! budget), `--seed N`, `--repeats N`.
+
+use std::time::{Duration, Instant};
+
+use trace_format::ZctTrace;
+use zcover::{record_campaign, FuzzConfig, ImpairmentProfile, Trace};
+use zwave_controller::testbed::DeviceModel;
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).cloned()
+}
+
+/// Best-of-`repeats` wall time of `work`, in seconds.
+fn time_best<T>(repeats: usize, mut work: impl FnMut() -> T) -> (f64, T) {
+    let mut best = f64::INFINITY;
+    let mut last = None;
+    for _ in 0..repeats.max(1) {
+        let start = Instant::now();
+        let value = work();
+        best = best.min(start.elapsed().as_secs_f64());
+        last = Some(value);
+    }
+    (best, last.expect("at least one repeat"))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let min_events: u64 = flag(&args, "--events")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(if smoke { 50_000 } else { 1_000_000 });
+    let budget_hours: f64 = flag(&args, "--budget-hours")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(if smoke { 0.05 } else { 0.25 });
+    let seed: u64 = flag(&args, "--seed").and_then(|s| s.parse().ok()).unwrap_or(42);
+    let repeats: usize = flag(&args, "--repeats").and_then(|s| s.parse().ok()).unwrap_or(3);
+    let out = flag(&args, "--out").unwrap_or_else(|| "BENCH_trace.json".to_string());
+
+    // ── accumulate the event stream from real recorded campaigns ──
+    let budget = Duration::from_secs_f64(budget_hours * 3600.0);
+    let profiles = [
+        ImpairmentProfile::Lossy,
+        ImpairmentProfile::Clean,
+        ImpairmentProfile::Bursty,
+        ImpairmentProfile::Adversarial,
+    ];
+    let build_start = Instant::now();
+    let mut trace: Option<Trace> = None;
+    let mut campaigns = 0u64;
+    let mut next_seed = seed;
+    while trace.as_ref().map(|t| t.events.len() as u64).unwrap_or(0) < min_events {
+        let campaign_seed = next_seed;
+        next_seed += 1;
+        let profile = profiles[(campaigns as usize) % profiles.len()];
+        let config = FuzzConfig::full(budget, campaign_seed).with_impairment(profile);
+        // A hostile channel can starve fingerprinting for some seeds;
+        // those seeds simply contribute no events.
+        let rec = match record_campaign(DeviceModel::D1, "full", config) {
+            Ok(rec) => rec,
+            Err(e) => {
+                eprintln!("  seed {campaign_seed} (channel {profile}) skipped: {e}");
+                continue;
+            }
+        };
+        campaigns += 1;
+        match &mut trace {
+            None => trace = Some(rec.trace),
+            Some(combined) => combined.events.extend(rec.trace.events),
+        }
+        eprintln!(
+            "  campaign {campaigns} (seed {campaign_seed}, channel {profile}): \
+             {} events accumulated",
+            trace.as_ref().map(|t| t.events.len()).unwrap_or(0)
+        );
+    }
+    let trace = trace.expect("at least one campaign");
+    let events = trace.events.len() as u64;
+    eprintln!(
+        "bench_trace: {events} events from {campaigns} campaign(s) of {:.0} s each \
+         ({:.1} s to record)",
+        budget.as_secs_f64(),
+        build_start.elapsed().as_secs_f64()
+    );
+
+    // ── in-bin determinism: both codecs are pure functions ──
+    let jsonl = trace.to_jsonl();
+    assert_eq!(jsonl, trace.to_jsonl(), "JSONL render is not deterministic");
+    let zct = trace.to_zct_bytes();
+    assert_eq!(zct, trace.to_zct_bytes(), "binary encode is not deterministic");
+    let back = Trace::from_bytes(&zct).expect("own encoding decodes");
+    assert_eq!(back.meta, trace.meta, "binary round trip lost the header");
+    assert_eq!(back.events, trace.events, "binary round trip lost events");
+    let back = Trace::from_bytes(jsonl.as_bytes()).expect("own rendering parses");
+    assert_eq!(back.events, trace.events, "JSONL round trip lost events");
+    assert_eq!(back.to_jsonl(), jsonl, "JSONL round trip is not byte-stable");
+    eprintln!("  determinism: both formats encode bit-identically and round-trip losslessly");
+
+    // ── record + replay timings (best of {repeats}) ──
+    let (jsonl_encode_s, _) = time_best(repeats, || trace.to_jsonl());
+    let (jsonl_decode_s, _) =
+        time_best(repeats, || Trace::from_bytes(jsonl.as_bytes()).expect("parses"));
+    let (zct_encode_s, _) = time_best(repeats, || trace.to_zct_bytes());
+    let (zct_decode_s, _) = time_best(repeats, || Trace::from_bytes(&zct).expect("decodes"));
+
+    // ── seek: one late event via the footer index vs a full scan ──
+    let target = trace.events.len() - 2;
+    let (seek_s, via_index) = time_best(repeats, || {
+        let parsed = ZctTrace::parse(zct.clone()).expect("valid zct");
+        parsed.event(target as u64).expect("in range")
+    });
+    let (scan_s, via_scan) = time_best(repeats, || {
+        let parsed = ZctTrace::parse(zct.clone()).expect("valid zct");
+        parsed.records().expect("decodes")[target].clone()
+    });
+    assert_eq!(via_index, via_scan, "indexed seek disagrees with the full scan");
+
+    let size_ratio = jsonl.len() as f64 / zct.len() as f64;
+    let round_trip_ratio = (jsonl_encode_s + jsonl_decode_s) / (zct_encode_s + zct_decode_s);
+    eprintln!("  size: jsonl {} B, zct {} B ({size_ratio:.1}x smaller)", jsonl.len(), zct.len());
+    eprintln!(
+        "  record+replay: jsonl {:.3} s, zct {:.3} s ({round_trip_ratio:.1}x faster)",
+        jsonl_encode_s + jsonl_decode_s,
+        zct_encode_s + zct_decode_s
+    );
+    eprintln!("  seek event {target}: {seek_s:.6} s via index, {scan_s:.6} s via full scan");
+
+    // The acceptance floor: a codec regression fails the bench itself.
+    assert!(size_ratio >= 4.0, "binary must be >= 4x smaller, got {size_ratio:.2}x");
+    assert!(
+        round_trip_ratio >= 3.0,
+        "binary record+replay must be >= 3x faster, got {round_trip_ratio:.2}x"
+    );
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"trace_format\",\n  \"events\": {events},\n  \
+         \"campaigns\": {campaigns},\n  \"per_campaign_budget_s\": {:.0},\n  \
+         \"seed\": {seed},\n  \"repeats\": {repeats},\n  \
+         \"jsonl\": {{\"bytes\": {}, \"bytes_per_event\": {:.1}, \
+         \"record_s\": {jsonl_encode_s:.4}, \"replay_s\": {jsonl_decode_s:.4}, \
+         \"replay_events_per_sec\": {:.0}}},\n  \
+         \"zct\": {{\"bytes\": {}, \"bytes_per_event\": {:.1}, \
+         \"record_s\": {zct_encode_s:.4}, \"replay_s\": {zct_decode_s:.4}, \
+         \"replay_events_per_sec\": {:.0}, \"seek_one_event_s\": {seek_s:.6}, \
+         \"full_scan_s\": {scan_s:.6}}},\n  \
+         \"ratios\": {{\"size\": {size_ratio:.2}, \"record\": {:.2}, \"replay\": {:.2}, \
+         \"record_plus_replay\": {round_trip_ratio:.2}, \"seek_vs_scan\": {:.1}}},\n  \
+         \"determinism\": \"encode bit-identical twice; decode(encode(events)) == events; \
+         JSONL export of the binary stream byte-identical to direct JSONL; \
+         indexed seek == full scan\"\n}}\n",
+        budget.as_secs_f64(),
+        jsonl.len(),
+        jsonl.len() as f64 / events as f64,
+        events as f64 / jsonl_decode_s.max(f64::EPSILON),
+        zct.len(),
+        zct.len() as f64 / events as f64,
+        events as f64 / zct_decode_s.max(f64::EPSILON),
+        jsonl_encode_s / zct_encode_s.max(f64::EPSILON),
+        jsonl_decode_s / zct_decode_s.max(f64::EPSILON),
+        scan_s / seek_s.max(f64::EPSILON),
+    );
+    std::fs::write(&out, &json).expect("writing the benchmark record");
+    eprintln!("record written to {out}");
+    println!("{json}");
+}

@@ -13,7 +13,11 @@
 //! zcover trials      --device D1 --mode vfuzz --trials 5 --hours 1
 //! zcover sweep       --homes 10000 --topology mesh --workers 4
 //! zcover sweep       --homes 256 --topology line --mode coverage --format json
+//! zcover sweep       --homes 64 --record-dir traces/
 //! zcover replay      trace.jsonl
+//! zcover replay      trace.zct
+//! zcover trace export trace.zct --out trace.jsonl
+//! zcover trace stats  traces/home0.zct traces/home1.zct
 //! zcover export-spec --out zw_classes.xml
 //! ```
 
@@ -22,7 +26,8 @@ use std::time::Duration;
 
 use zcover::{
     run_sweep, ActiveScanner, BugLog, CampaignExecutor, FuzzConfig, ImpairmentProfile, Scenario,
-    SweepConfig, Trace, TraceSpec, UnknownDiscovery, ZCover, DEFAULT_SHARD_SIZE,
+    SweepConfig, SweepRecord, Trace, TraceSpec, TraceStats, UnknownDiscovery, ZCover,
+    DEFAULT_SHARD_SIZE,
 };
 use zwave_controller::testbed::{DeviceModel, Testbed};
 use zwave_controller::Topology;
@@ -108,6 +113,28 @@ fn json_output(args: &[String]) -> bool {
             std::process::exit(2);
         }
     }
+}
+
+/// Reads and decodes a trace file in either format (auto-detected by
+/// content, not extension). Any damage exits with status 2 after naming
+/// the byte offset or line of the fault *and* whatever the CRC-protected
+/// header still says — so a truncated `.zct` is still attributable to its
+/// campaign. Returns the raw bytes too, so callers can name event loci in
+/// the original file.
+fn load_trace(path: &str) -> (Vec<u8>, Trace) {
+    let bytes = std::fs::read(path).unwrap_or_else(|e| {
+        eprintln!("{path}: {e}");
+        std::process::exit(2);
+    });
+    let trace = Trace::from_bytes(&bytes).unwrap_or_else(|e| {
+        eprintln!("{path}: {e}");
+        match zcover::describe_header(&bytes) {
+            Some(header) => eprintln!("{path}: header: {header}"),
+            None => eprintln!("{path}: header undecodable"),
+        }
+        std::process::exit(2);
+    });
+    (bytes, trace)
 }
 
 fn main() {
@@ -350,7 +377,12 @@ fn main() {
             let base = parse_config(&args, budget, seed);
             let profile = base.impairment;
             let json = json_output(&args);
-            let config = SweepConfig::new(homes, topology, base).with_shard_size(shard_size);
+            let mut config = SweepConfig::new(homes, topology, base).with_shard_size(shard_size);
+            let record = flag(&args, "--record-dir")
+                .map(|dir| SweepRecord { dir: dir.into(), config_name: config_name(&args) });
+            if let Some(record) = record.clone() {
+                config = config.with_record(record);
+            }
             let executor = CampaignExecutor::new(workers);
             eprintln!(
                 "sweeping {homes} {topology} homes ({}h each, sweep seed {seed}, channel \
@@ -360,6 +392,13 @@ fn main() {
                 executor.workers()
             );
             let (summary, timing) = run_sweep(&executor, &config).expect("sweep failed");
+            if let Some(record) = &record {
+                eprintln!(
+                    "per-home traces recorded to {} .. {}",
+                    record.home_path(0).display(),
+                    record.home_path(homes.saturating_sub(1)).display()
+                );
+            }
             // Throughput is real wall-clock and goes to stderr; stdout
             // stays bit-identical for any worker count.
             for (shard, secs) in summary.shards.iter().zip(&timing.per_shard_s) {
@@ -416,30 +455,89 @@ fn main() {
                 .cloned()
                 .or_else(|| flag(&args, "--trace"))
                 .unwrap_or_else(|| {
-                    eprintln!("usage: zcover replay <trace.jsonl>");
+                    eprintln!("usage: zcover replay <trace.jsonl|trace.zct>");
                     std::process::exit(2);
                 });
-            let trace = Trace::load(Path::new(&path)).unwrap_or_else(|e| {
-                eprintln!("{e}");
-                std::process::exit(2);
-            });
+            let (bytes, trace) = load_trace(&path);
             eprintln!(
-                "replaying {path}: device {}, seed {}, config {}, channel {}, \
-                 budget {:.0} s, {} recorded events ...",
-                trace.meta.device,
-                trace.meta.seed,
-                trace.meta.config,
-                trace.meta.impairment,
-                trace.meta.budget.as_secs_f64(),
+                "replaying {path}: {}, {} recorded events ...",
+                trace.meta.describe(),
                 trace.events.len()
             );
             let report = zcover::replay(&trace).unwrap_or_else(|e| {
-                eprintln!("{e}");
+                eprintln!("{path}: {e}");
+                eprintln!("{path}: header: {}", trace.meta.describe());
                 std::process::exit(2);
             });
             println!("{}", report.render());
-            if !report.is_clean() {
+            if let Some(d) = &report.divergence {
+                // The index alone is enough for a JSONL trace; for a
+                // binary one the block/byte locus says where to seek.
+                eprintln!(
+                    "recorded event {} lives at {} of {path}",
+                    d.index,
+                    zcover::event_locus(&bytes, d.index)
+                );
                 std::process::exit(1);
+            }
+        }
+        "trace" => {
+            let usage = || -> ! {
+                eprintln!(
+                    "usage: zcover trace export <in.jsonl|in.zct> [--out FILE]\n\
+                     \x20      zcover trace stats  <trace>... [--format text|json]"
+                );
+                std::process::exit(2);
+            };
+            match args.get(1).map(String::as_str) {
+                Some("export") => {
+                    let path =
+                        args.get(2).filter(|a| !a.starts_with("--")).unwrap_or_else(|| usage());
+                    let (_, trace) = load_trace(path);
+                    match flag(&args, "--out") {
+                        // The output extension picks the format, so this
+                        // converts in both directions (jsonl ↔ zct).
+                        Some(out) => {
+                            trace.save(Path::new(&out)).unwrap_or_else(|e| {
+                                eprintln!("{out}: {e}");
+                                std::process::exit(2);
+                            });
+                            eprintln!("{path} ({} events) exported to {out}", trace.events.len());
+                        }
+                        None => print!("{}", trace.to_jsonl()),
+                    }
+                }
+                Some("stats") => {
+                    let json = json_output(&args);
+                    let paths: Vec<&String> =
+                        args[2..].iter().take_while(|a| !a.starts_with("--")).collect();
+                    if paths.is_empty() {
+                        usage();
+                    }
+                    let mut traces = Vec::with_capacity(paths.len());
+                    let mut reports = Vec::with_capacity(paths.len());
+                    for path in &paths {
+                        let (_, trace) = load_trace(path);
+                        let stats = TraceStats::scan(&trace.events);
+                        reports.push(if json {
+                            zcover::report::trace_stats_to_json(&stats, path)
+                        } else {
+                            stats.render(path)
+                        });
+                        traces.push((path.to_string(), trace));
+                    }
+                    if json {
+                        println!("[{}]", reports.join(","));
+                    } else {
+                        for report in &reports {
+                            print!("{report}");
+                        }
+                        if traces.len() > 1 {
+                            print!("{}", zcover::cross_trial_summary(&traces));
+                        }
+                    }
+                }
+                _ => usage(),
             }
         }
         "export-spec" => {
@@ -457,14 +555,17 @@ fn main() {
         }
         _ => {
             eprintln!(
-                "usage: zcover <fingerprint|discover|fuzz|trials|sweep|replay|export-spec> \
+                "usage: zcover <fingerprint|discover|fuzz|trials|sweep|replay|trace|export-spec> \
                  [--device D1..D7] [--seed N] [--hours H] [--trials N] [--workers N] \
                  [--homes N] [--topology star|line|mesh] [--shard-size N] \
                  [--mode zcover|vfuzz|coverage] \
                  [--config full|beta|gamma|no-priority|no-plans] \
                  [--impairment clean|lossy|bursty|adversarial] \
                  [--scenario none|s0-no-more|crushing-the-wave] \
-                 [--format text|json] [--record FILE] [--log FILE] [--report FILE] [--out FILE]"
+                 [--format text|json] [--record FILE] [--record-dir DIR] \
+                 [--log FILE] [--report FILE] [--out FILE]\n\
+                 trace files may be .jsonl or .zct (compact binary); \
+                 `zcover trace export|stats` converts and analyses them"
             );
             std::process::exit(if command == "help" { 0 } else { 2 });
         }

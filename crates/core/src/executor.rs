@@ -47,18 +47,21 @@ pub fn derive_trial_seed(campaign_seed: u64, trial: u64) -> u64 {
 }
 
 /// Where (and how) a multi-trial run records its traces: each trial gets
-/// its own file, `{prefix}.trial{N}.jsonl`, written by whichever worker
-/// runs the trial. Because a trial's journal is a pure function of its
-/// derived seed, the files are identical for any worker count — trials
-/// recorded in parallel merge (or replay) exactly like sequential ones.
+/// its own file, `{prefix}.trial{N}.{ext}`, written by whichever worker
+/// runs the trial. The prefix's own extension picks the format: `.zct`
+/// records the compact binary format, anything else (including no
+/// extension) the JSONL one. Because a trial's journal is a pure function
+/// of its derived seed, the files are identical for any worker count —
+/// trials recorded in parallel merge (or replay) exactly like sequential
+/// ones.
 #[derive(Debug, Clone)]
 pub struct TraceSpec {
     /// Device model index recorded in each header (`D1`..`D7`).
     pub device: String,
     /// Canonical configuration name recorded in each header.
     pub config_name: String,
-    /// Path prefix for the per-trial files (a `.jsonl` suffix, if present,
-    /// is stripped before the `.trial{N}.jsonl` suffix is appended).
+    /// Path prefix for the per-trial files (a `.jsonl` or `.zct` suffix,
+    /// if present, is stripped and selects the per-trial file format).
     pub prefix: PathBuf,
 }
 
@@ -66,11 +69,15 @@ impl TraceSpec {
     /// The trace file path for `trial`.
     pub fn trial_path(&self, trial: u64) -> PathBuf {
         let mut base = self.prefix.clone();
-        if base.extension().is_some_and(|e| e == "jsonl") {
+        let ext = match base.extension().and_then(|e| e.to_str()) {
+            Some("zct") => "zct",
+            _ => "jsonl",
+        };
+        if base.extension().is_some_and(|e| e == "jsonl" || e == "zct") {
             base.set_extension("");
         }
         let stem = base.to_string_lossy().into_owned();
-        PathBuf::from(format!("{stem}.trial{trial}.jsonl"))
+        PathBuf::from(format!("{stem}.trial{trial}.{ext}"))
     }
 }
 
@@ -279,6 +286,18 @@ mod tests {
             assert_eq!(got, (0..17).map(|i| i * i).collect::<Vec<u64>>(), "{workers} workers");
         }
         assert!(CampaignExecutor::new(4).map_indexed(0, |i| i).is_empty());
+    }
+
+    #[test]
+    fn trace_spec_extension_selects_the_per_trial_format() {
+        let spec = |prefix: &str| TraceSpec {
+            device: "D1".to_string(),
+            config_name: "full".to_string(),
+            prefix: PathBuf::from(prefix),
+        };
+        assert_eq!(spec("out.jsonl").trial_path(2), PathBuf::from("out.trial2.jsonl"));
+        assert_eq!(spec("out").trial_path(0), PathBuf::from("out.trial0.jsonl"));
+        assert_eq!(spec("out.zct").trial_path(3), PathBuf::from("out.trial3.zct"));
     }
 
     #[test]

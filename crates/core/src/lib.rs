@@ -69,12 +69,14 @@ pub use mutation::{MutationOp, Mutator};
 pub use passive::{PassiveScanner, ScanReport, TrafficStats};
 pub use scenarios::{Scenario, ScenarioDriver, ATTACKER_KEY, GHOST_NODE};
 pub use sweep::{
-    run_sweep, ShardSummary, SweepConfig, SweepSummary, SweepTiming, DEFAULT_SHARD_SIZE,
+    run_sweep, ShardSummary, SweepConfig, SweepRecord, SweepSummary, SweepTiming,
+    DEFAULT_SHARD_SIZE,
 };
 pub use target::FuzzTarget;
 pub use trace::{
-    diff_traces, record_campaign, replay, RecordedCampaign, ReplayReport, Trace, TraceError,
-    TraceMeta, TraceRecorder,
+    cross_trial_summary, describe_header, diff_traces, event_locus, record_campaign, replay,
+    Record, RecordedCampaign, ReplayReport, SchedKind, Trace, TraceError, TraceMeta, TraceRecorder,
+    TraceStats,
 };
 pub use trials::{run_trials, TrialSummary};
 pub use zwave_radio::{ImpairmentProfile, ImpairmentSchedule, ImpairmentStage};

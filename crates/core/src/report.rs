@@ -8,6 +8,7 @@ use std::fmt::Write as _;
 use crate::buglog::VulnFinding;
 use crate::fuzzer::{CampaignCounters, CampaignResult};
 use crate::sweep::{ShardSummary, SweepSummary};
+use crate::trace::TraceStats;
 use crate::trials::TrialSummary;
 use crate::ZCoverReport;
 use zwave_radio::{MediumStats, SimInstant};
@@ -252,6 +253,58 @@ pub fn sweep_to_json(summary: &SweepSummary) -> String {
         counters_json(&summary.counters),
         channel_json(&summary.channel),
         shards.join(",")
+    )
+}
+
+/// Renders one trace's streaming analytics as JSON (`zcover trace stats
+/// --format json`): event-shape counts, the outage decile histogram,
+/// per-CMDCL oracle latencies, and the corpus edges-over-time trajectory.
+pub fn trace_stats_to_json(stats: &TraceStats, label: &str) -> String {
+    let fuzz: Vec<String> =
+        stats.fuzz.iter().map(|(ev, count)| format!("\"{ev}\":{count}")).collect();
+    let hist: Vec<String> = stats.outage_histogram(10).iter().map(u64::to_string).collect();
+    let per_cmdcl: Vec<String> = stats
+        .per_cmdcl
+        .iter()
+        .map(|(cmdcl, c)| {
+            let bugs: Vec<String> = c.bugs.iter().map(u64::to_string).collect();
+            format!(
+                "\"{cmdcl}\":{{\"findings\":{},\"bugs\":[{}],\"first_at_us\":{}}}",
+                c.findings,
+                bugs.join(","),
+                c.first_at_us
+            )
+        })
+        .collect();
+    let edges: Vec<String> = stats
+        .edges_over_time
+        .iter()
+        .map(|(at_us, edges, size)| format!("[{at_us},{edges},{size}]"))
+        .collect();
+    let end = match stats.end {
+        None => "null".to_string(),
+        Some((at_us, packets, findings, sched_events)) => format!(
+            "{{\"at_us\":{at_us},\"packets\":{packets},\"findings\":{findings},\
+             \"sched_events\":{sched_events}}}"
+        ),
+    };
+    format!(
+        "{{\"trace\":\"{label}\",\"events\":{},\"sched_frames\":{},\"sched_timers\":{},\
+         \"sched_blackouts\":{},\"attack_frames\":{},\"raw_events\":{},\"span_us\":{},\
+         \"fuzz\":{{{}}},\"outage_histogram\":[{}],\"per_cmdcl\":{{{}}},\
+         \"edges_over_time\":[{}],\"end\":{}}}",
+        stats.events,
+        stats.sched_frames,
+        stats.sched_timers,
+        stats.sched_blackouts,
+        stats.attack_frames,
+        stats.raw_events,
+        stats.span_us,
+        fuzz.join(","),
+        hist.join(","),
+        per_cmdcl.join(","),
+        edges.join(","),
+        end
     )
 }
 

@@ -5,7 +5,7 @@
 //! scheduler dequeue (frame arrivals with a content hash, timers, blackout
 //! window edges, via [`zwave_radio::sched::EventObserver`]), every fuzzer
 //! event ([`TraceSink`] callbacks with virtual timestamps), and every
-//! oracle verdict — to a versioned JSONL [`Trace`]. Because the whole
+//! oracle verdict — as structured [`Record`]s. Because the whole
 //! simulation is a pure function of `(device, seed, config, impairment)`,
 //! the trace header alone suffices to re-execute the trial: [`replay`]
 //! reruns it with a fresh recorder and diffs the two journals event by
@@ -15,9 +15,29 @@
 //! precise `(event index, virtual time)` instead of a silently different
 //! Table III.
 //!
+//! A trace serializes in two interchangeable formats:
+//!
+//! - **JSONL** (`.jsonl`, the PR 4 format): one flat object per event,
+//!   human-greppable, byte-stable. Rendering lives in [`lines`].
+//! - **ZCT binary** (`.zct`): the `trace-format` crate's compact
+//!   varint/delta encoding with a seekable block index — roughly an order
+//!   of magnitude smaller and several times faster to write and decode
+//!   (see `BENCH_trace.json`). Mapping lives in [`binary`].
+//!
+//! [`Trace::save`] picks the format from the file extension;
+//! [`Trace::load`] auto-detects from the leading magic, so `zcover
+//! replay` accepts either. `zcover trace export` converts losslessly in
+//! both directions — the JSONL rendering of a binary trace is
+//! byte-identical to what a JSONL recording of the same trial would have
+//! written (pinned by `tests/trace_binary.rs` against every golden).
+//!
 //! Golden traces for a small seed/profile matrix live under
 //! `tests/golden_traces/` and are pinned byte-for-byte by
 //! `tests/trace_replay.rs`.
+
+pub mod binary;
+pub mod lines;
+pub mod stats;
 
 use std::path::Path;
 use std::sync::Arc;
@@ -27,14 +47,19 @@ use parking_lot::Mutex;
 
 use zwave_controller::testbed::{DeviceModel, Testbed};
 use zwave_radio::sched::{Event, EventKind, EventObserver};
-use zwave_radio::{ImpairmentProfile, Medium, SimClock, SimInstant, SimScheduler};
+use zwave_radio::{ImpairmentProfile, Medium, SimClock, SimScheduler};
+
+pub use trace_format::{Record, SchedKind};
 
 use crate::buglog::VulnFinding;
 use crate::fuzzer::{CampaignResult, FuzzConfig, TraceSink};
 use crate::scenarios::Scenario;
 use crate::{ZCover, ZCoverError, ZCoverReport};
 
-/// Trace format version emitted and accepted by this build.
+pub use stats::{cross_trial_summary, CmdclStats, TraceStats};
+
+/// Trace format version emitted and accepted by this build (shared by the
+/// JSONL header field and the ZCT binary header).
 pub const TRACE_VERSION: u64 = 1;
 
 /// Errors loading or replaying a trace file.
@@ -43,7 +68,8 @@ pub const TRACE_VERSION: u64 = 1;
 pub enum TraceError {
     /// The file could not be read or written.
     Io(String),
-    /// The first line is not a `zcover_trace` header or a field is broken.
+    /// Structurally broken input. The message pinpoints the damage: a
+    /// byte offset for binary traces, a line locus for JSONL.
     Malformed(String),
     /// The header declares a version this build does not understand.
     UnsupportedVersion(u64),
@@ -108,6 +134,7 @@ impl TraceMeta {
 
     /// Parses a header line.
     fn from_header_line(line: &str) -> Result<TraceMeta, TraceError> {
+        let field = lines::field;
         let version: u64 = field(line, "zcover_trace")
             .ok_or_else(|| TraceError::Malformed("missing zcover_trace version".into()))?
             .parse()
@@ -148,6 +175,23 @@ impl TraceMeta {
         })
     }
 
+    /// One-line human summary of the header (used by `zcover replay`'s
+    /// progress and error messages, identical for both formats).
+    pub fn describe(&self) -> String {
+        let mut out = format!(
+            "device {}, seed {}, config {}, channel {}, budget {:.0} s",
+            self.device,
+            self.seed,
+            self.config,
+            self.impairment,
+            self.budget.as_secs_f64()
+        );
+        if self.scenario != Scenario::None {
+            out.push_str(&format!(", scenario {}", self.scenario));
+        }
+        out
+    }
+
     /// The device model named in the header.
     fn model(&self) -> Result<DeviceModel, TraceError> {
         DeviceModel::all()
@@ -164,46 +208,39 @@ impl TraceMeta {
     }
 }
 
-/// Extracts a top-level field from one flat JSON object line (quoted
-/// strings are unquoted; no nesting support — trace lines are flat by
-/// construction).
-fn field(line: &str, key: &str) -> Option<String> {
-    let marker = format!("\"{key}\":");
-    let start = line.find(&marker)? + marker.len();
-    let rest = &line[start..];
-    if let Some(quoted) = rest.strip_prefix('"') {
-        Some(quoted[..quoted.find('"')?].to_string())
-    } else {
-        let end = rest.find([',', '}']).unwrap_or(rest.len());
-        Some(rest[..end].trim().to_string())
-    }
-}
-
-/// A recorded trial: header metadata plus the canonical event lines, in
+/// A recorded trial: header metadata plus the structured event records, in
 /// execution order.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Trace {
-    /// Re-execution parameters (the header line).
+    /// Re-execution parameters (the header).
     pub meta: TraceMeta,
-    /// One serialized JSON object per journal event.
-    pub events: Vec<String>,
+    /// One [`Record`] per journal event.
+    pub events: Vec<Record>,
 }
 
 impl Trace {
     /// Serializes the whole trace as JSONL (header first, one event per
-    /// line, trailing newline).
+    /// line, trailing newline). Byte-identical to what a JSONL recording
+    /// of the same trial writes, whatever format this trace was loaded
+    /// from — the export-parity property `tests/trace_binary.rs` pins.
     pub fn to_jsonl(&self) -> String {
         let mut out = String::with_capacity(64 * (self.events.len() + 1));
         out.push_str(&self.meta.header_line());
         out.push('\n');
-        for line in &self.events {
-            out.push_str(line);
+        for record in &self.events {
+            out.push_str(&lines::render(record));
             out.push('\n');
         }
         out
     }
 
-    /// Writes the trace to `path`.
+    /// Serializes the trace in the ZCT binary format.
+    pub fn to_zct_bytes(&self) -> Vec<u8> {
+        binary::to_zct_bytes(self)
+    }
+
+    /// Writes the trace to `path`. A `.zct` extension selects the binary
+    /// format; anything else writes JSONL.
     ///
     /// # Errors
     ///
@@ -213,142 +250,145 @@ impl Trace {
             std::fs::create_dir_all(dir)
                 .map_err(|e| TraceError::Io(format!("{}: {e}", dir.display())))?;
         }
-        std::fs::write(path, self.to_jsonl())
-            .map_err(|e| TraceError::Io(format!("{}: {e}", path.display())))
+        let bytes = if path.extension().is_some_and(|e| e == "zct") {
+            self.to_zct_bytes()
+        } else {
+            self.to_jsonl().into_bytes()
+        };
+        std::fs::write(path, bytes).map_err(|e| TraceError::Io(format!("{}: {e}", path.display())))
     }
 
-    /// Reads a trace back from `path`.
+    /// Reads a trace back from `path`, auto-detecting the format from the
+    /// leading bytes (ZCT magic → binary, otherwise JSONL).
     ///
     /// # Errors
     ///
     /// [`TraceError::Io`] on read failure, [`TraceError::Malformed`] /
     /// [`TraceError::UnsupportedVersion`] / [`TraceError::UnknownMeta`] on
-    /// a broken header.
+    /// broken content (with the byte offset or line locus of the damage).
     pub fn load(path: &Path) -> Result<Trace, TraceError> {
-        let text = std::fs::read_to_string(path)
-            .map_err(|e| TraceError::Io(format!("{}: {e}", path.display())))?;
-        Trace::from_jsonl(&text)
+        let bytes =
+            std::fs::read(path).map_err(|e| TraceError::Io(format!("{}: {e}", path.display())))?;
+        Trace::from_bytes(&bytes)
     }
 
-    /// Parses a trace from its JSONL serialization.
+    /// Parses a trace from raw file bytes, auto-detecting the format.
     ///
     /// # Errors
     ///
-    /// Same header errors as [`Trace::load`].
+    /// Same content errors as [`Trace::load`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<Trace, TraceError> {
+        if trace_format::is_zct(bytes) {
+            return binary::from_zct_bytes(bytes);
+        }
+        let text = std::str::from_utf8(bytes).map_err(|e| {
+            TraceError::Malformed(format!(
+                "byte offset {}: neither a ZCT trace nor UTF-8 JSONL",
+                e.valid_up_to()
+            ))
+        })?;
+        Trace::from_jsonl(text)
+    }
+
+    /// Parses a trace from its JSONL serialization. Event lines this
+    /// build has no structured shape for survive as [`Record::Raw`] —
+    /// they round-trip verbatim through either format.
+    ///
+    /// # Errors
+    ///
+    /// Header errors as in [`Trace::load`], each prefixed with `line 1`.
     pub fn from_jsonl(text: &str) -> Result<Trace, TraceError> {
-        let mut lines = text.lines();
-        let header = lines.next().ok_or_else(|| TraceError::Malformed("empty trace".into()))?;
-        let meta = TraceMeta::from_header_line(header)?;
-        let events: Vec<String> = lines.filter(|l| !l.is_empty()).map(|l| l.to_string()).collect();
+        let mut jsonl_lines = text.lines();
+        let header = jsonl_lines
+            .next()
+            .ok_or_else(|| TraceError::Malformed("line 1: empty trace".into()))?;
+        let meta = TraceMeta::from_header_line(header).map_err(|e| match e {
+            TraceError::Malformed(m) => TraceError::Malformed(format!("line 1: {m}")),
+            other => other,
+        })?;
+        let events: Vec<Record> = jsonl_lines.filter(|l| !l.is_empty()).map(lines::parse).collect();
         Ok(Trace { meta, events })
     }
 
     /// The virtual timestamp recorded on event `index`, if present.
     pub fn at_us(&self, index: usize) -> Option<u64> {
-        self.events.get(index).and_then(|l| field(l, "at_us")).and_then(|v| v.parse().ok())
+        let record = self.events.get(index)?;
+        record.at_us().or_else(|| match record {
+            Record::Raw(line) => lines::field(line, "at_us").and_then(|v| v.parse().ok()),
+            _ => None,
+        })
     }
 }
 
-// ───────────────────────── serialization ─────────────────────────
-
-/// FNV-1a over the full delivery contents (receiver, bytes, rssi,
-/// duplication, reorder window): frame arrivals are journaled as a short
-/// hash instead of a hex dump, which keeps golden traces small while still
-/// detecting any payload or impairment-outcome change.
-fn delivery_hash(event: &Event) -> u64 {
-    let EventKind::FrameArrival(deliveries) = &event.kind else { return 0 };
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    let mut eat = |byte: u8| {
-        h ^= u64::from(byte);
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    };
-    for d in deliveries {
-        for byte in (d.station as u64).to_le_bytes() {
-            eat(byte);
-        }
-        for byte in (d.bytes.len() as u64).to_le_bytes() {
-            eat(byte);
-        }
-        for &byte in &d.bytes {
-            eat(byte);
-        }
-        for byte in d.rssi_cdbm.to_le_bytes() {
-            eat(byte);
-        }
-        eat(u8::from(d.duplicated));
-        eat(d.reorder_window as u8);
+/// Best-effort header summary of raw trace bytes, for error paths: even
+/// when the body is malformed, the (CRC- or line-delimited) header often
+/// still decodes, and naming the campaign it belonged to turns "corrupt
+/// file" into an actionable message. Returns `None` when not even the
+/// header survives.
+pub fn describe_header(bytes: &[u8]) -> Option<String> {
+    if trace_format::is_zct(bytes) {
+        return binary::peek_meta(bytes).map(|meta| meta.describe());
     }
-    h
+    let text = std::str::from_utf8(bytes).ok()?;
+    TraceMeta::from_header_line(text.lines().next()?).ok().map(|meta| meta.describe())
 }
 
-/// Serializes the actor id (`SimScheduler::MEDIUM_ACTOR` prints as -1).
-fn actor_str(actor: usize) -> String {
-    if actor == SimScheduler::MEDIUM_ACTOR {
-        "-1".to_string()
-    } else {
-        actor.to_string()
+/// Where event `index` lives in the serialized file: the line number for
+/// JSONL, the block and byte offset for binary. Divergence messages from
+/// `zcover replay` cite this so the damaged region can be inspected with
+/// ordinary tools (`sed -n`, `xxd -s`).
+pub fn event_locus(bytes: &[u8], index: usize) -> String {
+    if trace_format::is_zct(bytes) {
+        return binary::event_locus(bytes, index as u64);
     }
-}
-
-/// Canonical journal line for one released scheduler event.
-fn sched_line(event: &Event) -> String {
-    let prefix = format!(
-        "{{\"t\":\"sched\",\"at_us\":{},\"seq\":{},\"actor\":{}",
-        event.at.as_micros(),
-        event.seq,
-        actor_str(event.actor)
-    );
-    match &event.kind {
-        EventKind::FrameArrival(deliveries) => format!(
-            "{prefix},\"ev\":\"frame\",\"n\":{},\"h\":\"{:016x}\"}}",
-            deliveries.len(),
-            delivery_hash(event)
-        ),
-        EventKind::Timer(token) => format!("{prefix},\"ev\":\"timer\",\"id\":{}}}", token.id()),
-        EventKind::BlackoutStart { generation, stage } => {
-            format!("{prefix},\"ev\":\"blackout_start\",\"gen\":{generation},\"stage\":{stage}}}")
-        }
-        EventKind::BlackoutEnd { generation, stage } => {
-            format!("{prefix},\"ev\":\"blackout_end\",\"gen\":{generation},\"stage\":{stage}}}")
-        }
-    }
-}
-
-/// Canonical journal line for one fuzzer-level event.
-fn fuzz_line(at: SimInstant, ev: &str) -> String {
-    format!("{{\"t\":\"fuzz\",\"at_us\":{},\"ev\":\"{ev}\"}}", at.as_micros())
-}
-
-/// Canonical journal line for one oracle verdict.
-fn oracle_line(finding: &VulnFinding) -> String {
-    format!(
-        "{{\"t\":\"oracle\",\"at_us\":{},\"ev\":\"finding\",\"bug\":{},\"cmdcl\":{},\"cmd\":{}}}",
-        finding.found_at.as_micros(),
-        finding.bug_id,
-        finding.cmdcl,
-        finding.cmd
-    )
+    // Line 1 is the header; events start on line 2.
+    format!("line {}", index + 2)
 }
 
 // ───────────────────────── recording ─────────────────────────
 
+/// Maps one released scheduler event to its journal record.
+fn sched_record(event: &Event) -> Record {
+    let actor = if event.actor == SimScheduler::MEDIUM_ACTOR { -1 } else { event.actor as i64 };
+    let kind = match &event.kind {
+        EventKind::FrameArrival(deliveries) => {
+            SchedKind::Frame { n: deliveries.len() as u64, hash: event.content_hash() }
+        }
+        EventKind::Timer(token) => SchedKind::Timer { id: token.id() },
+        EventKind::BlackoutStart { generation, stage } => {
+            SchedKind::BlackoutStart { generation: *generation, stage: *stage as u64 }
+        }
+        EventKind::BlackoutEnd { generation, stage } => {
+            SchedKind::BlackoutEnd { generation: *generation, stage: *stage as u64 }
+        }
+    };
+    Record::Sched { at_us: event.at.as_micros(), seq: event.seq, actor, kind }
+}
+
 /// The shared journal both halves of the recorder append to: the scheduler
 /// observer (dequeue hook) and the [`TraceSink`] (fuzzer hook). One trial
-/// is single-threaded, so lines interleave in true execution order.
+/// is single-threaded, so records interleave in true execution order.
+/// Events are stored structurally — no string formatting happens during
+/// the campaign; rendering (JSONL) or encoding (binary) is deferred to
+/// serialization time.
 struct Journal {
-    lines: Mutex<Vec<String>>,
+    records: Mutex<Vec<Record>>,
     clock: SimClock,
 }
 
 impl Journal {
-    fn push(&self, line: String) {
-        self.lines.lock().push(line);
+    fn push(&self, record: Record) {
+        self.records.lock().push(record);
+    }
+
+    fn fuzz(&self, ev: &str) {
+        self.push(Record::Fuzz { at_us: self.clock.now().as_micros(), ev: ev.to_string() });
     }
 }
 
 impl EventObserver for Journal {
     fn event_dequeued(&self, event: &Event) {
-        self.push(sched_line(event));
+        self.push(sched_record(event));
     }
 }
 
@@ -371,7 +411,7 @@ impl TraceRecorder {
     /// the same header reproduces the identical stream.
     pub fn attach(medium: &Medium, meta: TraceMeta) -> TraceRecorder {
         let journal =
-            Arc::new(Journal { lines: Mutex::new(Vec::new()), clock: medium.clock().clone() });
+            Arc::new(Journal { records: Mutex::new(Vec::new()), clock: medium.clock().clone() });
         medium.scheduler().set_observer(Some(journal.clone()));
         TraceRecorder { meta, journal, medium: medium.clone() }
     }
@@ -380,56 +420,57 @@ impl TraceRecorder {
     /// returns the finished trace.
     pub fn finish(self, result: &CampaignResult) -> Trace {
         self.medium.scheduler().set_observer(None);
-        let mut events = std::mem::take(&mut *self.journal.lines.lock());
-        events.push(format!(
-            "{{\"t\":\"end\",\"at_us\":{},\"packets\":{},\"findings\":{},\"sched_events\":{}}}",
-            result.ended.as_micros(),
-            result.packets_sent,
-            result.unique_vulns(),
-            self.medium.scheduler().events_processed()
-        ));
+        let mut events = std::mem::take(&mut *self.journal.records.lock());
+        events.push(Record::End {
+            at_us: result.ended.as_micros(),
+            packets: result.packets_sent,
+            findings: result.unique_vulns() as u64,
+            sched_events: self.medium.scheduler().events_processed(),
+        });
         Trace { meta: self.meta, events }
     }
 }
 
 impl TraceSink for TraceRecorder {
     fn packet_sent(&mut self) {
-        self.journal.push(fuzz_line(self.journal.clock.now(), "packet"));
+        self.journal.fuzz("packet");
     }
 
     fn plan_executed(&mut self) {
-        self.journal.push(fuzz_line(self.journal.clock.now(), "plan"));
+        self.journal.fuzz("plan");
     }
 
     fn outage_observed(&mut self) {
-        self.journal.push(fuzz_line(self.journal.clock.now(), "outage"));
+        self.journal.fuzz("outage");
     }
 
     fn finding(&mut self, finding: &VulnFinding) {
-        self.journal.push(oracle_line(finding));
+        self.journal.push(Record::Oracle {
+            at_us: finding.found_at.as_micros(),
+            bug: u64::from(finding.bug_id),
+            cmdcl: u64::from(finding.cmdcl),
+            cmd: u64::from(finding.cmd),
+        });
     }
 
     fn retransmission(&mut self) {
-        self.journal.push(fuzz_line(self.journal.clock.now(), "retransmission"));
+        self.journal.fuzz("retransmission");
     }
 
     fn ack_timeout(&mut self) {
-        self.journal.push(fuzz_line(self.journal.clock.now(), "ack_timeout"));
+        self.journal.fuzz("ack_timeout");
     }
 
     fn corpus_retained(&mut self, new_edges: u64, corpus_size: usize) {
-        self.journal.push(format!(
-            "{{\"t\":\"corpus\",\"at_us\":{},\"ev\":\"retain\",\"edges\":{new_edges},\
-             \"size\":{corpus_size}}}",
-            self.journal.clock.now().as_micros()
-        ));
+        self.journal.push(Record::Corpus {
+            at_us: self.journal.clock.now().as_micros(),
+            edges: new_edges,
+            size: corpus_size as u64,
+        });
     }
 
     fn attack_frame(&mut self, index: u64) {
-        self.journal.push(format!(
-            "{{\"t\":\"attack\",\"at_us\":{},\"ev\":\"frame\",\"index\":{index}}}",
-            self.journal.clock.now().as_micros()
-        ));
+        self.journal.push(Record::Attack { at_us: self.journal.clock.now().as_micros(), index });
     }
 }
 
@@ -475,18 +516,20 @@ pub fn record_campaign(
 // ───────────────────────── replay & diffing ─────────────────────────
 
 /// The first point where a replayed journal departs from the recorded one.
+/// The event payloads are carried in their JSONL rendering — the format
+/// both humans and the golden files speak.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Divergence {
     /// 0-based index into the event stream (header excluded).
     pub index: usize,
-    /// Virtual timestamp of the divergent event (from the recorded line
+    /// Virtual timestamp of the divergent event (from the recorded record
     /// when present, else from the replayed one).
     pub at_us: Option<u64>,
-    /// The recorded line (`None`: the replay produced *extra* events).
+    /// The recorded event (`None`: the replay produced *extra* events).
     pub expected: Option<String>,
-    /// The replayed line (`None`: the replay ended *early*).
+    /// The replayed event (`None`: the replay ended *early*).
     pub actual: Option<String>,
-    /// Up to three recorded lines immediately before the divergence.
+    /// Up to three recorded events immediately before the divergence.
     pub context: Vec<String>,
 }
 
@@ -557,9 +600,9 @@ pub fn diff_traces(recorded: &Trace, replayed: &Trace) -> ReplayReport {
             divergence: Some(Divergence {
                 index,
                 at_us,
-                expected: expected.cloned(),
-                actual: actual.cloned(),
-                context: recorded.events[context_from..index].to_vec(),
+                expected: expected.map(lines::render),
+                actual: actual.map(lines::render),
+                context: recorded.events[context_from..index].iter().map(lines::render).collect(),
             }),
         };
     }
@@ -637,25 +680,74 @@ mod tests {
     }
 
     #[test]
-    fn field_extractor_handles_strings_and_numbers() {
-        let line = "{\"t\":\"sched\",\"at_us\":1234,\"ev\":\"frame\",\"h\":\"00ff\"}";
-        assert_eq!(field(line, "at_us").as_deref(), Some("1234"));
-        assert_eq!(field(line, "ev").as_deref(), Some("frame"));
-        assert_eq!(field(line, "h").as_deref(), Some("00ff"));
-        assert_eq!(field(line, "missing"), None);
-    }
-
-    #[test]
     fn jsonl_roundtrip_preserves_events() {
         let trace = Trace {
             meta: short_meta(),
             events: vec![
-                fuzz_line(SimInstant::ZERO, "packet"),
-                fuzz_line(SimInstant::ZERO, "plan"),
+                Record::Fuzz { at_us: 0, ev: "packet".to_string() },
+                Record::Fuzz { at_us: 0, ev: "plan".to_string() },
+                Record::Raw("{\"t\":\"future\",\"x\":1}".to_string()),
             ],
         };
         let back = Trace::from_jsonl(&trace.to_jsonl()).unwrap();
         assert_eq!(back, trace);
+    }
+
+    #[test]
+    fn binary_and_jsonl_serializations_are_interchangeable() {
+        let trace = Trace {
+            meta: TraceMeta { scenario: Scenario::S0NoMore, ..short_meta() },
+            events: vec![
+                Record::Sched {
+                    at_us: 4800,
+                    seq: 0,
+                    actor: -1,
+                    kind: SchedKind::Frame { n: 2, hash: 0xDEAD_BEEF },
+                },
+                Record::Fuzz { at_us: 5000, ev: "packet".to_string() },
+                Record::End { at_us: 9000, packets: 1, findings: 0, sched_events: 1 },
+            ],
+        };
+        let bytes = trace.to_zct_bytes();
+        assert!(trace_format::is_zct(&bytes));
+        let back = Trace::from_bytes(&bytes).unwrap();
+        assert_eq!(back, trace);
+        assert_eq!(back.to_jsonl(), trace.to_jsonl());
+        // Auto-detection picks JSONL for the textual serialization.
+        let text = trace.to_jsonl();
+        assert_eq!(Trace::from_bytes(text.as_bytes()).unwrap(), trace);
+    }
+
+    #[test]
+    fn describe_header_survives_a_damaged_body() {
+        let trace = Trace {
+            meta: short_meta(),
+            events: vec![Record::Fuzz { at_us: 10, ev: "packet".to_string() }],
+        };
+        let mut bytes = trace.to_zct_bytes();
+        // Truncate mid-body: parsing fails, but the header still names
+        // the campaign.
+        bytes.truncate(bytes.len() - 6);
+        assert!(Trace::from_bytes(&bytes).is_err());
+        let summary = describe_header(&bytes).expect("header survives truncation");
+        assert!(summary.contains("device D1"), "{summary}");
+        assert!(summary.contains("seed 5"), "{summary}");
+        let jsonl = trace.to_jsonl();
+        assert_eq!(describe_header(jsonl.as_bytes()).as_deref(), Some(summary.as_str()));
+    }
+
+    #[test]
+    fn event_locus_names_lines_and_blocks() {
+        let trace = Trace {
+            meta: short_meta(),
+            events: (0..700).map(|i| Record::Fuzz { at_us: i, ev: "packet".to_string() }).collect(),
+        };
+        assert_eq!(event_locus(trace.to_jsonl().as_bytes(), 0), "line 2");
+        assert_eq!(event_locus(trace.to_jsonl().as_bytes(), 41), "line 43");
+        // Default block size is 512: event 600 lives in block 1.
+        let locus = event_locus(&trace.to_zct_bytes(), 600);
+        assert!(locus.contains("block 1"), "{locus}");
+        assert!(locus.contains("byte offset"), "{locus}");
     }
 
     #[test]
@@ -678,6 +770,7 @@ mod tests {
         let a = record_campaign(DeviceModel::D1, "full", config.clone()).unwrap();
         let b = record_campaign(DeviceModel::D1, "full", config).unwrap();
         assert_eq!(a.trace.to_jsonl(), b.trace.to_jsonl());
+        assert_eq!(a.trace.to_zct_bytes(), b.trace.to_zct_bytes());
         assert!(!a.trace.events.is_empty());
         let report = replay(&a.trace).unwrap();
         assert!(report.is_clean(), "{}", report.render());
@@ -687,28 +780,24 @@ mod tests {
     #[test]
     fn diff_pinpoints_first_divergent_event() {
         let meta = short_meta();
-        let mk = |lines: &[&str]| Trace {
+        let mk = |ats: &[(u64, &str)]| Trace {
             meta: meta.clone(),
-            events: lines.iter().map(|s| s.to_string()).collect(),
+            events: ats
+                .iter()
+                .map(|&(at_us, ev)| Record::Fuzz { at_us, ev: ev.to_string() })
+                .collect(),
         };
-        let recorded = mk(&[
-            "{\"t\":\"fuzz\",\"at_us\":10,\"ev\":\"packet\"}",
-            "{\"t\":\"fuzz\",\"at_us\":20,\"ev\":\"packet\"}",
-            "{\"t\":\"fuzz\",\"at_us\":30,\"ev\":\"plan\"}",
-        ]);
-        let replayed = mk(&[
-            "{\"t\":\"fuzz\",\"at_us\":10,\"ev\":\"packet\"}",
-            "{\"t\":\"fuzz\",\"at_us\":20,\"ev\":\"packet\"}",
-            "{\"t\":\"fuzz\",\"at_us\":31,\"ev\":\"plan\"}",
-        ]);
+        let recorded = mk(&[(10, "packet"), (20, "packet"), (30, "plan")]);
+        let replayed = mk(&[(10, "packet"), (20, "packet"), (31, "plan")]);
         let report = diff_traces(&recorded, &replayed);
         assert!(report.render().contains("DIVERGENCE at event 2"));
         let d = report.divergence.expect("must diverge");
         assert_eq!(d.index, 2);
         assert_eq!(d.at_us, Some(30));
         assert_eq!(d.context.len(), 2);
+        assert_eq!(d.expected.as_deref(), Some("{\"t\":\"fuzz\",\"at_us\":30,\"ev\":\"plan\"}"));
         // Length mismatch: replay ended early.
-        let short = mk(&["{\"t\":\"fuzz\",\"at_us\":10,\"ev\":\"packet\"}"]);
+        let short = mk(&[(10, "packet")]);
         let d = diff_traces(&recorded, &short).divergence.unwrap();
         assert_eq!(d.index, 1);
         assert_eq!(d.actual, None);

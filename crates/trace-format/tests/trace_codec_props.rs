@@ -1,0 +1,218 @@
+//! Property tests for the ZCT codec layers: varints, delta-encoded
+//! timestamps, the interning table, and block-boundary independence.
+//!
+//! These pin the invariants the seekable format is built on — in
+//! particular that encoding the *same* event stream at *any* block size
+//! decodes back to the identical stream (each block's delta context is
+//! self-contained), which is what lets `ZctTrace::event` decode one block
+//! in isolation.
+
+use proptest::prelude::*;
+use trace_format::block::{decode_block, encode_block};
+use trace_format::record::{decode_record, encode_record, DeltaCtx};
+use trace_format::varint::{put_i64, put_u64, unzigzag, zigzag, Cursor};
+use trace_format::{InternTable, Record, SchedKind, ZctHeader, ZctTrace, ZctWriter};
+
+/// An arbitrary record covering every wire tag. Strings are printable
+/// ASCII; an empty fuzz event name falls back to `packet` (the journal
+/// never emits empty names, and the intern table keys on content).
+fn arb_record() -> impl Strategy<Value = Record> {
+    (
+        0usize..10,
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+        -4i64..4,
+        proptest::collection::vec(32u8..127u8, 0..24),
+    )
+        .prop_map(|(sel, a, b, c, d, actor, text)| {
+            let s = String::from_utf8(text).expect("printable ascii");
+            match sel {
+                0 => Record::Sched {
+                    at_us: a,
+                    seq: b,
+                    actor,
+                    kind: SchedKind::Frame { n: c, hash: d },
+                },
+                1 => Record::Sched { at_us: a, seq: b, actor, kind: SchedKind::Timer { id: c } },
+                2 => Record::Sched {
+                    at_us: a,
+                    seq: b,
+                    actor: -1,
+                    kind: SchedKind::BlackoutStart { generation: c, stage: d },
+                },
+                3 => Record::Sched {
+                    at_us: a,
+                    seq: b,
+                    actor: -1,
+                    kind: SchedKind::BlackoutEnd { generation: c, stage: d },
+                },
+                4 => Record::Fuzz {
+                    at_us: a,
+                    ev: if s.is_empty() { "packet".to_string() } else { s },
+                },
+                5 => Record::Oracle { at_us: a, bug: b, cmdcl: c, cmd: d },
+                6 => Record::Corpus { at_us: a, edges: b, size: c },
+                7 => Record::Attack { at_us: a, index: b },
+                8 => Record::End { at_us: a, packets: b, findings: c, sched_events: d },
+                _ => Record::Raw(s),
+            }
+        })
+}
+
+/// A printable-ASCII string strategy (the shimmed proptest has no regex
+/// strategies).
+fn arb_string() -> impl Strategy<Value = String> {
+    proptest::collection::vec(32u8..127u8, 0..24)
+        .prop_map(|bytes| String::from_utf8(bytes).expect("printable ascii"))
+}
+
+proptest! {
+    /// Unsigned varints round-trip any u64 sequence, and the cursor lands
+    /// exactly at the end of the encoding.
+    #[test]
+    fn varint_roundtrips_arbitrary_u64_sequences(
+        values in proptest::collection::vec(any::<u64>(), 0..200),
+    ) {
+        let mut buf = Vec::new();
+        for &v in &values {
+            put_u64(&mut buf, v);
+        }
+        let mut cursor = Cursor::new(&buf, 0);
+        for &v in &values {
+            prop_assert_eq!(cursor.u64("value").expect("decodes"), v);
+        }
+        prop_assert!(cursor.is_empty());
+    }
+
+    /// Zigzag is a bijection, and signed varints round-trip through it.
+    #[test]
+    fn zigzag_roundtrips_arbitrary_i64(
+        values in proptest::collection::vec(any::<i64>(), 0..200),
+    ) {
+        let mut buf = Vec::new();
+        for &v in &values {
+            prop_assert_eq!(unzigzag(zigzag(v)), v);
+            put_i64(&mut buf, v);
+        }
+        let mut cursor = Cursor::new(&buf, 0);
+        for &v in &values {
+            prop_assert_eq!(cursor.i64("value").expect("decodes"), v);
+        }
+        prop_assert!(cursor.is_empty());
+    }
+
+    /// Delta-encoded timestamps survive arbitrary (even non-monotonic)
+    /// u64 timestamp sequences: the wrapping delta/undelta pair is exact.
+    #[test]
+    fn delta_timestamps_roundtrip_arbitrary_sequences(
+        at_us in proptest::collection::vec(any::<u64>(), 1..200),
+    ) {
+        let records: Vec<Record> =
+            at_us.iter().map(|&t| Record::Attack { at_us: t, index: 0 }).collect();
+        let mut intern = InternTable::new();
+        let mut ctx = DeltaCtx::default();
+        let mut buf = Vec::new();
+        for record in &records {
+            encode_record(&mut buf, record, &mut ctx, &mut intern);
+        }
+        let mut cursor = Cursor::new(&buf, 0);
+        let mut ctx = DeltaCtx::default();
+        for record in &records {
+            let decoded = decode_record(&mut cursor, &mut ctx, &intern).expect("decodes");
+            prop_assert_eq!(&decoded, record);
+        }
+        prop_assert!(cursor.is_empty());
+    }
+
+    /// The interning table round-trips any string set, preserving ids.
+    #[test]
+    fn intern_table_roundtrips(
+        names in proptest::collection::vec(arb_string(), 0..50),
+    ) {
+        let mut table = InternTable::new();
+        for name in &names {
+            table.intern(name);
+        }
+        let mut buf = Vec::new();
+        table.encode(&mut buf);
+        let mut cursor = Cursor::new(&buf, 0);
+        let back = InternTable::decode(&mut cursor).expect("decodes");
+        prop_assert!(cursor.is_empty());
+        prop_assert_eq!(&back, &table);
+        for name in &names {
+            // Re-interning an existing string returns its original id.
+            let id = table.intern(name);
+            prop_assert_eq!(back.resolve(id), Some(name.as_str()));
+        }
+    }
+
+    /// A single block round-trips an arbitrary record mix.
+    #[test]
+    fn one_block_roundtrips_arbitrary_records(
+        records in proptest::collection::vec(arb_record(), 0..100),
+    ) {
+        let mut intern = InternTable::new();
+        let mut buf = Vec::new();
+        encode_block(&mut buf, &records, &mut intern);
+        let mut cursor = Cursor::new(&buf, 0);
+        let decoded = decode_block(&mut cursor, &intern).expect("decodes");
+        prop_assert!(cursor.is_empty());
+        prop_assert_eq!(decoded, records);
+    }
+
+    /// Block-boundary independence: the same event stream encoded at any
+    /// block size decodes to the identical stream, and every event also
+    /// arrives intact through the seek path (footer index + lone-block
+    /// decode).
+    #[test]
+    fn block_size_never_changes_the_decoded_stream(
+        records in proptest::collection::vec(arb_record(), 1..120),
+        block_size in 1usize..40,
+    ) {
+        let header = ZctHeader {
+            device: "D1".to_string(),
+            seed: 42,
+            config: "full".to_string(),
+            impairment: "clean".to_string(),
+            budget_ns: 60_000_000_000,
+            scenario: None,
+        };
+        let mut writer = ZctWriter::new(&header, block_size);
+        writer.push_all(&records);
+        let parsed = ZctTrace::parse(writer.finish()).expect("own encoding parses");
+        prop_assert_eq!(parsed.header(), &header);
+        prop_assert_eq!(parsed.event_count(), records.len() as u64);
+        prop_assert_eq!(parsed.records().expect("decodes"), records.clone());
+        for (k, record) in records.iter().enumerate() {
+            prop_assert_eq!(&parsed.event(k as u64).expect("in range"), record);
+        }
+    }
+
+    /// Two different block sizes produce (generally) byte-different files
+    /// but the same decoded stream — block framing is free of semantics.
+    #[test]
+    fn different_block_sizes_agree_event_for_event(
+        records in proptest::collection::vec(arb_record(), 1..80),
+        a in 1usize..30,
+        b in 31usize..90,
+    ) {
+        let header = ZctHeader {
+            device: "D3".to_string(),
+            seed: 7,
+            config: "beta".to_string(),
+            impairment: "lossy".to_string(),
+            budget_ns: 1_000,
+            scenario: Some("s0-no-more".to_string()),
+        };
+        let mut wa = ZctWriter::new(&header, a);
+        wa.push_all(&records);
+        let mut wb = ZctWriter::new(&header, b);
+        wb.push_all(&records);
+        let ta = ZctTrace::parse(wa.finish()).expect("parses");
+        let tb = ZctTrace::parse(wb.finish()).expect("parses");
+        prop_assert_eq!(ta.records().expect("decodes"), tb.records().expect("decodes"));
+        prop_assert_eq!(ta.header(), tb.header());
+    }
+}

@@ -131,6 +131,39 @@ pub struct Event {
     pub kind: EventKind,
 }
 
+impl Event {
+    /// FNV-1a over the full delivery contents (receiver, bytes, rssi,
+    /// duplication, reorder window) of a [`EventKind::FrameArrival`];
+    /// `0` for every other payload. Journals record frame arrivals as
+    /// this short hash instead of a hex dump, which keeps traces small
+    /// while still detecting any payload or impairment-outcome change.
+    pub fn content_hash(&self) -> u64 {
+        let EventKind::FrameArrival(deliveries) = &self.kind else { return 0 };
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |byte: u8| {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        };
+        for d in deliveries {
+            for byte in (d.station as u64).to_le_bytes() {
+                eat(byte);
+            }
+            for byte in (d.bytes.len() as u64).to_le_bytes() {
+                eat(byte);
+            }
+            for &byte in &d.bytes {
+                eat(byte);
+            }
+            for byte in d.rssi_cdbm.to_le_bytes() {
+                eat(byte);
+            }
+            eat(u8::from(d.duplicated));
+            eat(d.reorder_window as u8);
+        }
+        h
+    }
+}
+
 /// Heap entry ordered as a min-heap on `(at, seq, actor)`.
 #[derive(Debug)]
 struct QueuedEvent {

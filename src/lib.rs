@@ -5,6 +5,7 @@
 //! through one import. Library users should depend on the individual crates
 //! directly ([`zcover`], [`zwave_controller`], ...).
 
+pub use trace_format;
 pub use vfuzz;
 pub use zcover;
 pub use zwave_controller;

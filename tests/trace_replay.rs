@@ -13,7 +13,7 @@
 use std::path::{Path, PathBuf};
 
 use zcover_suite::zcover::{
-    diff_traces, record_campaign, replay, CampaignExecutor, FuzzConfig, Trace, TraceSpec,
+    diff_traces, record_campaign, replay, CampaignExecutor, FuzzConfig, Record, Trace, TraceSpec,
 };
 use zcover_suite::zwave_controller::testbed::Testbed;
 
@@ -80,18 +80,19 @@ fn attack_goldens_journal_attacker_frames_and_verdicts() {
         let indices: Vec<u64> = trace
             .events
             .iter()
-            .filter(|e| e.contains("\"t\":\"attack\""))
-            .map(|e| {
-                let tail = e.split("\"index\":").nth(1).expect("attack event has an index");
-                tail.trim_end_matches('}').parse().expect("index is a number")
+            .filter_map(|e| match e {
+                Record::Attack { index, .. } => Some(*index),
+                _ => None,
             })
             .collect();
         assert!(!indices.is_empty(), "{name}: no attacker frames journaled");
         assert!(indices.windows(2).all(|w| w[0] < w[1]), "{name}: indices out of order");
         for bug in bug_ids {
-            let needle = format!("\"ev\":\"finding\",\"bug\":{bug},");
             assert!(
-                trace.events.iter().any(|e| e.contains(&needle)),
+                trace
+                    .events
+                    .iter()
+                    .any(|e| matches!(e, Record::Oracle { bug: b, .. } if *b == u64::from(bug))),
                 "{name}: bug {bug} verdict missing from the journal"
             );
         }
@@ -128,12 +129,16 @@ fn mid_stream_divergence_carries_context_lines() {
     let golden = Trace::load(&golden_dir().join("d1_seed5_clean.jsonl")).expect("golden");
     let mut mutated = golden.clone();
     let victim = mutated.events.len() / 2;
-    mutated.events[victim] = mutated.events[victim].replace("\"t\":", "\"T\":");
+    mutated.events[victim] = Record::Raw("{\"T\":\"mangled\"}".to_string());
     let report = diff_traces(&golden, &mutated);
     let d = report.divergence.expect("mutation must surface");
     assert_eq!(d.index, victim);
     assert_eq!(d.context.len(), 3.min(victim));
-    assert_eq!(d.context.last(), golden.events.get(victim - 1));
+    // Context lines are the rendered JSONL of the preceding events: line
+    // 0 of to_jsonl() is the header, so event k sits on line k + 1.
+    let jsonl = golden.to_jsonl();
+    let lines: Vec<&str> = jsonl.lines().collect();
+    assert_eq!(d.context.last().map(String::as_str), Some(lines[victim]));
 }
 
 #[test]
