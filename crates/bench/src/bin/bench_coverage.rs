@@ -211,10 +211,12 @@ fn main() {
         })
         .collect();
     let json = format!(
-        "{{\n  \"benchmark\": \"coverage\",\n  \"device\": \"D1\",\n  \"trials\": {},\n  \
+        "{{\n  \"benchmark\": \"coverage\",\n  \"cpu_count\": {},\n  \"device\": \"D1\",\n  \
+         \"trials\": {},\n  \
          \"budget_s\": {},\n  \"workers\": {},\n  \"impairment\": \"{}\",\n  \"seed\": {},\n\
          {},\n  \"comparison\": {{\n    \"bugs_compared\": {compared},\n    \
          \"coverage_median_not_worse\": {wins},\n    \"per_bug\": {{\n{}\n    }}\n  }}\n}}\n",
+        zcover_bench::cpu_count(),
         spec.trials,
         spec.budget.as_secs(),
         spec.workers,

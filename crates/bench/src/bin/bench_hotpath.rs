@@ -465,7 +465,8 @@ fn main() {
     }
 
     let json = format!(
-        "{{\n  \"benchmark\": \"hotpath\",\n  \"fanout\": {{\n    \"receivers\": \
+        "{{\n  \"benchmark\": \"hotpath\",\n  \"cpu_count\": {},\n  \
+         \"fanout\": {{\n    \"receivers\": \
          {FANOUT_RECEIVERS},\n    \"broadcasts\": {iters},\n    \"drain_batch\": \
          {DRAIN_BATCH},\n    \"clone_per_receiver_s\": {:.4},\n    \"shared_framebuf_s\": \
          {:.4},\n    \"clone_per_receiver_allocs\": {old_fan_allocs},\n    \
@@ -481,6 +482,7 @@ fn main() {
          {allocs_per_packet:.2},\n    \"baseline_allocs_per_packet\": \
          {FUZZ_BASELINE_ALLOCS_PER_PACKET},\n    \"alloc_reduction\": \
          {alloc_reduction:.2}\n  }}\n}}\n",
+        zcover_bench::cpu_count(),
         old_fan.as_secs_f64(),
         new_fan.as_secs_f64(),
         old_s2.as_secs_f64(),

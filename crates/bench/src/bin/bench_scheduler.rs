@@ -1,23 +1,271 @@
-//! Micro-benchmark for the event-driven scheduler: a recovery-storm
-//! campaign — repeated outage triggers on an adversarial channel, each
-//! followed by a liveness wait — driven two ways over the same kernel:
+//! Event-kernel benchmark: the hierarchical timing wheel against the
+//! `BinaryHeap`-plus-tombstones kernel it replaced, plus the end-to-end
+//! effect on city-scale sweeps. Three sections:
 //!
-//! - **poll-stepping**: the pre-scheduler strategy, advancing virtual time
-//!   one second per liveness ping while the controller sits in its outage;
-//! - **event-hop**: [`zwave_radio::Medium::advance_to_next_wakeup`],
-//!   jumping straight to the controller's recovery wakeup.
+//! - **microbench** — a cancel-heavy ack-timer workload (the sweep hot
+//!   path: most timers are cancelled by the ack before firing) driven
+//!   through the live wheel kernel and through `RefHeap`, a faithful copy
+//!   of the old heap kernel's core. Schedule / cancel / pop phases are
+//!   timed separately; the run **asserts** the wheel's schedule+pop mix
+//!   is at least 1.5x the heap's, so a kernel regression fails the bench
+//!   instead of silently shipping.
+//! - **recovery storm** — the original idle-skip benchmark (poll-stepping
+//!   vs `advance_to_next_wakeup` event hops on an adversarial channel),
+//!   unchanged, now running on the wheel.
+//! - **end-to-end sweep** — the 512-home mesh sweep of `BENCH_sweep.json`
+//!   on worker pools of 1/2/4, asserting bit-identical summaries, and
+//!   comparing homes/s against the committed heap-era baseline.
 //!
-//! Both modes run the same virtual workload, so the wall-clock ratio
-//! isolates the scheduler win on idle-heavy campaigns. Results (frames/sec,
-//! events/sec, speedup) are written to `BENCH_scheduler.json` in the
-//! current directory; `--out PATH` overrides, `--cycles N` scales the
-//! storm length.
+//! Results land in `BENCH_sched_wheel.json`; `--out PATH` overrides.
+//! `--smoke` shrinks every section for CI (the 1.5x assert still runs).
 
+use std::collections::{BinaryHeap, HashSet};
 use std::time::{Duration, Instant};
 
-use zcover::{Dongle, ImpairmentProfile, PingOutcome};
+use zcover::{
+    run_sweep, CampaignExecutor, Dongle, FuzzConfig, ImpairmentProfile, PingOutcome, SweepConfig,
+};
 use zwave_controller::testbed::{DeviceModel, Testbed, SWITCH_NODE};
+use zwave_controller::Topology;
 use zwave_protocol::NodeId;
+use zwave_radio::sched::{EventKind, SimScheduler, TimerToken};
+use zwave_radio::{SimClock, SimInstant};
+
+/// Homes/s of the committed heap-era `BENCH_sweep.json` (512 mesh homes,
+/// 180 s budget, seed 42, 1 worker) — the end-to-end baseline the wheel
+/// is measured against. That file is deliberately left untouched.
+const HEAP_BASELINE_HOMES_PER_SEC: f64 = 238.4;
+
+// ---------------------------------------------------------------------
+// RefHeap: the old kernel's core, kept as the before-side of the bench
+// ---------------------------------------------------------------------
+
+/// Min-heap entry ordered on `(at, seq)` — the old `QueuedEvent` without
+/// the payload (the microbench schedules timers only).
+#[derive(PartialEq, Eq)]
+struct HeapEntry {
+    at: u64,
+    seq: u64,
+    token: u64,
+}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed so `BinaryHeap` (a max-heap) pops the earliest entry.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The pre-wheel scheduler core: `BinaryHeap` plus a tombstone set
+/// consumed lazily at pop time. Mutex-wrapped like the real kernel so
+/// the comparison charges both sides the same lock overhead.
+#[derive(Default)]
+struct RefHeap {
+    state: std::sync::Mutex<RefHeapState>,
+}
+
+#[derive(Default)]
+struct RefHeapState {
+    heap: BinaryHeap<HeapEntry>,
+    cancelled: HashSet<u64>,
+    next_seq: u64,
+    next_token: u64,
+    processed: u64,
+}
+
+impl RefHeap {
+    fn lock(&self) -> std::sync::MutexGuard<'_, RefHeapState> {
+        self.state.lock().expect("ref-heap lock")
+    }
+
+    fn schedule_timer(&self, at: u64) -> u64 {
+        let mut s = self.lock();
+        let token = s.next_token;
+        s.next_token += 1;
+        let seq = s.next_seq;
+        s.next_seq += 1;
+        s.heap.push(HeapEntry { at, seq, token });
+        token
+    }
+
+    fn cancel_timer(&self, token: u64) {
+        self.lock().cancelled.insert(token);
+    }
+
+    fn pop_due(&self, target: u64) -> Option<u64> {
+        let mut s = self.lock();
+        loop {
+            let head = s.heap.peek()?;
+            if head.at > target {
+                return None;
+            }
+            let entry = s.heap.pop().expect("peeked");
+            if s.cancelled.remove(&entry.token) {
+                continue;
+            }
+            s.processed += 1;
+            return Some(entry.at);
+        }
+    }
+
+    fn processed(&self) -> u64 {
+        self.lock().processed
+    }
+}
+
+// ---------------------------------------------------------------------
+// Microbench: cancel-heavy ack-timer workload over both kernels
+// ---------------------------------------------------------------------
+
+/// Deterministic xorshift64*, so both kernels replay one op stream.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+}
+
+struct MicroTimings {
+    schedule: Duration,
+    cancel: Duration,
+    pop: Duration,
+    released: u64,
+}
+
+/// One timer's target instant: mostly the ack band (L0), a slice of
+/// report timers (L1), a sliver of long outage waits (L2) — the band mix
+/// a fuzzing home actually schedules.
+fn timer_at(cursor: u64, rng: &mut Rng) -> u64 {
+    match rng.next() % 100 {
+        0..=79 => cursor + 100_000 + rng.next() % 20_000,
+        80..=94 => cursor + 2_000_000 + rng.next() % 500_000,
+        _ => cursor + 120_000_000 + rng.next() % 10_000_000,
+    }
+}
+
+/// Drives `rounds` rounds of schedule-many / cancel-most / pop-due over
+/// one kernel via the given closures, timing each phase separately.
+fn drive_micro(
+    rounds: usize,
+    timers_per_round: usize,
+    schedule: &mut dyn FnMut(u64) -> u64,
+    cancel: &mut dyn FnMut(u64),
+    pop: &mut dyn FnMut(u64) -> bool,
+) -> MicroTimings {
+    let mut rng = Rng(0x5EED_CAFE_F00D_0001);
+    let mut t = MicroTimings {
+        schedule: Duration::ZERO,
+        cancel: Duration::ZERO,
+        pop: Duration::ZERO,
+        released: 0,
+    };
+    let mut cursor = 0u64;
+    for _ in 0..rounds {
+        let mut tokens = Vec::with_capacity(timers_per_round);
+        let clock = Instant::now();
+        for _ in 0..timers_per_round {
+            tokens.push(schedule(timer_at(cursor, &mut rng)));
+        }
+        t.schedule += clock.elapsed();
+        // 90% of ack timers are answered before they fire: cancel-heavy
+        // is the normal state of a healthy home, not a corner case.
+        let clock = Instant::now();
+        for (i, token) in tokens.into_iter().enumerate() {
+            if i % 10 != 0 {
+                cancel(token);
+            }
+        }
+        t.cancel += clock.elapsed();
+        cursor += 150_000;
+        let clock = Instant::now();
+        while pop(cursor) {
+            t.released += 1;
+        }
+        t.pop += clock.elapsed();
+    }
+    // Final drain: the heap pays its deferred tombstone debt here, just
+    // as a campaign pays it on every deadline-bounded pop.
+    let clock = Instant::now();
+    while pop(u64::MAX / 2) {
+        t.released += 1;
+    }
+    t.pop += clock.elapsed();
+    t
+}
+
+fn micro_heap(rounds: usize, timers_per_round: usize) -> MicroTimings {
+    let heap = RefHeap::default();
+    let t = drive_micro(
+        rounds,
+        timers_per_round,
+        &mut |at| heap.schedule_timer(at),
+        &mut |token| heap.cancel_timer(token),
+        &mut |target| heap.pop_due(target).is_some(),
+    );
+    assert_eq!(t.released, heap.processed(), "heap released a tombstone");
+    t
+}
+
+fn micro_wheel(rounds: usize, timers_per_round: usize) -> MicroTimings {
+    let sched = SimScheduler::new(SimClock::new());
+    // Tokens are handed between the schedule and cancel closures by id;
+    // the RefCell keeps both closures borrow-compatible.
+    let tokens: std::cell::RefCell<Vec<TimerToken>> = std::cell::RefCell::new(Vec::new());
+    let t = drive_micro(
+        rounds,
+        timers_per_round,
+        &mut |at| {
+            let token = sched.schedule_timer(SimInstant::from_micros(at), 0);
+            let id = token.id();
+            tokens.borrow_mut().push(token);
+            id
+        },
+        &mut |id| {
+            let token = tokens.borrow()[usize::try_from(id).expect("id fits")];
+            sched.cancel_timer(token);
+        },
+        &mut |target| match sched.pop_due(SimInstant::from_micros(target)) {
+            Some(ev) => {
+                assert!(matches!(ev.kind, EventKind::Timer(_)));
+                true
+            }
+            None => false,
+        },
+    );
+    assert_eq!(t.released, sched.events_processed(), "wheel lost a live timer");
+    assert_eq!(sched.pending_events(), 0, "wheel left events behind");
+    t
+}
+
+fn ops_per_sec(ops: u64, wall: Duration) -> f64 {
+    ops as f64 / wall.as_secs_f64().max(1e-9)
+}
+
+fn micro_json(label: &str, ops: u64, cancels: u64, t: &MicroTimings) -> String {
+    format!(
+        "    \"{label}\": {{\"schedule_ops_per_sec\": {:.0}, \"cancel_ops_per_sec\": {:.0}, \
+         \"pop_ops_per_sec\": {:.0}, \"schedule_pop_wall_s\": {:.4}, \"released\": {}}}",
+        ops_per_sec(ops, t.schedule),
+        ops_per_sec(cancels, t.cancel),
+        ops_per_sec(t.released, t.pop),
+        (t.schedule + t.pop).as_secs_f64(),
+        t.released
+    )
+}
+
+// ---------------------------------------------------------------------
+// Recovery storm (unchanged from the heap-era benchmark)
+// ---------------------------------------------------------------------
 
 /// Outage-inducing triggers cycled through the storm; each parks the D1
 /// controller in a 59-68 s Busy outage (bugs #7, #8, #9, #11, #15).
@@ -89,61 +337,159 @@ fn recovery_storm(cycles: usize, event_hop: bool) -> StormOutcome {
     }
 }
 
-fn rate(count: u64, wall: Duration) -> f64 {
-    count as f64 / wall.as_secs_f64().max(1e-9)
-}
-
 fn mode_json(label: &str, o: &StormOutcome) -> String {
     format!(
-        "  \"{label}\": {{\n    \"wall_s\": {:.4},\n    \"virtual_s\": {:.1},\n    \
-         \"frames\": {},\n    \"events\": {},\n    \"recoveries\": {},\n    \
-         \"frames_per_sec\": {:.0},\n    \"events_per_sec\": {:.0}\n  }}",
+        "    \"{label}\": {{\"wall_s\": {:.4}, \"virtual_s\": {:.1}, \"frames\": {}, \
+         \"events\": {}, \"recoveries\": {}, \"events_per_sec\": {:.0}}}",
         o.wall.as_secs_f64(),
         o.virtual_time.as_secs_f64(),
         o.frames,
         o.events,
         o.recoveries,
-        rate(o.frames, o.wall),
-        rate(o.events, o.wall)
+        ops_per_sec(o.events, o.wall)
     )
+}
+
+// ---------------------------------------------------------------------
+// End-to-end sweep: homes/s with the wheel under every worker count
+// ---------------------------------------------------------------------
+
+struct SweepPoint {
+    workers: usize,
+    wall_s: f64,
+    homes_per_sec: f64,
+}
+
+fn end_to_end_sweep(homes: u64) -> Vec<SweepPoint> {
+    let base = FuzzConfig::full(Duration::from_secs(180), 42);
+    let config = SweepConfig::new(homes, Topology::Mesh, base).with_shard_size(64);
+    let mut points = Vec::new();
+    let mut reference = None;
+    for workers in [1usize, 2, 4] {
+        let (summary, timing) =
+            run_sweep(&CampaignExecutor::new(workers), &config).expect("sweep runs");
+        eprintln!(
+            "  {workers} worker(s): {:.2} s wall, {:.1} homes/s",
+            timing.total_s,
+            timing.homes_per_sec()
+        );
+        match &reference {
+            None => reference = Some(summary),
+            Some(r) => assert_eq!(
+                r, &summary,
+                "sweep summary differs between 1 and {workers} workers — determinism broken"
+            ),
+        }
+        points.push(SweepPoint {
+            workers,
+            wall_s: timing.total_s,
+            homes_per_sec: timing.homes_per_sec(),
+        });
+    }
+    points
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let cycles = zcover_bench::u64_flag(&args, "--cycles", 200) as usize;
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let cycles = zcover_bench::u64_flag(&args, "--cycles", if smoke { 30 } else { 200 }) as usize;
+    // The microbench runs at full size even under --smoke: it finishes in
+    // well under a second, and the 1.5x mix assert below only holds once
+    // the per-round population is large enough for heap pops to pay their
+    // log(n) sift cost. Only the end-to-end sweep is shrunk for CI.
+    let rounds: usize = if smoke { 48 } else { 96 };
+    let timers_per_round: usize = 4_096;
+    let sweep_homes = if smoke { 64 } else { 512 };
     let out = args
         .iter()
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1))
         .cloned()
-        .unwrap_or_else(|| "BENCH_scheduler.json".to_string());
+        .unwrap_or_else(|| "BENCH_sched_wheel.json".to_string());
+
+    let scheduled = (rounds * timers_per_round) as u64;
+    let cancels = (rounds * (timers_per_round - timers_per_round.div_ceil(10))) as u64;
+    eprintln!("kernel microbench: {rounds} rounds x {timers_per_round} timers, 90% cancelled ...");
+    let heap = micro_heap(rounds, timers_per_round);
+    let wheel = micro_wheel(rounds, timers_per_round);
+    assert_eq!(heap.released, wheel.released, "kernels disagree on surviving timers");
+    let mix_speedup = (heap.schedule + heap.pop).as_secs_f64()
+        / (wheel.schedule + wheel.pop).as_secs_f64().max(1e-9);
+    eprintln!(
+        "  heap {:.3} s schedule+pop, wheel {:.3} s -> {mix_speedup:.2}x",
+        (heap.schedule + heap.pop).as_secs_f64(),
+        (wheel.schedule + wheel.pop).as_secs_f64()
+    );
 
     eprintln!("recovery storm, poll-stepping mode ({cycles} cycles) ...");
     let poll = recovery_storm(cycles, false);
     eprintln!("recovery storm, event-hop mode ({cycles} cycles) ...");
     let hop = recovery_storm(cycles, true);
-    let speedup = poll.wall.as_secs_f64() / hop.wall.as_secs_f64().max(1e-9);
+    let storm_speedup = poll.wall.as_secs_f64() / hop.wall.as_secs_f64().max(1e-9);
+
+    eprintln!("end-to-end sweep: {sweep_homes} mesh homes, workers 1/2/4 ...");
+    let points = end_to_end_sweep(sweep_homes);
+    let single = points[0].homes_per_sec;
+    let best = points.iter().map(|p| p.homes_per_sec).fold(0.0, f64::max);
+    let workers_block: Vec<String> = points
+        .iter()
+        .map(|p| {
+            format!(
+                "      \"{}\": {{\"wall_s\": {:.2}, \"homes_per_sec\": {:.1}, \
+                 \"worker_efficiency\": {:.2}}}",
+                p.workers,
+                p.wall_s,
+                p.homes_per_sec,
+                p.homes_per_sec / (p.workers as f64 * single)
+            )
+        })
+        .collect();
+    // The heap-era baseline ran this exact configuration, so the ratio is
+    // only claimed when the configuration matches it.
+    let baseline = (sweep_homes == 512).then(|| {
+        format!(
+            "\n    \"baseline_homes_per_sec\": {HEAP_BASELINE_HOMES_PER_SEC},\n    \
+             \"improvement_vs_heap_baseline\": {:.2},",
+            single / HEAP_BASELINE_HOMES_PER_SEC
+        )
+    });
 
     let json = format!(
-        "{{\n  \"benchmark\": \"scheduler_recovery_storm\",\n  \"device\": \"D1\",\n  \
-         \"seed\": 42,\n  \"impairment\": \"adversarial\",\n  \"cycles\": {cycles},\n\
-         {},\n{},\n  \"speedup\": {speedup:.1}\n}}\n",
+        "{{\n  \"benchmark\": \"sched_wheel_kernel\",\n  \"cpu_count\": {},\n  \
+         \"microbench\": {{\n    \"workload\": \"ack-timer storm, 90% cancelled before \
+         firing\",\n    \"rounds\": {rounds},\n    \"timers_per_round\": {timers_per_round},\n\
+         {},\n{},\n    \"speedup\": {{\"schedule\": {:.2}, \"cancel\": {:.2}, \"pop\": {:.2}, \
+         \"schedule_pop_mix\": {mix_speedup:.2}}}\n  }},\n  \"recovery_storm\": {{\n    \
+         \"cycles\": {cycles},\n{},\n{},\n    \"speedup\": {storm_speedup:.1}\n  }},\n  \
+         \"end_to_end_sweep\": {{\n    \"homes\": {sweep_homes},\n    \"topology\": \"mesh\",\n    \
+         \"per_home_budget_s\": 180,\n    \"determinism\": \"summary bit-identical across \
+         workers 1/2/4\",{}\n    \"workers\": {{\n{}\n    }}\n  }}\n}}\n",
+        zcover_bench::cpu_count(),
+        micro_json("heap", scheduled, cancels, &heap),
+        micro_json("wheel", scheduled, cancels, &wheel),
+        heap.schedule.as_secs_f64() / wheel.schedule.as_secs_f64().max(1e-9),
+        heap.cancel.as_secs_f64() / wheel.cancel.as_secs_f64().max(1e-9),
+        heap.pop.as_secs_f64() / wheel.pop.as_secs_f64().max(1e-9),
         mode_json("poll_stepping", &poll),
         mode_json("event_hop", &hop),
+        baseline.as_deref().unwrap_or(""),
+        workers_block.join(",\n"),
     );
     std::fs::write(&out, &json).expect("writing the benchmark record");
     eprintln!("wrote {out}");
     println!(
-        "poll-stepping: {:.3} s wall, {} recoveries | event-hop: {:.3} s wall, {} recoveries \
-         | speedup {speedup:.1}x",
-        poll.wall.as_secs_f64(),
-        poll.recoveries,
-        hop.wall.as_secs_f64(),
-        hop.recoveries
+        "microbench schedule+pop {mix_speedup:.2}x | storm {storm_speedup:.1}x | \
+         sweep best {best:.1} homes/s (1-worker {single:.1})"
     );
     assert!(
         hop.recoveries >= 3,
         "the storm must observe at least 3 crash recoveries (saw {})",
         hop.recoveries
+    );
+    // The acceptance gate: the wheel must beat the heap by 1.5x on the
+    // schedule+pop mix of the cancel-heavy workload, every run.
+    assert!(
+        mix_speedup >= 1.5,
+        "wheel schedule+pop mix only {mix_speedup:.2}x the heap baseline (need >= 1.5x)"
     );
 }

@@ -26,7 +26,12 @@ fn run_at(workers: usize, config: &SweepConfig) -> (SweepSummary, SweepTiming) {
     run_sweep(&CampaignExecutor::new(workers), config).expect("sweep homes fingerprint cleanly")
 }
 
-fn workers_json(workers: usize, timing: &SweepTiming, homes_per_shard: &[u64]) -> String {
+fn workers_json(
+    workers: usize,
+    timing: &SweepTiming,
+    homes_per_shard: &[u64],
+    single_homes_per_sec: f64,
+) -> String {
     let per_shard: Vec<String> = timing
         .per_shard_s
         .iter()
@@ -35,9 +40,10 @@ fn workers_json(workers: usize, timing: &SweepTiming, homes_per_shard: &[u64]) -
         .collect();
     format!(
         "    \"{workers}\": {{\"wall_s\": {:.2}, \"homes_per_sec\": {:.1}, \
-         \"per_shard_homes_per_sec\": [{}]}}",
+         \"worker_efficiency\": {:.2}, \"per_shard_homes_per_sec\": [{}]}}",
         timing.total_s,
         timing.homes_per_sec(),
+        timing.homes_per_sec() / (workers as f64 * single_homes_per_sec),
         per_shard.join(", ")
     )
 }
@@ -89,9 +95,12 @@ fn main() {
 
     let homes_per_shard: Vec<u64> = reference.shards.iter().map(|s| s.homes).collect();
     let union: Vec<String> = reference.union_bug_ids().iter().map(u8::to_string).collect();
+    let single_homes_per_sec = runs[0].2.homes_per_sec();
     let workers_block: Vec<String> = runs
         .iter()
-        .map(|(workers, _, timing)| workers_json(*workers, timing, &homes_per_shard))
+        .map(|(workers, _, timing)| {
+            workers_json(*workers, timing, &homes_per_shard, single_homes_per_sec)
+        })
         .collect();
     let scaling: Vec<String> = runs
         .iter()
@@ -99,12 +108,14 @@ fn main() {
         .collect();
 
     let json = format!(
-        "{{\n  \"benchmark\": \"sweep_throughput\",\n  \"topology\": \"{}\",\n  \
+        "{{\n  \"benchmark\": \"sweep_throughput\",\n  \"cpu_count\": {},\n  \
+         \"topology\": \"{}\",\n  \
          \"homes\": {},\n  \"shard_size\": {},\n  \"per_home_budget_s\": {:.0},\n  \
          \"seed\": {},\n  \"union_bug_ids\": [{}],\n  \"multi_hop_bug_homes\": {},\n  \
          \"coverage_edges\": {},\n  \"packets_sent\": {},\n  \
          \"determinism\": \"summary bit-identical across workers 1/2/4\",\n  \
          \"workers\": {{\n{}\n  }},\n  \"scaling_homes_per_sec\": [{}]\n}}\n",
+        zcover_bench::cpu_count(),
         reference.topology,
         reference.homes,
         reference.shard_size,

@@ -154,7 +154,8 @@ fn main() {
     );
 
     let json = format!(
-        "{{\n  \"benchmark\": \"trace_format\",\n  \"events\": {events},\n  \
+        "{{\n  \"benchmark\": \"trace_format\",\n  \"cpu_count\": {},\n  \
+         \"events\": {events},\n  \
          \"campaigns\": {campaigns},\n  \"per_campaign_budget_s\": {:.0},\n  \
          \"seed\": {seed},\n  \"repeats\": {repeats},\n  \
          \"jsonl\": {{\"bytes\": {}, \"bytes_per_event\": {:.1}, \
@@ -169,6 +170,7 @@ fn main() {
          \"determinism\": \"encode bit-identical twice; decode(encode(events)) == events; \
          JSONL export of the binary stream byte-identical to direct JSONL; \
          indexed seek == full scan\"\n}}\n",
+        zcover_bench::cpu_count(),
         budget.as_secs_f64(),
         jsonl.len(),
         jsonl.len() as f64 / events as f64,

@@ -37,6 +37,13 @@ pub fn budget_from_args(args: &[String]) -> Duration {
     }
 }
 
+/// Logical CPUs available to this process — recorded in every benchmark
+/// JSON so throughput and worker-efficiency numbers can be interpreted on
+/// the machine that produced them.
+pub fn cpu_count() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
 /// Parses `--name N` from `args`, falling back to `default` when the flag
 /// is absent or unparsable.
 pub fn u64_flag(args: &[String], name: &str, default: u64) -> u64 {

@@ -8,7 +8,7 @@ use std::time::Duration;
 use zwave_protocol::apl::ApplicationPayload;
 use zwave_protocol::registry::Registry;
 use zwave_protocol::CommandClassId;
-use zwave_radio::{ImpairmentProfile, MediumStats, SimInstant};
+use zwave_radio::{ImpairmentProfile, MediumStats, SchedStats, SimInstant};
 
 use crate::buglog::{BugLog, VulnFinding};
 use crate::corpus::{Corpus, CorpusEntry, PowerSchedule};
@@ -248,6 +248,15 @@ pub struct CampaignCounters {
     pub attack_frames: u64,
     /// Findings attributable to an attack scenario (bugs #16-#18).
     pub attack_verdicts: u64,
+    /// High-water mark of live events in the simulation kernel — across
+    /// trials/homes the *maximum* is kept, not the sum (it is a mark).
+    pub sched_peak_pending: u64,
+    /// Timers cancelled before firing (unlinked from the wheel in place).
+    pub sched_cancelled: u64,
+    /// Kernel filings per timing-wheel level `[L0, L1, L2, L3, overflow]`,
+    /// including cascade re-filings — the occupancy profile that shows
+    /// which timer bands the campaign actually exercised.
+    pub sched_level_filings: [u64; zwave_radio::WHEEL_LEVELS + 1],
 }
 
 impl CampaignCounters {
@@ -269,6 +278,11 @@ impl CampaignCounters {
         self.retained_inputs += other.retained_inputs;
         self.attack_frames += other.attack_frames;
         self.attack_verdicts += other.attack_verdicts;
+        self.sched_peak_pending = self.sched_peak_pending.max(other.sched_peak_pending);
+        self.sched_cancelled += other.sched_cancelled;
+        for (level, filings) in self.sched_level_filings.iter_mut().enumerate() {
+            *filings += other.sched_level_filings[level];
+        }
     }
 
     /// Copies the channel-side tallies out of a [`MediumStats`] delta.
@@ -278,6 +292,16 @@ impl CampaignCounters {
         self.reorders += delta.reorders;
         self.truncations += delta.truncations;
         self.blackout_drops += delta.blackout_drops;
+    }
+
+    /// Copies the kernel-side occupancy tallies out of a [`SchedStats`]
+    /// delta (peak pending is a mark, so max rather than sum).
+    pub fn absorb_sched(&mut self, delta: &SchedStats) {
+        self.sched_peak_pending = self.sched_peak_pending.max(delta.peak_pending);
+        self.sched_cancelled += delta.cancelled;
+        for (level, filings) in self.sched_level_filings.iter_mut().enumerate() {
+            *filings += delta.level_filings[level];
+        }
     }
 }
 
@@ -433,6 +457,7 @@ impl Fuzzer {
         let clock = target.medium().clock().clone();
         let started = clock.now();
         let channel_before = target.medium().stats();
+        let sched_before = target.medium().scheduler().stats();
         let semantic = Mutator::semantic_pool(scan.controller, &scan.slaves);
         // The scripted adversary joins the medium anchored at campaign
         // start; its whole schedule is a pure function of (scenario,
@@ -522,6 +547,8 @@ impl Fuzzer {
 
         let channel_delta = state.target.medium().stats().since(&channel_before);
         state.counters.absorb_channel(&channel_delta);
+        let sched_delta = state.target.medium().scheduler().stats().since(&sched_before);
+        state.counters.absorb_sched(&sched_delta);
 
         CampaignResult {
             packets_sent: state.packets,

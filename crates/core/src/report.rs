@@ -99,12 +99,14 @@ fn json_escape(s: &str) -> String {
 }
 
 fn counters_json(c: &CampaignCounters) -> String {
+    let filings: Vec<String> = c.sched_level_filings.iter().map(u64::to_string).collect();
     format!(
         "{{\"packets_sent\":{},\"plans_executed\":{},\"outages_observed\":{},\"findings\":{},\
          \"losses\":{},\"duplicates\":{},\"reorders\":{},\"truncations\":{},\
          \"blackout_drops\":{},\"retransmissions\":{},\"ack_timeouts\":{},\
          \"edges_seen\":{},\"corpus_size\":{},\"retained_inputs\":{},\
-         \"attack_frames\":{},\"attack_verdicts\":{}}}",
+         \"attack_frames\":{},\"attack_verdicts\":{},\"sched_peak_pending\":{},\
+         \"sched_cancelled\":{},\"sched_level_filings\":[{}]}}",
         c.packets_sent,
         c.plans_executed,
         c.outages_observed,
@@ -120,7 +122,10 @@ fn counters_json(c: &CampaignCounters) -> String {
         c.corpus_size,
         c.retained_inputs,
         c.attack_frames,
-        c.attack_verdicts
+        c.attack_verdicts,
+        c.sched_peak_pending,
+        c.sched_cancelled,
+        filings.join(",")
     )
 }
 
@@ -290,12 +295,15 @@ pub fn trace_stats_to_json(stats: &TraceStats, label: &str) -> String {
     };
     format!(
         "{{\"trace\":\"{label}\",\"events\":{},\"sched_frames\":{},\"sched_timers\":{},\
+         \"timers_scheduled\":{},\"timers_unfired\":{},\
          \"sched_blackouts\":{},\"attack_frames\":{},\"raw_events\":{},\"span_us\":{},\
          \"fuzz\":{{{}}},\"outage_histogram\":[{}],\"per_cmdcl\":{{{}}},\
          \"edges_over_time\":[{}],\"end\":{}}}",
         stats.events,
         stats.sched_frames,
         stats.sched_timers,
+        stats.timers_scheduled,
+        stats.timers_unfired(),
         stats.sched_blackouts,
         stats.attack_frames,
         stats.raw_events,

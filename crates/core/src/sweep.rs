@@ -227,12 +227,14 @@ impl SweepTiming {
     }
 }
 
-/// One home's campaign distilled to what the shard merge needs.
+/// One home's campaign distilled to what the shard merge needs, plus the
+/// scheduler kernel handed back for the next home to recycle.
 struct HomeRun {
     bug_ids: Vec<u8>,
     counters: CampaignCounters,
     channel: MediumStats,
     coverage: CoverageMap,
+    kernel: zwave_radio::SimScheduler,
 }
 
 /// Builds home `home` and runs its full campaign (fingerprint, scan,
@@ -240,9 +242,20 @@ struct HomeRun {
 /// enabled, the home's journal goes to its own `.zct` file; the recorder
 /// is a pure observer, so the campaign (and every aggregate) is
 /// bit-identical with or without it.
-fn run_home(config: &SweepConfig, home: u64) -> Result<HomeRun, ZCoverError> {
+fn run_home(
+    config: &SweepConfig,
+    home: u64,
+    kernel: Option<&zwave_radio::SimScheduler>,
+) -> Result<HomeRun, ZCoverError> {
     let seed = config.home_seed(home);
-    let mut net = HomeNetwork::new(config.home_model(home), config.topology, seed);
+    let mut net = match kernel {
+        // Recycle the shard's wheel + event arena instead of building a
+        // kernel per home; the simulation is bit-identical either way.
+        Some(kernel) => {
+            HomeNetwork::new_recycled(config.home_model(home), config.topology, seed, kernel)
+        }
+        None => HomeNetwork::new(config.home_model(home), config.topology, seed),
+    };
     let fuzz = FuzzConfig { seed, ..config.base.clone() };
     let recorder = config.record.as_ref().map(|spec| {
         let meta = TraceMeta {
@@ -273,6 +286,7 @@ fn run_home(config: &SweepConfig, home: u64) -> Result<HomeRun, ZCoverError> {
         counters: campaign.counters,
         channel: net.medium().stats(),
         coverage: net.coverage(),
+        kernel: net.medium().scheduler().clone(),
     })
 }
 
@@ -284,8 +298,12 @@ fn run_shard(config: &SweepConfig, shard: u64) -> Result<(ShardSummary, f64), (u
     let end = (first_home + config.shard_size.max(1)).min(config.homes);
     let started = Instant::now();
     let mut summary = ShardSummary::empty(shard, first_home);
+    // One wheel + arena per shard: the first home allocates it, every
+    // later home recycles it (reset, not reallocated).
+    let mut kernel: Option<zwave_radio::SimScheduler> = None;
     for home in first_home..end {
-        let run = run_home(config, home).map_err(|e| (home, e))?;
+        let run = run_home(config, home, kernel.as_ref()).map_err(|e| (home, e))?;
+        kernel = Some(run.kernel);
         let mut seen = run.bug_ids;
         seen.sort_unstable();
         seen.dedup();

@@ -45,6 +45,12 @@ pub struct TraceStats {
     pub sched_frames: u64,
     /// Scheduler timer dequeues.
     pub sched_timers: u64,
+    /// Timer ids the kernel issued, inferred from the largest journaled
+    /// id (+1). Ids are handed out sequentially at *schedule* time but
+    /// only dequeues are journaled, so this is a lower bound on timers
+    /// scheduled; together with [`TraceStats::sched_timers`] it exposes
+    /// the kernel's live-vs-cancelled split from the trace alone.
+    pub timers_scheduled: u64,
     /// Scheduler blackout-edge dequeues (starts + ends).
     pub sched_blackouts: u64,
     /// Fuzzer lifecycle events by name (`packet`, `plan`, `outage`, ...).
@@ -78,7 +84,10 @@ impl TraceStats {
         match record {
             Record::Sched { kind, .. } => match kind {
                 SchedKind::Frame { .. } => self.sched_frames += 1,
-                SchedKind::Timer { .. } => self.sched_timers += 1,
+                SchedKind::Timer { id } => {
+                    self.sched_timers += 1;
+                    self.timers_scheduled = self.timers_scheduled.max(id + 1);
+                }
                 SchedKind::BlackoutStart { .. } | SchedKind::BlackoutEnd { .. } => {
                     self.sched_blackouts += 1
                 }
@@ -119,6 +128,12 @@ impl TraceStats {
         stats
     }
 
+    /// Timers the id sequence proves were scheduled but that never fired
+    /// in the journal: cancelled in the wheel or still pending at end.
+    pub fn timers_unfired(&self) -> u64 {
+        self.timers_scheduled.saturating_sub(self.sched_timers)
+    }
+
     /// Outage counts over `buckets` equal slices of the virtual span.
     pub fn outage_histogram(&self, buckets: usize) -> Vec<u64> {
         let buckets = buckets.max(1);
@@ -142,6 +157,12 @@ impl TraceStats {
             self.sched_blackouts,
             self.attack_frames,
             self.raw_events
+        ));
+        out.push_str(&format!(
+            "  timers: {} fired of >= {} issued ({} cancelled or pending)\n",
+            self.sched_timers,
+            self.timers_scheduled,
+            self.timers_unfired()
         ));
         out.push_str(&format!("  virtual span: {:.3} s\n", self.span_us as f64 / 1e6));
         if let Some((at_us, packets, findings, sched_events)) = self.end {
@@ -274,6 +295,10 @@ mod tests {
         assert_eq!(stats.events, 14);
         assert_eq!(stats.sched_frames, 1);
         assert_eq!(stats.sched_timers, 1);
+        // Timer id 3 fired, so ids 0..=3 were issued and three of them
+        // never surfaced: cancelled in the wheel or pending at end.
+        assert_eq!(stats.timers_scheduled, 4);
+        assert_eq!(stats.timers_unfired(), 3);
         assert_eq!(stats.sched_blackouts, 1);
         assert_eq!(stats.fuzz["packet"], 1);
         assert_eq!(stats.fuzz["outage"], 2);

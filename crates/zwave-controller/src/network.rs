@@ -41,6 +41,33 @@ impl HomeNetwork {
     pub fn new(model: DeviceModel, topology: Topology, seed: u64) -> Self {
         let clock = SimClock::new();
         let medium = Medium::new(clock.clone(), seed);
+        Self::assemble(model, topology, seed, clock, medium)
+    }
+
+    /// Like [`HomeNetwork::new`], but driven by a recycled scheduler
+    /// kernel: the wheel + event arena of a finished home are rebound to a
+    /// fresh clock and reused, so a sweep shard allocates its kernel once
+    /// instead of once per home. The simulation is bit-identical either
+    /// way — the kernel's event identity (sequence numbers, timer ids)
+    /// restarts from zero exactly like a new one's.
+    pub fn new_recycled(
+        model: DeviceModel,
+        topology: Topology,
+        seed: u64,
+        kernel: &zwave_radio::SimScheduler,
+    ) -> Self {
+        let clock = SimClock::new();
+        let medium = Medium::with_recycled(seed, kernel.recycle(clock.clone()));
+        Self::assemble(model, topology, seed, clock, medium)
+    }
+
+    fn assemble(
+        model: DeviceModel,
+        topology: Topology,
+        seed: u64,
+        clock: SimClock,
+        medium: Medium,
+    ) -> Self {
         let mut config = model.config();
         // Per-home id: the model's factory id perturbed by the home seed,
         // so a city of homes doesn't share seven ids. Kept nonzero.

@@ -175,6 +175,20 @@ impl Testbed {
     pub fn new(model: DeviceModel, seed: u64) -> Self {
         let clock = SimClock::new();
         let medium = Medium::new(clock.clone(), seed);
+        Self::assemble(model, seed, clock, medium)
+    }
+
+    /// Like [`Testbed::new`], but on a recycled scheduler kernel: the
+    /// wheel + event arena from a finished simulation are rebound to a
+    /// fresh clock and reused. Bit-identical to a fresh testbed — the
+    /// kernel's sequence-number and timer-id streams restart from zero.
+    pub fn new_recycled(model: DeviceModel, seed: u64, kernel: &zwave_radio::SimScheduler) -> Self {
+        let clock = SimClock::new();
+        let medium = Medium::with_recycled(seed, kernel.recycle(clock.clone()));
+        Self::assemble(model, seed, clock, medium)
+    }
+
+    fn assemble(model: DeviceModel, seed: u64, clock: SimClock, medium: Medium) -> Self {
         let config = model.config();
         let home_id = config.home_id;
         let mut controller = SimController::new(config, &medium, 0.0);

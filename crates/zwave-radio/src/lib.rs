@@ -45,5 +45,7 @@ pub use impairment::{GilbertElliott, ImpairmentProfile, ImpairmentSchedule, Impa
 pub use medium::{Medium, MediumStats, RxFrame, Transceiver, RX_QUEUE_CAP};
 pub use noise::NoiseModel;
 pub use region::Region;
-pub use sched::{Delivery, Event, EventKind, EventObserver, SimScheduler, TimerToken};
+pub use sched::{
+    Delivery, Event, EventKind, EventObserver, SchedStats, SimScheduler, TimerToken, WHEEL_LEVELS,
+};
 pub use sniffer::Sniffer;

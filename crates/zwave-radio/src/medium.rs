@@ -24,6 +24,7 @@
 //! time exactly as before.
 
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -148,9 +149,6 @@ struct MediumInner {
     ge_bad: bool,
     stats: MediumStats,
     bitrate: u32,
-    /// The channel is occupied until this instant; transmissions serialize
-    /// behind it, and queries flush (at least) up to it.
-    air_busy_until: SimInstant,
     /// Station indices whose wakeup timers fired, in fire order.
     fired: Vec<usize>,
     /// Whether a scripted blackout window is currently open (maintained by
@@ -167,6 +165,11 @@ pub struct Medium {
     inner: Arc<Mutex<MediumInner>>,
     sched: SimScheduler,
     clock: SimClock,
+    /// Microseconds until which the channel is occupied; transmissions
+    /// serialize behind it, and queries flush (at least) up to it. Atomic
+    /// (only written under the `inner` lock) so the per-query `flush`
+    /// probe needs no lock at all.
+    air_busy_until: Arc<AtomicU64>,
 }
 
 impl Medium {
@@ -177,6 +180,19 @@ impl Medium {
 
     /// Creates a medium with an explicit impairment model.
     pub fn with_noise(clock: SimClock, seed: u64, noise: NoiseModel) -> Self {
+        Medium::with_scheduler(seed, noise, SimScheduler::new(clock))
+    }
+
+    /// Creates a clean medium driven by an existing (typically recycled)
+    /// scheduler kernel; the medium runs on the kernel's clock. Sweep
+    /// shards use this to reuse one wheel + arena across the homes they
+    /// step instead of reallocating per home.
+    pub fn with_recycled(seed: u64, sched: SimScheduler) -> Self {
+        Medium::with_scheduler(seed, NoiseModel::clean(), sched)
+    }
+
+    fn with_scheduler(seed: u64, noise: NoiseModel, sched: SimScheduler) -> Self {
+        let clock = sched.clock().clone();
         Medium {
             inner: Arc::new(Mutex::new(MediumInner {
                 stations: Vec::new(),
@@ -186,13 +202,13 @@ impl Medium {
                 ge_bad: false,
                 stats: MediumStats::default(),
                 bitrate: DEFAULT_BITRATE,
-                air_busy_until: SimInstant::ZERO,
                 fired: Vec::new(),
                 in_blackout: false,
                 blackout_gen: 0,
             })),
-            sched: SimScheduler::new(clock.clone()),
+            sched,
             clock,
+            air_busy_until: Arc::new(AtomicU64::new(0)),
         }
     }
 
@@ -318,12 +334,33 @@ impl Medium {
 
     /// Releases every event due by `max(now, air_busy_until)` and advances
     /// the clock there. Idempotent; called by every receive-side query.
+    ///
+    /// Dispatch is batched: each kernel lock round-trip drains *all*
+    /// events sharing the next due instant, then applies them outside the
+    /// lock. Events an apply schedules (a periodic blackout window's
+    /// successor, say) carry higher sequence numbers and surface in a
+    /// later batch, so the release order is exactly the per-event one.
     fn flush(&self) {
-        let target = self.clock.now().max(self.inner.lock().air_busy_until);
-        while let Some(event) = self.sched.pop_due(target) {
-            self.apply(event);
+        let air_busy = SimInstant::from_micros(self.air_busy_until.load(Ordering::SeqCst));
+        let target = self.clock.now().max(air_busy);
+        // The lock-free probe keeps the (dominant) nothing-due flushes off
+        // the kernel mutex entirely.
+        if self.sched.maybe_due(target) {
+            self.drain_due(target);
         }
         self.clock.advance_to(target);
+    }
+
+    /// Applies every due event up to `target` in same-instant batches.
+    /// The buffer is local: it allocates only on flushes that actually
+    /// release events, which are rare next to the empty probes.
+    fn drain_due(&self, target: SimInstant) {
+        let mut batch = Vec::new();
+        while self.sched.pop_due_batch(target, &mut batch) > 0 {
+            for event in batch.drain(..) {
+                self.apply(event);
+            }
+        }
     }
 
     /// Applies one released event to the medium state.
@@ -398,9 +435,7 @@ impl Medium {
         self.flush();
         match self.sched.next_due() {
             Some(at) if at <= cap => {
-                while let Some(event) = self.sched.pop_due(at) {
-                    self.apply(event);
-                }
+                self.drain_due(at);
                 self.clock.advance_to(at);
                 true
             }
@@ -440,9 +475,10 @@ impl Medium {
         // The channel is half-duplex: frames serialize in transmit order
         // behind whatever is already in flight. The shared clock does NOT
         // move here — mid-handler transmit order can never skew time.
-        let start = self.clock.now().max(inner.air_busy_until);
+        let air_busy = SimInstant::from_micros(self.air_busy_until.load(Ordering::SeqCst));
+        let start = self.clock.now().max(air_busy);
         let arrival = start.plus(airtime);
-        inner.air_busy_until = arrival;
+        self.air_busy_until.store(arrival.as_micros(), Ordering::SeqCst);
 
         let frame_index = inner.stats.frames_sent;
         inner.stats.frames_sent += 1;

@@ -1,8 +1,8 @@
-//! Edge-case coverage for the `SimScheduler` event queue and the medium's
-//! blackout machinery layered on top of it: cancel-after-fire tombstones,
-//! same-instant timer vs. frame ordering, and the generation guard that
-//! keeps stale blackout events from a replaced impairment profile from
-//! toggling the channel.
+//! Edge-case coverage for the `SimScheduler` event kernel and the medium's
+//! blackout machinery layered on top of it: cancel-after-fire and stale
+//! tokens, same-instant timer vs. frame ordering, and the generation guard
+//! that keeps stale blackout events from a replaced impairment profile
+//! from toggling the channel.
 
 use std::time::Duration;
 
@@ -54,10 +54,10 @@ fn cancel_after_fire_is_a_harmless_no_op() {
     assert_eq!(sched.pending_events(), 0);
 }
 
-/// Double-cancel (and cancel after the tombstone already surfaced) stays
+/// Double-cancel (and cancel after the timer is long gone) stays
 /// idempotent, and cancelled timers never count as processed.
 #[test]
-fn tombstones_are_skipped_without_counting_as_processed() {
+fn cancelled_timers_are_skipped_without_counting_as_processed() {
     let sched = SimScheduler::new(SimClock::new());
     let keep_a = sched.schedule_timer(at(5), 1);
     let doomed = sched.schedule_timer(at(6), 2);
@@ -66,30 +66,32 @@ fn tombstones_are_skipped_without_counting_as_processed() {
     sched.cancel_timer(doomed); // idempotent
 
     assert_eq!(sched.pop_due(at(100)).expect("first live timer").kind, EventKind::Timer(keep_a));
-    // The tombstone surfaces here and is discarded silently.
+    // The cancelled slot between the two live timers releases nothing.
     assert_eq!(sched.pop_due(at(100)).expect("second live timer").kind, EventKind::Timer(keep_b));
     assert!(sched.pop_due(at(100)).is_none());
     assert_eq!(sched.events_processed(), 2, "a cancelled timer was counted");
 
-    // Cancelling once more, after its tombstone was consumed, is a no-op.
+    // Cancelling once more, long after the node was recycled, is a no-op.
     sched.cancel_timer(doomed);
     assert_eq!(sched.pending_events(), 0);
     assert!(sched.next_due().is_none());
 }
 
-/// `next_due` lazily purges cancelled heads instead of reporting their
-/// instants, so idle-skip never hops to a dead wakeup.
+/// Cancellation unlinks in place: pending counts drop immediately (no
+/// tombstones to surface), and `next_due` never reports a dead wakeup —
+/// so idle-skip can't hop to a cancelled instant.
 #[test]
-fn next_due_purges_cancelled_heads_lazily() {
+fn cancel_unlinks_in_place_and_next_due_skips_dead_wakeups() {
     let sched = SimScheduler::new(SimClock::new());
     let dead_early = sched.schedule_timer(at(10), 0);
     let dead_later = sched.schedule_timer(at(20), 0);
     sched.schedule_timer(at(30), 0);
     sched.cancel_timer(dead_early);
     sched.cancel_timer(dead_later);
-    assert_eq!(sched.pending_events(), 3, "tombstones linger until they surface");
+    assert_eq!(sched.pending_events(), 1, "cancelled timers still counted as pending");
     assert_eq!(sched.next_due(), Some(at(30)), "next_due reported a cancelled instant");
-    assert_eq!(sched.pending_events(), 1, "next_due left the purged tombstones queued");
+    assert_eq!(sched.pending_events(), 1);
+    assert_eq!(sched.stats().cancelled, 2, "both cancels recorded in kernel stats");
 }
 
 /// The same invariant through the station-facing API: a wakeup that fired

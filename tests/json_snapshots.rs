@@ -109,6 +109,9 @@ fn golden_snapshots_announce_their_schema() {
         "\"retained_inputs\":",
         "\"attack_frames\":",
         "\"attack_verdicts\":",
+        "\"sched_peak_pending\":",
+        "\"sched_cancelled\":",
+        "\"sched_level_filings\":",
         "\"findings\":",
         "\"bug_id\":",
         "\"root_cause\":",
@@ -133,6 +136,7 @@ fn golden_snapshots_announce_their_schema() {
         "\"hit_counts\":",
         "\"coverage_edges\":",
         "\"counters\":",
+        "\"sched_peak_pending\":",
         "\"channel\":",
         "\"frames_sent\":",
         "\"deliveries\":",
