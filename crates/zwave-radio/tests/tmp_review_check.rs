@@ -1,0 +1,19 @@
+use zwave_radio::sched::{EventKind, SimScheduler};
+use zwave_radio::{SimClock, SimInstant};
+
+fn at(us: u64) -> SimInstant {
+    SimInstant::from_micros(us)
+}
+
+#[test]
+fn overflow_node_whose_region_the_horizon_reaches_via_l0_drain() {
+    let region = 1u64 << 37;
+    let sched = SimScheduler::new(SimClock::new());
+    // A: last L0 slot of region 0; B: just inside region 1 (overflow).
+    sched.schedule(at(region - 500), 0, EventKind::FrameArrival(Vec::new()));
+    sched.schedule(at(region + 10), 1, EventKind::FrameArrival(Vec::new()));
+    let a = sched.pop_due(at(u64::MAX / 2)).expect("A releases");
+    assert_eq!(a.at.as_micros(), region - 500);
+    let b = sched.pop_due(at(u64::MAX / 2)).expect("B releases");
+    assert_eq!(b.at.as_micros(), region + 10);
+}
